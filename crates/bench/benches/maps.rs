@@ -1,0 +1,96 @@
+//! Criterion benchmarks for Map operations (Table 3's measured half).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use syrup::core::{MapDef, MapRegistry};
+
+fn bench_map_ops(c: &mut Criterion) {
+    let registry = MapRegistry::new();
+    let map = registry
+        .get(registry.create(MapDef::u64_array(1_000_000)))
+        .unwrap();
+
+    let mut group = c.benchmark_group("map_host");
+    let m = map.clone();
+    let mut i = 0u32;
+    group.bench_function("get", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(m.lookup_u64(i % 1_000_000).unwrap())
+        })
+    });
+    let m = map.clone();
+    let mut j = 0u32;
+    group.bench_function("update", |b| {
+        b.iter(|| {
+            j = j.wrapping_add(1);
+            m.update_u64(j % 1_000_000, u64::from(j)).unwrap();
+            black_box(())
+        })
+    });
+    let m = map.clone();
+    let slot = m.slot_for_key(&0u32.to_le_bytes()).unwrap().unwrap();
+    group.bench_function("atomic_fetch_add", |b| {
+        b.iter(|| black_box(m.fetch_add_value(slot, 0, 8, 1).unwrap()))
+    });
+    group.finish();
+
+    // Contended: a second thread issues a mixed workload throughout.
+    let stop = Arc::new(AtomicBool::new(false));
+    let contender = {
+        let m = map.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut k = 0u32;
+            while !stop.load(Ordering::Relaxed) {
+                let _ = m.lookup_u64(k % 1_000_000);
+                let _ = m.update_u64((k + 13) % 1_000_000, 1);
+                k = k.wrapping_add(1);
+            }
+        })
+    };
+    let mut group = c.benchmark_group("map_host_contended");
+    let m = map.clone();
+    let mut i = 0u32;
+    group.bench_function("get", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(m.lookup_u64(i % 1_000_000).unwrap())
+        })
+    });
+    let m = map.clone();
+    let mut j = 0u32;
+    group.bench_function("update", |b| {
+        b.iter(|| {
+            j = j.wrapping_add(1);
+            m.update_u64(j % 1_000_000, u64::from(j)).unwrap();
+            black_box(())
+        })
+    });
+    group.finish();
+    stop.store(true, Ordering::Relaxed);
+    contender.join().unwrap();
+
+    // Hash-map flavour for comparison.
+    let hash = registry
+        .get(registry.create(MapDef::u64_hash(100_000)))
+        .unwrap();
+    for k in 0..50_000u32 {
+        hash.update_u64(k, u64::from(k)).unwrap();
+    }
+    let mut group = c.benchmark_group("map_hash");
+    let mut i = 0u32;
+    group.bench_function("get_hit", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(hash.lookup_u64(i % 50_000).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_map_ops);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Figure 7: token-based QoS vs round robin under a fixed 400K RPS load.
+//!
+//! Two users — latency-sensitive (LS) and best-effort (BE) — split a
+//! total offered load slightly above saturation. The token policy issues
+//! the LS user 350K tokens/s in 100µs epochs and gifts leftovers to BE:
+//! (a) BE goodput tracks the spare capacity, and (b) LS 99% latency stays
+//! flat until LS load reaches the token rate, where round robin lets the
+//! overload inflate the LS tail ~6×.
+
+use bench::{emit, scaled, scaled_seeds, Series, Sweep};
+use syrup::apps::server_world::{self, ServerConfig, SocketPolicyKind};
+use syrup::sim::Duration;
+
+const TOTAL: f64 = 400_000.0;
+const TOKEN_RATE: u64 = 350_000;
+
+fn main() {
+    let ls_loads: Vec<f64> = (1..=7).map(|i| i as f64 * 50_000.0).collect();
+    let seeds = scaled_seeds(5);
+    let policies = [
+        ("Round Robin", SocketPolicyKind::RoundRobin),
+        (
+            "Token-based",
+            SocketPolicyKind::TokenBased {
+                rate_per_sec: TOKEN_RATE,
+            },
+        ),
+    ];
+
+    let mut be_tput = Sweep::new(
+        "Figure 7a: BE throughput (total offered = 400K RPS)",
+        "LS Load (RPS)",
+        "BE Throughput (RPS)",
+    );
+    let mut ls_lat = Sweep::new(
+        "Figure 7b: LS 99% latency (total offered = 400K RPS)",
+        "LS Load (RPS)",
+        "LS 99% Latency (us)",
+    );
+
+    for (label, policy) in policies {
+        let mut tput_series = Series::new(label);
+        let mut lat_series = Series::new(label);
+        for &ls in &ls_loads {
+            let be = TOTAL - ls;
+            let mut tputs = Vec::new();
+            let mut p99s = Vec::new();
+            for seed in 0..seeds {
+                let mut cfg = ServerConfig::fig7(policy, ls, be, seed + 1);
+                cfg.warmup = scaled(Duration::from_millis(50));
+                cfg.measure = scaled(Duration::from_millis(300));
+                let r = server_world::run(&cfg);
+                let be_stats = &r.per_tenant[&1];
+                let ls_stats = &r.per_tenant[&0];
+                tputs.push(be_stats.throughput_rps(cfg.measure));
+                p99s.push(ls_stats.latency.p99().as_micros_f64());
+            }
+            tput_series.push(ls, tputs);
+            lat_series.push(ls, p99s);
+        }
+        be_tput.push_series(tput_series);
+        ls_lat.push_series(lat_series);
+        eprintln!("finished {label}");
+    }
+
+    emit("fig7a_be_throughput", &be_tput);
+    emit("fig7b_ls_latency", &ls_lat);
+
+    // The paper's summary: RR gives BE slightly more throughput at the
+    // cost of ~6x higher LS tail latency.
+    let rr_lat = ls_lat.series[0].means();
+    let tok_lat = ls_lat.series[1].means();
+    let (rr_avg, tok_avg): (f64, f64) = (
+        rr_lat.iter().map(|&(_, y)| y).sum::<f64>() / rr_lat.len() as f64,
+        tok_lat.iter().map(|&(_, y)| y).sum::<f64>() / tok_lat.len() as f64,
+    );
+    println!(
+        "\n# Mean LS p99 across the sweep: Round Robin {rr_avg:.0}us vs Token-based {tok_avg:.0}us ({:.1}x)",
+        rr_avg / tok_avg.max(1.0)
+    );
+}

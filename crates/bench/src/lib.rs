@@ -1,0 +1,101 @@
+//! Shared plumbing for the figure/table regeneration binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure from the
+//! paper's evaluation: it sweeps offered load (or another axis) across
+//! seeds, prints the same rows/series the paper plots, and writes CSV
+//! next to the repository in `results/`.
+//!
+//! Scale control: the `SYRUP_SCALE` environment variable (default `1.0`)
+//! multiplies measurement durations and divides seed counts, so CI can run
+//! `SYRUP_SCALE=0.2 cargo run --release -p bench --bin fig6` for a fast
+//! smoke pass while the full setting reproduces the paper-fidelity sweep.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs;
+use std::path::PathBuf;
+
+pub use syrup::sim::sweep::{Series, Sweep};
+pub use syrup::sim::Duration;
+
+/// The measurement-scale factor from `SYRUP_SCALE` (clamped to
+/// `0.05..=10`).
+pub fn scale() -> f64 {
+    std::env::var("SYRUP_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(1.0)
+        .clamp(0.05, 10.0)
+}
+
+/// Scales a duration by [`scale`].
+pub fn scaled(d: Duration) -> Duration {
+    Duration::from_secs_f64(d.as_secs_f64() * scale())
+}
+
+/// Scales a seed count by [`scale`] (at least one seed).
+pub fn scaled_seeds(n: u64) -> u64 {
+    ((n as f64 * scale()).round() as u64).max(1)
+}
+
+/// Where CSV output lands: `<repo>/results/`.
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("results");
+    let _ = fs::create_dir_all(&dir);
+    dir
+}
+
+/// Prints the sweep as a table and writes `results/<name>.csv`.
+pub fn emit(name: &str, sweep: &Sweep) {
+    println!("{}", sweep.to_table());
+    let path = results_dir().join(format!("{name}.csv"));
+    match fs::write(&path, sweep.to_csv()) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+/// Prints a headline comparison the way the paper's prose does, e.g.
+/// "Round Robin sustains 124% more load than Vanilla before the tail
+/// explodes".
+pub fn knee_comparison(sweep: &Sweep, limit_us: f64, baseline: &str) {
+    let Some(base) = sweep.series.iter().find(|s| s.label == baseline) else {
+        return;
+    };
+    let Some(base_knee) = base.max_x_within(limit_us) else {
+        return;
+    };
+    println!("\n# Sustained load before mean y exceeds {limit_us} (vs {baseline}):");
+    for s in &sweep.series {
+        if let Some(knee) = s.max_x_within(limit_us) {
+            let gain = 100.0 * (knee - base_knee) / base_knee.max(1.0);
+            println!("  {:<28} {:>12.0}  ({:+.0}%)", s.label, knee, gain);
+        } else {
+            println!("  {:<28} {:>12}  (never under limit)", s.label, "-");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_is_clamped() {
+        // Without the env var the default is 1.0.
+        if std::env::var("SYRUP_SCALE").is_err() {
+            assert_eq!(scale(), 1.0);
+        }
+        assert!(scaled_seeds(10) >= 1);
+    }
+
+    #[test]
+    fn results_dir_is_creatable() {
+        let dir = results_dir();
+        assert!(dir.exists());
+    }
+}

@@ -1,0 +1,584 @@
+//! The multiplexed-thread world: Figure 8 (cross-layer scheduling).
+//!
+//! §5.3's deployment: RocksDB with 36 threads on 6 cores, 50% GET / 50%
+//! SCAN. Threads are multiplexed by either the CFS-like default scheduler
+//! (6 app cores, type-oblivious, millisecond slices) or a ghOSt agent
+//! running the Syrup GET-priority policy (5 app cores + 1 agent core,
+//! preemption via IPIs). Socket selection is either the vanilla hash or
+//! the SCAN-Avoid Syrup policy. The four combinations reproduce the
+//! figure's three plotted configurations (plus the omitted baseline):
+//!
+//! | socket layer | thread layer | paper series                 |
+//! |--------------|--------------|------------------------------|
+//! | SCAN Avoid   | CFS          | "SCAN Avoid"                 |
+//! | vanilla hash | ghOSt        | "Thread Scheduling"          |
+//! | SCAN Avoid   | ghOSt        | "SCAN Avoid + Thread Sched." |
+//! | vanilla hash | CFS          | (omitted: off the chart)     |
+//!
+//! The request class each thread is about to serve is published in a Map
+//! at enqueue time (the application-populated Map of §5.3), which is what
+//! lets the ghOSt policy prioritize GET threads.
+
+use std::collections::HashMap;
+
+use syrup_core::{Hook, HookMeta, MapDef, MapRef, PolicySource, Syrupd};
+use syrup_ghost::cfs::{CfsParams, CfsSched};
+use syrup_ghost::ghost::{class, GhostParams, GhostSched};
+use syrup_ghost::{Assignment, CoreId, ThreadId, ThreadScheduler};
+use syrup_net::socket::{Delivery, ReuseportGroup};
+use syrup_net::{flow, AppHeader, Frame, RequestClass, StackCosts};
+use syrup_policies::{ScanAvoidPolicy, VanillaPolicy};
+use syrup_sim::{
+    ArrivalGen, Duration, EventQueue, LatencyRecorder, LatencySummary, RequestMix, SimRng, Time,
+};
+
+use crate::rocksdb::RocksDbModel;
+use crate::server_world::SocketPolicyKind;
+
+/// Which thread scheduler multiplexes the 36 threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedKind {
+    /// The CFS-like kernel default on all cores.
+    Cfs,
+    /// ghOSt with the GET-priority Syrup policy; one core goes to the
+    /// agent.
+    Ghost,
+}
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct MtConfig {
+    /// Application threads (the paper: 36).
+    pub threads: usize,
+    /// Machine cores (the paper: 6; ghOSt reserves one).
+    pub cores: usize,
+    /// Shared UDP port.
+    pub port: u16,
+    /// Distinct client flows.
+    pub num_flows: usize,
+    /// Socket buffer capacity per thread.
+    pub socket_capacity: usize,
+    /// Offered load (requests per second).
+    pub load_rps: f64,
+    /// GET fraction (the paper: 0.5).
+    pub get_fraction: f64,
+    /// Service model.
+    pub model: RocksDbModel,
+    /// Per-request syscall overhead.
+    pub per_request_overhead: Duration,
+    /// RX path costs.
+    pub stack: StackCosts,
+    /// Socket-select policy (vanilla or SCAN Avoid).
+    pub socket_policy: SocketPolicyKind,
+    /// Thread scheduler.
+    pub sched: SchedKind,
+    /// Warm-up interval.
+    pub warmup: Duration,
+    /// Measured interval.
+    pub measure: Duration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl MtConfig {
+    /// The §5.3 setup at a given load.
+    pub fn fig8(
+        socket_policy: SocketPolicyKind,
+        sched: SchedKind,
+        load_rps: f64,
+        seed: u64,
+    ) -> Self {
+        MtConfig {
+            threads: 36,
+            cores: 6,
+            port: 8080,
+            num_flows: 50,
+            socket_capacity: 256,
+            load_rps,
+            get_fraction: 0.5,
+            model: RocksDbModel::default(),
+            per_request_overhead: Duration::from_micros(2),
+            stack: StackCosts::default(),
+            socket_policy,
+            sched,
+            warmup: Duration::from_millis(100),
+            measure: Duration::from_millis(800),
+            seed,
+        }
+    }
+}
+
+/// Per-class latency outcome of one run.
+#[derive(Debug, Clone)]
+pub struct MtResult {
+    /// GET latency statistics (Figure 8a).
+    pub get: LatencySummary,
+    /// SCAN latency statistics (Figure 8b).
+    pub scan: LatencySummary,
+    /// Completed requests.
+    pub completed: u64,
+    /// Dropped requests.
+    pub dropped: u64,
+    /// Preemptions issued by the ghOSt policy (0 under CFS).
+    pub preemptions: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Req {
+    arrival: Time,
+    class: RequestClass,
+    service: Duration,
+    flow_hash: u32,
+    measured: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    req: Req,
+    remaining: Duration,
+    started: Option<Time>,
+}
+
+enum Ev {
+    Arrival,
+    Deliver(Req),
+    ThreadStart {
+        thread: usize,
+        core: CoreId,
+        token: u64,
+    },
+    Complete {
+        thread: usize,
+        token: u64,
+    },
+    SliceTick {
+        core: CoreId,
+    },
+}
+
+enum Sched {
+    Cfs(CfsSched),
+    Ghost(GhostSched),
+}
+
+impl Sched {
+    fn as_dyn(&mut self) -> &mut dyn ThreadScheduler {
+        match self {
+            Sched::Cfs(s) => s,
+            Sched::Ghost(s) => s,
+        }
+    }
+}
+
+/// Runs one Figure 8 configuration.
+pub fn run(cfg: &MtConfig) -> MtResult {
+    let mut rng = SimRng::new(cfg.seed);
+    let syrupd = Syrupd::new();
+    let (_app, maps) = syrupd
+        .register_app("rocksdb-mt", &[cfg.port])
+        .expect("fresh daemon");
+
+    // The thread-class Map: written at the socket layer / by the app,
+    // read by both the SCAN-Avoid policy and the ghOSt policy (§3.4).
+    let class_map: MapRef = maps
+        .create_pinned("thread_class", MapDef::u64_array(64))
+        .expect("create class map");
+    for t in 0..cfg.threads as u32 {
+        class_map.update_u64(t, class::GET).expect("in range");
+    }
+
+    match cfg.socket_policy {
+        SocketPolicyKind::Vanilla => {
+            syrupd
+                .deploy(
+                    _app,
+                    Hook::SocketSelect,
+                    PolicySource::Native(Box::new(VanillaPolicy)),
+                )
+                .expect("deploy");
+        }
+        SocketPolicyKind::ScanAvoid => {
+            syrupd
+                .deploy(
+                    _app,
+                    Hook::SocketSelect,
+                    PolicySource::Native(Box::new(ScanAvoidPolicy::new(
+                        class_map.clone(),
+                        cfg.threads as u32,
+                        cfg.seed ^ 0x5A5A,
+                    ))),
+                )
+                .expect("deploy");
+        }
+        other => panic!("Figure 8 uses vanilla or SCAN Avoid, not {other:?}"),
+    }
+
+    let sched = match cfg.sched {
+        SchedKind::Cfs => Sched::Cfs(CfsSched::new(
+            (0..cfg.cores as u32).map(CoreId).collect(),
+            CfsParams::default(),
+        )),
+        SchedKind::Ghost => Sched::Ghost(GhostSched::new(
+            (0..cfg.cores as u32).map(CoreId).collect(),
+            class_map.clone(),
+            GhostParams::default(),
+        )),
+    };
+
+    let flows = flow::client_flows(cfg.num_flows, cfg.port, &mut rng);
+    let flow_hashes: Vec<u32> = flows.iter().map(|f| f.flow_hash()).collect();
+    let mut templates = HashMap::new();
+    for c in [RequestClass::Get, RequestClass::Scan] {
+        let frame = Frame::build(
+            &flows[0],
+            &AppHeader {
+                req_type: c.code(),
+                user_id: 0,
+                key_hash: 0,
+                req_id: 0,
+            },
+        );
+        templates.insert(c.code(), frame.datagram().to_vec());
+    }
+
+    let warmup_end = Time::ZERO + cfg.warmup;
+    let end = warmup_end + cfg.measure;
+
+    let mut world = MtWorld {
+        cfg,
+        rng,
+        queue: EventQueue::new(),
+        syrupd,
+        group: ReuseportGroup::new(cfg.threads, cfg.socket_capacity),
+        class_map,
+        templates,
+        flow_hashes,
+        sched,
+        current: vec![None; cfg.threads],
+        on_core: vec![None; cfg.threads],
+        token: vec![0; cfg.threads],
+        arrivals: ArrivalGen::poisson(cfg.load_rps),
+        mix: RequestMix::new(&[
+            (RequestClass::Get.class_id(), cfg.get_fraction),
+            (RequestClass::Scan.class_id(), 1.0 - cfg.get_fraction),
+        ]),
+        get_rec: LatencyRecorder::new(warmup_end),
+        scan_rec: LatencyRecorder::new(warmup_end),
+        dropped: 0,
+        end,
+    };
+    world.run()
+}
+
+struct MtWorld<'c> {
+    cfg: &'c MtConfig,
+    rng: SimRng,
+    queue: EventQueue<Ev>,
+    syrupd: Syrupd,
+    group: ReuseportGroup<Req>,
+    class_map: MapRef,
+    templates: HashMap<u64, Vec<u8>>,
+    flow_hashes: Vec<u32>,
+    sched: Sched,
+    /// In-flight request per thread (paused when `started` is None).
+    current: Vec<Option<InFlight>>,
+    /// Core each thread currently occupies.
+    on_core: Vec<Option<CoreId>>,
+    /// Run-token per thread: stale ThreadStart/Complete events are ignored.
+    token: Vec<u64>,
+    arrivals: ArrivalGen,
+    mix: RequestMix,
+    get_rec: LatencyRecorder,
+    scan_rec: LatencyRecorder,
+    dropped: u64,
+    end: Time,
+}
+
+impl MtWorld<'_> {
+    fn run(&mut self) -> MtResult {
+        if let Some(t0) = self.arrivals.next_arrival(&mut self.rng) {
+            self.queue.push(t0, Ev::Arrival);
+        }
+        // CFS needs periodic per-core slice ticks.
+        if let Some(slice) = self.sched.as_dyn().timeslice() {
+            for core in self.sched.as_dyn().app_cores() {
+                self.queue.push(Time::ZERO + slice, Ev::SliceTick { core });
+            }
+        }
+
+        while let Some((now, ev)) = self.queue.pop() {
+            match ev {
+                Ev::Arrival => self.on_arrival(now),
+                Ev::Deliver(req) => self.on_deliver(now, req),
+                Ev::ThreadStart {
+                    thread,
+                    core,
+                    token,
+                } => self.on_thread_start(now, thread, core, token),
+                Ev::Complete { thread, token } => self.on_complete(now, thread, token),
+                Ev::SliceTick { core } => {
+                    let assignments = self.sched.as_dyn().preempt_check(core, now);
+                    self.apply(now, assignments);
+                    if now < self.end + Duration::from_millis(50) {
+                        let slice = self
+                            .sched
+                            .as_dyn()
+                            .timeslice()
+                            .expect("tick only scheduled for sliced scheds");
+                        self.queue.push(now + slice, Ev::SliceTick { core });
+                    }
+                }
+            }
+        }
+
+        let preemptions = match &self.sched {
+            Sched::Ghost(g) => g.preemptions,
+            Sched::Cfs(_) => 0,
+        };
+        MtResult {
+            get: self.get_rec.summary(),
+            scan: self.scan_rec.summary(),
+            completed: (self.get_rec.len() + self.scan_rec.len()) as u64,
+            dropped: self.dropped,
+            preemptions,
+        }
+    }
+
+    fn on_arrival(&mut self, now: Time) {
+        if let Some(next) = self.arrivals.next_arrival(&mut self.rng) {
+            if next < self.end {
+                self.queue.push(next, Ev::Arrival);
+            }
+        }
+        let class = if self.mix.sample(&mut self.rng) == RequestClass::Scan.class_id() {
+            RequestClass::Scan
+        } else {
+            RequestClass::Get
+        };
+        let flow = self.rng.index(self.flow_hashes.len());
+        let req = Req {
+            arrival: now,
+            class,
+            service: self.cfg.model.sample(class, &mut self.rng),
+            flow_hash: self.flow_hashes[flow],
+            measured: now >= Time::ZERO + self.cfg.warmup,
+        };
+        self.queue
+            .push(now + self.cfg.stack.standard_rx_latency(), Ev::Deliver(req));
+    }
+
+    fn on_deliver(&mut self, now: Time, req: Req) {
+        let mut template = self
+            .templates
+            .get(&req.class.code())
+            .cloned()
+            .unwrap_or_default();
+        let meta = HookMeta {
+            now_ns: now.as_nanos(),
+            cpu: 0,
+            rx_queue: 0,
+            dst_port: self.cfg.port,
+        };
+        let (_, decision) = self
+            .syrupd
+            .schedule(Hook::SocketSelect, &mut template, &meta);
+        match self.group.deliver(req, req.flow_hash, decision) {
+            Delivery::Enqueued(thread) => {
+                // Publish the class this thread will serve next if it is
+                // about to pick this request up (head of an empty queue).
+                let idle = self.current[thread].is_none();
+                if idle && self.group.socket(thread).map(|s| s.len()) == Some(1) {
+                    let c = if req.class == RequestClass::Scan {
+                        class::SCAN
+                    } else {
+                        class::GET
+                    };
+                    let _ = self.class_map.update_u64(thread as u32, c);
+                }
+                if idle {
+                    let assignments = self
+                        .sched
+                        .as_dyn()
+                        .thread_ready(ThreadId(thread as u32), now);
+                    self.apply(now, assignments);
+                }
+            }
+            Delivery::Dropped { .. } => {
+                if req.measured {
+                    self.dropped += 1;
+                }
+            }
+        }
+    }
+
+    fn apply(&mut self, now: Time, assignments: Vec<Assignment>) {
+        for a in assignments {
+            if let Some(victim) = a.preempted {
+                self.pause_thread(victim.0 as usize, a.start_at.max(now));
+            }
+            let thread = a.thread.0 as usize;
+            self.token[thread] += 1;
+            self.queue.push(
+                a.start_at,
+                Ev::ThreadStart {
+                    thread,
+                    core: a.core,
+                    token: self.token[thread],
+                },
+            );
+        }
+    }
+
+    /// Stops a running thread at `at`, banking its remaining service.
+    fn pause_thread(&mut self, thread: usize, at: Time) {
+        self.token[thread] += 1; // invalidate its Complete event
+        self.on_core[thread] = None;
+        if let Some(inflight) = self.current[thread].as_mut() {
+            if let Some(started) = inflight.started.take() {
+                let ran = at.since(started);
+                inflight.remaining = inflight.remaining - ran;
+            }
+        }
+    }
+
+    fn on_thread_start(&mut self, now: Time, thread: usize, core: CoreId, token: u64) {
+        if self.token[thread] != token {
+            return; // superseded
+        }
+        self.on_core[thread] = Some(core);
+        if self.current[thread].is_none() {
+            // Fresh dispatch: take the head request from the socket.
+            let Some(req) = self.group.recv(thread) else {
+                // Spurious wakeup: nothing to do, block again.
+                let assignments =
+                    self.sched
+                        .as_dyn()
+                        .thread_stopped(ThreadId(thread as u32), core, now);
+                self.apply(now, assignments);
+                return;
+            };
+            let c = if req.class == RequestClass::Scan {
+                class::SCAN
+            } else {
+                class::GET
+            };
+            let _ = self.class_map.update_u64(thread as u32, c);
+            self.current[thread] = Some(InFlight {
+                req,
+                remaining: self.cfg.per_request_overhead + req.service,
+                started: None,
+            });
+        }
+        let inflight = self.current[thread].as_mut().expect("set above");
+        inflight.started = Some(now);
+        self.queue
+            .push(now + inflight.remaining, Ev::Complete { thread, token });
+    }
+
+    fn on_complete(&mut self, now: Time, thread: usize, token: u64) {
+        if self.token[thread] != token {
+            return; // the thread was preempted before finishing
+        }
+        let inflight = self.current[thread].take().expect("was running");
+        let core = self.on_core[thread].expect("completing thread is on a core");
+        if inflight.req.measured {
+            match inflight.req.class {
+                RequestClass::Scan => self.scan_rec.record(inflight.req.arrival, now),
+                _ => self.get_rec.record(inflight.req.arrival, now),
+            }
+        }
+        // More work queued? The thread keeps its core and loops.
+        if let Some(req) = self.group.recv(thread) {
+            let c = if req.class == RequestClass::Scan {
+                class::SCAN
+            } else {
+                class::GET
+            };
+            let _ = self.class_map.update_u64(thread as u32, c);
+            self.token[thread] += 1;
+            let new_token = self.token[thread];
+            self.current[thread] = Some(InFlight {
+                req,
+                remaining: self.cfg.per_request_overhead + req.service,
+                started: Some(now),
+            });
+            let remaining = self.cfg.per_request_overhead + req.service;
+            self.queue.push(
+                now + remaining,
+                Ev::Complete {
+                    thread,
+                    token: new_token,
+                },
+            );
+            return;
+        }
+        // Idle: release the core.
+        let _ = self.class_map.update_u64(thread as u32, class::GET);
+        self.on_core[thread] = None;
+        self.token[thread] += 1;
+        let assignments = self
+            .sched
+            .as_dyn()
+            .thread_stopped(ThreadId(thread as u32), core, now);
+        self.apply(now, assignments);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(policy: SocketPolicyKind, sched: SchedKind, load: f64) -> MtResult {
+        let mut cfg = MtConfig::fig8(policy, sched, load, 11);
+        cfg.warmup = Duration::from_millis(50);
+        cfg.measure = Duration::from_millis(400);
+        run(&cfg)
+    }
+
+    #[test]
+    fn low_load_completes_everything() {
+        let r = quick(SocketPolicyKind::ScanAvoid, SchedKind::Cfs, 2_000.0);
+        assert!(r.completed > 500, "completed {}", r.completed);
+        assert_eq!(r.dropped, 0);
+    }
+
+    #[test]
+    fn ghost_preempts_scans_for_gets() {
+        let r = quick(SocketPolicyKind::Vanilla, SchedKind::Ghost, 4_000.0);
+        assert!(r.preemptions > 0, "GET-priority policy should preempt");
+    }
+
+    #[test]
+    fn cross_layer_beats_single_layer_on_get_tail() {
+        let load = 6_000.0;
+        let socket_only = quick(SocketPolicyKind::ScanAvoid, SchedKind::Cfs, load);
+        let thread_only = quick(SocketPolicyKind::Vanilla, SchedKind::Ghost, load);
+        let both = quick(SocketPolicyKind::ScanAvoid, SchedKind::Ghost, load);
+        let (so, to, bo) = (socket_only.get.p99(), thread_only.get.p99(), both.get.p99());
+        assert!(
+            bo < so && bo < to,
+            "cross-layer GET p99 {bo} vs socket-only {so} / thread-only {to}"
+        );
+    }
+
+    #[test]
+    fn thread_only_get_tail_is_high_even_at_low_load() {
+        // §5.3: "GET tail latency is very high (>800µs) even for very low
+        // load as GETs can still get stuck behind SCANs in a network
+        // socket."
+        let r = quick(SocketPolicyKind::Vanilla, SchedKind::Ghost, 3_000.0);
+        assert!(
+            r.get.p99() > Duration::from_micros(300),
+            "thread-only GET p99 {}",
+            r.get.p99()
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = quick(SocketPolicyKind::ScanAvoid, SchedKind::Ghost, 5_000.0);
+        let b = quick(SocketPolicyKind::ScanAvoid, SchedKind::Ghost, 5_000.0);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.get.p99(), b.get.p99());
+    }
+}

@@ -1,0 +1,131 @@
+//! The userspace token-refill agent (§3.4, §5.2.2).
+//!
+//! "Our token-based policy periodically, i.e., every 100µs, generates
+//! tokens the LS user consumes every time one of her requests is served.
+//! After each epoch, any leftover tokens are gifted to the BE user." The
+//! agent runs in userspace and communicates with the kernel policy purely
+//! through the token Map — the paper's cross-layer flow.
+
+use syrup_core::MapRef;
+use syrup_sim::Duration;
+
+/// The refill agent. The simulation world fires [`TokenAgent::on_epoch`]
+/// every [`TokenAgent::epoch`].
+#[derive(Debug)]
+pub struct TokenAgent {
+    map: MapRef,
+    /// Refill period (the paper uses 100µs).
+    pub epoch: Duration,
+    /// Latency-sensitive user's token grant per epoch.
+    ls_per_epoch: u64,
+    ls_user: u32,
+    be_user: u32,
+    /// Cap on banked BE tokens, in epochs of LS grant, so gifted tokens
+    /// cannot accumulate into unbounded bursts.
+    be_cap_epochs: u64,
+}
+
+impl TokenAgent {
+    /// Creates the agent over the policy's token map.
+    ///
+    /// `rate_per_sec` is the LS token generation rate (the paper picks
+    /// 350K/s, "slightly below saturation" of the 6-core setup).
+    pub fn new(
+        map: MapRef,
+        epoch: Duration,
+        rate_per_sec: u64,
+        ls_user: u32,
+        be_user: u32,
+    ) -> Self {
+        let ls_per_epoch = (rate_per_sec as u128 * epoch.as_nanos() as u128 / 1_000_000_000) as u64;
+        TokenAgent {
+            map,
+            epoch,
+            ls_per_epoch: ls_per_epoch.max(1),
+            ls_user,
+            be_user,
+            be_cap_epochs: 2,
+        }
+    }
+
+    /// Tokens granted to the LS user per epoch.
+    pub fn ls_per_epoch(&self) -> u64 {
+        self.ls_per_epoch
+    }
+
+    /// One refill tick: unspent LS tokens are gifted to the BE user, then
+    /// the LS bucket is set to a fresh grant.
+    pub fn on_epoch(&mut self) {
+        let leftover = self
+            .map
+            .lookup_u64(self.ls_user)
+            .ok()
+            .flatten()
+            .unwrap_or(0);
+        let banked = self
+            .map
+            .lookup_u64(self.be_user)
+            .ok()
+            .flatten()
+            .unwrap_or(0);
+        let cap = self.ls_per_epoch * self.be_cap_epochs;
+        let gifted = (banked + leftover).min(cap);
+        let _ = self.map.update_u64(self.be_user, gifted);
+        let _ = self.map.update_u64(self.ls_user, self.ls_per_epoch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syrup_core::{MapDef, MapRegistry};
+
+    fn agent(rate: u64) -> (TokenAgent, MapRef) {
+        let reg = MapRegistry::new();
+        let map = reg.get(reg.create(MapDef::u64_array(4))).unwrap();
+        let a = TokenAgent::new(map.clone(), Duration::from_micros(100), rate, 0, 1);
+        (a, map)
+    }
+
+    #[test]
+    fn grant_matches_rate_and_epoch() {
+        let (a, _) = agent(350_000);
+        // 350K/s over 100µs = 35 tokens.
+        assert_eq!(a.ls_per_epoch(), 35);
+    }
+
+    #[test]
+    fn refill_sets_ls_bucket() {
+        let (mut a, map) = agent(350_000);
+        a.on_epoch();
+        assert_eq!(map.lookup_u64(0).unwrap(), Some(35));
+        assert_eq!(map.lookup_u64(1).unwrap(), Some(0));
+    }
+
+    #[test]
+    fn leftovers_are_gifted_to_be() {
+        let (mut a, map) = agent(350_000);
+        a.on_epoch();
+        // LS consumed only 5 of 35 tokens this epoch.
+        map.update_u64(0, 30).unwrap();
+        a.on_epoch();
+        assert_eq!(map.lookup_u64(1).unwrap(), Some(30));
+        assert_eq!(map.lookup_u64(0).unwrap(), Some(35));
+    }
+
+    #[test]
+    fn be_bank_is_capped() {
+        let (mut a, map) = agent(350_000);
+        for _ in 0..10 {
+            a.on_epoch(); // LS never consumes: 35 gifted per epoch
+        }
+        let banked = map.lookup_u64(1).unwrap().unwrap();
+        assert!(banked <= 70, "banked {banked} exceeds the 2-epoch cap");
+    }
+
+    #[test]
+    fn tiny_rates_still_grant_something() {
+        let (a, _) = agent(1);
+        assert_eq!(a.ls_per_epoch(), 1);
+    }
+}

@@ -1,0 +1,87 @@
+//! The scheduling decision contract (§3.3).
+//!
+//! A Syrup `schedule` function returns a `uint32_t`: an index into the
+//! hook's executor map, or one of two reserved sentinels — `PASS` (fall
+//! back to the system's default policy) and `DROP` (discard the input).
+
+use syrup_ebpf::ret;
+
+/// The outcome of one policy invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Decision {
+    /// Steer the input to the executor at this index of the executor map.
+    Executor(u32),
+    /// Let the system's default policy handle the input.
+    Pass,
+    /// Drop the input (e.g. admission control, token exhaustion).
+    Drop,
+}
+
+impl Decision {
+    /// Interprets a raw `schedule()` return value.
+    pub fn from_ret(value: u64) -> Decision {
+        let value = value as u32 as u64;
+        if value == ret::PASS {
+            Decision::Pass
+        } else if value == ret::DROP {
+            Decision::Drop
+        } else {
+            Decision::Executor(value as u32)
+        }
+    }
+
+    /// Encodes the decision back into the wire value.
+    pub fn to_ret(self) -> u64 {
+        match self {
+            Decision::Executor(i) => u64::from(i),
+            Decision::Pass => ret::PASS,
+            Decision::Drop => ret::DROP,
+        }
+    }
+
+    /// The chosen executor index, if this decision names one.
+    pub fn executor(self) -> Option<u32> {
+        match self {
+            Decision::Executor(i) => Some(i),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_all_variants() {
+        for d in [
+            Decision::Executor(0),
+            Decision::Executor(41),
+            Decision::Pass,
+            Decision::Drop,
+        ] {
+            assert_eq!(Decision::from_ret(d.to_ret()), d);
+        }
+    }
+
+    #[test]
+    fn sentinels_decode() {
+        assert_eq!(Decision::from_ret(ret::PASS), Decision::Pass);
+        assert_eq!(Decision::from_ret(ret::DROP), Decision::Drop);
+        assert_eq!(Decision::from_ret(5), Decision::Executor(5));
+    }
+
+    #[test]
+    fn high_bits_are_ignored_like_u32_returns() {
+        // schedule() returns uint32_t; the VM hands us a u64.
+        assert_eq!(Decision::from_ret(0x1_0000_0005), Decision::Executor(5));
+        assert_eq!(Decision::from_ret(0xFFFF_FFFF_FFFF_FFFF), Decision::Pass);
+    }
+
+    #[test]
+    fn executor_accessor() {
+        assert_eq!(Decision::Executor(3).executor(), Some(3));
+        assert_eq!(Decision::Pass.executor(), None);
+        assert_eq!(Decision::Drop.executor(), None);
+    }
+}

@@ -1,0 +1,269 @@
+//! The policy abstraction: native and eBPF-backed implementations.
+//!
+//! Every experiment policy exists in two forms with identical decision
+//! behaviour:
+//!
+//! * a **native** Rust implementation of [`PacketPolicy`], used on the hot
+//!   path of the discrete-event simulations (interpreting bytecode for
+//!   hundreds of millions of simulated packets would only cost wall-clock
+//!   time, not fidelity — the decisions are what matter); and
+//! * an **eBPF** implementation ([`EbpfPolicy`]) compiled from the paper's
+//!   C subset or assembled directly, verified, and interpreted — used by
+//!   Table 2 (instruction/cycle counts), the deployment-workflow tests,
+//!   and the native/eBPF equivalence tests.
+
+use syrup_ebpf::maps::ProgSlot;
+use syrup_ebpf::vm::{PacketCtx, RunEnv, Vm};
+use syrup_ebpf::{Program, VmError};
+
+use crate::decision::Decision;
+use crate::hook::HookMeta;
+
+/// A scheduling policy over packet-like inputs.
+///
+/// `schedule` receives the input bytes and hook metadata and returns a
+/// [`Decision`]. Implementations may keep internal state (round-robin
+/// counters) or consult shared Maps.
+pub trait PacketPolicy: Send {
+    /// Matches the input with an executor.
+    fn schedule(&mut self, pkt: &mut [u8], meta: &HookMeta) -> Decision;
+
+    /// Diagnostic name.
+    fn name(&self) -> &str {
+        "policy"
+    }
+}
+
+/// Blanket impl so plain closures can act as policies in tests and
+/// examples.
+impl<F> PacketPolicy for F
+where
+    F: FnMut(&mut [u8], &HookMeta) -> Decision + Send,
+{
+    fn schedule(&mut self, pkt: &mut [u8], meta: &HookMeta) -> Decision {
+        self(pkt, meta)
+    }
+}
+
+/// How a policy is delivered to `syrupd` (§3.1 step ❷).
+pub enum PolicySource {
+    /// Source text in the C subset; `syrupd` compiles it (§3.1 step ❸).
+    C {
+        /// The policy file contents.
+        source: String,
+        /// Compile-time defines and external map bindings.
+        options: syrup_lang::CompileOptions,
+    },
+    /// Pre-assembled bytecode (tests, hand-written policies).
+    Bytecode(Program),
+    /// A native Rust policy — the simulation fast path.
+    Native(Box<dyn PacketPolicy>),
+}
+
+impl std::fmt::Debug for PolicySource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolicySource::C { source, .. } => {
+                write!(f, "PolicySource::C({} bytes)", source.len())
+            }
+            PolicySource::Bytecode(p) => write!(f, "PolicySource::Bytecode({})", p.name),
+            PolicySource::Native(p) => write!(f, "PolicySource::Native({})", p.name()),
+        }
+    }
+}
+
+/// A verified program bound to a VM slot, exposed as a [`PacketPolicy`].
+///
+/// The policy owns its persistent `RunEnv` (deterministic randomness for
+/// `get_prandom_u32` carries across invocations, like the kernel's per-CPU
+/// PRNG state).
+#[derive(Debug)]
+pub struct EbpfPolicy {
+    vm: Vm,
+    slot: ProgSlot,
+    env: RunEnv,
+    name: String,
+    /// Running totals for Table 2.
+    pub insns_executed: u64,
+    /// Running cycle total (policy cycles only, before enforcement).
+    pub cycles: u64,
+    /// Number of invocations.
+    pub invocations: u64,
+    /// Last error, if any invocation trapped (a verified program never
+    /// traps; kept for diagnostics in unverified test runs).
+    pub last_error: Option<VmError>,
+}
+
+impl EbpfPolicy {
+    /// Wraps a slot of `vm`. The program must already be loaded (and, for
+    /// production use, verified — `Syrupd::deploy` guarantees this).
+    pub fn new(vm: Vm, slot: ProgSlot, name: impl Into<String>) -> Self {
+        EbpfPolicy {
+            vm,
+            slot,
+            env: RunEnv::default(),
+            name: name.into(),
+            insns_executed: 0,
+            cycles: 0,
+            invocations: 0,
+            last_error: None,
+        }
+    }
+
+    /// Seeds the deterministic `get_prandom_u32` stream.
+    pub fn seed_prandom(&mut self, seed: u64) {
+        self.env.prandom_state = seed;
+    }
+
+    /// Mean instructions per invocation so far.
+    pub fn mean_insns(&self) -> f64 {
+        if self.invocations == 0 {
+            return 0.0;
+        }
+        self.insns_executed as f64 / self.invocations as f64
+    }
+
+    /// Mean policy cycles per invocation so far.
+    pub fn mean_cycles(&self) -> f64 {
+        if self.invocations == 0 {
+            return 0.0;
+        }
+        self.cycles as f64 / self.invocations as f64
+    }
+}
+
+impl PacketPolicy for EbpfPolicy {
+    fn schedule(&mut self, pkt: &mut [u8], meta: &HookMeta) -> Decision {
+        self.env.now_ns = meta.now_ns;
+        self.env.cpu_id = meta.cpu;
+        let mut ctx = PacketCtx::new(pkt);
+        ctx.meta = [
+            u64::from(meta.rx_queue),
+            u64::from(meta.cpu),
+            u64::from(meta.dst_port),
+            0,
+        ];
+        match self.vm.run(self.slot, &mut ctx, &mut self.env) {
+            Ok(out) => {
+                self.invocations += 1;
+                self.insns_executed += out.insns;
+                self.cycles += out.cycles;
+                if let Some((_, idx)) = out.redirect {
+                    // XDP redirect decisions carry the executor in the
+                    // redirect target rather than the return value.
+                    return Decision::Executor(idx);
+                }
+                Decision::from_ret(out.ret)
+            }
+            Err(e) => {
+                // A trapping policy only hurts its own application: the
+                // input falls back to the default policy (§3.2's
+                // reliability argument).
+                self.last_error = Some(e);
+                Decision::Pass
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syrup_ebpf::maps::MapRegistry;
+    use syrup_ebpf::{Asm, Reg};
+
+    fn ebpf_const_policy(value: i32) -> EbpfPolicy {
+        let prog = Asm::new()
+            .mov64_imm(Reg::R0, value)
+            .exit()
+            .build("k")
+            .unwrap();
+        let mut vm = Vm::new(MapRegistry::new());
+        let slot = vm.load(prog).expect("verifies");
+        EbpfPolicy::new(vm, slot, "const")
+    }
+
+    #[test]
+    fn ebpf_policy_decodes_decisions() {
+        let mut p = ebpf_const_policy(3);
+        let d = p.schedule(&mut [0u8; 8], &HookMeta::default());
+        assert_eq!(d, Decision::Executor(3));
+        assert_eq!(p.invocations, 1);
+        assert!(p.insns_executed >= 2);
+        assert!(p.mean_cycles() > 0.0);
+    }
+
+    #[test]
+    fn ebpf_policy_pass_sentinel() {
+        let mut p = ebpf_const_policy(-1); // 0xFFFFFFFF as u32 == PASS
+        assert_eq!(
+            p.schedule(&mut [0u8; 8], &HookMeta::default()),
+            Decision::Pass
+        );
+    }
+
+    #[test]
+    fn closure_policies_work() {
+        let mut rr = {
+            let mut i = 0u32;
+            move |_pkt: &mut [u8], _meta: &HookMeta| {
+                i += 1;
+                Decision::Executor(i % 4)
+            }
+        };
+        let picks: Vec<_> = (0..5)
+            .map(|_| rr.schedule(&mut [], &HookMeta::default()))
+            .collect();
+        assert_eq!(
+            picks,
+            vec![
+                Decision::Executor(1),
+                Decision::Executor(2),
+                Decision::Executor(3),
+                Decision::Executor(0),
+                Decision::Executor(1)
+            ]
+        );
+    }
+
+    #[test]
+    fn meta_words_reach_the_program() {
+        // Return META2 (the dst port word).
+        let prog = Asm::new()
+            .ldx_dw(Reg::R0, Reg::R1, 32)
+            .exit()
+            .build("meta")
+            .unwrap();
+        let mut vm = Vm::new(MapRegistry::new());
+        let slot = vm.load(prog).unwrap();
+        let mut p = EbpfPolicy::new(vm, slot, "meta");
+        let meta = HookMeta {
+            dst_port: 8080,
+            ..HookMeta::default()
+        };
+        assert_eq!(p.schedule(&mut [0u8; 4], &meta), Decision::Executor(8080));
+    }
+
+    #[test]
+    fn trapping_policy_falls_back_to_pass() {
+        // Unverified program reading past the packet.
+        let prog = Asm::new()
+            .ldx_dw(Reg::R1, Reg::R1, 0)
+            .ldx_dw(Reg::R0, Reg::R1, 100)
+            .exit()
+            .build("bad")
+            .unwrap();
+        let mut vm = Vm::new(MapRegistry::new());
+        let slot = vm.load_unverified(prog);
+        let mut p = EbpfPolicy::new(vm, slot, "bad");
+        assert_eq!(
+            p.schedule(&mut [0u8; 4], &HookMeta::default()),
+            Decision::Pass
+        );
+        assert!(p.last_error.is_some());
+    }
+}

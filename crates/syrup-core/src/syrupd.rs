@@ -1,0 +1,759 @@
+//! `syrupd`: the system-wide Syrup daemon (§3.1, §3.5, §4.3).
+//!
+//! Applications register with the daemon (carrying the set of ports they
+//! own), then deploy policies to hooks. The daemon does the heavy lifting:
+//!
+//! 1. compiles C-subset policy files with `syrup-lang` (§3.1 step ❸),
+//! 2. runs the static verifier and refuses unverifiable programs,
+//! 3. loads accepted programs into the shared VM,
+//! 4. installs the **isolation dispatch**: a root eBPF program per hook
+//!    that matches the input's destination port against a port map and
+//!    tail-calls into a `PROG_ARRAY` holding per-application policies —
+//!    the §4.3 design, reproduced as actual bytecode running through the
+//!    same verifier and interpreter as the policies themselves,
+//! 5. creates and pins each policy's executor map and any maps declared in
+//!    the policy file under the owning app's namespace.
+//!
+//! Native Rust policies (the simulation fast path) go through the same
+//! registration, port-ownership, and dispatch rules, just without the VM.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use syrup_ebpf::asm::Asm;
+use syrup_ebpf::maps::{MapDef, MapRef, MapRegistry, ProgSlot};
+use syrup_ebpf::vm::{PacketCtx, RunEnv, Vm};
+use syrup_ebpf::{ret, HelperId, Reg, VerifierError};
+use syrup_lang::LangError;
+
+use crate::decision::Decision;
+use crate::hook::{Hook, HookMeta};
+use crate::map_api::{AppId, SyrupMaps};
+use crate::policy::{PacketPolicy, PolicySource};
+
+/// Why a deployment was rejected.
+#[derive(Debug)]
+pub enum DeployError {
+    /// The app id was never registered.
+    UnknownApp(AppId),
+    /// The policy file failed to compile.
+    Compile(LangError),
+    /// The compiled/loaded program failed verification — the §4.3 gate.
+    Verify(VerifierError),
+    /// Another application already owns one of the requested ports.
+    PortOwnedByOther {
+        /// The contested port.
+        port: u16,
+        /// Its current owner.
+        owner: AppId,
+    },
+    /// Internal map failure (registry exhausted etc.).
+    Map(syrup_ebpf::maps::MapError),
+}
+
+impl fmt::Display for DeployError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeployError::UnknownApp(a) => write!(f, "unknown application {a}"),
+            DeployError::Compile(e) => write!(f, "policy compilation failed: {e}"),
+            DeployError::Verify(e) => write!(f, "policy rejected by verifier: {e}"),
+            DeployError::PortOwnedByOther { port, owner } => {
+                write!(f, "port {port} is owned by {owner}")
+            }
+            DeployError::Map(e) => write!(f, "map failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+impl From<LangError> for DeployError {
+    fn from(e: LangError) -> Self {
+        DeployError::Compile(e)
+    }
+}
+impl From<VerifierError> for DeployError {
+    fn from(e: VerifierError) -> Self {
+        DeployError::Verify(e)
+    }
+}
+impl From<syrup_ebpf::maps::MapError> for DeployError {
+    fn from(e: syrup_ebpf::maps::MapError) -> Self {
+        DeployError::Map(e)
+    }
+}
+
+/// A deployed policy, returned to the application (§3.1 step ❹).
+#[derive(Debug, Clone)]
+pub struct PolicyHandle {
+    /// Owning application.
+    pub app: AppId,
+    /// Where the policy runs.
+    pub hook: Hook,
+    /// The executor map for this (app, hook): the application populates it
+    /// with socket/core/queue ids and the policy returns indices into it.
+    pub executors: MapRef,
+    /// Pin paths of maps declared in the policy file, by declared name.
+    pub pinned_maps: HashMap<String, String>,
+}
+
+/// How many executors an executor map can hold by default.
+const EXECUTOR_MAP_ENTRIES: u32 = 64;
+
+enum Deployed {
+    Ebpf {
+        slot: ProgSlot,
+        env: RunEnv,
+        insns: u64,
+        cycles: u64,
+        invocations: u64,
+    },
+    Native(Box<dyn PacketPolicy>),
+}
+
+struct HookState {
+    /// Port → prog-array index, consulted by the root program.
+    port_map: MapRef,
+    /// Per-app policy programs for tail calls.
+    prog_array: MapRef,
+    /// The verified root dispatcher.
+    root_slot: ProgSlot,
+    /// Rust-side mirror: port → app (also used for native dispatch).
+    port_owner: HashMap<u16, AppId>,
+    /// Deployed policy per app.
+    policies: HashMap<AppId, Deployed>,
+    /// App → prog-array index.
+    indices: HashMap<AppId, u32>,
+    next_index: u32,
+}
+
+struct AppInfo {
+    #[allow(dead_code)]
+    name: String,
+    ports: Vec<u16>,
+}
+
+struct Inner {
+    vm: Vm,
+    apps: HashMap<AppId, AppInfo>,
+    hooks: HashMap<Hook, HookState>,
+    next_app: u32,
+}
+
+/// The daemon. Cloning shares the instance (it is "a long-running daemon"
+/// — §4.3 — not a per-app object).
+#[derive(Clone)]
+pub struct Syrupd {
+    registry: MapRegistry,
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl fmt::Debug for Syrupd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("Syrupd")
+            .field("apps", &inner.apps.len())
+            .field("hooks", &inner.hooks.len())
+            .finish()
+    }
+}
+
+impl Default for Syrupd {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Syrupd {
+    /// Starts a daemon with a fresh map registry.
+    pub fn new() -> Self {
+        let registry = MapRegistry::new();
+        Syrupd {
+            inner: Arc::new(Mutex::new(Inner {
+                vm: Vm::new(registry.clone()),
+                apps: HashMap::new(),
+                hooks: HashMap::new(),
+                next_app: 1,
+            })),
+            registry,
+        }
+    }
+
+    /// The shared map registry (substrates use it to resolve executor
+    /// maps).
+    pub fn registry(&self) -> &MapRegistry {
+        &self.registry
+    }
+
+    /// Registers an application with the ports it owns. Returns the app id
+    /// and its namespaced Map API view.
+    pub fn register_app(
+        &self,
+        name: impl Into<String>,
+        ports: &[u16],
+    ) -> Result<(AppId, SyrupMaps), DeployError> {
+        let mut inner = self.inner.lock();
+        // Port ownership is global across apps.
+        for (&other_id, info) in &inner.apps {
+            for p in ports {
+                if info.ports.contains(p) {
+                    return Err(DeployError::PortOwnedByOther {
+                        port: *p,
+                        owner: other_id,
+                    });
+                }
+            }
+        }
+        let id = AppId(inner.next_app);
+        inner.next_app += 1;
+        inner.apps.insert(
+            id,
+            AppInfo {
+                name: name.into(),
+                ports: ports.to_vec(),
+            },
+        );
+        Ok((id, SyrupMaps::new(id, self.registry.clone())))
+    }
+
+    /// `syr_deploy_policy`: deploys `source` for `app` at `hook`.
+    ///
+    /// Policies can be redeployed at any time while the application runs
+    /// (§3.1); a second deployment for the same (app, hook) replaces the
+    /// first atomically.
+    pub fn deploy(
+        &self,
+        app: AppId,
+        hook: Hook,
+        source: PolicySource,
+    ) -> Result<PolicyHandle, DeployError> {
+        let mut inner = self.inner.lock();
+        if !inner.apps.contains_key(&app) {
+            return Err(DeployError::UnknownApp(app));
+        }
+        self.ensure_hook(&mut inner, hook)?;
+
+        // Executor map, pinned under the app's namespace.
+        let exec_path = format!("/syrup/{}/{}-executors", app.0, hook);
+        let exec_id = self
+            .registry
+            .create(MapDef::u64_array(EXECUTOR_MAP_ENTRIES));
+        self.registry.pin(exec_id, exec_path)?;
+        let executors = self.registry.get(exec_id).expect("map just created");
+
+        let mut pinned_maps = HashMap::new();
+        let deployed = match source {
+            PolicySource::C { source, options } => {
+                let compiled = syrup_lang::compile(&source, &options, &self.registry)?;
+                // Pin file-declared maps so the app's other layers and its
+                // userspace agent can open them (§3.4).
+                let view = SyrupMaps::new(app, self.registry.clone());
+                for (name, id) in &compiled.created_maps {
+                    let path = view
+                        .pin_existing(*id, name)
+                        .map_err(|_| DeployError::UnknownApp(app))?;
+                    pinned_maps.insert(name.clone(), path);
+                }
+                if let Some(gmap) = compiled.globals_map {
+                    if let Ok(path) = view.pin_existing(gmap, "__globals") {
+                        pinned_maps.insert("__globals".to_string(), path);
+                    }
+                }
+                let slot = inner.vm.load(compiled.program)?;
+                Deployed::Ebpf {
+                    slot,
+                    env: RunEnv::default(),
+                    insns: 0,
+                    cycles: 0,
+                    invocations: 0,
+                }
+            }
+            PolicySource::Bytecode(program) => {
+                let slot = inner.vm.load(program)?;
+                Deployed::Ebpf {
+                    slot,
+                    env: RunEnv::default(),
+                    insns: 0,
+                    cycles: 0,
+                    invocations: 0,
+                }
+            }
+            PolicySource::Native(policy) => Deployed::Native(policy),
+        };
+
+        // Wire the isolation dispatch: every port the app owns routes to
+        // this policy, and only to this policy.
+        let ports = inner.apps[&app].ports.clone();
+        let hook_state = inner.hooks.get_mut(&hook).expect("ensured above");
+        let index = *hook_state.indices.entry(app).or_insert_with(|| {
+            let i = hook_state.next_index;
+            hook_state.next_index += 1;
+            i
+        });
+        if let Deployed::Ebpf { slot, .. } = &deployed {
+            hook_state.prog_array.set_prog(index, Some(*slot))?;
+        } else {
+            // Native policies dispatch in Rust; clear any stale eBPF entry.
+            hook_state.prog_array.set_prog(index, None)?;
+        }
+        for port in ports {
+            hook_state.port_map.update(
+                &u32::from(port).to_le_bytes(),
+                &u64::from(index).to_le_bytes(),
+                Default::default(),
+            )?;
+            hook_state.port_owner.insert(port, app);
+        }
+        hook_state.policies.insert(app, deployed);
+
+        Ok(PolicyHandle {
+            app,
+            hook,
+            executors,
+            pinned_maps,
+        })
+    }
+
+    /// Removes the policy for `(app, hook)`; inputs fall back to the
+    /// system default.
+    pub fn undeploy(&self, app: AppId, hook: Hook) {
+        let mut inner = self.inner.lock();
+        if let Some(hs) = inner.hooks.get_mut(&hook) {
+            hs.policies.remove(&app);
+            if let Some(&index) = hs.indices.get(&app) {
+                let _ = hs.prog_array.set_prog(index, None);
+            }
+            hs.port_owner.retain(|_, owner| *owner != app);
+        }
+    }
+
+    /// The hook entry point the substrates call per input: runs the
+    /// isolation dispatch and the owning app's policy.
+    ///
+    /// Returns the owning app (if any policy matched) and the decision.
+    pub fn schedule(
+        &self,
+        hook: Hook,
+        pkt: &mut [u8],
+        meta: &HookMeta,
+    ) -> (Option<AppId>, Decision) {
+        let mut inner = self.inner.lock();
+        let Some(hs) = inner.hooks.get(&hook) else {
+            return (None, Decision::Pass);
+        };
+        let Some(&app) = hs.port_owner.get(&meta.dst_port) else {
+            // No policy deployed for this port: default system behaviour.
+            return (None, Decision::Pass);
+        };
+        let is_native = matches!(hs.policies.get(&app), Some(Deployed::Native(_)));
+        if is_native {
+            let hs = inner.hooks.get_mut(&hook).expect("exists");
+            let Some(Deployed::Native(policy)) = hs.policies.get_mut(&app) else {
+                return (Some(app), Decision::Pass);
+            };
+            return (Some(app), policy.schedule(pkt, meta));
+        }
+
+        // eBPF path: run the root dispatcher, which tail-calls the policy.
+        let root_slot = hs.root_slot;
+        let Some(Deployed::Ebpf { .. }) = hs.policies.get(&app) else {
+            return (Some(app), Decision::Pass);
+        };
+        let mut env = match inner
+            .hooks
+            .get_mut(&hook)
+            .and_then(|h| h.policies.get_mut(&app))
+        {
+            Some(Deployed::Ebpf { env, .. }) => env.clone(),
+            _ => RunEnv::default(),
+        };
+        env.now_ns = meta.now_ns;
+        env.cpu_id = meta.cpu;
+        let mut ctx = PacketCtx::new(pkt);
+        ctx.meta = [
+            u64::from(meta.rx_queue),
+            u64::from(meta.cpu),
+            u64::from(meta.dst_port),
+            0,
+        ];
+        let outcome = inner.vm.run(root_slot, &mut ctx, &mut env);
+        // Persist env + stats.
+        if let Some(Deployed::Ebpf {
+            env: stored,
+            insns,
+            cycles,
+            invocations,
+            ..
+        }) = inner
+            .hooks
+            .get_mut(&hook)
+            .and_then(|h| h.policies.get_mut(&app))
+        {
+            *stored = env;
+            if let Ok(out) = &outcome {
+                *insns += out.insns;
+                *cycles += out.cycles;
+                *invocations += 1;
+            }
+        }
+        match outcome {
+            Ok(out) => {
+                if let Some((_, idx)) = out.redirect {
+                    return (Some(app), Decision::Executor(idx));
+                }
+                (Some(app), Decision::from_ret(out.ret))
+            }
+            // A trapping policy affects only its own traffic (§3.2).
+            Err(_) => (Some(app), Decision::Pass),
+        }
+    }
+
+    /// Mean (instructions, cycles) per invocation for an eBPF policy
+    /// (Table 2 instrumentation). `None` for native policies.
+    pub fn policy_stats(&self, app: AppId, hook: Hook) -> Option<(f64, f64)> {
+        let inner = self.inner.lock();
+        match inner.hooks.get(&hook)?.policies.get(&app)? {
+            Deployed::Ebpf {
+                insns,
+                cycles,
+                invocations,
+                ..
+            } if *invocations > 0 => Some((
+                *insns as f64 / *invocations as f64,
+                *cycles as f64 / *invocations as f64,
+            )),
+            _ => None,
+        }
+    }
+
+    /// Builds the per-hook dispatch state on first use.
+    fn ensure_hook(&self, inner: &mut Inner, hook: Hook) -> Result<(), DeployError> {
+        if inner.hooks.contains_key(&hook) {
+            return Ok(());
+        }
+        let port_map_id = self.registry.create(MapDef::u64_hash(1024));
+        let prog_array_id = self.registry.create(MapDef::prog_array(256));
+        let port_map = self.registry.get(port_map_id).expect("created");
+        let prog_array = self.registry.get(prog_array_id).expect("created");
+
+        // The §4.3 root program: match the input's destination port to the
+        // owning application's policy and tail-call it; unknown ports PASS.
+        let root = Asm::new()
+            .mov64_reg(Reg::R6, Reg::R1) // save ctx
+            .ldx_dw(Reg::R2, Reg::R1, 32) // META2 = dst port
+            .stx_w(Reg::R10, -4, Reg::R2)
+            .load_map_fd(Reg::R1, port_map_id)
+            .mov64_reg(Reg::R2, Reg::R10)
+            .add64_imm(Reg::R2, -4)
+            .call(HelperId::MapLookupElem)
+            .jeq_imm(Reg::R0, 0, "pass")
+            .ldx_dw(Reg::R3, Reg::R0, 0) // prog-array index
+            .mov64_reg(Reg::R1, Reg::R6)
+            .load_map_fd(Reg::R2, prog_array_id)
+            .call(HelperId::TailCall)
+            // Tail-call failure (no policy installed) falls back to PASS.
+            .label("pass")
+            .mov64_imm(Reg::R0, ret::PASS as i32)
+            .exit()
+            .build("syrupd_dispatch")
+            .expect("root dispatcher assembles");
+        let root_slot = inner.vm.load(root)?;
+
+        inner.hooks.insert(
+            hook,
+            HookState {
+                port_map,
+                prog_array,
+                root_slot,
+                port_owner: HashMap::new(),
+                policies: HashMap::new(),
+                indices: HashMap::new(),
+                next_index: 0,
+            },
+        );
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CompileOptions;
+
+    fn rr_source() -> PolicySource {
+        PolicySource::C {
+            source: "
+                uint32_t idx = 0;
+                uint32_t schedule(void *pkt_start, void *pkt_end) {
+                    idx++;
+                    return idx % NUM_THREADS;
+                }"
+            .to_string(),
+            options: CompileOptions::new().define("NUM_THREADS", 4),
+        }
+    }
+
+    fn meta(port: u16) -> HookMeta {
+        HookMeta {
+            dst_port: port,
+            ..HookMeta::default()
+        }
+    }
+
+    #[test]
+    fn full_workflow_compile_verify_deploy_schedule() {
+        let d = Syrupd::new();
+        let (app, _maps) = d.register_app("rocksdb", &[8080]).unwrap();
+        let handle = d.deploy(app, Hook::SocketSelect, rr_source()).unwrap();
+        assert_eq!(handle.app, app);
+
+        let mut pkt = [0u8; 16];
+        let picks: Vec<_> = (0..5)
+            .map(|_| d.schedule(Hook::SocketSelect, &mut pkt, &meta(8080)))
+            .collect();
+        assert_eq!(picks[0], (Some(app), Decision::Executor(1)));
+        assert_eq!(picks[3], (Some(app), Decision::Executor(0)));
+        assert_eq!(picks[4], (Some(app), Decision::Executor(1)));
+    }
+
+    #[test]
+    fn unknown_port_passes_to_default_policy() {
+        let d = Syrupd::new();
+        let (app, _) = d.register_app("a", &[8080]).unwrap();
+        d.deploy(app, Hook::SocketSelect, rr_source()).unwrap();
+        let mut pkt = [0u8; 16];
+        assert_eq!(
+            d.schedule(Hook::SocketSelect, &mut pkt, &meta(9999)),
+            (None, Decision::Pass)
+        );
+    }
+
+    #[test]
+    fn two_apps_are_isolated() {
+        // Each app's policy handles only inputs on its own ports (§4.3).
+        let d = Syrupd::new();
+        let (app1, _) = d.register_app("kv", &[8080]).unwrap();
+        let (app2, _) = d.register_app("web", &[9090]).unwrap();
+        d.deploy(app1, Hook::SocketSelect, rr_source()).unwrap();
+        d.deploy(
+            app2,
+            Hook::SocketSelect,
+            PolicySource::C {
+                source: "uint32_t schedule(void *a, void *b) { return 7; }".to_string(),
+                options: CompileOptions::new(),
+            },
+        )
+        .unwrap();
+
+        let mut pkt = [0u8; 16];
+        // App 2's constant policy answers on port 9090 regardless of how
+        // many packets app 1 has scheduled.
+        for _ in 0..3 {
+            d.schedule(Hook::SocketSelect, &mut pkt, &meta(8080));
+        }
+        assert_eq!(
+            d.schedule(Hook::SocketSelect, &mut pkt, &meta(9090)),
+            (Some(app2), Decision::Executor(7))
+        );
+        // And app 1's round-robin continues from its own state.
+        assert_eq!(
+            d.schedule(Hook::SocketSelect, &mut pkt, &meta(8080)),
+            (Some(app1), Decision::Executor(0))
+        );
+    }
+
+    #[test]
+    fn port_conflicts_are_rejected() {
+        let d = Syrupd::new();
+        let (owner, _) = d.register_app("first", &[8080]).unwrap();
+        let err = d.register_app("second", &[8080, 8081]).unwrap_err();
+        match err {
+            DeployError::PortOwnedByOther { port, owner: o } => {
+                assert_eq!(port, 8080);
+                assert_eq!(o, owner);
+            }
+            other => panic!("unexpected: {other}"),
+        }
+    }
+
+    #[test]
+    fn unverifiable_policy_is_refused() {
+        let d = Syrupd::new();
+        let (app, _) = d.register_app("bad", &[1000]).unwrap();
+        // Reads the packet without a bounds check.
+        let err = d
+            .deploy(
+                app,
+                Hook::SocketSelect,
+                PolicySource::C {
+                    source: "uint32_t schedule(void *pkt_start, void *pkt_end) {
+                                 return *(uint32_t *)(pkt_start + 0);
+                             }"
+                    .to_string(),
+                    options: CompileOptions::new(),
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, DeployError::Verify(_)));
+    }
+
+    #[test]
+    fn native_policies_dispatch_through_the_same_port_rules() {
+        let d = Syrupd::new();
+        let (app, _) = d.register_app("native", &[5000]).unwrap();
+        d.deploy(
+            app,
+            Hook::SocketSelect,
+            PolicySource::Native(Box::new(|_pkt: &mut [u8], m: &HookMeta| {
+                Decision::Executor(u32::from(m.dst_port % 10))
+            })),
+        )
+        .unwrap();
+        let mut pkt = [0u8; 4];
+        assert_eq!(
+            d.schedule(Hook::SocketSelect, &mut pkt, &meta(5000)),
+            (Some(app), Decision::Executor(0))
+        );
+        assert_eq!(
+            d.schedule(Hook::SocketSelect, &mut pkt, &meta(1234)),
+            (None, Decision::Pass)
+        );
+    }
+
+    #[test]
+    fn redeployment_replaces_the_policy_live() {
+        // "Applications can update or deploy new policies at any time
+        // while they are running" (§3.1).
+        let d = Syrupd::new();
+        let (app, _) = d.register_app("live", &[7000]).unwrap();
+        d.deploy(
+            app,
+            Hook::SocketSelect,
+            PolicySource::C {
+                source: "uint32_t schedule(void *a, void *b) { return 1; }".into(),
+                options: CompileOptions::new(),
+            },
+        )
+        .unwrap();
+        let mut pkt = [0u8; 4];
+        assert_eq!(
+            d.schedule(Hook::SocketSelect, &mut pkt, &meta(7000)).1,
+            Decision::Executor(1)
+        );
+        d.deploy(
+            app,
+            Hook::SocketSelect,
+            PolicySource::C {
+                source: "uint32_t schedule(void *a, void *b) { return 2; }".into(),
+                options: CompileOptions::new(),
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            d.schedule(Hook::SocketSelect, &mut pkt, &meta(7000)).1,
+            Decision::Executor(2)
+        );
+    }
+
+    #[test]
+    fn undeploy_restores_default() {
+        let d = Syrupd::new();
+        let (app, _) = d.register_app("x", &[4000]).unwrap();
+        d.deploy(app, Hook::SocketSelect, rr_source()).unwrap();
+        let mut pkt = [0u8; 4];
+        assert!(matches!(
+            d.schedule(Hook::SocketSelect, &mut pkt, &meta(4000)).1,
+            Decision::Executor(_)
+        ));
+        d.undeploy(app, Hook::SocketSelect);
+        assert_eq!(
+            d.schedule(Hook::SocketSelect, &mut pkt, &meta(4000)),
+            (None, Decision::Pass)
+        );
+    }
+
+    #[test]
+    fn per_hook_policies_are_independent() {
+        let d = Syrupd::new();
+        let (app, _) = d.register_app("multi", &[6000]).unwrap();
+        d.deploy(app, Hook::SocketSelect, rr_source()).unwrap();
+        d.deploy(
+            app,
+            Hook::XdpDrv,
+            PolicySource::C {
+                source: "uint32_t schedule(void *a, void *b) { return 9; }".into(),
+                options: CompileOptions::new(),
+            },
+        )
+        .unwrap();
+        let mut pkt = [0u8; 4];
+        assert_eq!(
+            d.schedule(Hook::XdpDrv, &mut pkt, &meta(6000)).1,
+            Decision::Executor(9)
+        );
+        assert!(matches!(
+            d.schedule(Hook::SocketSelect, &mut pkt, &meta(6000)).1,
+            Decision::Executor(_)
+        ));
+    }
+
+    #[test]
+    fn policy_stats_accumulate() {
+        let d = Syrupd::new();
+        let (app, _) = d.register_app("stats", &[3000]).unwrap();
+        d.deploy(app, Hook::SocketSelect, rr_source()).unwrap();
+        let mut pkt = [0u8; 4];
+        for _ in 0..10 {
+            d.schedule(Hook::SocketSelect, &mut pkt, &meta(3000));
+        }
+        let (insns, cycles) = d.policy_stats(app, Hook::SocketSelect).unwrap();
+        assert!(
+            insns > 10.0,
+            "dispatch + policy should be tens of insns, got {insns}"
+        );
+        assert!(cycles > insns);
+    }
+
+    #[test]
+    fn cross_layer_map_communication() {
+        // Userspace writes a map the kernel policy reads — the §3.4 flow.
+        let d = Syrupd::new();
+        let (app, maps) = d.register_app("tokens", &[2000]).unwrap();
+        let handle = d
+            .deploy(
+                app,
+                Hook::SocketSelect,
+                PolicySource::C {
+                    source: "
+                        SYRUP_MAP(gate, ARRAY, 1);
+                        uint32_t schedule(void *pkt_start, void *pkt_end) {
+                            uint32_t zero = 0;
+                            uint64_t *open = syr_map_lookup_elem(&gate, &zero);
+                            if (!open)
+                                return DROP;
+                            if (*open == 0)
+                                return DROP;
+                            return PASS;
+                        }"
+                    .into(),
+                    options: CompileOptions::new(),
+                },
+            )
+            .unwrap();
+        let gate_path = &handle.pinned_maps["gate"];
+        let gate = maps.open(gate_path).unwrap();
+        let mut pkt = [0u8; 4];
+        assert_eq!(
+            d.schedule(Hook::SocketSelect, &mut pkt, &meta(2000)).1,
+            Decision::Drop
+        );
+        maps.update(&gate, 0, 1).unwrap();
+        assert_eq!(
+            d.schedule(Hook::SocketSelect, &mut pkt, &meta(2000)).1,
+            Decision::Pass
+        );
+    }
+}

@@ -1,0 +1,512 @@
+//! A small assembler for writing programs with symbolic labels.
+//!
+//! Policies in this repository are authored three ways: in the C-like
+//! `syrup-lang` (compiled to bytecode), directly via this builder, or as
+//! native Rust for the fast simulation path. The builder resolves labels to
+//! the relative instruction offsets the ISA uses and checks they fit.
+//!
+//! ```
+//! use syrup_ebpf::{Asm, Reg};
+//!
+//! // return pkt_len >= 2 ? first_u16_of_packet : 0
+//! let prog = Asm::new()
+//!     .ldx_dw(Reg::R2, Reg::R1, 8)      // r2 = ctx->data_end
+//!     .ldx_dw(Reg::R1, Reg::R1, 0)      // r1 = ctx->data
+//!     .mov64_reg(Reg::R3, Reg::R1)
+//!     .add64_imm(Reg::R3, 2)
+//!     .jgt_reg(Reg::R3, Reg::R2, "out") // bounds check
+//!     .ldx_h(Reg::R0, Reg::R1, 0)
+//!     .exit()
+//!     .label("out")
+//!     .mov64_imm(Reg::R0, 0)
+//!     .exit()
+//!     .build("example")
+//!     .unwrap();
+//! assert_eq!(prog.len(), 9);
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::helpers::HelperId;
+use crate::insn::{AluOp, CmpOp, Insn, MemSize, Operand, Reg, Width};
+use crate::maps::MapId;
+use crate::Program;
+
+/// Errors produced while resolving a program's labels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A branch referenced a label that was never defined.
+    UndefinedLabel(String),
+    /// The same label was defined twice.
+    DuplicateLabel(String),
+    /// A resolved branch offset does not fit in the 16-bit field.
+    OffsetOverflow(String),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            AsmError::OffsetOverflow(l) => write!(f, "branch to `{l}` overflows i16 offset"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[derive(Debug, Clone)]
+enum Pending {
+    Done(Insn),
+    Jump {
+        target: String,
+    },
+    Branch {
+        op: CmpOp,
+        w: Width,
+        lhs: Reg,
+        rhs: Operand,
+        target: String,
+    },
+}
+
+/// The label-resolving program builder. Methods append one instruction and
+/// return `self` for chaining.
+#[derive(Debug, Default)]
+pub struct Asm {
+    insns: Vec<Pending>,
+    labels: HashMap<String, usize>,
+    errors: Vec<AsmError>,
+}
+
+impl Asm {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Asm::default()
+    }
+
+    /// Appends an already-formed instruction.
+    pub fn raw(mut self, insn: Insn) -> Self {
+        self.insns.push(Pending::Done(insn));
+        self
+    }
+
+    /// Defines `name` at the current position.
+    pub fn label(mut self, name: &str) -> Self {
+        if self
+            .labels
+            .insert(name.to_string(), self.insns.len())
+            .is_some()
+        {
+            self.errors.push(AsmError::DuplicateLabel(name.to_string()));
+        }
+        self
+    }
+
+    // --- ALU ---
+
+    /// Generic 64-bit ALU operation.
+    pub fn alu64(self, op: AluOp, dst: Reg, src: Operand) -> Self {
+        self.raw(Insn::Alu {
+            w: Width::W64,
+            op,
+            dst,
+            src,
+        })
+    }
+
+    /// Generic 32-bit ALU operation (zero-extends the destination).
+    pub fn alu32(self, op: AluOp, dst: Reg, src: Operand) -> Self {
+        self.raw(Insn::Alu {
+            w: Width::W32,
+            op,
+            dst,
+            src,
+        })
+    }
+
+    /// `dst = imm` (64-bit, sign-extended from 32 bits).
+    pub fn mov64_imm(self, dst: Reg, imm: i32) -> Self {
+        self.alu64(AluOp::Mov, dst, Operand::Imm(imm))
+    }
+
+    /// `dst = src` (64-bit).
+    pub fn mov64_reg(self, dst: Reg, src: Reg) -> Self {
+        self.alu64(AluOp::Mov, dst, Operand::Reg(src))
+    }
+
+    /// `dst = imm` (32-bit).
+    pub fn mov32_imm(self, dst: Reg, imm: i32) -> Self {
+        self.alu32(AluOp::Mov, dst, Operand::Imm(imm))
+    }
+
+    /// `dst += imm`.
+    pub fn add64_imm(self, dst: Reg, imm: i32) -> Self {
+        self.alu64(AluOp::Add, dst, Operand::Imm(imm))
+    }
+
+    /// `dst += src`.
+    pub fn add64_reg(self, dst: Reg, src: Reg) -> Self {
+        self.alu64(AluOp::Add, dst, Operand::Reg(src))
+    }
+
+    /// `dst -= imm`.
+    pub fn sub64_imm(self, dst: Reg, imm: i32) -> Self {
+        self.alu64(AluOp::Sub, dst, Operand::Imm(imm))
+    }
+
+    /// `dst -= src`.
+    pub fn sub64_reg(self, dst: Reg, src: Reg) -> Self {
+        self.alu64(AluOp::Sub, dst, Operand::Reg(src))
+    }
+
+    /// `dst *= imm`.
+    pub fn mul64_imm(self, dst: Reg, imm: i32) -> Self {
+        self.alu64(AluOp::Mul, dst, Operand::Imm(imm))
+    }
+
+    /// `dst %= imm` (unsigned).
+    pub fn mod64_imm(self, dst: Reg, imm: i32) -> Self {
+        self.alu64(AluOp::Mod, dst, Operand::Imm(imm))
+    }
+
+    /// `dst %= src` (unsigned).
+    pub fn mod64_reg(self, dst: Reg, src: Reg) -> Self {
+        self.alu64(AluOp::Mod, dst, Operand::Reg(src))
+    }
+
+    /// `dst /= imm` (unsigned).
+    pub fn div64_imm(self, dst: Reg, imm: i32) -> Self {
+        self.alu64(AluOp::Div, dst, Operand::Imm(imm))
+    }
+
+    /// `dst &= imm`.
+    pub fn and64_imm(self, dst: Reg, imm: i32) -> Self {
+        self.alu64(AluOp::And, dst, Operand::Imm(imm))
+    }
+
+    /// `dst ^= src`.
+    pub fn xor64_reg(self, dst: Reg, src: Reg) -> Self {
+        self.alu64(AluOp::Xor, dst, Operand::Reg(src))
+    }
+
+    /// `dst <<= imm`.
+    pub fn lsh64_imm(self, dst: Reg, imm: i32) -> Self {
+        self.alu64(AluOp::Lsh, dst, Operand::Imm(imm))
+    }
+
+    /// `dst >>= imm` (logical).
+    pub fn rsh64_imm(self, dst: Reg, imm: i32) -> Self {
+        self.alu64(AluOp::Rsh, dst, Operand::Imm(imm))
+    }
+
+    /// Byte-swaps the low 16/32/64 bits of `dst` to big-endian.
+    pub fn to_be(self, dst: Reg, bits: u8) -> Self {
+        self.raw(Insn::Endian {
+            dst,
+            to_be: true,
+            bits,
+        })
+    }
+
+    // --- constants and maps ---
+
+    /// Loads a 64-bit immediate.
+    pub fn load_imm64(self, dst: Reg, imm: i64) -> Self {
+        self.raw(Insn::LoadImm64 { dst, imm })
+    }
+
+    /// Loads a map reference for helper calls.
+    pub fn load_map_fd(self, dst: Reg, map: MapId) -> Self {
+        self.raw(Insn::LoadMapFd { dst, map })
+    }
+
+    // --- memory ---
+
+    /// `dst = *(u8*)(base + off)`.
+    pub fn ldx_b(self, dst: Reg, base: Reg, off: i16) -> Self {
+        self.raw(Insn::LoadMem {
+            size: MemSize::B,
+            dst,
+            base,
+            off,
+        })
+    }
+
+    /// `dst = *(u16*)(base + off)`.
+    pub fn ldx_h(self, dst: Reg, base: Reg, off: i16) -> Self {
+        self.raw(Insn::LoadMem {
+            size: MemSize::H,
+            dst,
+            base,
+            off,
+        })
+    }
+
+    /// `dst = *(u32*)(base + off)`.
+    pub fn ldx_w(self, dst: Reg, base: Reg, off: i16) -> Self {
+        self.raw(Insn::LoadMem {
+            size: MemSize::W,
+            dst,
+            base,
+            off,
+        })
+    }
+
+    /// `dst = *(u64*)(base + off)`.
+    pub fn ldx_dw(self, dst: Reg, base: Reg, off: i16) -> Self {
+        self.raw(Insn::LoadMem {
+            size: MemSize::DW,
+            dst,
+            base,
+            off,
+        })
+    }
+
+    /// `*(u32*)(base + off) = src`.
+    pub fn stx_w(self, base: Reg, off: i16, src: Reg) -> Self {
+        self.raw(Insn::StoreMem {
+            size: MemSize::W,
+            base,
+            off,
+            src,
+        })
+    }
+
+    /// `*(u64*)(base + off) = src`.
+    pub fn stx_dw(self, base: Reg, off: i16, src: Reg) -> Self {
+        self.raw(Insn::StoreMem {
+            size: MemSize::DW,
+            base,
+            off,
+            src,
+        })
+    }
+
+    /// `*(u32*)(base + off) = imm`.
+    pub fn st_w(self, base: Reg, off: i16, imm: i32) -> Self {
+        self.raw(Insn::StoreImm {
+            size: MemSize::W,
+            base,
+            off,
+            imm,
+        })
+    }
+
+    /// `*(u64*)(base + off) = imm` (sign-extended).
+    pub fn st_dw(self, base: Reg, off: i16, imm: i32) -> Self {
+        self.raw(Insn::StoreImm {
+            size: MemSize::DW,
+            base,
+            off,
+            imm,
+        })
+    }
+
+    /// Atomic 64-bit add without fetch.
+    pub fn atomic_add_dw(self, base: Reg, off: i16, src: Reg) -> Self {
+        self.raw(Insn::AtomicAdd {
+            size: MemSize::DW,
+            base,
+            off,
+            src,
+            fetch: false,
+        })
+    }
+
+    /// Atomic 64-bit add, fetching the old value into `src`.
+    pub fn atomic_fetch_add_dw(self, base: Reg, off: i16, src: Reg) -> Self {
+        self.raw(Insn::AtomicAdd {
+            size: MemSize::DW,
+            base,
+            off,
+            src,
+            fetch: true,
+        })
+    }
+
+    // --- control flow ---
+
+    /// Unconditional jump to `target`.
+    pub fn jmp(mut self, target: &str) -> Self {
+        self.insns.push(Pending::Jump {
+            target: target.to_string(),
+        });
+        self
+    }
+
+    /// Generic conditional branch to `target`.
+    pub fn branch(mut self, op: CmpOp, lhs: Reg, rhs: Operand, target: &str) -> Self {
+        self.insns.push(Pending::Branch {
+            op,
+            w: Width::W64,
+            lhs,
+            rhs,
+            target: target.to_string(),
+        });
+        self
+    }
+
+    /// `if lhs == imm goto target`.
+    pub fn jeq_imm(self, lhs: Reg, imm: i32, target: &str) -> Self {
+        self.branch(CmpOp::Eq, lhs, Operand::Imm(imm), target)
+    }
+
+    /// `if lhs != imm goto target`.
+    pub fn jne_imm(self, lhs: Reg, imm: i32, target: &str) -> Self {
+        self.branch(CmpOp::Ne, lhs, Operand::Imm(imm), target)
+    }
+
+    /// `if lhs == rhs goto target`.
+    pub fn jeq_reg(self, lhs: Reg, rhs: Reg, target: &str) -> Self {
+        self.branch(CmpOp::Eq, lhs, Operand::Reg(rhs), target)
+    }
+
+    /// `if lhs > rhs goto target` (unsigned).
+    pub fn jgt_reg(self, lhs: Reg, rhs: Reg, target: &str) -> Self {
+        self.branch(CmpOp::Gt, lhs, Operand::Reg(rhs), target)
+    }
+
+    /// `if lhs > imm goto target` (unsigned).
+    pub fn jgt_imm(self, lhs: Reg, imm: i32, target: &str) -> Self {
+        self.branch(CmpOp::Gt, lhs, Operand::Imm(imm), target)
+    }
+
+    /// `if lhs >= imm goto target` (unsigned).
+    pub fn jge_imm(self, lhs: Reg, imm: i32, target: &str) -> Self {
+        self.branch(CmpOp::Ge, lhs, Operand::Imm(imm), target)
+    }
+
+    /// `if lhs < imm goto target` (unsigned).
+    pub fn jlt_imm(self, lhs: Reg, imm: i32, target: &str) -> Self {
+        self.branch(CmpOp::Lt, lhs, Operand::Imm(imm), target)
+    }
+
+    /// `if lhs < rhs goto target` (unsigned).
+    pub fn jlt_reg(self, lhs: Reg, rhs: Reg, target: &str) -> Self {
+        self.branch(CmpOp::Lt, lhs, Operand::Reg(rhs), target)
+    }
+
+    /// Calls a helper.
+    pub fn call(self, helper: HelperId) -> Self {
+        self.raw(Insn::Call { helper })
+    }
+
+    /// Returns with the value in `r0`.
+    pub fn exit(self) -> Self {
+        self.raw(Insn::Exit)
+    }
+
+    /// Resolves labels and produces the [`Program`].
+    pub fn build(self, name: impl Into<String>) -> Result<Program, AsmError> {
+        if let Some(err) = self.errors.into_iter().next() {
+            return Err(err);
+        }
+        let labels = self.labels;
+        let resolve = |target: &str, pc: usize| -> Result<i16, AsmError> {
+            let dest = *labels
+                .get(target)
+                .ok_or_else(|| AsmError::UndefinedLabel(target.to_string()))?;
+            let off = dest as i64 - (pc as i64 + 1);
+            i16::try_from(off).map_err(|_| AsmError::OffsetOverflow(target.to_string()))
+        };
+        let insns = self
+            .insns
+            .iter()
+            .enumerate()
+            .map(|(pc, pending)| match pending {
+                Pending::Done(insn) => Ok(*insn),
+                Pending::Jump { target } => Ok(Insn::Jump {
+                    off: resolve(target, pc)?,
+                }),
+                Pending::Branch {
+                    op,
+                    w,
+                    lhs,
+                    rhs,
+                    target,
+                } => Ok(Insn::Branch {
+                    op: *op,
+                    w: *w,
+                    lhs: *lhs,
+                    rhs: *rhs,
+                    off: resolve(target, pc)?,
+                }),
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Program::new(name, insns))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let prog = Asm::new()
+            .label("top")
+            .mov64_imm(Reg::R0, 1)
+            .jeq_imm(Reg::R0, 0, "top") // backward: off = -2
+            .jmp("end") // forward: off = +1
+            .mov64_imm(Reg::R0, 2)
+            .label("end")
+            .exit()
+            .build("t")
+            .unwrap();
+        assert_eq!(
+            prog.insns[1],
+            Insn::Branch {
+                op: CmpOp::Eq,
+                w: Width::W64,
+                lhs: Reg::R0,
+                rhs: Operand::Imm(0),
+                off: -2,
+            }
+        );
+        assert_eq!(prog.insns[2], Insn::Jump { off: 1 });
+    }
+
+    #[test]
+    fn undefined_label_is_rejected() {
+        let err = Asm::new().jmp("nowhere").exit().build("t").unwrap_err();
+        assert_eq!(err, AsmError::UndefinedLabel("nowhere".to_string()));
+    }
+
+    #[test]
+    fn duplicate_label_is_rejected() {
+        let err = Asm::new()
+            .label("x")
+            .mov64_imm(Reg::R0, 0)
+            .label("x")
+            .exit()
+            .build("t")
+            .unwrap_err();
+        assert_eq!(err, AsmError::DuplicateLabel("x".to_string()));
+    }
+
+    #[test]
+    fn label_at_same_position_as_next_insn() {
+        let prog = Asm::new()
+            .jmp("next")
+            .label("next")
+            .mov64_imm(Reg::R0, 0)
+            .exit()
+            .build("t")
+            .unwrap();
+        assert_eq!(prog.insns[0], Insn::Jump { off: 0 });
+    }
+
+    #[test]
+    fn disasm_lists_every_instruction() {
+        let prog = Asm::new()
+            .mov64_imm(Reg::R0, 7)
+            .exit()
+            .build("demo")
+            .unwrap();
+        let text = prog.disasm();
+        assert!(text.contains("0: mov r0, 7"));
+        assert!(text.contains("1: exit"));
+    }
+}

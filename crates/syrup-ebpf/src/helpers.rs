@@ -1,0 +1,100 @@
+//! Helper functions callable from programs.
+//!
+//! Helpers are the system-call surface of the in-kernel VM: the only way a
+//! verified program touches state outside its registers, stack, and packet.
+//! The set below covers everything the paper's policies need — map access
+//! (§3.4), randomness (the SCAN-Avoid policy probes random sockets), time,
+//! AF_XDP redirection (§5.4), and tail calls (how `syrupd` chains its
+//! port-dispatch program to per-application policies, §4.3).
+
+use core::fmt;
+
+/// Identifies a helper function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HelperId {
+    /// `void *bpf_map_lookup_elem(map, key)` — returns a pointer to the
+    /// value or NULL. The verifier forces a null check before dereference.
+    MapLookupElem,
+    /// `long bpf_map_update_elem(map, key, value, flags)`.
+    MapUpdateElem,
+    /// `long bpf_map_delete_elem(map, key)`.
+    MapDeleteElem,
+    /// `u32 bpf_get_prandom_u32(void)`.
+    GetPrandomU32,
+    /// `u64 bpf_ktime_get_ns(void)` — virtual time under simulation.
+    KtimeGetNs,
+    /// `long bpf_redirect_map(map, index, flags)` — steer the packet to the
+    /// AF_XDP socket / queue at `index` (XDP hooks).
+    RedirectMap,
+    /// `long bpf_tail_call(ctx, prog_array, index)` — jump to another
+    /// program; does not return on success.
+    TailCall,
+    /// `u32 bpf_get_smp_processor_id(void)` — the CPU handling the input.
+    GetSmpProcessorId,
+}
+
+impl HelperId {
+    /// All helpers, for registry iteration and docs.
+    pub const ALL: [HelperId; 8] = [
+        HelperId::MapLookupElem,
+        HelperId::MapUpdateElem,
+        HelperId::MapDeleteElem,
+        HelperId::GetPrandomU32,
+        HelperId::KtimeGetNs,
+        HelperId::RedirectMap,
+        HelperId::TailCall,
+        HelperId::GetSmpProcessorId,
+    ];
+
+    /// Number of argument registers (`r1`…) the helper consumes.
+    pub fn arg_count(self) -> usize {
+        match self {
+            HelperId::MapLookupElem => 2,
+            HelperId::MapUpdateElem => 4,
+            HelperId::MapDeleteElem => 2,
+            HelperId::GetPrandomU32 => 0,
+            HelperId::KtimeGetNs => 0,
+            HelperId::RedirectMap => 3,
+            HelperId::TailCall => 3,
+            HelperId::GetSmpProcessorId => 0,
+        }
+    }
+}
+
+impl fmt::Display for HelperId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            HelperId::MapLookupElem => "map_lookup_elem",
+            HelperId::MapUpdateElem => "map_update_elem",
+            HelperId::MapDeleteElem => "map_delete_elem",
+            HelperId::GetPrandomU32 => "get_prandom_u32",
+            HelperId::KtimeGetNs => "ktime_get_ns",
+            HelperId::RedirectMap => "redirect_map",
+            HelperId::TailCall => "tail_call",
+            HelperId::GetSmpProcessorId => "get_smp_processor_id",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_counts_match_kernel_signatures() {
+        assert_eq!(HelperId::MapLookupElem.arg_count(), 2);
+        assert_eq!(HelperId::MapUpdateElem.arg_count(), 4);
+        assert_eq!(HelperId::TailCall.arg_count(), 3);
+        assert_eq!(HelperId::GetPrandomU32.arg_count(), 0);
+    }
+
+    #[test]
+    fn all_list_is_complete_and_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for h in HelperId::ALL {
+            assert!(seen.insert(format!("{h}")));
+        }
+        assert_eq!(seen.len(), 8);
+    }
+}

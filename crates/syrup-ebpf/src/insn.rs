@@ -1,0 +1,424 @@
+//! The instruction set of the software eBPF machine.
+//!
+//! The machine mirrors the classic eBPF execution model: eleven 64-bit
+//! registers (`r0`–`r10`), a 512-byte per-invocation stack addressed
+//! downward from the read-only frame pointer `r10`, two's-complement
+//! arithmetic, and relative branch offsets counted in instructions from the
+//! *following* instruction (so `off = 0` falls through).
+//!
+//! Instructions are represented as a typed enum rather than the packed
+//! 64-bit wire encoding; the semantics — including 32-bit ALU
+//! zero-extension and the division-by-zero-yields-zero rule — follow the
+//! kernel's.
+
+use core::fmt;
+
+use crate::helpers::HelperId;
+use crate::maps::MapId;
+
+/// A machine register.
+///
+/// `R0` holds return values, `R1`–`R5` are caller-saved argument registers,
+/// `R6`–`R9` are callee-saved, and `R10` is the read-only frame pointer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Return-value / scratch register.
+    pub const R0: Reg = Reg(0);
+    /// First argument register; holds the context pointer at entry.
+    pub const R1: Reg = Reg(1);
+    /// Second argument register.
+    pub const R2: Reg = Reg(2);
+    /// Third argument register.
+    pub const R3: Reg = Reg(3);
+    /// Fourth argument register.
+    pub const R4: Reg = Reg(4);
+    /// Fifth argument register.
+    pub const R5: Reg = Reg(5);
+    /// First callee-saved register.
+    pub const R6: Reg = Reg(6);
+    /// Callee-saved register.
+    pub const R7: Reg = Reg(7);
+    /// Callee-saved register.
+    pub const R8: Reg = Reg(8);
+    /// Callee-saved register.
+    pub const R9: Reg = Reg(9);
+    /// Read-only frame pointer (top of the 512-byte stack).
+    pub const R10: Reg = Reg(10);
+
+    /// Creates a register by number; panics above 10.
+    pub fn new(n: u8) -> Reg {
+        assert!(n <= 10, "register r{n} does not exist");
+        Reg(n)
+    }
+
+    /// The register number, `0..=10`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Operand width for ALU and branch instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Width {
+    /// Full 64-bit operation.
+    W64,
+    /// 32-bit operation on the low half; the destination zero-extends.
+    W32,
+}
+
+/// Memory access size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemSize {
+    /// One byte.
+    B,
+    /// Two bytes.
+    H,
+    /// Four bytes.
+    W,
+    /// Eight bytes.
+    DW,
+}
+
+impl MemSize {
+    /// Size in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            MemSize::B => 1,
+            MemSize::H => 2,
+            MemSize::W => 4,
+            MemSize::DW => 8,
+        }
+    }
+}
+
+/// Binary ALU operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Unsigned division; division by zero yields zero (kernel rule).
+    Div,
+    /// Unsigned remainder; modulo zero leaves the destination unchanged
+    /// per the kernel rule (dst = dst mod 0 ⇒ dst).
+    Mod,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left (shift amount masked to width).
+    Lsh,
+    /// Logical shift right (shift amount masked to width).
+    Rsh,
+    /// Arithmetic shift right (shift amount masked to width).
+    Arsh,
+    /// Move (dst = src).
+    Mov,
+}
+
+/// Branch comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Unsigned greater-than.
+    Gt,
+    /// Unsigned greater-or-equal.
+    Ge,
+    /// Unsigned less-than.
+    Lt,
+    /// Unsigned less-or-equal.
+    Le,
+    /// Signed greater-than.
+    Sgt,
+    /// Signed greater-or-equal.
+    Sge,
+    /// Signed less-than.
+    Slt,
+    /// Signed less-or-equal.
+    Sle,
+    /// Bit test: `(lhs & rhs) != 0`.
+    Set,
+}
+
+/// The second operand of an ALU or branch instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A register.
+    Reg(Reg),
+    /// A sign-extended 32-bit immediate.
+    Imm(i32),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+/// One machine instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Insn {
+    /// `dst = dst <op> src` (or `dst = src` for [`AluOp::Mov`]).
+    Alu {
+        /// Operand width.
+        w: Width,
+        /// The operation.
+        op: AluOp,
+        /// Destination register.
+        dst: Reg,
+        /// Second operand.
+        src: Operand,
+    },
+    /// Two's-complement negation of `dst`.
+    Neg {
+        /// Operand width.
+        w: Width,
+        /// Destination register.
+        dst: Reg,
+    },
+    /// Byte-order conversion of the low `bits` (16/32/64) of `dst`.
+    ///
+    /// `to_be = true` converts host (little-endian) to big-endian — the
+    /// `ntohs`/`ntohl` idiom network policies use when parsing headers.
+    Endian {
+        /// Destination register.
+        dst: Reg,
+        /// Convert to big-endian (`true`) or to little-endian (`false`).
+        to_be: bool,
+        /// Width in bits: 16, 32, or 64.
+        bits: u8,
+    },
+    /// Loads a full 64-bit immediate.
+    LoadImm64 {
+        /// Destination register.
+        dst: Reg,
+        /// The immediate.
+        imm: i64,
+    },
+    /// Loads a map reference (the `BPF_PSEUDO_MAP_FD` form of `ld_imm64`).
+    LoadMapFd {
+        /// Destination register.
+        dst: Reg,
+        /// The referenced map.
+        map: MapId,
+    },
+    /// `dst = *(size*)(base + off)`.
+    LoadMem {
+        /// Access size.
+        size: MemSize,
+        /// Destination register.
+        dst: Reg,
+        /// Base pointer register.
+        base: Reg,
+        /// Signed byte offset.
+        off: i16,
+    },
+    /// `*(size*)(base + off) = src`.
+    StoreMem {
+        /// Access size.
+        size: MemSize,
+        /// Base pointer register.
+        base: Reg,
+        /// Signed byte offset.
+        off: i16,
+        /// Source register.
+        src: Reg,
+    },
+    /// `*(size*)(base + off) = imm`.
+    StoreImm {
+        /// Access size.
+        size: MemSize,
+        /// Base pointer register.
+        base: Reg,
+        /// Signed byte offset.
+        off: i16,
+        /// The immediate to store.
+        imm: i32,
+    },
+    /// Atomic `*(size*)(base + off) += src`, optionally fetching the old
+    /// value into `src` (the `BPF_XADD` / `BPF_ATOMIC` family; §4.1 notes
+    /// maps lack locks but support atomics on values).
+    AtomicAdd {
+        /// Access size; only [`MemSize::W`] and [`MemSize::DW`] are valid.
+        size: MemSize,
+        /// Base pointer register.
+        base: Reg,
+        /// Signed byte offset.
+        off: i16,
+        /// Addend register; receives the old value when `fetch` is set.
+        src: Reg,
+        /// Whether to fetch the previous value.
+        fetch: bool,
+    },
+    /// Unconditional relative jump.
+    Jump {
+        /// Offset in instructions from the next instruction.
+        off: i16,
+    },
+    /// Conditional relative jump: `if lhs <op> rhs goto pc + 1 + off`.
+    Branch {
+        /// Comparison operator.
+        op: CmpOp,
+        /// Operand width.
+        w: Width,
+        /// Left-hand register.
+        lhs: Reg,
+        /// Right-hand operand.
+        rhs: Operand,
+        /// Offset in instructions from the next instruction.
+        off: i16,
+    },
+    /// Calls a helper function; arguments in `r1`–`r5`, result in `r0`,
+    /// `r1`–`r5` clobbered.
+    Call {
+        /// The helper to invoke.
+        helper: HelperId,
+    },
+    /// Returns from the program with the value in `r0`.
+    Exit,
+}
+
+impl fmt::Display for Insn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn wtag(w: Width) -> &'static str {
+            match w {
+                Width::W64 => "",
+                Width::W32 => "32",
+            }
+        }
+        fn stag(s: MemSize) -> &'static str {
+            match s {
+                MemSize::B => "b",
+                MemSize::H => "h",
+                MemSize::W => "w",
+                MemSize::DW => "dw",
+            }
+        }
+        match *self {
+            Insn::Alu { w, op, dst, src } => {
+                let name = format!("{op:?}").to_lowercase();
+                write!(f, "{name}{} {dst}, {src}", wtag(w))
+            }
+            Insn::Neg { w, dst } => write!(f, "neg{} {dst}", wtag(w)),
+            Insn::Endian { dst, to_be, bits } => {
+                write!(f, "{} {dst}, {bits}", if to_be { "be" } else { "le" })
+            }
+            Insn::LoadImm64 { dst, imm } => write!(f, "lddw {dst}, {imm}"),
+            Insn::LoadMapFd { dst, map } => write!(f, "ldmapfd {dst}, map#{}", map.0),
+            Insn::LoadMem {
+                size,
+                dst,
+                base,
+                off,
+            } => write!(f, "ldx{} {dst}, [{base}{off:+}]", stag(size)),
+            Insn::StoreMem {
+                size,
+                base,
+                off,
+                src,
+            } => write!(f, "stx{} [{base}{off:+}], {src}", stag(size)),
+            Insn::StoreImm {
+                size,
+                base,
+                off,
+                imm,
+            } => write!(f, "st{} [{base}{off:+}], {imm}", stag(size)),
+            Insn::AtomicAdd {
+                size,
+                base,
+                off,
+                src,
+                fetch,
+            } => write!(
+                f,
+                "{}{} [{base}{off:+}], {src}",
+                if fetch { "afadd" } else { "aadd" },
+                stag(size)
+            ),
+            Insn::Jump { off } => write!(f, "ja {off:+}"),
+            Insn::Branch {
+                op,
+                w,
+                lhs,
+                rhs,
+                off,
+            } => {
+                let name = format!("{op:?}").to_lowercase();
+                write!(f, "j{name}{} {lhs}, {rhs}, {off:+}", wtag(w))
+            }
+            Insn::Call { helper } => write!(f, "call {helper:?}"),
+            Insn::Exit => write!(f, "exit"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_constants_are_consistent() {
+        assert_eq!(Reg::R0.index(), 0);
+        assert_eq!(Reg::R10.index(), 10);
+        assert_eq!(Reg::new(7), Reg::R7);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn register_eleven_is_invalid() {
+        let _ = Reg::new(11);
+    }
+
+    #[test]
+    fn mem_size_bytes() {
+        assert_eq!(MemSize::B.bytes(), 1);
+        assert_eq!(MemSize::H.bytes(), 2);
+        assert_eq!(MemSize::W.bytes(), 4);
+        assert_eq!(MemSize::DW.bytes(), 8);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let i = Insn::Alu {
+            w: Width::W64,
+            op: AluOp::Add,
+            dst: Reg::R1,
+            src: Operand::Imm(8),
+        };
+        assert_eq!(format!("{i}"), "add r1, 8");
+        let j = Insn::Branch {
+            op: CmpOp::Gt,
+            w: Width::W64,
+            lhs: Reg::R3,
+            rhs: Operand::Reg(Reg::R2),
+            off: 4,
+        };
+        assert_eq!(format!("{j}"), "jgt r3, r2, +4");
+        let l = Insn::LoadMem {
+            size: MemSize::H,
+            dst: Reg::R4,
+            base: Reg::R1,
+            off: -2,
+        };
+        assert_eq!(format!("{l}"), "ldxh r4, [r1-2]");
+    }
+}

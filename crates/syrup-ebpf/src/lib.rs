@@ -1,0 +1,97 @@
+//! A software eBPF: instruction set, verifier, interpreter, and maps.
+//!
+//! Syrup deploys untrusted scheduling policies into the kernel through eBPF
+//! (§4.1 of the paper). This crate is the reproduction's stand-in for the
+//! Linux eBPF subsystem, built from scratch:
+//!
+//! * [`insn`] — the classic 11-register / 512-byte-stack instruction set
+//!   (64/32-bit ALU, memory, branches, atomics, endian conversion, helper
+//!   calls, tail calls).
+//! * [`asm`] — a label-resolving assembler for writing programs in Rust;
+//!   [`asm_text`] additionally parses the disassembler's text format.
+//! * [`verifier`] — a static verifier in the style of the in-kernel one: it
+//!   simulates execution one instruction at a time, tracks pointer
+//!   provenance per register, requires explicit packet-bounds checks
+//!   against `data_end` before packet loads, requires null checks on map
+//!   values, bounds the analysis at one million explored instructions (so
+//!   only bounded loops pass), and rejects everything else (§4.3).
+//! * [`vm`] — an interpreter with per-instruction cycle accounting used for
+//!   Table 2's instruction/cycle measurements, plus defense-in-depth
+//!   runtime checks (verified programs never trip them).
+//! * [`maps`] — array / hash / program-array maps with the pin-to-path
+//!   namespace Syrup uses for cross-layer communication (§3.4), including
+//!   the atomics-on-values model of §4.1.
+//!
+//! The subset is documented per module; every restriction mirrors either a
+//! real eBPF verifier rule or a simplification that the paper's policies
+//! (Figure 5) do not exercise.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod asm_text;
+pub mod cycles;
+pub mod helpers;
+pub mod insn;
+pub mod maps;
+pub mod verifier;
+pub mod vm;
+
+pub use asm::Asm;
+pub use asm_text::assemble;
+pub use helpers::HelperId;
+pub use insn::{AluOp, CmpOp, Insn, MemSize, Operand, Reg, Width};
+pub use maps::{MapDef, MapId, MapKind, MapRef, MapRegistry};
+pub use verifier::{verify, VerifierError};
+pub use vm::{PacketCtx, Vm, VmError, VmOutcome};
+
+/// A loaded, verified program: instructions plus a human-readable name.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Diagnostic name, e.g. `"round_robin"`.
+    pub name: String,
+    /// The instruction stream. Index 0 is the entry point.
+    pub insns: Vec<Insn>,
+}
+
+impl Program {
+    /// Creates a program from raw instructions.
+    pub fn new(name: impl Into<String>, insns: Vec<Insn>) -> Self {
+        Program {
+            name: name.into(),
+            insns,
+        }
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// Whether the program has no instructions (never valid to run).
+    pub fn is_empty(&self) -> bool {
+        self.insns.is_empty()
+    }
+
+    /// Renders a disassembly listing, one instruction per line.
+    pub fn disasm(&self) -> String {
+        self.insns
+            .iter()
+            .enumerate()
+            .map(|(i, insn)| format!("{i:4}: {insn}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// Scheduling decision sentinels shared with `syrup-core`.
+///
+/// A Syrup `schedule` function returns a `u32`: an index into the executor
+/// map, or one of these two reserved values (§3.3).
+pub mod ret {
+    /// Use the system's default policy for this input.
+    pub const PASS: u64 = u32::MAX as u64;
+    /// Drop the input.
+    pub const DROP: u64 = (u32::MAX - 1) as u64;
+}

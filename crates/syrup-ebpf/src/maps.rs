@@ -1,0 +1,772 @@
+//! eBPF maps: the kernel data structures behind Syrup's Map abstraction.
+//!
+//! Maps are how Syrup policies hold executors, communicate across layers,
+//! and talk to userspace agents (§3.4). This module implements the three
+//! kinds the paper relies on:
+//!
+//! * **Array** — fixed-size, zero-initialized, indexed by a `u32` key; used
+//!   for executor tables and counters.
+//! * **Hash** — arbitrary byte keys; used for application-defined state.
+//! * **ProgArray** — program references for tail calls; `syrupd` uses one to
+//!   dispatch packets to the owning application's policy (§4.3).
+//!
+//! Like kernel maps, these have no lock visible to programs; §4.1 notes
+//! that programs instead use atomic instructions directly on values, which
+//! [`MapRef::fetch_add_value`] provides. Userspace accesses values by copy
+//! ([`MapRef::lookup`]/[`MapRef::update`]); programs access them in place
+//! through slot handles, mirroring the pointer-to-value semantics of
+//! `bpf_map_lookup_elem`.
+//!
+//! Maps can be pinned to a path in a sysfs-like namespace so multiple
+//! programs of the same user can share them; `syrup-core` layers file-style
+//! permissions on top.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+/// Identifies a map within a [`MapRegistry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MapId(pub u32);
+
+/// Identifies a loaded program (used by [`MapKind::ProgArray`] entries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProgSlot(pub u32);
+
+/// The map flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MapKind {
+    /// Fixed-size array indexed by `u32`, zero-initialized.
+    Array,
+    /// Hash table with arbitrary fixed-size byte keys.
+    Hash,
+    /// Array of program references for tail calls.
+    ProgArray,
+}
+
+/// Map creation parameters, mirroring `bpf_map_def`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MapDef {
+    /// The flavour.
+    pub kind: MapKind,
+    /// Key size in bytes. Arrays and prog-arrays require 4.
+    pub key_size: u32,
+    /// Value size in bytes. Prog-arrays require 4.
+    pub value_size: u32,
+    /// Capacity.
+    pub max_entries: u32,
+}
+
+impl MapDef {
+    /// An array of `u64` values — the paper's default Map shape (§3.4).
+    pub fn u64_array(max_entries: u32) -> MapDef {
+        MapDef {
+            kind: MapKind::Array,
+            key_size: 4,
+            value_size: 8,
+            max_entries,
+        }
+    }
+
+    /// A hash map from `u32` keys to `u64` values.
+    pub fn u64_hash(max_entries: u32) -> MapDef {
+        MapDef {
+            kind: MapKind::Hash,
+            key_size: 4,
+            value_size: 8,
+            max_entries,
+        }
+    }
+
+    /// A program array for tail-call dispatch.
+    pub fn prog_array(max_entries: u32) -> MapDef {
+        MapDef {
+            kind: MapKind::ProgArray,
+            key_size: 4,
+            value_size: 4,
+            max_entries,
+        }
+    }
+}
+
+/// Update flags, mirroring `BPF_ANY` / `BPF_NOEXIST` / `BPF_EXIST`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UpdateFlag {
+    /// Create or overwrite.
+    #[default]
+    Any,
+    /// Only create; fail if the key exists.
+    NoExist,
+    /// Only overwrite; fail if the key is missing.
+    Exist,
+}
+
+/// Errors from map operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapError {
+    /// Key length does not match the definition.
+    BadKeySize {
+        /// Expected key length.
+        expected: u32,
+        /// Provided key length.
+        got: usize,
+    },
+    /// Value length does not match the definition.
+    BadValueSize {
+        /// Expected value length.
+        expected: u32,
+        /// Provided value length.
+        got: usize,
+    },
+    /// Array index or prog-array index out of range.
+    IndexOutOfRange,
+    /// Hash map is full.
+    Full,
+    /// `UpdateFlag` precondition failed.
+    FlagConflict,
+    /// Key not present (delete/EXIST update).
+    NotFound,
+    /// In-place value access hit a stale or out-of-range slot.
+    BadSlotAccess,
+    /// Operation not supported by this map kind (e.g. data ops on a
+    /// prog-array).
+    WrongKind,
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::BadKeySize { expected, got } => {
+                write!(f, "bad key size: expected {expected}, got {got}")
+            }
+            MapError::BadValueSize { expected, got } => {
+                write!(f, "bad value size: expected {expected}, got {got}")
+            }
+            MapError::IndexOutOfRange => write!(f, "index out of range"),
+            MapError::Full => write!(f, "map is full"),
+            MapError::FlagConflict => write!(f, "update flag precondition failed"),
+            MapError::NotFound => write!(f, "key not found"),
+            MapError::BadSlotAccess => write!(f, "stale or out-of-range value slot"),
+            MapError::WrongKind => write!(f, "operation unsupported for this map kind"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+#[derive(Debug)]
+enum Storage {
+    Array {
+        data: Vec<u8>,
+    },
+    Hash {
+        index: HashMap<Vec<u8>, usize>,
+        slots: Vec<Option<(Vec<u8>, Vec<u8>)>>, // (key, value)
+        free: Vec<usize>,
+    },
+    ProgArray {
+        progs: Vec<Option<ProgSlot>>,
+    },
+}
+
+/// A shared handle to one map.
+#[derive(Clone)]
+pub struct MapRef {
+    inner: Arc<MapInner>,
+}
+
+struct MapInner {
+    id: MapId,
+    def: MapDef,
+    storage: Mutex<Storage>,
+}
+
+impl fmt::Debug for MapRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MapRef")
+            .field("id", &self.inner.id)
+            .field("def", &self.inner.def)
+            .finish()
+    }
+}
+
+impl MapRef {
+    fn new(id: MapId, def: MapDef) -> Self {
+        let storage = match def.kind {
+            MapKind::Array => Storage::Array {
+                data: vec![0u8; (def.max_entries as usize) * (def.value_size as usize)],
+            },
+            MapKind::Hash => Storage::Hash {
+                index: HashMap::new(),
+                slots: Vec::new(),
+                free: Vec::new(),
+            },
+            MapKind::ProgArray => Storage::ProgArray {
+                progs: vec![None; def.max_entries as usize],
+            },
+        };
+        MapRef {
+            inner: Arc::new(MapInner {
+                id,
+                def,
+                storage: Mutex::new(storage),
+            }),
+        }
+    }
+
+    /// The map's identity.
+    pub fn id(&self) -> MapId {
+        self.inner.id
+    }
+
+    /// The creation parameters.
+    pub fn def(&self) -> MapDef {
+        self.inner.def
+    }
+
+    fn check_key(&self, key: &[u8]) -> Result<(), MapError> {
+        if key.len() != self.inner.def.key_size as usize {
+            return Err(MapError::BadKeySize {
+                expected: self.inner.def.key_size,
+                got: key.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Copies out the value for `key` (userspace `bpf_map_lookup_elem`).
+    pub fn lookup(&self, key: &[u8]) -> Result<Option<Vec<u8>>, MapError> {
+        self.check_key(key)?;
+        let storage = self.inner.storage.lock();
+        match &*storage {
+            Storage::Array { data } => {
+                let idx = array_index(key, self.inner.def.max_entries)?;
+                let vs = self.inner.def.value_size as usize;
+                Ok(Some(data[idx * vs..(idx + 1) * vs].to_vec()))
+            }
+            Storage::Hash { index, slots, .. } => Ok(index
+                .get(key)
+                .and_then(|&slot| slots[slot].as_ref())
+                .map(|(_, v)| v.clone())),
+            Storage::ProgArray { .. } => Err(MapError::WrongKind),
+        }
+    }
+
+    /// Convenience: looks up a `u64` value by `u32` key — the paper's
+    /// default map shape.
+    pub fn lookup_u64(&self, key: u32) -> Result<Option<u64>, MapError> {
+        let v = self.lookup(&key.to_le_bytes())?;
+        Ok(v.map(|bytes| {
+            let mut buf = [0u8; 8];
+            let n = bytes.len().min(8);
+            buf[..n].copy_from_slice(&bytes[..n]);
+            u64::from_le_bytes(buf)
+        }))
+    }
+
+    /// Writes the value for `key` (userspace `bpf_map_update_elem`).
+    pub fn update(&self, key: &[u8], value: &[u8], flag: UpdateFlag) -> Result<(), MapError> {
+        self.check_key(key)?;
+        if value.len() != self.inner.def.value_size as usize {
+            return Err(MapError::BadValueSize {
+                expected: self.inner.def.value_size,
+                got: value.len(),
+            });
+        }
+        let mut storage = self.inner.storage.lock();
+        match &mut *storage {
+            Storage::Array { data } => {
+                if flag == UpdateFlag::NoExist {
+                    // Array elements always exist.
+                    return Err(MapError::FlagConflict);
+                }
+                let idx = array_index(key, self.inner.def.max_entries)?;
+                let vs = self.inner.def.value_size as usize;
+                data[idx * vs..(idx + 1) * vs].copy_from_slice(value);
+                Ok(())
+            }
+            Storage::Hash { index, slots, free } => {
+                let exists = index.contains_key(key);
+                match flag {
+                    UpdateFlag::NoExist if exists => return Err(MapError::FlagConflict),
+                    UpdateFlag::Exist if !exists => return Err(MapError::FlagConflict),
+                    _ => {}
+                }
+                if let Some(&slot) = index.get(key) {
+                    if let Some((_, v)) = slots[slot].as_mut() {
+                        v.copy_from_slice(value);
+                    }
+                    return Ok(());
+                }
+                if index.len() >= self.inner.def.max_entries as usize {
+                    return Err(MapError::Full);
+                }
+                let slot = match free.pop() {
+                    Some(s) => {
+                        slots[s] = Some((key.to_vec(), value.to_vec()));
+                        s
+                    }
+                    None => {
+                        slots.push(Some((key.to_vec(), value.to_vec())));
+                        slots.len() - 1
+                    }
+                };
+                index.insert(key.to_vec(), slot);
+                Ok(())
+            }
+            Storage::ProgArray { .. } => Err(MapError::WrongKind),
+        }
+    }
+
+    /// Convenience: stores a `u64` value under a `u32` key.
+    pub fn update_u64(&self, key: u32, value: u64) -> Result<(), MapError> {
+        self.update(&key.to_le_bytes(), &value.to_le_bytes(), UpdateFlag::Any)
+    }
+
+    /// Deletes `key` (hash maps only; array elements cannot be deleted).
+    pub fn delete(&self, key: &[u8]) -> Result<(), MapError> {
+        self.check_key(key)?;
+        let mut storage = self.inner.storage.lock();
+        match &mut *storage {
+            Storage::Array { .. } => Err(MapError::WrongKind),
+            Storage::Hash { index, slots, free } => match index.remove(key) {
+                Some(slot) => {
+                    slots[slot] = None;
+                    free.push(slot);
+                    Ok(())
+                }
+                None => Err(MapError::NotFound),
+            },
+            Storage::ProgArray { .. } => Err(MapError::WrongKind),
+        }
+    }
+
+    /// Resolves `key` to a stable value-slot handle for in-place program
+    /// access (the pointer `bpf_map_lookup_elem` returns in kernel code).
+    pub fn slot_for_key(&self, key: &[u8]) -> Result<Option<u32>, MapError> {
+        self.check_key(key)?;
+        let storage = self.inner.storage.lock();
+        match &*storage {
+            Storage::Array { .. } => {
+                match array_index(key, self.inner.def.max_entries) {
+                    Ok(idx) => Ok(Some(idx as u32)),
+                    // Out-of-range array lookups return NULL in the kernel.
+                    Err(_) => Ok(None),
+                }
+            }
+            Storage::Hash { index, .. } => Ok(index.get(key).map(|&s| s as u32)),
+            Storage::ProgArray { .. } => Err(MapError::WrongKind),
+        }
+    }
+
+    fn with_value_bytes<R>(
+        &self,
+        slot: u32,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> Result<R, MapError> {
+        let mut storage = self.inner.storage.lock();
+        let vs = self.inner.def.value_size as usize;
+        match &mut *storage {
+            Storage::Array { data } => {
+                let idx = slot as usize;
+                if idx >= self.inner.def.max_entries as usize {
+                    return Err(MapError::BadSlotAccess);
+                }
+                Ok(f(&mut data[idx * vs..(idx + 1) * vs]))
+            }
+            Storage::Hash { slots, .. } => match slots.get_mut(slot as usize) {
+                Some(Some((_, v))) => Ok(f(v)),
+                // The slot was deleted after the program obtained the
+                // handle; the kernel prevents this with RCU, we trap.
+                _ => Err(MapError::BadSlotAccess),
+            },
+            Storage::ProgArray { .. } => Err(MapError::WrongKind),
+        }
+    }
+
+    /// Reads `size` bytes at `off` within the value at `slot`,
+    /// zero-extended to `u64` (little-endian, as on x86).
+    pub fn read_value(&self, slot: u32, off: u32, size: u32) -> Result<u64, MapError> {
+        self.with_value_bytes(slot, |bytes| {
+            let (off, size) = (off as usize, size as usize);
+            if off + size > bytes.len() {
+                return Err(MapError::BadSlotAccess);
+            }
+            let mut buf = [0u8; 8];
+            buf[..size].copy_from_slice(&bytes[off..off + size]);
+            Ok(u64::from_le_bytes(buf))
+        })?
+    }
+
+    /// Writes the low `size` bytes of `val` at `off` within the value at
+    /// `slot`.
+    pub fn write_value(&self, slot: u32, off: u32, size: u32, val: u64) -> Result<(), MapError> {
+        self.with_value_bytes(slot, |bytes| {
+            let (off, size) = (off as usize, size as usize);
+            if off + size > bytes.len() {
+                return Err(MapError::BadSlotAccess);
+            }
+            bytes[off..off + size].copy_from_slice(&val.to_le_bytes()[..size]);
+            Ok(())
+        })?
+    }
+
+    /// Atomically adds `val` to the 4- or 8-byte cell at `off` within the
+    /// value at `slot`, returning the previous contents. This is the §4.1
+    /// "atomic instructions directly on BPF map values" primitive.
+    pub fn fetch_add_value(
+        &self,
+        slot: u32,
+        off: u32,
+        size: u32,
+        val: u64,
+    ) -> Result<u64, MapError> {
+        if size != 4 && size != 8 {
+            return Err(MapError::BadSlotAccess);
+        }
+        self.with_value_bytes(slot, |bytes| {
+            let (off, size) = (off as usize, size as usize);
+            if off + size > bytes.len() {
+                return Err(MapError::BadSlotAccess);
+            }
+            let mut buf = [0u8; 8];
+            buf[..size].copy_from_slice(&bytes[off..off + size]);
+            let old = u64::from_le_bytes(buf);
+            let new = if size == 4 {
+                ((old as u32).wrapping_add(val as u32)) as u64
+            } else {
+                old.wrapping_add(val)
+            };
+            bytes[off..off + size].copy_from_slice(&new.to_le_bytes()[..size]);
+            Ok(old)
+        })?
+    }
+
+    /// Reads a prog-array entry.
+    pub fn get_prog(&self, index: u32) -> Result<Option<ProgSlot>, MapError> {
+        let storage = self.inner.storage.lock();
+        match &*storage {
+            Storage::ProgArray { progs } => Ok(progs.get(index as usize).copied().flatten()),
+            _ => Err(MapError::WrongKind),
+        }
+    }
+
+    /// Sets a prog-array entry (how `syrupd` installs per-app policies).
+    pub fn set_prog(&self, index: u32, prog: Option<ProgSlot>) -> Result<(), MapError> {
+        let mut storage = self.inner.storage.lock();
+        match &mut *storage {
+            Storage::ProgArray { progs } => match progs.get_mut(index as usize) {
+                Some(entry) => {
+                    *entry = prog;
+                    Ok(())
+                }
+                None => Err(MapError::IndexOutOfRange),
+            },
+            _ => Err(MapError::WrongKind),
+        }
+    }
+
+    /// Number of live entries (hash) or capacity (array / prog-array).
+    pub fn len(&self) -> usize {
+        let storage = self.inner.storage.lock();
+        match &*storage {
+            Storage::Array { .. } | Storage::ProgArray { .. } => {
+                self.inner.def.max_entries as usize
+            }
+            Storage::Hash { index, .. } => index.len(),
+        }
+    }
+
+    /// Whether a hash map holds no entries (always `false` for arrays).
+    pub fn is_empty(&self) -> bool {
+        let storage = self.inner.storage.lock();
+        match &*storage {
+            Storage::Hash { index, .. } => index.is_empty(),
+            _ => false,
+        }
+    }
+}
+
+fn array_index(key: &[u8], max_entries: u32) -> Result<usize, MapError> {
+    let mut buf = [0u8; 4];
+    buf.copy_from_slice(&key[..4]);
+    let idx = u32::from_le_bytes(buf);
+    if idx >= max_entries {
+        return Err(MapError::IndexOutOfRange);
+    }
+    Ok(idx as usize)
+}
+
+/// A registry of maps with a pin-to-path namespace (the sysfs pinning of
+/// §3.4). Cloning shares the underlying registry.
+#[derive(Clone, Default)]
+pub struct MapRegistry {
+    inner: Arc<RwLock<RegistryInner>>,
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    maps: Vec<MapRef>,
+    pins: HashMap<String, MapId>,
+}
+
+impl fmt::Debug for MapRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.read();
+        f.debug_struct("MapRegistry")
+            .field("maps", &inner.maps.len())
+            .field("pins", &inner.pins.len())
+            .finish()
+    }
+}
+
+impl MapRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a map and returns its id.
+    pub fn create(&self, def: MapDef) -> MapId {
+        let mut inner = self.inner.write();
+        let id = MapId(inner.maps.len() as u32);
+        inner.maps.push(MapRef::new(id, def));
+        id
+    }
+
+    /// Fetches a handle by id.
+    pub fn get(&self, id: MapId) -> Option<MapRef> {
+        self.inner.read().maps.get(id.0 as usize).cloned()
+    }
+
+    /// Pins a map to a path so other programs can open it.
+    pub fn pin(&self, id: MapId, path: impl Into<String>) -> Result<(), MapError> {
+        let mut inner = self.inner.write();
+        if id.0 as usize >= inner.maps.len() {
+            return Err(MapError::NotFound);
+        }
+        inner.pins.insert(path.into(), id);
+        Ok(())
+    }
+
+    /// Opens a pinned map by path (`syr_map_open`).
+    pub fn open(&self, path: &str) -> Option<MapRef> {
+        let inner = self.inner.read();
+        let id = *inner.pins.get(path)?;
+        inner.maps.get(id.0 as usize).cloned()
+    }
+
+    /// Number of maps ever created.
+    pub fn len(&self) -> usize {
+        self.inner.read().maps.len()
+    }
+
+    /// Whether no maps exist.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().maps.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry_with(def: MapDef) -> (MapRegistry, MapRef) {
+        let reg = MapRegistry::new();
+        let id = reg.create(def);
+        let map = reg.get(id).unwrap();
+        (reg, map)
+    }
+
+    #[test]
+    fn array_is_zero_initialized() {
+        let (_, map) = registry_with(MapDef::u64_array(4));
+        assert_eq!(map.lookup_u64(0).unwrap(), Some(0));
+        assert_eq!(map.lookup_u64(3).unwrap(), Some(0));
+    }
+
+    #[test]
+    fn array_update_lookup_round_trip() {
+        let (_, map) = registry_with(MapDef::u64_array(8));
+        map.update_u64(5, 0xDEAD_BEEF).unwrap();
+        assert_eq!(map.lookup_u64(5).unwrap(), Some(0xDEAD_BEEF));
+    }
+
+    #[test]
+    fn array_out_of_range() {
+        let (_, map) = registry_with(MapDef::u64_array(2));
+        assert_eq!(map.lookup_u64(2), Err(MapError::IndexOutOfRange));
+        assert_eq!(map.update_u64(9, 1), Err(MapError::IndexOutOfRange));
+        // In-kernel lookup of an OOB array index returns NULL.
+        assert_eq!(map.slot_for_key(&9u32.to_le_bytes()).unwrap(), None);
+    }
+
+    #[test]
+    fn array_rejects_delete_and_noexist() {
+        let (_, map) = registry_with(MapDef::u64_array(2));
+        assert_eq!(map.delete(&0u32.to_le_bytes()), Err(MapError::WrongKind));
+        assert_eq!(
+            map.update(
+                &0u32.to_le_bytes(),
+                &1u64.to_le_bytes(),
+                UpdateFlag::NoExist
+            ),
+            Err(MapError::FlagConflict)
+        );
+    }
+
+    #[test]
+    fn hash_insert_lookup_delete() {
+        let (_, map) = registry_with(MapDef::u64_hash(16));
+        assert_eq!(map.lookup_u64(7).unwrap(), None);
+        map.update_u64(7, 42).unwrap();
+        assert_eq!(map.lookup_u64(7).unwrap(), Some(42));
+        map.delete(&7u32.to_le_bytes()).unwrap();
+        assert_eq!(map.lookup_u64(7).unwrap(), None);
+        assert_eq!(map.delete(&7u32.to_le_bytes()), Err(MapError::NotFound));
+    }
+
+    #[test]
+    fn hash_capacity_and_slot_reuse() {
+        let (_, map) = registry_with(MapDef::u64_hash(2));
+        map.update_u64(1, 1).unwrap();
+        map.update_u64(2, 2).unwrap();
+        assert_eq!(map.update_u64(3, 3), Err(MapError::Full));
+        map.delete(&1u32.to_le_bytes()).unwrap();
+        map.update_u64(3, 3).unwrap();
+        assert_eq!(map.lookup_u64(3).unwrap(), Some(3));
+        assert_eq!(map.len(), 2);
+    }
+
+    #[test]
+    fn hash_update_flags() {
+        let (_, map) = registry_with(MapDef::u64_hash(4));
+        let k = 1u32.to_le_bytes();
+        let v = 5u64.to_le_bytes();
+        assert_eq!(
+            map.update(&k, &v, UpdateFlag::Exist),
+            Err(MapError::FlagConflict)
+        );
+        map.update(&k, &v, UpdateFlag::NoExist).unwrap();
+        assert_eq!(
+            map.update(&k, &v, UpdateFlag::NoExist),
+            Err(MapError::FlagConflict)
+        );
+        map.update(&k, &10u64.to_le_bytes(), UpdateFlag::Exist)
+            .unwrap();
+        assert_eq!(map.lookup_u64(1).unwrap(), Some(10));
+    }
+
+    #[test]
+    fn key_and_value_size_checks() {
+        let (_, map) = registry_with(MapDef::u64_array(2));
+        assert!(matches!(
+            map.lookup(&[0u8; 3]),
+            Err(MapError::BadKeySize {
+                expected: 4,
+                got: 3
+            })
+        ));
+        assert!(matches!(
+            map.update(&0u32.to_le_bytes(), &[0u8; 7], UpdateFlag::Any),
+            Err(MapError::BadValueSize {
+                expected: 8,
+                got: 7
+            })
+        ));
+    }
+
+    #[test]
+    fn in_place_value_access() {
+        let (_, map) = registry_with(MapDef::u64_array(4));
+        let slot = map.slot_for_key(&2u32.to_le_bytes()).unwrap().unwrap();
+        map.write_value(slot, 0, 8, 100).unwrap();
+        assert_eq!(map.read_value(slot, 0, 8).unwrap(), 100);
+        assert_eq!(map.lookup_u64(2).unwrap(), Some(100));
+        // Sub-word access.
+        map.write_value(slot, 4, 2, 0xABCD).unwrap();
+        assert_eq!(map.read_value(slot, 4, 2).unwrap(), 0xABCD);
+        // Out-of-bounds within the value traps.
+        assert_eq!(map.read_value(slot, 7, 4), Err(MapError::BadSlotAccess));
+    }
+
+    #[test]
+    fn fetch_add_semantics() {
+        let (_, map) = registry_with(MapDef::u64_array(1));
+        let slot = map.slot_for_key(&0u32.to_le_bytes()).unwrap().unwrap();
+        map.write_value(slot, 0, 8, 10).unwrap();
+        assert_eq!(map.fetch_add_value(slot, 0, 8, 5).unwrap(), 10);
+        assert_eq!(map.read_value(slot, 0, 8).unwrap(), 15);
+        // Token-style decrement via two's complement.
+        assert_eq!(map.fetch_add_value(slot, 0, 8, (-1i64) as u64).unwrap(), 15);
+        assert_eq!(map.read_value(slot, 0, 8).unwrap(), 14);
+        // 32-bit wraps within the word.
+        map.write_value(slot, 0, 4, u32::MAX as u64).unwrap();
+        map.fetch_add_value(slot, 0, 4, 1).unwrap();
+        assert_eq!(map.read_value(slot, 0, 4).unwrap(), 0);
+        // Only word sizes are atomic.
+        assert_eq!(
+            map.fetch_add_value(slot, 0, 2, 1),
+            Err(MapError::BadSlotAccess)
+        );
+    }
+
+    #[test]
+    fn stale_hash_slot_traps() {
+        let (_, map) = registry_with(MapDef::u64_hash(4));
+        map.update_u64(9, 1).unwrap();
+        let slot = map.slot_for_key(&9u32.to_le_bytes()).unwrap().unwrap();
+        map.delete(&9u32.to_le_bytes()).unwrap();
+        assert_eq!(map.read_value(slot, 0, 8), Err(MapError::BadSlotAccess));
+    }
+
+    #[test]
+    fn prog_array_entries() {
+        let (_, map) = registry_with(MapDef::prog_array(4));
+        assert_eq!(map.get_prog(0).unwrap(), None);
+        map.set_prog(0, Some(ProgSlot(11))).unwrap();
+        assert_eq!(map.get_prog(0).unwrap(), Some(ProgSlot(11)));
+        map.set_prog(0, None).unwrap();
+        assert_eq!(map.get_prog(0).unwrap(), None);
+        assert_eq!(
+            map.set_prog(9, Some(ProgSlot(1))),
+            Err(MapError::IndexOutOfRange)
+        );
+        assert_eq!(map.get_prog(9).unwrap(), None);
+        // Data ops are invalid on prog arrays.
+        assert_eq!(map.lookup(&0u32.to_le_bytes()), Err(MapError::WrongKind));
+    }
+
+    #[test]
+    fn pinning_namespace() {
+        let (reg, map) = registry_with(MapDef::u64_array(1));
+        reg.pin(map.id(), "/sys/fs/bpf/app1/tokens").unwrap();
+        let opened = reg.open("/sys/fs/bpf/app1/tokens").unwrap();
+        opened.update_u64(0, 77).unwrap();
+        assert_eq!(map.lookup_u64(0).unwrap(), Some(77));
+        assert!(reg.open("/sys/fs/bpf/other").is_none());
+        assert_eq!(reg.pin(MapId(99), "x"), Err(MapError::NotFound));
+    }
+
+    #[test]
+    fn concurrent_fetch_add_is_atomic() {
+        let (_, map) = registry_with(MapDef::u64_array(1));
+        let slot = map.slot_for_key(&0u32.to_le_bytes()).unwrap().unwrap();
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let m = map.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        m.fetch_add_value(slot, 0, 8, 1).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(map.read_value(slot, 0, 8).unwrap(), 40_000);
+    }
+}

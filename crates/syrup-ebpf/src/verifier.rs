@@ -1,0 +1,1567 @@
+//! The static verifier: simulated execution with pointer provenance.
+//!
+//! §4.3 of the paper summarizes the kernel verifier Syrup relies on: it
+//! "simulates the execution of the program one instruction at a time and
+//! checks for out-of-bound jumps and out-of-range data accesses, while it
+//! allows pointer accesses only after an explicit check for bound
+//! violations", analyzes up to one million instructions, and therefore only
+//! admits bounded loops. This module implements exactly that discipline
+//! over the crate's ISA:
+//!
+//! * every register carries an abstract type (scalar, context pointer,
+//!   packet pointer with offset, packet end, stack pointer, possibly-null
+//!   map-value pointer, map reference);
+//! * packet loads and stores require a dominating comparison of
+//!   `data + k` against `data_end` that proves the accessed range — this
+//!   is why Syrup policies receive both `pkt_start` and `pkt_end` (§3.3);
+//! * map-value pointers must be null-checked before dereference;
+//! * stack reads require previously initialized bytes; spilling pointers
+//!   to the stack is outside the supported subset and rejected;
+//! * all branch targets must stay inside the program, every path must end
+//!   in `exit` with `r0` initialized, and analysis is capped at
+//!   [`ANALYSIS_LIMIT`] simulated instructions, so unbounded loops are
+//!   rejected to guarantee liveness.
+//!
+//! Known scalar constants are propagated and branches on them are folded,
+//! which is what lets bounded `for` loops (SCAN-Avoid's socket probing)
+//! verify without path explosion.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::helpers::HelperId;
+use crate::insn::{AluOp, CmpOp, Insn, MemSize, Operand, Reg, Width};
+use crate::maps::{MapId, MapKind, MapRegistry};
+use crate::vm::{ctx_off, STACK_SIZE};
+use crate::Program;
+
+/// Maximum simulated instructions before the program is rejected as too
+/// complex — the 1M budget §4.3 quotes.
+pub const ANALYSIS_LIMIT: u64 = 1_000_000;
+
+/// Why a program was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifierError {
+    /// The program is empty.
+    EmptyProgram,
+    /// Read of a register no path has written.
+    UninitRegister {
+        /// Instruction index.
+        pc: usize,
+        /// The register.
+        reg: Reg,
+    },
+    /// A jump or branch leaves the instruction stream.
+    JumpOutOfRange {
+        /// Instruction index.
+        pc: usize,
+    },
+    /// Execution can fall off the end without `exit`.
+    FallOffEnd,
+    /// `r10` is read-only.
+    FramePointerWrite {
+        /// Instruction index.
+        pc: usize,
+    },
+    /// Stack access outside the 512-byte frame.
+    StackOutOfBounds {
+        /// Instruction index.
+        pc: usize,
+        /// Faulting frame offset (0 = frame top).
+        off: i64,
+    },
+    /// Read of stack bytes never written on this path.
+    UninitStackRead {
+        /// Instruction index.
+        pc: usize,
+        /// Frame offset of the first uninitialized byte.
+        off: i64,
+    },
+    /// Packet access without a dominating bounds check against `data_end`.
+    PacketBoundsNotProven {
+        /// Instruction index.
+        pc: usize,
+        /// The access end offset that was not proven available.
+        needed: i64,
+    },
+    /// Dereference of a map value before the null check.
+    PossiblyNullDeref {
+        /// Instruction index.
+        pc: usize,
+    },
+    /// Access beyond the map's value size.
+    MapValueOutOfBounds {
+        /// Instruction index.
+        pc: usize,
+    },
+    /// Arithmetic on pointers outside the supported forms.
+    BadPointerArith {
+        /// Instruction index.
+        pc: usize,
+    },
+    /// Storing a pointer to the stack (spilling) is outside the subset.
+    PointerSpill {
+        /// Instruction index.
+        pc: usize,
+    },
+    /// Store through the read-only context.
+    CtxWrite {
+        /// Instruction index.
+        pc: usize,
+    },
+    /// Load from an unsupported context offset.
+    BadCtxAccess {
+        /// Instruction index.
+        pc: usize,
+        /// The offending offset.
+        off: i64,
+    },
+    /// A helper argument had the wrong abstract type.
+    BadHelperArg {
+        /// Instruction index.
+        pc: usize,
+        /// The helper.
+        helper: HelperId,
+        /// Argument position (1-based).
+        arg: u8,
+    },
+    /// A referenced map does not exist in the registry.
+    UnknownMap {
+        /// Instruction index.
+        pc: usize,
+        /// The missing map.
+        map: MapId,
+    },
+    /// `exit` with `r0` not a scalar.
+    BadReturnValue {
+        /// Instruction index.
+        pc: usize,
+    },
+    /// The analysis budget was exhausted (unbounded loop or path blowup).
+    TooComplex,
+    /// Comparison between incompatible abstract values.
+    BadComparison {
+        /// Instruction index.
+        pc: usize,
+    },
+    /// Invalid atomic operand size (must be 4 or 8 bytes).
+    BadAtomicSize {
+        /// Instruction index.
+        pc: usize,
+    },
+    /// Invalid endian width (must be 16/32/64).
+    BadEndianWidth {
+        /// Instruction index.
+        pc: usize,
+    },
+}
+
+impl fmt::Display for VerifierError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifierError::EmptyProgram => write!(f, "empty program"),
+            VerifierError::UninitRegister { pc, reg } => {
+                write!(f, "insn {pc}: read of uninitialized {reg}")
+            }
+            VerifierError::JumpOutOfRange { pc } => write!(f, "insn {pc}: jump out of range"),
+            VerifierError::FallOffEnd => write!(f, "control falls off program end"),
+            VerifierError::FramePointerWrite { pc } => {
+                write!(f, "insn {pc}: write to frame pointer r10")
+            }
+            VerifierError::StackOutOfBounds { pc, off } => {
+                write!(f, "insn {pc}: stack access at offset {off} outside frame")
+            }
+            VerifierError::UninitStackRead { pc, off } => {
+                write!(f, "insn {pc}: read of uninitialized stack byte {off}")
+            }
+            VerifierError::PacketBoundsNotProven { pc, needed } => write!(
+                f,
+                "insn {pc}: packet access to byte {needed} without bounds check against data_end"
+            ),
+            VerifierError::PossiblyNullDeref { pc } => {
+                write!(f, "insn {pc}: map value dereferenced before null check")
+            }
+            VerifierError::MapValueOutOfBounds { pc } => {
+                write!(f, "insn {pc}: access beyond map value size")
+            }
+            VerifierError::BadPointerArith { pc } => {
+                write!(f, "insn {pc}: unsupported pointer arithmetic")
+            }
+            VerifierError::PointerSpill { pc } => {
+                write!(f, "insn {pc}: pointer spill to stack is unsupported")
+            }
+            VerifierError::CtxWrite { pc } => write!(f, "insn {pc}: context is read-only"),
+            VerifierError::BadCtxAccess { pc, off } => {
+                write!(f, "insn {pc}: invalid context field offset {off}")
+            }
+            VerifierError::BadHelperArg { pc, helper, arg } => {
+                write!(f, "insn {pc}: bad argument r{arg} to helper {helper}")
+            }
+            VerifierError::UnknownMap { pc, map } => {
+                write!(f, "insn {pc}: unknown map #{}", map.0)
+            }
+            VerifierError::BadReturnValue { pc } => {
+                write!(f, "insn {pc}: exit with non-scalar r0")
+            }
+            VerifierError::TooComplex => write!(
+                f,
+                "program too complex: exceeded {ANALYSIS_LIMIT} analyzed instructions"
+            ),
+            VerifierError::BadComparison { pc } => {
+                write!(f, "insn {pc}: comparison of incompatible values")
+            }
+            VerifierError::BadAtomicSize { pc } => {
+                write!(f, "insn {pc}: atomic operand must be 4 or 8 bytes")
+            }
+            VerifierError::BadEndianWidth { pc } => {
+                write!(f, "insn {pc}: endian width must be 16, 32, or 64")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifierError {}
+
+/// Abstract value of a register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Abs {
+    Uninit,
+    /// A scalar; `Some` when the exact value is known on this path.
+    Scalar(Option<i64>),
+    /// The program context pointer (offset always zero in our ISA use).
+    CtxPtr,
+    /// `data + off`.
+    PacketPtr(i64),
+    /// `data_end`.
+    PacketEnd,
+    /// `frame_base + off` where the frame occupies `[0, 512)` and `r10`
+    /// starts at 512.
+    StackPtr(i64),
+    /// Pointer into a map's value, possibly NULL until checked.
+    MapValue {
+        map: MapId,
+        off: i64,
+        nullable: bool,
+    },
+    /// A map reference created by `LoadMapFd`.
+    MapFd(MapId),
+}
+
+/// One abstract machine state at a program point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct State {
+    regs: [Abs; 11],
+    /// Which of the 512 stack bytes are initialized.
+    stack_init: Box<[bool; STACK_SIZE as usize]>,
+    /// Bytes of packet proven readable (i.e. `data + pkt_avail <= data_end`).
+    pkt_avail: i64,
+}
+
+impl State {
+    fn entry() -> State {
+        let mut regs = [Abs::Uninit; 11];
+        regs[Reg::R1.index()] = Abs::CtxPtr;
+        regs[Reg::R10.index()] = Abs::StackPtr(STACK_SIZE);
+        State {
+            regs,
+            stack_init: Box::new([false; STACK_SIZE as usize]),
+            pkt_avail: 0,
+        }
+    }
+
+    fn read(&self, pc: usize, r: Reg) -> Result<Abs, VerifierError> {
+        match self.regs[r.index()] {
+            Abs::Uninit => Err(VerifierError::UninitRegister { pc, reg: r }),
+            v => Ok(v),
+        }
+    }
+
+    fn write(&mut self, pc: usize, r: Reg, v: Abs) -> Result<(), VerifierError> {
+        if r == Reg::R10 {
+            return Err(VerifierError::FramePointerWrite { pc });
+        }
+        self.regs[r.index()] = v;
+        Ok(())
+    }
+}
+
+/// Successful verification summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifyInfo {
+    /// Simulated instructions analyzed across all explored paths.
+    pub analyzed: u64,
+}
+
+/// Verifies `prog` against `maps` (needed for key/value sizes and kinds).
+pub fn verify(prog: &Program, maps: &MapRegistry) -> Result<VerifyInfo, VerifierError> {
+    if prog.insns.is_empty() {
+        return Err(VerifierError::EmptyProgram);
+    }
+    let len = prog.insns.len();
+    let mut analyzed: u64 = 0;
+    // DFS with explicit branch alternatives. `path` holds the states along
+    // the chain currently being walked; revisiting an identical state on
+    // the same path means no progress is possible — an infinite loop, which
+    // the kernel verifier likewise rejects to guarantee liveness. States
+    // seen on *completed* chains are safe to prune (converging diamonds).
+    let mut alts: Vec<(usize, State, usize)> = vec![(0, State::entry(), 0)];
+    let mut path: Vec<(usize, State)> = Vec::new();
+    let mut visited: HashMap<usize, Vec<State>> = HashMap::new();
+
+    while let Some((start_pc, start_st, fork_depth)) = alts.pop() {
+        path.truncate(fork_depth);
+        let (mut pc, mut st) = (start_pc, start_st);
+        loop {
+            if pc >= len {
+                return Err(VerifierError::FallOffEnd);
+            }
+            if path.iter().any(|(p, s)| *p == pc && *s == st) {
+                // Same instruction, same abstract state, on one path: the
+                // program can loop forever without progress.
+                return Err(VerifierError::TooComplex);
+            }
+            // Prune identical states already explored at this point.
+            let seen = visited.entry(pc).or_default();
+            if seen.contains(&st) {
+                break;
+            }
+            seen.push(st.clone());
+            path.push((pc, st.clone()));
+
+            analyzed += 1;
+            if analyzed > ANALYSIS_LIMIT {
+                return Err(VerifierError::TooComplex);
+            }
+
+            let insn = prog.insns[pc];
+            let next = pc + 1;
+            match insn {
+                Insn::Alu { w, op, dst, src } => {
+                    let rhs = operand_abs(&st, pc, src)?;
+                    let out = if op == AluOp::Mov {
+                        mov_abs(pc, w, rhs)?
+                    } else {
+                        let lhs = st.read(pc, dst)?;
+                        alu_abs(pc, w, op, lhs, rhs)?
+                    };
+                    st.write(pc, dst, out)?;
+                    pc = next;
+                }
+                Insn::Neg { w, dst } => {
+                    let v = st.read(pc, dst)?;
+                    let out = match v {
+                        Abs::Scalar(Some(k)) => Abs::Scalar(Some(match w {
+                            Width::W64 => k.wrapping_neg(),
+                            Width::W32 => i64::from((k as i32).wrapping_neg() as u32),
+                        })),
+                        Abs::Scalar(None) => Abs::Scalar(None),
+                        _ => return Err(VerifierError::BadPointerArith { pc }),
+                    };
+                    st.write(pc, dst, out)?;
+                    pc = next;
+                }
+                Insn::Endian { dst, bits, .. } => {
+                    if !matches!(bits, 16 | 32 | 64) {
+                        return Err(VerifierError::BadEndianWidth { pc });
+                    }
+                    match st.read(pc, dst)? {
+                        Abs::Scalar(_) => {}
+                        _ => return Err(VerifierError::BadPointerArith { pc }),
+                    }
+                    st.write(pc, dst, Abs::Scalar(None))?;
+                    pc = next;
+                }
+                Insn::LoadImm64 { dst, imm } => {
+                    st.write(pc, dst, Abs::Scalar(Some(imm)))?;
+                    pc = next;
+                }
+                Insn::LoadMapFd { dst, map } => {
+                    if maps.get(map).is_none() {
+                        return Err(VerifierError::UnknownMap { pc, map });
+                    }
+                    st.write(pc, dst, Abs::MapFd(map))?;
+                    pc = next;
+                }
+                Insn::LoadMem {
+                    size,
+                    dst,
+                    base,
+                    off,
+                } => {
+                    let ptr = st.read(pc, base)?;
+                    let out = check_load(&st, maps, pc, ptr, i64::from(off), size)?;
+                    st.write(pc, dst, out)?;
+                    pc = next;
+                }
+                Insn::StoreMem {
+                    size,
+                    base,
+                    off,
+                    src,
+                } => {
+                    let v = st.read(pc, src)?;
+                    if !matches!(v, Abs::Scalar(_)) {
+                        // Pointer spilling is outside the supported subset.
+                        let ptr = st.read(pc, base)?;
+                        if matches!(ptr, Abs::StackPtr(_)) {
+                            return Err(VerifierError::PointerSpill { pc });
+                        }
+                        return Err(VerifierError::BadPointerArith { pc });
+                    }
+                    let ptr = st.read(pc, base)?;
+                    check_store(&mut st, maps, pc, ptr, i64::from(off), size)?;
+                    pc = next;
+                }
+                Insn::StoreImm {
+                    size, base, off, ..
+                } => {
+                    let ptr = st.read(pc, base)?;
+                    check_store(&mut st, maps, pc, ptr, i64::from(off), size)?;
+                    pc = next;
+                }
+                Insn::AtomicAdd {
+                    size,
+                    base,
+                    off,
+                    src,
+                    fetch,
+                } => {
+                    if size != MemSize::W && size != MemSize::DW {
+                        return Err(VerifierError::BadAtomicSize { pc });
+                    }
+                    match st.read(pc, src)? {
+                        Abs::Scalar(_) => {}
+                        _ => return Err(VerifierError::BadPointerArith { pc }),
+                    }
+                    let ptr = st.read(pc, base)?;
+                    // An atomic both reads and writes the target.
+                    check_load(&st, maps, pc, ptr, i64::from(off), size)?;
+                    check_store(&mut st, maps, pc, ptr, i64::from(off), size)?;
+                    if fetch {
+                        st.write(pc, src, Abs::Scalar(None))?;
+                    }
+                    pc = next;
+                }
+                Insn::Jump { off } => {
+                    pc = branch_target(pc, off, len)?;
+                }
+                Insn::Branch {
+                    op,
+                    w,
+                    lhs,
+                    rhs,
+                    off,
+                } => {
+                    let target = branch_target(pc, off, len)?;
+                    let l = st.read(pc, lhs)?;
+                    let r = operand_abs(&st, pc, rhs)?;
+                    match branch_refine(pc, op, w, lhs, rhs, l, r, &st)? {
+                        BranchPlan::Taken(taken_st) => {
+                            st = taken_st;
+                            pc = target;
+                        }
+                        BranchPlan::NotTaken(fall_st) => {
+                            st = fall_st;
+                            pc = next;
+                        }
+                        BranchPlan::Both { taken, fallthrough } => {
+                            alts.push((target, taken, path.len()));
+                            st = fallthrough;
+                            pc = next;
+                        }
+                    }
+                }
+                Insn::Call { helper } => {
+                    let ret = check_helper(&st, maps, pc, helper)?;
+                    st.regs[Reg::R0.index()] = ret;
+                    for r in 1..=5 {
+                        st.regs[r] = Abs::Uninit;
+                    }
+                    pc = next;
+                }
+                Insn::Exit => {
+                    match st.regs[Reg::R0.index()] {
+                        Abs::Scalar(_) => {}
+                        Abs::Uninit => {
+                            return Err(VerifierError::UninitRegister { pc, reg: Reg::R0 })
+                        }
+                        _ => return Err(VerifierError::BadReturnValue { pc }),
+                    }
+                    break;
+                }
+            }
+        }
+    }
+    Ok(VerifyInfo { analyzed })
+}
+
+fn operand_abs(st: &State, pc: usize, op: Operand) -> Result<Abs, VerifierError> {
+    match op {
+        Operand::Reg(r) => st.read(pc, r),
+        Operand::Imm(i) => Ok(Abs::Scalar(Some(i64::from(i)))),
+    }
+}
+
+fn mov_abs(pc: usize, w: Width, rhs: Abs) -> Result<Abs, VerifierError> {
+    match (w, rhs) {
+        (Width::W64, v) => Ok(v),
+        (Width::W32, Abs::Scalar(Some(k))) => Ok(Abs::Scalar(Some(k & 0xFFFF_FFFF))),
+        (Width::W32, Abs::Scalar(None)) => Ok(Abs::Scalar(None)),
+        // mov32 of a pointer degrades it to an unknown scalar in the
+        // kernel; our subset rejects it to keep provenance exact.
+        (Width::W32, _) => Err(VerifierError::BadPointerArith { pc }),
+    }
+}
+
+fn alu_abs(pc: usize, w: Width, op: AluOp, lhs: Abs, rhs: Abs) -> Result<Abs, VerifierError> {
+    use Abs::*;
+    // Pointer forms first.
+    match (lhs, rhs) {
+        (PacketPtr(o), Scalar(Some(k))) if w == Width::W64 && op == AluOp::Add => {
+            return Ok(PacketPtr(o.wrapping_add(k)));
+        }
+        (PacketPtr(o), Scalar(Some(k))) if w == Width::W64 && op == AluOp::Sub => {
+            return Ok(PacketPtr(o.wrapping_sub(k)));
+        }
+        (StackPtr(o), Scalar(Some(k))) if w == Width::W64 && op == AluOp::Add => {
+            return Ok(StackPtr(o.wrapping_add(k)));
+        }
+        (StackPtr(o), Scalar(Some(k))) if w == Width::W64 && op == AluOp::Sub => {
+            return Ok(StackPtr(o.wrapping_sub(k)));
+        }
+        (MapValue { map, off, nullable }, Scalar(Some(k)))
+            if w == Width::W64 && (op == AluOp::Add || op == AluOp::Sub) =>
+        {
+            if nullable {
+                // Arithmetic on a maybe-null pointer is rejected, like the
+                // kernel.
+                return Err(VerifierError::PossiblyNullDeref { pc });
+            }
+            let delta = if op == AluOp::Add {
+                k
+            } else {
+                k.wrapping_neg()
+            };
+            return Ok(MapValue {
+                map,
+                off: off.wrapping_add(delta),
+                nullable,
+            });
+        }
+        // Pointer difference within the same region yields a scalar; the
+        // (data_end - data) length idiom.
+        (PacketEnd, PacketPtr(_)) | (PacketPtr(_), PacketEnd) | (PacketPtr(_), PacketPtr(_))
+            if w == Width::W64 && op == AluOp::Sub =>
+        {
+            return Ok(Scalar(None));
+        }
+        (StackPtr(_), StackPtr(_)) if w == Width::W64 && op == AluOp::Sub => {
+            return Ok(Scalar(None));
+        }
+        (Scalar(_), Scalar(_)) => {}
+        _ => return Err(VerifierError::BadPointerArith { pc }),
+    }
+    // Scalar arithmetic with constant folding (two's complement, like the
+    // interpreter).
+    let (Scalar(a), Scalar(b)) = (lhs, rhs) else {
+        unreachable!("non-scalars handled above");
+    };
+    let folded = match (a, b) {
+        (Some(x), Some(y)) => {
+            let (ux, uy) = (x as u64, y as u64);
+            let r = match w {
+                Width::W64 => fold64(op, ux, uy),
+                Width::W32 => u64::from(fold32(op, ux as u32, uy as u32)),
+            };
+            Some(r as i64)
+        }
+        _ => None,
+    };
+    Ok(Scalar(folded))
+}
+
+#[allow(clippy::manual_checked_ops)] // Kernel div/mod-by-zero semantics, stated explicitly.
+fn fold64(op: AluOp, a: u64, b: u64) -> u64 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Div => {
+            if b == 0 {
+                0
+            } else {
+                a / b
+            }
+        }
+        AluOp::Mod => {
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Lsh => a.wrapping_shl((b & 63) as u32),
+        AluOp::Rsh => a.wrapping_shr((b & 63) as u32),
+        AluOp::Arsh => ((a as i64).wrapping_shr((b & 63) as u32)) as u64,
+        AluOp::Mov => b,
+    }
+}
+
+#[allow(clippy::manual_checked_ops)] // Kernel div/mod-by-zero semantics, stated explicitly.
+fn fold32(op: AluOp, a: u32, b: u32) -> u32 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Div => {
+            if b == 0 {
+                0
+            } else {
+                a / b
+            }
+        }
+        AluOp::Mod => {
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Lsh => a.wrapping_shl(b & 31),
+        AluOp::Rsh => a.wrapping_shr(b & 31),
+        AluOp::Arsh => ((a as i32).wrapping_shr(b & 31)) as u32,
+        AluOp::Mov => b,
+    }
+}
+
+fn branch_target(pc: usize, off: i16, len: usize) -> Result<usize, VerifierError> {
+    let target = pc as i64 + 1 + i64::from(off);
+    if target < 0 || target as usize >= len {
+        return Err(VerifierError::JumpOutOfRange { pc });
+    }
+    Ok(target as usize)
+}
+
+#[allow(clippy::large_enum_variant)] // States are short-lived analysis values.
+enum BranchPlan {
+    Taken(State),
+    NotTaken(State),
+    Both { taken: State, fallthrough: State },
+}
+
+#[allow(clippy::too_many_arguments)]
+fn branch_refine(
+    pc: usize,
+    op: CmpOp,
+    w: Width,
+    lhs_reg: Reg,
+    rhs_op: Operand,
+    l: Abs,
+    r: Abs,
+    st: &State,
+) -> Result<BranchPlan, VerifierError> {
+    use Abs::*;
+
+    // Constant folding: both sides known.
+    if let (Scalar(Some(a)), Scalar(Some(b))) = (l, r) {
+        let taken = fold_cmp(op, w, a as u64, b as u64);
+        return Ok(if taken {
+            BranchPlan::Taken(st.clone())
+        } else {
+            BranchPlan::NotTaken(st.clone())
+        });
+    }
+
+    // Packet bounds proof: PacketPtr(k) vs PacketEnd in either order.
+    let pkt_vs_end = match (l, r) {
+        (PacketPtr(k), PacketEnd) => Some((k, op)),
+        (PacketEnd, PacketPtr(k)) => Some((k, flip(op))),
+        _ => None,
+    };
+    if let Some((k, op)) = pkt_vs_end {
+        // Normalized: branch taken iff `data + k  <op>  data_end`.
+        let mut taken = st.clone();
+        let mut fall = st.clone();
+        match op {
+            // taken: data+k > end (no info); fall: data+k <= end => k avail.
+            CmpOp::Gt => fall.pkt_avail = fall.pkt_avail.max(k),
+            // taken: data+k >= end; fall: data+k < end => k+1 avail.
+            CmpOp::Ge => fall.pkt_avail = fall.pkt_avail.max(k + 1),
+            // taken: data+k < end => k+1 avail; fall: no info.
+            CmpOp::Lt => taken.pkt_avail = taken.pkt_avail.max(k + 1),
+            // taken: data+k <= end => k avail; fall: no info.
+            CmpOp::Le => taken.pkt_avail = taken.pkt_avail.max(k),
+            CmpOp::Eq | CmpOp::Ne => {}
+            _ => return Err(VerifierError::BadComparison { pc }),
+        }
+        return Ok(BranchPlan::Both {
+            taken,
+            fallthrough: fall,
+        });
+    }
+
+    // Null check: MapValue vs constant 0 with Eq/Ne.
+    if let (
+        MapValue {
+            map,
+            off,
+            nullable: true,
+        },
+        Scalar(Some(0)),
+    ) = (l, r)
+    {
+        let mut null_side = st.clone();
+        null_side.regs[lhs_reg.index()] = Scalar(Some(0));
+        let mut nonnull_side = st.clone();
+        nonnull_side.regs[lhs_reg.index()] = MapValue {
+            map,
+            off,
+            nullable: false,
+        };
+        return match op {
+            CmpOp::Eq => Ok(BranchPlan::Both {
+                taken: null_side,
+                fallthrough: nonnull_side,
+            }),
+            CmpOp::Ne => Ok(BranchPlan::Both {
+                taken: nonnull_side,
+                fallthrough: null_side,
+            }),
+            _ => Err(VerifierError::BadComparison { pc }),
+        };
+    }
+
+    match (l, r) {
+        // Scalar vs scalar with at least one unknown: both paths, no
+        // refinement (interval tracking is future work; constants cover the
+        // paper's policies).
+        (Scalar(_), Scalar(_)) => Ok(BranchPlan::Both {
+            taken: st.clone(),
+            fallthrough: st.clone(),
+        }),
+        // Same-region pointer comparisons carry no tracked info.
+        (PacketPtr(_), PacketPtr(_)) | (StackPtr(_), StackPtr(_)) | (PacketEnd, PacketEnd) => {
+            Ok(BranchPlan::Both {
+                taken: st.clone(),
+                fallthrough: st.clone(),
+            })
+        }
+        // A checked-non-null map value compared against 0 is decidable.
+        (
+            MapValue {
+                nullable: false, ..
+            },
+            Scalar(Some(0)),
+        ) => match op {
+            CmpOp::Eq => Ok(BranchPlan::NotTaken(st.clone())),
+            CmpOp::Ne => Ok(BranchPlan::Taken(st.clone())),
+            _ => Err(VerifierError::BadComparison { pc }),
+        },
+        _ => {
+            let _ = rhs_op;
+            Err(VerifierError::BadComparison { pc })
+        }
+    }
+}
+
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        other => other,
+    }
+}
+
+fn fold_cmp(op: CmpOp, w: Width, a: u64, b: u64) -> bool {
+    let (a, b) = match w {
+        Width::W64 => (a, b),
+        Width::W32 => (a & 0xFFFF_FFFF, b & 0xFFFF_FFFF),
+    };
+    let (sa, sb) = match w {
+        Width::W64 => (a as i64, b as i64),
+        Width::W32 => (i64::from(a as u32 as i32), i64::from(b as u32 as i32)),
+    };
+    match op {
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+        CmpOp::Gt => a > b,
+        CmpOp::Ge => a >= b,
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::Sgt => sa > sb,
+        CmpOp::Sge => sa >= sb,
+        CmpOp::Slt => sa < sb,
+        CmpOp::Sle => sa <= sb,
+        CmpOp::Set => (a & b) != 0,
+    }
+}
+
+fn check_load(
+    st: &State,
+    maps: &MapRegistry,
+    pc: usize,
+    ptr: Abs,
+    insn_off: i64,
+    size: MemSize,
+) -> Result<Abs, VerifierError> {
+    let n = size.bytes() as i64;
+    match ptr {
+        Abs::StackPtr(base) => {
+            let off = base + insn_off;
+            if off < 0 || off + n > STACK_SIZE {
+                return Err(VerifierError::StackOutOfBounds { pc, off });
+            }
+            for b in off..off + n {
+                if !st.stack_init[b as usize] {
+                    return Err(VerifierError::UninitStackRead { pc, off: b });
+                }
+            }
+            Ok(Abs::Scalar(None))
+        }
+        Abs::PacketPtr(base) => {
+            let off = base + insn_off;
+            if off < 0 || off + n > st.pkt_avail {
+                return Err(VerifierError::PacketBoundsNotProven {
+                    pc,
+                    needed: off + n,
+                });
+            }
+            Ok(Abs::Scalar(None))
+        }
+        Abs::CtxPtr => {
+            if size != MemSize::DW {
+                return Err(VerifierError::BadCtxAccess { pc, off: insn_off });
+            }
+            match insn_off {
+                ctx_off::DATA => Ok(Abs::PacketPtr(0)),
+                ctx_off::DATA_END => Ok(Abs::PacketEnd),
+                ctx_off::META0 | ctx_off::META1 | ctx_off::META2 | ctx_off::META3 => {
+                    Ok(Abs::Scalar(None))
+                }
+                off => Err(VerifierError::BadCtxAccess { pc, off }),
+            }
+        }
+        Abs::MapValue { map, off, nullable } => {
+            if nullable {
+                return Err(VerifierError::PossiblyNullDeref { pc });
+            }
+            let map_ref = maps.get(map).ok_or(VerifierError::UnknownMap { pc, map })?;
+            let off = off + insn_off;
+            if off < 0 || off + n > i64::from(map_ref.def().value_size) {
+                return Err(VerifierError::MapValueOutOfBounds { pc });
+            }
+            Ok(Abs::Scalar(None))
+        }
+        Abs::PacketEnd | Abs::MapFd(_) | Abs::Scalar(_) | Abs::Uninit => {
+            Err(VerifierError::BadPointerArith { pc })
+        }
+    }
+}
+
+fn check_store(
+    st: &mut State,
+    maps: &MapRegistry,
+    pc: usize,
+    ptr: Abs,
+    insn_off: i64,
+    size: MemSize,
+) -> Result<(), VerifierError> {
+    let n = size.bytes() as i64;
+    match ptr {
+        Abs::StackPtr(base) => {
+            let off = base + insn_off;
+            if off < 0 || off + n > STACK_SIZE {
+                return Err(VerifierError::StackOutOfBounds { pc, off });
+            }
+            for b in off..off + n {
+                st.stack_init[b as usize] = true;
+            }
+            Ok(())
+        }
+        Abs::PacketPtr(base) => {
+            let off = base + insn_off;
+            if off < 0 || off + n > st.pkt_avail {
+                return Err(VerifierError::PacketBoundsNotProven {
+                    pc,
+                    needed: off + n,
+                });
+            }
+            Ok(())
+        }
+        Abs::CtxPtr => Err(VerifierError::CtxWrite { pc }),
+        Abs::MapValue { map, off, nullable } => {
+            if nullable {
+                return Err(VerifierError::PossiblyNullDeref { pc });
+            }
+            let map_ref = maps.get(map).ok_or(VerifierError::UnknownMap { pc, map })?;
+            let off = off + insn_off;
+            if off < 0 || off + n > i64::from(map_ref.def().value_size) {
+                return Err(VerifierError::MapValueOutOfBounds { pc });
+            }
+            Ok(())
+        }
+        Abs::PacketEnd | Abs::MapFd(_) | Abs::Scalar(_) | Abs::Uninit => {
+            Err(VerifierError::BadPointerArith { pc })
+        }
+    }
+}
+
+/// Validates a pointer argument that a helper reads `len` bytes through.
+fn check_mem_arg(
+    st: &State,
+    pc: usize,
+    helper: HelperId,
+    arg: u8,
+    ptr: Abs,
+    len: i64,
+    maps: &MapRegistry,
+) -> Result<(), VerifierError> {
+    match ptr {
+        Abs::StackPtr(base) => {
+            if base < 0 || base + len > STACK_SIZE {
+                return Err(VerifierError::StackOutOfBounds { pc, off: base });
+            }
+            for b in base..base + len {
+                if !st.stack_init[b as usize] {
+                    return Err(VerifierError::UninitStackRead { pc, off: b });
+                }
+            }
+            Ok(())
+        }
+        Abs::PacketPtr(base) => {
+            if base < 0 || base + len > st.pkt_avail {
+                return Err(VerifierError::PacketBoundsNotProven {
+                    pc,
+                    needed: base + len,
+                });
+            }
+            Ok(())
+        }
+        Abs::MapValue { map, off, nullable } => {
+            if nullable {
+                return Err(VerifierError::PossiblyNullDeref { pc });
+            }
+            let map_ref = maps.get(map).ok_or(VerifierError::UnknownMap { pc, map })?;
+            if off < 0 || off + len > i64::from(map_ref.def().value_size) {
+                return Err(VerifierError::MapValueOutOfBounds { pc });
+            }
+            Ok(())
+        }
+        _ => Err(VerifierError::BadHelperArg { pc, helper, arg }),
+    }
+}
+
+fn check_helper(
+    st: &State,
+    maps: &MapRegistry,
+    pc: usize,
+    helper: HelperId,
+) -> Result<Abs, VerifierError> {
+    let arg = |i: u8| -> Result<Abs, VerifierError> {
+        st.read(pc, Reg::new(i))
+            .map_err(|_| VerifierError::BadHelperArg { pc, helper, arg: i })
+    };
+    let map_arg = |i: u8| -> Result<MapId, VerifierError> {
+        match arg(i)? {
+            Abs::MapFd(m) => Ok(m),
+            _ => Err(VerifierError::BadHelperArg { pc, helper, arg: i }),
+        }
+    };
+    let scalar_arg = |i: u8| -> Result<(), VerifierError> {
+        match arg(i)? {
+            Abs::Scalar(_) => Ok(()),
+            _ => Err(VerifierError::BadHelperArg { pc, helper, arg: i }),
+        }
+    };
+
+    match helper {
+        HelperId::GetPrandomU32 | HelperId::KtimeGetNs | HelperId::GetSmpProcessorId => {
+            Ok(Abs::Scalar(None))
+        }
+        HelperId::MapLookupElem => {
+            let map = map_arg(1)?;
+            let map_ref = maps.get(map).ok_or(VerifierError::UnknownMap { pc, map })?;
+            if map_ref.def().kind == MapKind::ProgArray {
+                return Err(VerifierError::BadHelperArg { pc, helper, arg: 1 });
+            }
+            check_mem_arg(
+                st,
+                pc,
+                helper,
+                2,
+                arg(2)?,
+                i64::from(map_ref.def().key_size),
+                maps,
+            )?;
+            Ok(Abs::MapValue {
+                map,
+                off: 0,
+                nullable: true,
+            })
+        }
+        HelperId::MapUpdateElem => {
+            let map = map_arg(1)?;
+            let map_ref = maps.get(map).ok_or(VerifierError::UnknownMap { pc, map })?;
+            if map_ref.def().kind == MapKind::ProgArray {
+                return Err(VerifierError::BadHelperArg { pc, helper, arg: 1 });
+            }
+            check_mem_arg(
+                st,
+                pc,
+                helper,
+                2,
+                arg(2)?,
+                i64::from(map_ref.def().key_size),
+                maps,
+            )?;
+            check_mem_arg(
+                st,
+                pc,
+                helper,
+                3,
+                arg(3)?,
+                i64::from(map_ref.def().value_size),
+                maps,
+            )?;
+            scalar_arg(4)?;
+            Ok(Abs::Scalar(None))
+        }
+        HelperId::MapDeleteElem => {
+            let map = map_arg(1)?;
+            let map_ref = maps.get(map).ok_or(VerifierError::UnknownMap { pc, map })?;
+            check_mem_arg(
+                st,
+                pc,
+                helper,
+                2,
+                arg(2)?,
+                i64::from(map_ref.def().key_size),
+                maps,
+            )?;
+            Ok(Abs::Scalar(None))
+        }
+        HelperId::RedirectMap => {
+            let _ = map_arg(1)?;
+            scalar_arg(2)?;
+            scalar_arg(3)?;
+            Ok(Abs::Scalar(None))
+        }
+        HelperId::TailCall => {
+            match arg(1)? {
+                Abs::CtxPtr => {}
+                _ => return Err(VerifierError::BadHelperArg { pc, helper, arg: 1 }),
+            }
+            let map = map_arg(2)?;
+            let map_ref = maps.get(map).ok_or(VerifierError::UnknownMap { pc, map })?;
+            if map_ref.def().kind != MapKind::ProgArray {
+                return Err(VerifierError::BadHelperArg { pc, helper, arg: 2 });
+            }
+            scalar_arg(3)?;
+            // On success the call never returns; on failure r0 < 0.
+            Ok(Abs::Scalar(None))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::maps::MapDef;
+    use crate::vm::ctx_off;
+
+    fn maps() -> MapRegistry {
+        MapRegistry::new()
+    }
+
+    fn ok(prog: Program, maps: &MapRegistry) -> VerifyInfo {
+        match verify(&prog, maps) {
+            Ok(info) => info,
+            Err(e) => panic!(
+                "expected `{}` to verify, got: {e}\n{}",
+                prog.name,
+                prog.disasm()
+            ),
+        }
+    }
+
+    #[test]
+    fn accepts_trivial_return() {
+        let prog = Asm::new().mov64_imm(Reg::R0, 0).exit().build("t").unwrap();
+        ok(prog, &maps());
+    }
+
+    #[test]
+    fn rejects_empty_program() {
+        let prog = Program::new("e", vec![]);
+        assert_eq!(verify(&prog, &maps()), Err(VerifierError::EmptyProgram));
+    }
+
+    #[test]
+    fn rejects_uninit_register() {
+        let prog = Asm::new()
+            .mov64_reg(Reg::R0, Reg::R3)
+            .exit()
+            .build("u")
+            .unwrap();
+        assert!(matches!(
+            verify(&prog, &maps()),
+            Err(VerifierError::UninitRegister { reg: Reg::R3, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_exit_without_r0() {
+        let prog = Asm::new().exit().build("r0").unwrap();
+        assert!(matches!(
+            verify(&prog, &maps()),
+            Err(VerifierError::UninitRegister { reg: Reg::R0, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_fall_off_end() {
+        let prog = Asm::new().mov64_imm(Reg::R0, 1).build("f").unwrap();
+        assert_eq!(verify(&prog, &maps()), Err(VerifierError::FallOffEnd));
+    }
+
+    #[test]
+    fn rejects_frame_pointer_write() {
+        let prog = Asm::new()
+            .mov64_imm(Reg::R10, 0)
+            .mov64_imm(Reg::R0, 0)
+            .exit()
+            .build("fp")
+            .unwrap();
+        assert!(matches!(
+            verify(&prog, &maps()),
+            Err(VerifierError::FramePointerWrite { .. })
+        ));
+    }
+
+    #[test]
+    fn packet_load_requires_bounds_check() {
+        // Unchecked packet read must be rejected...
+        let bad = Asm::new()
+            .ldx_dw(Reg::R1, Reg::R1, ctx_off::DATA as i16)
+            .ldx_b(Reg::R0, Reg::R1, 0)
+            .exit()
+            .build("bad")
+            .unwrap();
+        assert!(matches!(
+            verify(&bad, &maps()),
+            Err(VerifierError::PacketBoundsNotProven { .. })
+        ));
+
+        // ...while the checked version passes.
+        let good = Asm::new()
+            .ldx_dw(Reg::R2, Reg::R1, ctx_off::DATA_END as i16)
+            .ldx_dw(Reg::R1, Reg::R1, ctx_off::DATA as i16)
+            .mov64_reg(Reg::R3, Reg::R1)
+            .add64_imm(Reg::R3, 1)
+            .jgt_reg(Reg::R3, Reg::R2, "out")
+            .ldx_b(Reg::R0, Reg::R1, 0)
+            .exit()
+            .label("out")
+            .mov64_imm(Reg::R0, 0)
+            .exit()
+            .build("good")
+            .unwrap();
+        ok(good, &maps());
+    }
+
+    #[test]
+    fn bounds_proof_does_not_extend_past_checked_range() {
+        // Proves 2 bytes, reads byte 2 (the third) — reject.
+        let prog = Asm::new()
+            .ldx_dw(Reg::R2, Reg::R1, ctx_off::DATA_END as i16)
+            .ldx_dw(Reg::R1, Reg::R1, ctx_off::DATA as i16)
+            .mov64_reg(Reg::R3, Reg::R1)
+            .add64_imm(Reg::R3, 2)
+            .jgt_reg(Reg::R3, Reg::R2, "out")
+            .ldx_b(Reg::R0, Reg::R1, 2)
+            .exit()
+            .label("out")
+            .mov64_imm(Reg::R0, 0)
+            .exit()
+            .build("off-by-one")
+            .unwrap();
+        assert!(matches!(
+            verify(&prog, &maps()),
+            Err(VerifierError::PacketBoundsNotProven { needed: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn reversed_comparison_order_also_proves_bounds() {
+        // `if data_end >= data + 4` on the taken path proves 4 bytes.
+        let prog = Asm::new()
+            .ldx_dw(Reg::R2, Reg::R1, ctx_off::DATA_END as i16)
+            .ldx_dw(Reg::R1, Reg::R1, ctx_off::DATA as i16)
+            .mov64_reg(Reg::R3, Reg::R1)
+            .add64_imm(Reg::R3, 4)
+            .branch(CmpOp::Ge, Reg::R2, Operand::Reg(Reg::R3), "ok")
+            .mov64_imm(Reg::R0, 0)
+            .exit()
+            .label("ok")
+            .ldx_w(Reg::R0, Reg::R1, 0)
+            .exit()
+            .build("rev")
+            .unwrap();
+        ok(prog, &maps());
+    }
+
+    #[test]
+    fn stack_read_requires_init() {
+        let bad = Asm::new()
+            .ldx_dw(Reg::R0, Reg::R10, -8)
+            .exit()
+            .build("sr")
+            .unwrap();
+        assert!(matches!(
+            verify(&bad, &maps()),
+            Err(VerifierError::UninitStackRead { .. })
+        ));
+
+        let good = Asm::new()
+            .st_dw(Reg::R10, -8, 3)
+            .ldx_dw(Reg::R0, Reg::R10, -8)
+            .exit()
+            .build("sw")
+            .unwrap();
+        ok(good, &maps());
+    }
+
+    #[test]
+    fn stack_bounds_are_enforced() {
+        let overflow = Asm::new()
+            .st_dw(Reg::R10, -512, 0) // just fits: [0, 8)
+            .st_dw(Reg::R10, -516, 0) // out of frame
+            .mov64_imm(Reg::R0, 0)
+            .exit()
+            .build("so")
+            .unwrap();
+        assert!(matches!(
+            verify(&overflow, &maps()),
+            Err(VerifierError::StackOutOfBounds { .. })
+        ));
+
+        let above = Asm::new()
+            .st_dw(Reg::R10, 0, 0) // above the frame pointer
+            .mov64_imm(Reg::R0, 0)
+            .exit()
+            .build("sa")
+            .unwrap();
+        assert!(matches!(
+            verify(&above, &maps()),
+            Err(VerifierError::StackOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn map_value_requires_null_check() {
+        let reg = maps();
+        let m = reg.create(MapDef::u64_array(4));
+        let bad = Asm::new()
+            .st_w(Reg::R10, -4, 0)
+            .load_map_fd(Reg::R1, m)
+            .mov64_reg(Reg::R2, Reg::R10)
+            .add64_imm(Reg::R2, -4)
+            .call(HelperId::MapLookupElem)
+            .ldx_dw(Reg::R0, Reg::R0, 0) // no null check!
+            .exit()
+            .build("nonull")
+            .unwrap();
+        assert!(matches!(
+            verify(&bad, &reg),
+            Err(VerifierError::PossiblyNullDeref { .. })
+        ));
+
+        let good = Asm::new()
+            .st_w(Reg::R10, -4, 0)
+            .load_map_fd(Reg::R1, m)
+            .mov64_reg(Reg::R2, Reg::R10)
+            .add64_imm(Reg::R2, -4)
+            .call(HelperId::MapLookupElem)
+            .jeq_imm(Reg::R0, 0, "miss")
+            .ldx_dw(Reg::R0, Reg::R0, 0)
+            .exit()
+            .label("miss")
+            .mov64_imm(Reg::R0, 0)
+            .exit()
+            .build("null-checked")
+            .unwrap();
+        ok(good, &reg);
+    }
+
+    #[test]
+    fn map_value_bounds_are_value_size() {
+        let reg = maps();
+        let m = reg.create(MapDef::u64_array(4));
+        let prog = Asm::new()
+            .st_w(Reg::R10, -4, 0)
+            .load_map_fd(Reg::R1, m)
+            .mov64_reg(Reg::R2, Reg::R10)
+            .add64_imm(Reg::R2, -4)
+            .call(HelperId::MapLookupElem)
+            .jeq_imm(Reg::R0, 0, "miss")
+            .ldx_dw(Reg::R0, Reg::R0, 4) // bytes 4..12 of an 8-byte value
+            .exit()
+            .label("miss")
+            .mov64_imm(Reg::R0, 0)
+            .exit()
+            .build("oob-value")
+            .unwrap();
+        assert!(matches!(
+            verify(&prog, &reg),
+            Err(VerifierError::MapValueOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_map_is_rejected() {
+        let reg = maps();
+        let prog = Asm::new()
+            .load_map_fd(Reg::R1, MapId(42))
+            .mov64_imm(Reg::R0, 0)
+            .exit()
+            .build("um")
+            .unwrap();
+        assert!(matches!(
+            verify(&prog, &reg),
+            Err(VerifierError::UnknownMap { map: MapId(42), .. })
+        ));
+    }
+
+    #[test]
+    fn helper_key_must_be_initialized() {
+        let reg = maps();
+        let m = reg.create(MapDef::u64_array(4));
+        let prog = Asm::new()
+            .load_map_fd(Reg::R1, m)
+            .mov64_reg(Reg::R2, Reg::R10)
+            .add64_imm(Reg::R2, -4) // key bytes never written
+            .call(HelperId::MapLookupElem)
+            .mov64_imm(Reg::R0, 0)
+            .exit()
+            .build("key")
+            .unwrap();
+        assert!(matches!(
+            verify(&prog, &reg),
+            Err(VerifierError::UninitStackRead { .. })
+        ));
+    }
+
+    #[test]
+    fn helpers_clobber_caller_saved_registers() {
+        let prog = Asm::new()
+            .mov64_imm(Reg::R3, 7)
+            .call(HelperId::GetPrandomU32)
+            .mov64_reg(Reg::R0, Reg::R3) // r3 was clobbered
+            .exit()
+            .build("clobber")
+            .unwrap();
+        assert!(matches!(
+            verify(&prog, &maps()),
+            Err(VerifierError::UninitRegister { reg: Reg::R3, .. })
+        ));
+    }
+
+    #[test]
+    fn callee_saved_registers_survive_helpers() {
+        let prog = Asm::new()
+            .mov64_imm(Reg::R6, 7)
+            .call(HelperId::GetPrandomU32)
+            .mov64_reg(Reg::R0, Reg::R6)
+            .exit()
+            .build("saved")
+            .unwrap();
+        ok(prog, &maps());
+    }
+
+    #[test]
+    fn unbounded_loop_exceeds_budget() {
+        // r0 counts up from an unknown value: states never repeat exactly,
+        // so the analysis budget cuts it off.
+        let prog = Asm::new()
+            .call(HelperId::GetPrandomU32)
+            .label("top")
+            .add64_imm(Reg::R0, 1)
+            .jne_imm(Reg::R0, 0, "top")
+            .exit()
+            .build("inf")
+            .unwrap();
+        assert_eq!(verify(&prog, &maps()), Err(VerifierError::TooComplex));
+    }
+
+    #[test]
+    fn tight_constant_loop_is_pruned_or_folded() {
+        // for (i = 0; i < 6; i++) — constants fold, six iterations explored.
+        let prog = Asm::new()
+            .mov64_imm(Reg::R6, 0)
+            .label("top")
+            .add64_imm(Reg::R6, 1)
+            .branch(CmpOp::Lt, Reg::R6, Operand::Imm(6), "top")
+            .mov64_reg(Reg::R0, Reg::R6)
+            .exit()
+            .build("bounded")
+            .unwrap();
+        let info = ok(prog, &maps());
+        assert!(info.analyzed < 50, "analyzed {}", info.analyzed);
+    }
+
+    #[test]
+    fn jump_out_of_range_is_rejected() {
+        let prog = Program::new("j", vec![Insn::Jump { off: 5 }, Insn::Exit]);
+        assert!(matches!(
+            verify(&prog, &maps()),
+            Err(VerifierError::JumpOutOfRange { pc: 0 })
+        ));
+        let prog = Program::new("jb", vec![Insn::Jump { off: -2 }, Insn::Exit]);
+        assert!(matches!(
+            verify(&prog, &maps()),
+            Err(VerifierError::JumpOutOfRange { pc: 0 })
+        ));
+    }
+
+    #[test]
+    fn pointer_spill_is_rejected() {
+        let prog = Asm::new()
+            .stx_dw(Reg::R10, -8, Reg::R1) // spill ctx pointer
+            .mov64_imm(Reg::R0, 0)
+            .exit()
+            .build("spill")
+            .unwrap();
+        assert!(matches!(
+            verify(&prog, &maps()),
+            Err(VerifierError::PointerSpill { .. })
+        ));
+    }
+
+    #[test]
+    fn ctx_is_read_only_and_field_checked() {
+        let store = Asm::new()
+            .mov64_imm(Reg::R2, 1)
+            .stx_dw(Reg::R1, 0, Reg::R2)
+            .mov64_imm(Reg::R0, 0)
+            .exit()
+            .build("cw")
+            .unwrap();
+        assert!(matches!(
+            verify(&store, &maps()),
+            Err(VerifierError::CtxWrite { .. })
+        ));
+
+        let badoff = Asm::new()
+            .ldx_dw(Reg::R0, Reg::R1, 48)
+            .exit()
+            .build("co")
+            .unwrap();
+        assert!(matches!(
+            verify(&badoff, &maps()),
+            Err(VerifierError::BadCtxAccess { off: 48, .. })
+        ));
+    }
+
+    #[test]
+    fn tail_call_requires_prog_array() {
+        let reg = maps();
+        let data_map = reg.create(MapDef::u64_array(4));
+        let prog = Asm::new()
+            .load_map_fd(Reg::R2, data_map)
+            .mov64_imm(Reg::R3, 0)
+            .call(HelperId::TailCall)
+            .mov64_imm(Reg::R0, 0)
+            .exit()
+            .build("tc")
+            .unwrap();
+        assert!(matches!(
+            verify(&prog, &reg),
+            Err(VerifierError::BadHelperArg {
+                helper: HelperId::TailCall,
+                arg: 2,
+                ..
+            })
+        ));
+
+        let pa = reg.create(MapDef::prog_array(4));
+        let good = Asm::new()
+            .load_map_fd(Reg::R2, pa)
+            .mov64_imm(Reg::R3, 0)
+            .call(HelperId::TailCall)
+            .mov64_imm(Reg::R0, 0)
+            .exit()
+            .build("tc-ok")
+            .unwrap();
+        ok(good, &reg);
+    }
+
+    #[test]
+    fn packet_length_idiom_via_pointer_difference() {
+        // r0 = data_end - data is a scalar; comparing it does not (in this
+        // subset) prove packet bounds, but computing it is legal.
+        let prog = Asm::new()
+            .ldx_dw(Reg::R2, Reg::R1, ctx_off::DATA_END as i16)
+            .ldx_dw(Reg::R3, Reg::R1, ctx_off::DATA as i16)
+            .mov64_reg(Reg::R0, Reg::R2)
+            .alu64(AluOp::Sub, Reg::R0, Operand::Reg(Reg::R3))
+            .exit()
+            .build("len")
+            .unwrap();
+        ok(prog, &maps());
+    }
+
+    #[test]
+    fn verified_programs_round_robin_shape() {
+        // The paper's Figure 5a policy: a counter in a map, modulo sockets.
+        let reg = maps();
+        let counter = reg.create(MapDef::u64_array(1));
+        let prog = Asm::new()
+            .st_w(Reg::R10, -4, 0)
+            .load_map_fd(Reg::R1, counter)
+            .mov64_reg(Reg::R2, Reg::R10)
+            .add64_imm(Reg::R2, -4)
+            .call(HelperId::MapLookupElem)
+            .jne_imm(Reg::R0, 0, "hit")
+            .mov64_imm(Reg::R0, 0)
+            .exit()
+            .label("hit")
+            .mov64_imm(Reg::R1, 1)
+            .atomic_fetch_add_dw(Reg::R0, 0, Reg::R1)
+            .mov64_reg(Reg::R0, Reg::R1)
+            .mod64_imm(Reg::R0, 6)
+            .exit()
+            .build("round_robin")
+            .unwrap();
+        ok(prog, &reg);
+    }
+
+    #[test]
+    fn nullable_pointer_arith_is_rejected() {
+        let reg = maps();
+        let m = reg.create(MapDef::u64_array(4));
+        let prog = Asm::new()
+            .st_w(Reg::R10, -4, 0)
+            .load_map_fd(Reg::R1, m)
+            .mov64_reg(Reg::R2, Reg::R10)
+            .add64_imm(Reg::R2, -4)
+            .call(HelperId::MapLookupElem)
+            .add64_imm(Reg::R0, 4) // before null check
+            .mov64_imm(Reg::R0, 0)
+            .exit()
+            .build("np")
+            .unwrap();
+        assert!(matches!(
+            verify(&prog, &reg),
+            Err(VerifierError::PossiblyNullDeref { .. })
+        ));
+    }
+}

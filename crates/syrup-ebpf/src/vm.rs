@@ -1,0 +1,1463 @@
+//! The virtual machine: a defensive interpreter with cycle accounting.
+//!
+//! [`Vm`] holds loaded programs and the map registry and executes one
+//! program per input event, exactly like an attached kernel program. The
+//! interpreter mirrors kernel semantics (wrapping arithmetic, 32-bit
+//! zero-extension, division-by-zero-yields-zero, tail-call limits) and
+//! keeps defense-in-depth runtime checks — out-of-bounds or wild accesses
+//! trap instead of corrupting simulation state. Programs admitted through
+//! [`Vm::load`] have passed the [`crate::verifier`], which statically rules
+//! those traps out; `load_unverified` exists so tests can exercise the
+//! runtime checks directly.
+//!
+//! Values are represented with explicit pointer provenance (a tagged
+//! scalar/pointer enum) rather than raw host addresses: this is the safe
+//! Rust analogue of the kernel's JITed pointers and is what lets the whole
+//! crate be `#![forbid(unsafe_code)]`.
+
+use std::fmt;
+
+use crate::cycles::CycleModel;
+use crate::helpers::HelperId;
+use crate::insn::{AluOp, CmpOp, Insn, MemSize, Operand, Reg, Width};
+use crate::maps::{MapError, MapId, MapKind, MapRegistry, ProgSlot, UpdateFlag};
+use crate::verifier::{verify, VerifierError};
+use crate::Program;
+
+/// Stack bytes available per invocation, matching the kernel's limit.
+pub const STACK_SIZE: i64 = 512;
+/// Kernel tail-call chain limit (`MAX_TAIL_CALL_CNT`).
+pub const MAX_TAIL_CALLS: u32 = 32;
+/// Runtime instruction budget per invocation; verified programs finish in
+/// far fewer, unverified test programs get cut off here.
+pub const RUNTIME_INSN_LIMIT: u64 = 4 << 20;
+
+/// Offsets of context fields visible to programs.
+pub mod ctx_off {
+    /// `ctx->data`: pointer to the first packet byte.
+    pub const DATA: i64 = 0;
+    /// `ctx->data_end`: pointer one past the last packet byte.
+    pub const DATA_END: i64 = 8;
+    /// First metadata word (hook-specific, e.g. RX queue index).
+    pub const META0: i64 = 16;
+    /// Second metadata word.
+    pub const META1: i64 = 24;
+    /// Third metadata word.
+    pub const META2: i64 = 32;
+    /// Fourth metadata word.
+    pub const META3: i64 = 40;
+}
+
+/// The per-invocation input: packet bytes plus hook metadata words.
+#[derive(Debug)]
+pub struct PacketCtx<'p> {
+    /// The packet (or datagram payload) the policy inspects.
+    pub data: &'p mut [u8],
+    /// Hook-specific metadata exposed at [`ctx_off::META0`]…: for example
+    /// the RX queue index or the CPU id.
+    pub meta: [u64; 4],
+}
+
+impl<'p> PacketCtx<'p> {
+    /// Wraps a packet with zeroed metadata.
+    pub fn new(data: &'p mut [u8]) -> Self {
+        PacketCtx { data, meta: [0; 4] }
+    }
+}
+
+/// Why a program trapped at runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// Read of a register that was never written.
+    UninitRegister(Reg),
+    /// Arithmetic on pointers the ISA does not define.
+    BadPointerArith,
+    /// A load or store outside its region's bounds.
+    OutOfBounds {
+        /// Which region was accessed.
+        region: &'static str,
+        /// The faulting offset.
+        off: i64,
+        /// The access size in bytes.
+        size: u64,
+    },
+    /// A load or store through a non-pointer value.
+    NotAPointer,
+    /// Store to read-only memory (the context, or `r10`).
+    ReadOnly,
+    /// A comparison or operation mixing incompatible value kinds.
+    TypeMismatch,
+    /// Map access failed (stale slot, wrong kind).
+    Map(MapError),
+    /// Helper called with an invalid argument.
+    BadHelperArg(HelperId),
+    /// Execution exceeded [`RUNTIME_INSN_LIMIT`].
+    Runaway,
+    /// Program counter left the instruction stream.
+    PcOutOfRange,
+    /// Program fell off the end without `exit`.
+    NoExit,
+    /// The referenced program slot is empty.
+    NoSuchProgram,
+    /// An `Endian` instruction had an invalid bit width.
+    BadEndianWidth,
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::UninitRegister(r) => write!(f, "read of uninitialized {r}"),
+            VmError::BadPointerArith => write!(f, "undefined pointer arithmetic"),
+            VmError::OutOfBounds { region, off, size } => {
+                write!(f, "out-of-bounds {size}-byte access at {region}[{off}]")
+            }
+            VmError::NotAPointer => write!(f, "memory access through a scalar"),
+            VmError::ReadOnly => write!(f, "store to read-only memory"),
+            VmError::TypeMismatch => write!(f, "operation on incompatible value kinds"),
+            VmError::Map(e) => write!(f, "map access fault: {e}"),
+            VmError::BadHelperArg(h) => write!(f, "bad argument to helper {h}"),
+            VmError::Runaway => write!(f, "instruction budget exhausted"),
+            VmError::PcOutOfRange => write!(f, "jump out of program"),
+            VmError::NoExit => write!(f, "fell off program end"),
+            VmError::NoSuchProgram => write!(f, "empty program slot"),
+            VmError::BadEndianWidth => write!(f, "endian width must be 16/32/64"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+impl From<MapError> for VmError {
+    fn from(e: MapError) -> Self {
+        VmError::Map(e)
+    }
+}
+
+/// Pointer provenance for a value held in a register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Region {
+    Stack,
+    Packet,
+    Ctx,
+    MapValue { map: MapId, slot: u32 },
+}
+
+/// A runtime value: a 64-bit scalar or a pointer with provenance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Val {
+    Uninit,
+    Scalar(u64),
+    Ptr { region: Region, off: i64 },
+}
+
+/// The result of a successful program invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VmOutcome {
+    /// The value of `r0` at `exit`.
+    pub ret: u64,
+    /// Instructions executed (Table 2's "Instructions" column analogue).
+    pub insns: u64,
+    /// Modelled policy cycles: invocation entry plus per-instruction costs.
+    /// Enforcement cost is charged by the hook, not the program.
+    pub cycles: u64,
+    /// Set when the program called `redirect_map`: the AF_XDP/queue map and
+    /// the chosen index.
+    pub redirect: Option<(MapId, u32)>,
+    /// How many tail calls the invocation chained through.
+    pub tail_calls: u32,
+}
+
+/// Per-invocation environment: virtual time, CPU, and deterministic
+/// randomness for `get_prandom_u32`.
+#[derive(Debug, Clone)]
+pub struct RunEnv {
+    /// Virtual nanoseconds returned by `ktime_get_ns`.
+    pub now_ns: u64,
+    /// CPU id returned by `get_smp_processor_id`.
+    pub cpu_id: u32,
+    /// xorshift64* state for `get_prandom_u32`; seed it per run for
+    /// reproducibility. Zero is auto-fixed to a nonzero constant.
+    pub prandom_state: u64,
+}
+
+impl Default for RunEnv {
+    fn default() -> Self {
+        RunEnv {
+            now_ns: 0,
+            cpu_id: 0,
+            prandom_state: 0x853C_49E6_748F_EA9B,
+        }
+    }
+}
+
+impl RunEnv {
+    fn next_prandom(&mut self) -> u32 {
+        if self.prandom_state == 0 {
+            self.prandom_state = 0x9E37_79B9_7F4A_7C15;
+        }
+        // xorshift64*.
+        let mut x = self.prandom_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.prandom_state = x;
+        (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 32) as u32
+    }
+}
+
+/// The virtual machine: loaded programs plus the shared map registry.
+#[derive(Debug, Clone)]
+pub struct Vm {
+    maps: MapRegistry,
+    progs: Vec<Program>,
+    model: CycleModel,
+}
+
+impl Vm {
+    /// Creates a VM over a map registry.
+    pub fn new(maps: MapRegistry) -> Self {
+        Vm {
+            maps,
+            progs: Vec::new(),
+            model: CycleModel::default(),
+        }
+    }
+
+    /// The map registry this VM resolves `LoadMapFd` against.
+    pub fn maps(&self) -> &MapRegistry {
+        &self.maps
+    }
+
+    /// Replaces the cycle model (used by Table 2 sensitivity runs).
+    pub fn set_cycle_model(&mut self, model: CycleModel) {
+        self.model = model;
+    }
+
+    /// Verifies and loads a program, returning its slot.
+    pub fn load(&mut self, prog: Program) -> Result<ProgSlot, VerifierError> {
+        verify(&prog, &self.maps)?;
+        Ok(self.load_unverified(prog))
+    }
+
+    /// Loads a program *without* verification. Only for tests exercising
+    /// the interpreter's defense-in-depth checks; `syrupd` never does this.
+    pub fn load_unverified(&mut self, prog: Program) -> ProgSlot {
+        let slot = ProgSlot(self.progs.len() as u32);
+        self.progs.push(prog);
+        slot
+    }
+
+    /// Returns the loaded program in `slot`, if any.
+    pub fn program(&self, slot: ProgSlot) -> Option<&Program> {
+        self.progs.get(slot.0 as usize)
+    }
+
+    /// Runs the program in `slot` over `ctx`.
+    pub fn run(
+        &self,
+        slot: ProgSlot,
+        ctx: &mut PacketCtx<'_>,
+        env: &mut RunEnv,
+    ) -> Result<VmOutcome, VmError> {
+        let mut prog = self
+            .progs
+            .get(slot.0 as usize)
+            .ok_or(VmError::NoSuchProgram)?;
+        if prog.is_empty() {
+            return Err(VmError::NoSuchProgram);
+        }
+
+        let mut regs = [Val::Uninit; 11];
+        regs[Reg::R1.index()] = Val::Ptr {
+            region: Region::Ctx,
+            off: 0,
+        };
+        regs[Reg::R10.index()] = Val::Ptr {
+            region: Region::Stack,
+            off: STACK_SIZE,
+        };
+        let mut stack = [0u8; STACK_SIZE as usize];
+
+        let mut pc: usize = 0;
+        let mut insns: u64 = 0;
+        let mut cycles: u64 = self.model.invoke;
+        let mut redirect: Option<(MapId, u32)> = None;
+        let mut tail_calls: u32 = 0;
+
+        loop {
+            let insn = prog.insns.get(pc).ok_or(VmError::NoExit)?;
+            insns += 1;
+            cycles += self.model.insn_cost(insn);
+            if insns > RUNTIME_INSN_LIMIT {
+                return Err(VmError::Runaway);
+            }
+            pc += 1;
+
+            match *insn {
+                Insn::Alu { w, op, dst, src } => {
+                    let rhs = self.operand(&regs, src)?;
+                    let lhs = if op == AluOp::Mov {
+                        Val::Scalar(0) // unused
+                    } else {
+                        read_reg(&regs, dst)?
+                    };
+                    regs[dst.index()] = alu(w, op, lhs, rhs)?;
+                }
+                Insn::Neg { w, dst } => {
+                    let v = scalar(read_reg(&regs, dst)?)?;
+                    let r = match w {
+                        Width::W64 => (v as i64).wrapping_neg() as u64,
+                        Width::W32 => ((v as i32).wrapping_neg() as u32) as u64,
+                    };
+                    regs[dst.index()] = Val::Scalar(r);
+                }
+                Insn::Endian { dst, to_be, bits } => {
+                    let v = scalar(read_reg(&regs, dst)?)?;
+                    // The simulated machine is little-endian (like x86), so
+                    // both `to_be` and `to_le` swap or truncate accordingly.
+                    let _ = to_be;
+                    let r = match bits {
+                        16 => u64::from((v as u16).swap_bytes()),
+                        32 => u64::from((v as u32).swap_bytes()),
+                        64 => v.swap_bytes(),
+                        _ => return Err(VmError::BadEndianWidth),
+                    };
+                    regs[dst.index()] = Val::Scalar(r);
+                }
+                Insn::LoadImm64 { dst, imm } => {
+                    regs[dst.index()] = Val::Scalar(imm as u64);
+                }
+                Insn::LoadMapFd { dst, map } => {
+                    // A map reference is an opaque handle; represent it as a
+                    // scalar tagged by construction (only helpers consume it,
+                    // and the verifier pins its provenance statically).
+                    regs[dst.index()] = Val::Scalar(map_fd_token(map));
+                }
+                Insn::LoadMem {
+                    size,
+                    dst,
+                    base,
+                    off,
+                } => {
+                    let ptr = read_reg(&regs, base)?;
+                    regs[dst.index()] = self.mem_load(ptr, off as i64, size, ctx, &mut stack)?;
+                }
+                Insn::StoreMem {
+                    size,
+                    base,
+                    off,
+                    src,
+                } => {
+                    let ptr = read_reg(&regs, base)?;
+                    let v = scalar(read_reg(&regs, src)?)?;
+                    self.mem_store(ptr, off as i64, size, v, ctx, &mut stack)?;
+                }
+                Insn::StoreImm {
+                    size,
+                    base,
+                    off,
+                    imm,
+                } => {
+                    let ptr = read_reg(&regs, base)?;
+                    self.mem_store(ptr, off as i64, size, imm as i64 as u64, ctx, &mut stack)?;
+                }
+                Insn::AtomicAdd {
+                    size,
+                    base,
+                    off,
+                    src,
+                    fetch,
+                } => {
+                    if size != MemSize::W && size != MemSize::DW {
+                        return Err(VmError::OutOfBounds {
+                            region: "atomic",
+                            off: off as i64,
+                            size: size.bytes(),
+                        });
+                    }
+                    let ptr = read_reg(&regs, base)?;
+                    let addend = scalar(read_reg(&regs, src)?)?;
+                    let old = self.fetch_add(ptr, off as i64, size, addend, ctx, &mut stack)?;
+                    if fetch {
+                        regs[src.index()] = Val::Scalar(old);
+                    }
+                }
+                Insn::Jump { off } => {
+                    pc = jump_target(pc, off, prog.insns.len())?;
+                }
+                Insn::Branch {
+                    op,
+                    w,
+                    lhs,
+                    rhs,
+                    off,
+                } => {
+                    let l = read_reg(&regs, lhs)?;
+                    let r = self.operand(&regs, rhs)?;
+                    if compare(op, w, l, r)? {
+                        pc = jump_target(pc, off, prog.insns.len())?;
+                    }
+                }
+                Insn::Call { helper } => {
+                    match self.call_helper(helper, &mut regs, ctx, env, &mut stack)? {
+                        HelperOutcome::Ret(v) => {
+                            regs[Reg::R0.index()] = v;
+                            for reg in regs.iter_mut().take(6).skip(1) {
+                                *reg = Val::Uninit;
+                            }
+                        }
+                        HelperOutcome::Redirect(map, idx, ret) => {
+                            redirect = Some((map, idx));
+                            regs[Reg::R0.index()] = Val::Scalar(ret);
+                            for reg in regs.iter_mut().take(6).skip(1) {
+                                *reg = Val::Uninit;
+                            }
+                        }
+                        HelperOutcome::TailCall(slot) => {
+                            tail_calls += 1;
+                            if tail_calls > MAX_TAIL_CALLS {
+                                // The kernel fails the call and continues.
+                                regs[Reg::R0.index()] = Val::Scalar((-1i64) as u64);
+                                tail_calls -= 1;
+                                continue;
+                            }
+                            prog = self
+                                .progs
+                                .get(slot.0 as usize)
+                                .ok_or(VmError::NoSuchProgram)?;
+                            pc = 0;
+                            // The target was verified assuming only r1/r10;
+                            // reestablish them and drop the caller-saved set.
+                            regs[Reg::R1.index()] = Val::Ptr {
+                                region: Region::Ctx,
+                                off: 0,
+                            };
+                            for reg in regs.iter_mut().take(6).skip(2) {
+                                *reg = Val::Uninit;
+                            }
+                        }
+                    }
+                }
+                Insn::Exit => {
+                    let ret = scalar(read_reg(&regs, Reg::R0)?)?;
+                    return Ok(VmOutcome {
+                        ret,
+                        insns,
+                        cycles,
+                        redirect,
+                        tail_calls,
+                    });
+                }
+            }
+        }
+    }
+
+    fn operand(&self, regs: &[Val; 11], op: Operand) -> Result<Val, VmError> {
+        match op {
+            Operand::Reg(r) => read_reg(regs, r),
+            Operand::Imm(i) => Ok(Val::Scalar(i as i64 as u64)),
+        }
+    }
+
+    fn mem_load(
+        &self,
+        ptr: Val,
+        insn_off: i64,
+        size: MemSize,
+        ctx: &PacketCtx<'_>,
+        stack: &mut [u8; STACK_SIZE as usize],
+    ) -> Result<Val, VmError> {
+        let (region, base_off) = match ptr {
+            Val::Ptr { region, off } => (region, off),
+            Val::Scalar(_) => return Err(VmError::NotAPointer),
+            Val::Uninit => return Err(VmError::UninitRegister(Reg::R0)),
+        };
+        let off = base_off + insn_off;
+        let nbytes = size.bytes();
+        match region {
+            Region::Stack => {
+                let bytes = slice_region(stack, off, nbytes, "stack")?;
+                Ok(Val::Scalar(read_le(bytes)))
+            }
+            Region::Packet => {
+                let bytes = slice_region_ref(ctx.data, off, nbytes, "packet")?;
+                Ok(Val::Scalar(read_le(bytes)))
+            }
+            Region::Ctx => {
+                if size != MemSize::DW {
+                    return Err(VmError::OutOfBounds {
+                        region: "ctx",
+                        off,
+                        size: nbytes,
+                    });
+                }
+                match off {
+                    ctx_off::DATA => Ok(Val::Ptr {
+                        region: Region::Packet,
+                        off: 0,
+                    }),
+                    ctx_off::DATA_END => Ok(Val::Ptr {
+                        region: Region::Packet,
+                        off: ctx.data.len() as i64,
+                    }),
+                    ctx_off::META0 => Ok(Val::Scalar(ctx.meta[0])),
+                    ctx_off::META1 => Ok(Val::Scalar(ctx.meta[1])),
+                    ctx_off::META2 => Ok(Val::Scalar(ctx.meta[2])),
+                    ctx_off::META3 => Ok(Val::Scalar(ctx.meta[3])),
+                    _ => Err(VmError::OutOfBounds {
+                        region: "ctx",
+                        off,
+                        size: nbytes,
+                    }),
+                }
+            }
+            Region::MapValue { map, slot } => {
+                let map_ref = self.maps.get(map).ok_or(MapError::NotFound)?;
+                if off < 0 {
+                    return Err(VmError::OutOfBounds {
+                        region: "map value",
+                        off,
+                        size: nbytes,
+                    });
+                }
+                let v = map_ref.read_value(slot, off as u32, nbytes as u32)?;
+                Ok(Val::Scalar(v))
+            }
+        }
+    }
+
+    fn mem_store(
+        &self,
+        ptr: Val,
+        insn_off: i64,
+        size: MemSize,
+        value: u64,
+        ctx: &mut PacketCtx<'_>,
+        stack: &mut [u8; STACK_SIZE as usize],
+    ) -> Result<(), VmError> {
+        let (region, base_off) = match ptr {
+            Val::Ptr { region, off } => (region, off),
+            Val::Scalar(_) => return Err(VmError::NotAPointer),
+            Val::Uninit => return Err(VmError::UninitRegister(Reg::R0)),
+        };
+        let off = base_off + insn_off;
+        let nbytes = size.bytes();
+        match region {
+            Region::Stack => {
+                let bytes = slice_region(stack, off, nbytes, "stack")?;
+                bytes.copy_from_slice(&value.to_le_bytes()[..nbytes as usize]);
+                Ok(())
+            }
+            Region::Packet => {
+                let bytes = slice_region(ctx.data, off, nbytes, "packet")?;
+                bytes.copy_from_slice(&value.to_le_bytes()[..nbytes as usize]);
+                Ok(())
+            }
+            Region::Ctx => Err(VmError::ReadOnly),
+            Region::MapValue { map, slot } => {
+                let map_ref = self.maps.get(map).ok_or(MapError::NotFound)?;
+                if off < 0 {
+                    return Err(VmError::OutOfBounds {
+                        region: "map value",
+                        off,
+                        size: nbytes,
+                    });
+                }
+                map_ref.write_value(slot, off as u32, nbytes as u32, value)?;
+                Ok(())
+            }
+        }
+    }
+
+    fn fetch_add(
+        &self,
+        ptr: Val,
+        insn_off: i64,
+        size: MemSize,
+        addend: u64,
+        ctx: &mut PacketCtx<'_>,
+        stack: &mut [u8; STACK_SIZE as usize],
+    ) -> Result<u64, VmError> {
+        // Map values get true (locked) atomicity; stack and packet RMW is
+        // local to the invocation so plain read-modify-write suffices.
+        if let Val::Ptr {
+            region: Region::MapValue { map, slot },
+            off,
+        } = ptr
+        {
+            let map_ref = self.maps.get(map).ok_or(MapError::NotFound)?;
+            let off = off + insn_off;
+            if off < 0 {
+                return Err(VmError::OutOfBounds {
+                    region: "map value",
+                    off,
+                    size: size.bytes(),
+                });
+            }
+            return Ok(map_ref.fetch_add_value(slot, off as u32, size.bytes() as u32, addend)?);
+        }
+        let old = scalar(self.mem_load(ptr, insn_off, size, ctx, stack)?)?;
+        let new = match size {
+            MemSize::W => ((old as u32).wrapping_add(addend as u32)) as u64,
+            _ => old.wrapping_add(addend),
+        };
+        self.mem_store(ptr, insn_off, size, new, ctx, stack)?;
+        Ok(old)
+    }
+
+    fn call_helper(
+        &self,
+        helper: HelperId,
+        regs: &mut [Val; 11],
+        ctx: &mut PacketCtx<'_>,
+        env: &mut RunEnv,
+        stack: &mut [u8; STACK_SIZE as usize],
+    ) -> Result<HelperOutcome, VmError> {
+        let arg = |i: usize| read_reg(regs, Reg::new(i as u8));
+        match helper {
+            HelperId::GetPrandomU32 => Ok(HelperOutcome::Ret(Val::Scalar(u64::from(
+                env.next_prandom(),
+            )))),
+            HelperId::KtimeGetNs => Ok(HelperOutcome::Ret(Val::Scalar(env.now_ns))),
+            HelperId::GetSmpProcessorId => {
+                Ok(HelperOutcome::Ret(Val::Scalar(u64::from(env.cpu_id))))
+            }
+            HelperId::MapLookupElem => {
+                let map = self.map_arg(arg(1)?, helper)?;
+                let key = self.read_key(arg(2)?, map.def().key_size, ctx, stack, helper)?;
+                match map.slot_for_key(&key)? {
+                    Some(slot) => Ok(HelperOutcome::Ret(Val::Ptr {
+                        region: Region::MapValue {
+                            map: map.id(),
+                            slot,
+                        },
+                        off: 0,
+                    })),
+                    None => Ok(HelperOutcome::Ret(Val::Scalar(0))),
+                }
+            }
+            HelperId::MapUpdateElem => {
+                let map = self.map_arg(arg(1)?, helper)?;
+                let key = self.read_key(arg(2)?, map.def().key_size, ctx, stack, helper)?;
+                let value = self.read_key(arg(3)?, map.def().value_size, ctx, stack, helper)?;
+                let flags = scalar(arg(4)?)?;
+                let flag = match flags {
+                    0 => UpdateFlag::Any,
+                    1 => UpdateFlag::NoExist,
+                    2 => UpdateFlag::Exist,
+                    _ => return Err(VmError::BadHelperArg(helper)),
+                };
+                let ret = match map.update(&key, &value, flag) {
+                    Ok(()) => 0i64,
+                    Err(_) => -1,
+                };
+                Ok(HelperOutcome::Ret(Val::Scalar(ret as u64)))
+            }
+            HelperId::MapDeleteElem => {
+                let map = self.map_arg(arg(1)?, helper)?;
+                let key = self.read_key(arg(2)?, map.def().key_size, ctx, stack, helper)?;
+                let ret = match map.delete(&key) {
+                    Ok(()) => 0i64,
+                    Err(_) => -1,
+                };
+                Ok(HelperOutcome::Ret(Val::Scalar(ret as u64)))
+            }
+            HelperId::RedirectMap => {
+                let map = self.map_arg(arg(1)?, helper)?;
+                let index = scalar(arg(2)?)? as u32;
+                // XDP_REDIRECT == 4 in the kernel ABI.
+                Ok(HelperOutcome::Redirect(map.id(), index, 4))
+            }
+            HelperId::TailCall => {
+                let map = self.map_arg(arg(2)?, helper)?;
+                if map.def().kind != MapKind::ProgArray {
+                    return Err(VmError::BadHelperArg(helper));
+                }
+                let index = scalar(arg(3)?)? as u32;
+                match map.get_prog(index)? {
+                    Some(slot) => Ok(HelperOutcome::TailCall(slot)),
+                    // Missing entry: the call fails and execution continues.
+                    None => Ok(HelperOutcome::Ret(Val::Scalar((-1i64) as u64))),
+                }
+            }
+        }
+    }
+
+    fn map_arg(&self, v: Val, helper: HelperId) -> Result<crate::maps::MapRef, VmError> {
+        let id = match v {
+            Val::Scalar(tok) => map_from_token(tok).ok_or(VmError::BadHelperArg(helper))?,
+            _ => return Err(VmError::BadHelperArg(helper)),
+        };
+        self.maps.get(id).ok_or(VmError::BadHelperArg(helper))
+    }
+
+    /// Copies `len` bytes out of guest memory for a helper key/value arg.
+    fn read_key(
+        &self,
+        ptr: Val,
+        len: u32,
+        ctx: &PacketCtx<'_>,
+        stack: &mut [u8; STACK_SIZE as usize],
+        helper: HelperId,
+    ) -> Result<Vec<u8>, VmError> {
+        let mut out = Vec::with_capacity(len as usize);
+        let (region, base) = match ptr {
+            Val::Ptr { region, off } => (region, off),
+            _ => return Err(VmError::BadHelperArg(helper)),
+        };
+        match region {
+            Region::Stack => {
+                let bytes = slice_region(stack, base, u64::from(len), "stack")?;
+                out.extend_from_slice(bytes);
+            }
+            Region::Packet => {
+                // Helper keys may come straight from packet contents.
+                let len64 = u64::from(len);
+                if base < 0 || (base as u64) + len64 > ctx.data.len() as u64 {
+                    return Err(VmError::OutOfBounds {
+                        region: "packet",
+                        off: base,
+                        size: len64,
+                    });
+                }
+                out.extend_from_slice(&ctx.data[base as usize..base as usize + len as usize]);
+            }
+            Region::MapValue { map, slot } => {
+                let map_ref = self.maps.get(map).ok_or(MapError::NotFound)?;
+                for i in 0..len {
+                    if base < 0 {
+                        return Err(VmError::OutOfBounds {
+                            region: "map value",
+                            off: base,
+                            size: u64::from(len),
+                        });
+                    }
+                    out.push(map_ref.read_value(slot, base as u32 + i, 1)? as u8);
+                }
+            }
+            Region::Ctx => return Err(VmError::BadHelperArg(helper)),
+        }
+        Ok(out)
+    }
+}
+
+enum HelperOutcome {
+    Ret(Val),
+    Redirect(MapId, u32, u64),
+    TailCall(ProgSlot),
+}
+
+// Map-fd tokens: scalars with a tag in the top byte. The verifier tracks
+// map provenance statically, so tokens only reach helpers via LoadMapFd in
+// verified programs; the tag is defense for unverified test programs.
+const MAP_FD_TAG: u64 = 0xB7 << 56;
+
+fn map_fd_token(map: MapId) -> u64 {
+    MAP_FD_TAG | u64::from(map.0)
+}
+
+fn map_from_token(tok: u64) -> Option<MapId> {
+    if tok & 0xFF00_0000_0000_0000 == MAP_FD_TAG {
+        Some(MapId((tok & 0xFFFF_FFFF) as u32))
+    } else {
+        None
+    }
+}
+
+fn read_reg(regs: &[Val; 11], r: Reg) -> Result<Val, VmError> {
+    match regs[r.index()] {
+        Val::Uninit => Err(VmError::UninitRegister(r)),
+        v => Ok(v),
+    }
+}
+
+fn scalar(v: Val) -> Result<u64, VmError> {
+    match v {
+        Val::Scalar(s) => Ok(s),
+        Val::Ptr { .. } => Err(VmError::TypeMismatch),
+        Val::Uninit => Err(VmError::UninitRegister(Reg::R0)),
+    }
+}
+
+fn jump_target(pc_after: usize, off: i16, len: usize) -> Result<usize, VmError> {
+    let target = pc_after as i64 + i64::from(off);
+    if target < 0 || target as usize >= len {
+        return Err(VmError::PcOutOfRange);
+    }
+    Ok(target as usize)
+}
+
+fn slice_region<'a>(
+    buf: &'a mut [u8],
+    off: i64,
+    nbytes: u64,
+    region: &'static str,
+) -> Result<&'a mut [u8], VmError> {
+    if off < 0 || (off as u64).saturating_add(nbytes) > buf.len() as u64 {
+        return Err(VmError::OutOfBounds {
+            region,
+            off,
+            size: nbytes,
+        });
+    }
+    Ok(&mut buf[off as usize..off as usize + nbytes as usize])
+}
+
+fn slice_region_ref<'a>(
+    buf: &'a [u8],
+    off: i64,
+    nbytes: u64,
+    region: &'static str,
+) -> Result<&'a [u8], VmError> {
+    if off < 0 || (off as u64).saturating_add(nbytes) > buf.len() as u64 {
+        return Err(VmError::OutOfBounds {
+            region,
+            off,
+            size: nbytes,
+        });
+    }
+    Ok(&buf[off as usize..off as usize + nbytes as usize])
+}
+
+fn read_le(bytes: &[u8]) -> u64 {
+    let mut buf = [0u8; 8];
+    buf[..bytes.len()].copy_from_slice(bytes);
+    u64::from_le_bytes(buf)
+}
+
+fn alu(w: Width, op: AluOp, lhs: Val, rhs: Val) -> Result<Val, VmError> {
+    if op == AluOp::Mov {
+        return match (w, rhs) {
+            (Width::W64, v) => Ok(v),
+            (Width::W32, Val::Scalar(s)) => Ok(Val::Scalar(s & 0xFFFF_FFFF)),
+            (Width::W32, _) => Err(VmError::BadPointerArith),
+        };
+    }
+    // Pointer arithmetic: only 64-bit add/sub with a scalar, or the
+    // difference of two pointers into the same region.
+    match (lhs, rhs) {
+        (Val::Ptr { region, off }, Val::Scalar(s)) => {
+            if w != Width::W64 {
+                return Err(VmError::BadPointerArith);
+            }
+            let delta = s as i64;
+            return match op {
+                AluOp::Add => Ok(Val::Ptr {
+                    region,
+                    off: off.wrapping_add(delta),
+                }),
+                AluOp::Sub => Ok(Val::Ptr {
+                    region,
+                    off: off.wrapping_sub(delta),
+                }),
+                _ => Err(VmError::BadPointerArith),
+            };
+        }
+        (
+            Val::Ptr {
+                region: ra,
+                off: oa,
+            },
+            Val::Ptr {
+                region: rb,
+                off: ob,
+            },
+        ) => {
+            if w == Width::W64 && op == AluOp::Sub && ra == rb {
+                return Ok(Val::Scalar(oa.wrapping_sub(ob) as u64));
+            }
+            return Err(VmError::BadPointerArith);
+        }
+        (Val::Scalar(_), Val::Ptr { .. }) => return Err(VmError::BadPointerArith),
+        _ => {}
+    }
+    let a = scalar(lhs)?;
+    let b = scalar(rhs)?;
+    let r = match w {
+        Width::W64 => alu64(op, a, b),
+        Width::W32 => u64::from(alu32(op, a as u32, b as u32)),
+    };
+    Ok(Val::Scalar(r))
+}
+
+#[allow(clippy::manual_checked_ops)] // Kernel div/mod-by-zero semantics, stated explicitly.
+fn alu64(op: AluOp, a: u64, b: u64) -> u64 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Div => {
+            if b == 0 {
+                0
+            } else {
+                a / b
+            }
+        }
+        AluOp::Mod => {
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Lsh => a.wrapping_shl((b & 63) as u32),
+        AluOp::Rsh => a.wrapping_shr((b & 63) as u32),
+        AluOp::Arsh => ((a as i64).wrapping_shr((b & 63) as u32)) as u64,
+        AluOp::Mov => b,
+    }
+}
+
+#[allow(clippy::manual_checked_ops)] // Kernel div/mod-by-zero semantics, stated explicitly.
+fn alu32(op: AluOp, a: u32, b: u32) -> u32 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Div => {
+            if b == 0 {
+                0
+            } else {
+                a / b
+            }
+        }
+        AluOp::Mod => {
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Lsh => a.wrapping_shl(b & 31),
+        AluOp::Rsh => a.wrapping_shr(b & 31),
+        AluOp::Arsh => ((a as i32).wrapping_shr(b & 31)) as u32,
+        AluOp::Mov => b,
+    }
+}
+
+fn compare(op: CmpOp, w: Width, lhs: Val, rhs: Val) -> Result<bool, VmError> {
+    // Pointer comparisons: same-region (the packet-bounds idiom), or a
+    // null check against the literal 0.
+    match (lhs, rhs) {
+        (
+            Val::Ptr {
+                region: ra,
+                off: oa,
+            },
+            Val::Ptr {
+                region: rb,
+                off: ob,
+            },
+        ) => {
+            if ra != rb {
+                return Err(VmError::TypeMismatch);
+            }
+            return Ok(cmp_u64(op, w, oa as u64, ob as u64));
+        }
+        (Val::Ptr { .. }, Val::Scalar(0)) => {
+            // A live pointer is never NULL.
+            return match op {
+                CmpOp::Eq => Ok(false),
+                CmpOp::Ne => Ok(true),
+                _ => Err(VmError::TypeMismatch),
+            };
+        }
+        (Val::Ptr { .. }, _) | (_, Val::Ptr { .. }) => return Err(VmError::TypeMismatch),
+        _ => {}
+    }
+    Ok(cmp_u64(op, w, scalar(lhs)?, scalar(rhs)?))
+}
+
+fn cmp_u64(op: CmpOp, w: Width, a: u64, b: u64) -> bool {
+    let (a, b) = match w {
+        Width::W64 => (a, b),
+        Width::W32 => (a & 0xFFFF_FFFF, b & 0xFFFF_FFFF),
+    };
+    let (sa, sb) = match w {
+        Width::W64 => (a as i64, b as i64),
+        Width::W32 => (i64::from(a as u32 as i32), i64::from(b as u32 as i32)),
+    };
+    match op {
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+        CmpOp::Gt => a > b,
+        CmpOp::Ge => a >= b,
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::Sgt => sa > sb,
+        CmpOp::Sge => sa >= sb,
+        CmpOp::Slt => sa < sb,
+        CmpOp::Sle => sa <= sb,
+        CmpOp::Set => (a & b) != 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::maps::MapDef;
+
+    fn vm() -> Vm {
+        Vm::new(MapRegistry::new())
+    }
+
+    fn run_prog(vm: &mut Vm, prog: Program) -> Result<VmOutcome, VmError> {
+        let slot = vm.load_unverified(prog);
+        let mut data = [0u8; 64];
+        let mut ctx = PacketCtx::new(&mut data);
+        vm.run(slot, &mut ctx, &mut RunEnv::default())
+    }
+
+    #[test]
+    fn returns_constant() {
+        let prog = Asm::new().mov64_imm(Reg::R0, 42).exit().build("c").unwrap();
+        let out = run_prog(&mut vm(), prog).unwrap();
+        assert_eq!(out.ret, 42);
+        assert_eq!(out.insns, 2);
+        assert!(out.cycles > 0);
+    }
+
+    #[test]
+    fn wrapping_and_div_by_zero_semantics() {
+        let prog = Asm::new()
+            .load_imm64(Reg::R0, i64::MAX)
+            .add64_imm(Reg::R0, 1) // wraps
+            .mov64_imm(Reg::R1, 0)
+            .alu64(AluOp::Div, Reg::R0, Operand::Reg(Reg::R1)) // /0 => 0
+            .exit()
+            .build("w")
+            .unwrap();
+        let out = run_prog(&mut vm(), prog).unwrap();
+        assert_eq!(out.ret, 0);
+    }
+
+    #[test]
+    fn mod_by_zero_leaves_dst() {
+        let prog = Asm::new()
+            .mov64_imm(Reg::R0, 17)
+            .mov64_imm(Reg::R1, 0)
+            .mod64_reg(Reg::R0, Reg::R1)
+            .exit()
+            .build("m")
+            .unwrap();
+        assert_eq!(run_prog(&mut vm(), prog).unwrap().ret, 17);
+    }
+
+    #[test]
+    fn alu32_zero_extends() {
+        let prog = Asm::new()
+            .load_imm64(Reg::R0, -1) // all ones
+            .alu32(AluOp::Add, Reg::R0, Operand::Imm(1)) // low 32 wrap to 0
+            .exit()
+            .build("z")
+            .unwrap();
+        assert_eq!(run_prog(&mut vm(), prog).unwrap().ret, 0);
+    }
+
+    #[test]
+    fn stack_store_load_round_trip() {
+        let prog = Asm::new()
+            .mov64_imm(Reg::R1, 7)
+            .stx_dw(Reg::R10, -8, Reg::R1)
+            .ldx_dw(Reg::R0, Reg::R10, -8)
+            .exit()
+            .build("s")
+            .unwrap();
+        assert_eq!(run_prog(&mut vm(), prog).unwrap().ret, 7);
+    }
+
+    #[test]
+    fn stack_overflow_traps() {
+        let prog = Asm::new()
+            .mov64_imm(Reg::R1, 1)
+            .stx_dw(Reg::R10, -516, Reg::R1)
+            .exit()
+            .build("o")
+            .unwrap();
+        assert!(matches!(
+            run_prog(&mut vm(), prog),
+            Err(VmError::OutOfBounds {
+                region: "stack",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn packet_bounds_check_and_read() {
+        let mut vm = vm();
+        let prog = Asm::new()
+            .ldx_dw(Reg::R2, Reg::R1, ctx_off::DATA_END as i16)
+            .ldx_dw(Reg::R1, Reg::R1, ctx_off::DATA as i16)
+            .mov64_reg(Reg::R3, Reg::R1)
+            .add64_imm(Reg::R3, 2)
+            .jgt_reg(Reg::R3, Reg::R2, "short")
+            .ldx_h(Reg::R0, Reg::R1, 0)
+            .exit()
+            .label("short")
+            .mov64_imm(Reg::R0, 0)
+            .exit()
+            .build("p")
+            .unwrap();
+        let slot = vm.load_unverified(prog);
+
+        let mut data = [0xCD, 0xAB, 0, 0];
+        let mut ctx = PacketCtx::new(&mut data);
+        let out = vm.run(slot, &mut ctx, &mut RunEnv::default()).unwrap();
+        assert_eq!(out.ret, 0xABCD);
+
+        let mut short = [0xFFu8; 1];
+        let mut ctx = PacketCtx::new(&mut short);
+        let out = vm.run(slot, &mut ctx, &mut RunEnv::default()).unwrap();
+        assert_eq!(out.ret, 0);
+    }
+
+    #[test]
+    fn packet_oob_read_traps() {
+        let prog = Asm::new()
+            .ldx_dw(Reg::R1, Reg::R1, ctx_off::DATA as i16)
+            .ldx_dw(Reg::R0, Reg::R1, 1000)
+            .exit()
+            .build("oob")
+            .unwrap();
+        assert!(matches!(
+            run_prog(&mut vm(), prog),
+            Err(VmError::OutOfBounds {
+                region: "packet",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn ctx_meta_words_are_readable() {
+        let mut vm = vm();
+        let prog = Asm::new()
+            .ldx_dw(Reg::R0, Reg::R1, ctx_off::META1 as i16)
+            .exit()
+            .build("meta")
+            .unwrap();
+        let slot = vm.load_unverified(prog);
+        let mut data = [0u8; 8];
+        let mut ctx = PacketCtx::new(&mut data);
+        ctx.meta[1] = 99;
+        let out = vm.run(slot, &mut ctx, &mut RunEnv::default()).unwrap();
+        assert_eq!(out.ret, 99);
+    }
+
+    #[test]
+    fn ctx_store_is_read_only() {
+        let prog = Asm::new()
+            .mov64_imm(Reg::R2, 5)
+            .stx_dw(Reg::R1, 0, Reg::R2)
+            .mov64_imm(Reg::R0, 0)
+            .exit()
+            .build("ro")
+            .unwrap();
+        assert_eq!(run_prog(&mut vm(), prog), Err(VmError::ReadOnly));
+    }
+
+    #[test]
+    fn uninit_register_read_traps() {
+        let prog = Asm::new()
+            .mov64_reg(Reg::R0, Reg::R5)
+            .exit()
+            .build("u")
+            .unwrap();
+        assert_eq!(
+            run_prog(&mut vm(), prog),
+            Err(VmError::UninitRegister(Reg::R5))
+        );
+    }
+
+    #[test]
+    fn infinite_loop_hits_runtime_budget() {
+        let prog = Asm::new()
+            .label("top")
+            .mov64_imm(Reg::R0, 1)
+            .jmp("top")
+            .build("loop")
+            .unwrap();
+        assert_eq!(run_prog(&mut vm(), prog), Err(VmError::Runaway));
+    }
+
+    #[test]
+    fn fall_off_end_traps() {
+        let prog = Asm::new().mov64_imm(Reg::R0, 1).build("noexit").unwrap();
+        assert_eq!(run_prog(&mut vm(), prog), Err(VmError::NoExit));
+    }
+
+    #[test]
+    fn map_lookup_update_via_helpers() {
+        let maps = MapRegistry::new();
+        let map = maps.create(MapDef::u64_array(4));
+        let mut vm = Vm::new(maps);
+        // schedule(): idx = *lookup(map, 0); *ptr += 1; return idx.
+        let prog = Asm::new()
+            .st_w(Reg::R10, -4, 0) // key = 0
+            .load_map_fd(Reg::R1, map)
+            .mov64_reg(Reg::R2, Reg::R10)
+            .add64_imm(Reg::R2, -4)
+            .call(HelperId::MapLookupElem)
+            .jne_imm(Reg::R0, 0, "hit")
+            .mov64_imm(Reg::R0, 0)
+            .exit()
+            .label("hit")
+            .ldx_dw(Reg::R6, Reg::R0, 0)
+            .mov64_imm(Reg::R1, 1)
+            .atomic_add_dw(Reg::R0, 0, Reg::R1)
+            .mov64_reg(Reg::R0, Reg::R6)
+            .exit()
+            .build("counter")
+            .unwrap();
+        let slot = vm.load_unverified(prog);
+        let mut data = [0u8; 16];
+        for expected in 0..5 {
+            let mut ctx = PacketCtx::new(&mut data);
+            let out = vm.run(slot, &mut ctx, &mut RunEnv::default()).unwrap();
+            assert_eq!(out.ret, expected);
+        }
+        let map_ref = vm.maps().get(map).unwrap();
+        assert_eq!(map_ref.lookup_u64(0).unwrap(), Some(5));
+    }
+
+    #[test]
+    fn map_lookup_miss_is_null() {
+        let maps = MapRegistry::new();
+        let map = maps.create(MapDef::u64_hash(4));
+        let mut vm = Vm::new(maps);
+        let prog = Asm::new()
+            .st_w(Reg::R10, -4, 9)
+            .load_map_fd(Reg::R1, map)
+            .mov64_reg(Reg::R2, Reg::R10)
+            .add64_imm(Reg::R2, -4)
+            .call(HelperId::MapLookupElem)
+            .jeq_imm(Reg::R0, 0, "miss")
+            .mov64_imm(Reg::R0, 1)
+            .exit()
+            .label("miss")
+            .mov64_imm(Reg::R0, 2)
+            .exit()
+            .build("miss")
+            .unwrap();
+        let slot = vm.load_unverified(prog);
+        let mut data = [0u8; 4];
+        let mut ctx = PacketCtx::new(&mut data);
+        assert_eq!(
+            vm.run(slot, &mut ctx, &mut RunEnv::default()).unwrap().ret,
+            2
+        );
+    }
+
+    #[test]
+    fn prandom_is_deterministic_per_seed() {
+        let prog = Asm::new()
+            .call(HelperId::GetPrandomU32)
+            .exit()
+            .build("r")
+            .unwrap();
+        let mut vm1 = vm();
+        let s1 = vm1.load_unverified(prog.clone());
+        let mut data = [0u8; 4];
+        let mut env = RunEnv {
+            prandom_state: 7,
+            ..RunEnv::default()
+        };
+        let mut ctx = PacketCtx::new(&mut data);
+        let a = vm1.run(s1, &mut ctx, &mut env).unwrap().ret;
+        let mut env2 = RunEnv {
+            prandom_state: 7,
+            ..RunEnv::default()
+        };
+        let mut ctx = PacketCtx::new(&mut data);
+        let b = vm1.run(s1, &mut ctx, &mut env2).unwrap().ret;
+        assert_eq!(a, b);
+        // And the state advances within one env across calls.
+        let mut ctx = PacketCtx::new(&mut data);
+        let c = vm1.run(s1, &mut ctx, &mut env).unwrap().ret;
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ktime_and_cpu_id_come_from_env() {
+        let prog = Asm::new()
+            .call(HelperId::KtimeGetNs)
+            .mov64_reg(Reg::R6, Reg::R0)
+            .call(HelperId::GetSmpProcessorId)
+            .add64_reg(Reg::R0, Reg::R6)
+            .exit()
+            .build("env")
+            .unwrap();
+        let mut vm = vm();
+        let slot = vm.load_unverified(prog);
+        let mut data = [0u8; 4];
+        let mut ctx = PacketCtx::new(&mut data);
+        let mut env = RunEnv {
+            now_ns: 1000,
+            cpu_id: 3,
+            ..RunEnv::default()
+        };
+        assert_eq!(vm.run(slot, &mut ctx, &mut env).unwrap().ret, 1003);
+    }
+
+    #[test]
+    fn redirect_map_records_target() {
+        let maps = MapRegistry::new();
+        let xsk = maps.create(MapDef::u64_array(8));
+        let mut vm = Vm::new(maps);
+        let prog = Asm::new()
+            .load_map_fd(Reg::R1, xsk)
+            .mov64_imm(Reg::R2, 5)
+            .mov64_imm(Reg::R3, 0)
+            .call(HelperId::RedirectMap)
+            .exit()
+            .build("redir")
+            .unwrap();
+        let slot = vm.load_unverified(prog);
+        let mut data = [0u8; 4];
+        let mut ctx = PacketCtx::new(&mut data);
+        let out = vm.run(slot, &mut ctx, &mut RunEnv::default()).unwrap();
+        assert_eq!(out.ret, 4); // XDP_REDIRECT
+        assert_eq!(out.redirect, Some((xsk, 5)));
+    }
+
+    #[test]
+    fn tail_call_chains_and_misses() {
+        let maps = MapRegistry::new();
+        let prog_array = maps.create(MapDef::prog_array(4));
+        let mut vm = Vm::new(maps);
+        let target = Asm::new().mov64_imm(Reg::R0, 77).exit().build("t").unwrap();
+        let target_slot = vm.load_unverified(target);
+        vm.maps()
+            .get(prog_array)
+            .unwrap()
+            .set_prog(1, Some(target_slot))
+            .unwrap();
+
+        let caller = Asm::new()
+            .load_map_fd(Reg::R2, prog_array)
+            .mov64_imm(Reg::R3, 1)
+            .call(HelperId::TailCall)
+            // Unreachable on success.
+            .mov64_imm(Reg::R0, 0)
+            .exit()
+            .build("caller")
+            .unwrap();
+        let caller_slot = vm.load_unverified(caller);
+        let mut data = [0u8; 4];
+        let mut ctx = PacketCtx::new(&mut data);
+        let out = vm
+            .run(caller_slot, &mut ctx, &mut RunEnv::default())
+            .unwrap();
+        assert_eq!(out.ret, 77);
+        assert_eq!(out.tail_calls, 1);
+
+        // A missing entry fails the call and continues.
+        let miss = Asm::new()
+            .load_map_fd(Reg::R2, prog_array)
+            .mov64_imm(Reg::R3, 3)
+            .call(HelperId::TailCall)
+            .mov64_imm(Reg::R0, 55)
+            .exit()
+            .build("miss")
+            .unwrap();
+        let miss_slot = vm.load_unverified(miss);
+        let mut ctx = PacketCtx::new(&mut data);
+        let out = vm.run(miss_slot, &mut ctx, &mut RunEnv::default()).unwrap();
+        assert_eq!(out.ret, 55);
+        assert_eq!(out.tail_calls, 0);
+    }
+
+    #[test]
+    fn tail_call_limit_fails_gracefully() {
+        let maps = MapRegistry::new();
+        let prog_array = maps.create(MapDef::prog_array(1));
+        let mut vm = Vm::new(maps);
+        // A self-tail-calling program: after MAX_TAIL_CALLS the call fails
+        // and the fallthrough path returns 9.
+        let prog = Asm::new()
+            .load_map_fd(Reg::R2, prog_array)
+            .mov64_imm(Reg::R3, 0)
+            .call(HelperId::TailCall)
+            .mov64_imm(Reg::R0, 9)
+            .exit()
+            .build("self")
+            .unwrap();
+        let slot = vm.load_unverified(prog);
+        vm.maps()
+            .get(prog_array)
+            .unwrap()
+            .set_prog(0, Some(slot))
+            .unwrap();
+        let mut data = [0u8; 4];
+        let mut ctx = PacketCtx::new(&mut data);
+        let out = vm.run(slot, &mut ctx, &mut RunEnv::default()).unwrap();
+        assert_eq!(out.ret, 9);
+        assert_eq!(out.tail_calls, MAX_TAIL_CALLS);
+    }
+
+    #[test]
+    fn endian_conversion() {
+        let prog = Asm::new()
+            .load_imm64(Reg::R0, 0x1234)
+            .to_be(Reg::R0, 16)
+            .exit()
+            .build("be")
+            .unwrap();
+        assert_eq!(run_prog(&mut vm(), prog).unwrap().ret, 0x3412);
+    }
+
+    #[test]
+    fn pointer_difference_is_packet_length() {
+        let mut vm = vm();
+        let prog = Asm::new()
+            .ldx_dw(Reg::R2, Reg::R1, ctx_off::DATA_END as i16)
+            .ldx_dw(Reg::R1, Reg::R1, ctx_off::DATA as i16)
+            .mov64_reg(Reg::R0, Reg::R2)
+            .sub64_reg(Reg::R0, Reg::R1)
+            .exit()
+            .build("len")
+            .unwrap();
+        let slot = vm.load_unverified(prog);
+        let mut data = [0u8; 33];
+        let mut ctx = PacketCtx::new(&mut data);
+        assert_eq!(
+            vm.run(slot, &mut ctx, &mut RunEnv::default()).unwrap().ret,
+            33
+        );
+    }
+
+    #[test]
+    fn packet_store_is_visible_to_caller() {
+        let mut vm = vm();
+        let prog = Asm::new()
+            .ldx_dw(Reg::R2, Reg::R1, ctx_off::DATA_END as i16)
+            .ldx_dw(Reg::R1, Reg::R1, ctx_off::DATA as i16)
+            .mov64_reg(Reg::R3, Reg::R1)
+            .add64_imm(Reg::R3, 1)
+            .jgt_reg(Reg::R3, Reg::R2, "out")
+            .mov64_imm(Reg::R4, 0xAB)
+            .raw(Insn::StoreMem {
+                size: MemSize::B,
+                base: Reg::R1,
+                off: 0,
+                src: Reg::R4,
+            })
+            .label("out")
+            .mov64_imm(Reg::R0, 0)
+            .exit()
+            .build("w")
+            .unwrap();
+        let slot = vm.load_unverified(prog);
+        let mut data = [0u8; 2];
+        let mut ctx = PacketCtx::new(&mut data);
+        vm.run(slot, &mut ctx, &mut RunEnv::default()).unwrap();
+        assert_eq!(data[0], 0xAB);
+    }
+}

@@ -1,0 +1,258 @@
+//! Edge-case verifier coverage beyond the module's unit tests, paired
+//! with interpreter runs to confirm accepted programs behave as analyzed.
+
+use syrup_ebpf::asm::Asm;
+use syrup_ebpf::insn::{AluOp, CmpOp, Insn, MemSize, Operand, Reg, Width};
+use syrup_ebpf::maps::{MapDef, MapRegistry};
+use syrup_ebpf::vm::{ctx_off, PacketCtx, RunEnv, Vm};
+use syrup_ebpf::{verify, VerifierError};
+
+fn run_ok(prog: syrup_ebpf::Program, maps: MapRegistry, pkt: &mut [u8]) -> u64 {
+    verify(&prog, &maps).unwrap_or_else(|e| panic!("should verify: {e}\n{}", prog.disasm()));
+    let mut vm = Vm::new(maps);
+    let slot = vm.load_unverified(prog);
+    let mut ctx = PacketCtx::new(pkt);
+    vm.run(slot, &mut ctx, &mut RunEnv::default())
+        .expect("runs")
+        .ret
+}
+
+#[test]
+fn thirty_two_bit_branches_fold_on_truncated_values() {
+    // r0 = 0x1_0000_0001; jeq32 sees only the low word (1).
+    let prog = Asm::new()
+        .load_imm64(Reg::R1, 0x1_0000_0001)
+        .raw(Insn::Branch {
+            op: CmpOp::Eq,
+            w: Width::W32,
+            lhs: Reg::R1,
+            rhs: Operand::Imm(1),
+            off: 2,
+        })
+        .mov64_imm(Reg::R0, 0)
+        .exit()
+        .mov64_imm(Reg::R0, 7)
+        .exit()
+        .build("j32")
+        .unwrap();
+    assert_eq!(run_ok(prog, MapRegistry::new(), &mut [0u8; 4]), 7);
+}
+
+#[test]
+fn set_comparison_is_a_bit_test() {
+    let prog = Asm::new()
+        .mov64_imm(Reg::R1, 0b1010)
+        .branch(CmpOp::Set, Reg::R1, Operand::Imm(0b0010), "hit")
+        .mov64_imm(Reg::R0, 0)
+        .exit()
+        .label("hit")
+        .mov64_imm(Reg::R0, 1)
+        .exit()
+        .build("set")
+        .unwrap();
+    assert_eq!(run_ok(prog, MapRegistry::new(), &mut [0u8; 4]), 1);
+}
+
+#[test]
+fn packet_store_requires_the_same_bounds_proof_as_loads() {
+    let unchecked = Asm::new()
+        .ldx_dw(Reg::R1, Reg::R1, ctx_off::DATA as i16)
+        .st_w(Reg::R1, 0, 7)
+        .mov64_imm(Reg::R0, 0)
+        .exit()
+        .build("wr")
+        .unwrap();
+    assert!(matches!(
+        verify(&unchecked, &MapRegistry::new()),
+        Err(VerifierError::PacketBoundsNotProven { .. })
+    ));
+
+    let checked = Asm::new()
+        .ldx_dw(Reg::R2, Reg::R1, ctx_off::DATA_END as i16)
+        .ldx_dw(Reg::R1, Reg::R1, ctx_off::DATA as i16)
+        .mov64_reg(Reg::R3, Reg::R1)
+        .add64_imm(Reg::R3, 4)
+        .jgt_reg(Reg::R3, Reg::R2, "out")
+        .st_w(Reg::R1, 0, 0x0A0B_0C0D)
+        .label("out")
+        .mov64_imm(Reg::R0, 0)
+        .exit()
+        .build("wr-ok")
+        .unwrap();
+    let mut pkt = [0u8; 8];
+    run_ok(checked, MapRegistry::new(), &mut pkt);
+    assert_eq!(&pkt[..4], &0x0A0B_0C0Du32.to_le_bytes());
+}
+
+#[test]
+fn endian_on_a_pointer_is_rejected() {
+    let prog = Asm::new()
+        .to_be(Reg::R1, 16) // r1 is the ctx pointer
+        .mov64_imm(Reg::R0, 0)
+        .exit()
+        .build("be-ptr")
+        .unwrap();
+    assert!(matches!(
+        verify(&prog, &MapRegistry::new()),
+        Err(VerifierError::BadPointerArith { .. })
+    ));
+}
+
+#[test]
+fn atomic_on_ctx_is_rejected() {
+    let prog = Asm::new()
+        .mov64_imm(Reg::R2, 1)
+        .atomic_add_dw(Reg::R1, 0, Reg::R2)
+        .mov64_imm(Reg::R0, 0)
+        .exit()
+        .build("atomic-ctx")
+        .unwrap();
+    assert!(verify(&prog, &MapRegistry::new()).is_err());
+}
+
+#[test]
+fn atomic_requires_word_sizes() {
+    let prog = Asm::new()
+        .st_dw(Reg::R10, -8, 0)
+        .mov64_imm(Reg::R2, 1)
+        .raw(Insn::AtomicAdd {
+            size: MemSize::H,
+            base: Reg::R10,
+            off: -8,
+            src: Reg::R2,
+            fetch: false,
+        })
+        .mov64_imm(Reg::R0, 0)
+        .exit()
+        .build("atomic-h")
+        .unwrap();
+    assert!(matches!(
+        verify(&prog, &MapRegistry::new()),
+        Err(VerifierError::BadAtomicSize { .. })
+    ));
+}
+
+#[test]
+fn deep_constant_nested_branches_stay_within_budget() {
+    // A chain of 24 constant-folded branches: the verifier must explore
+    // exactly one path, not 2^24.
+    let mut asm = Asm::new().mov64_imm(Reg::R6, 0);
+    for i in 0..24 {
+        let next = format!("l{i}");
+        asm = asm
+            .jeq_imm(Reg::R6, 999, &next) // never taken: r6 is known 0
+            .add64_imm(Reg::R6, 0)
+            .label(&next);
+    }
+    let prog = asm
+        .mov64_reg(Reg::R0, Reg::R6)
+        .exit()
+        .build("chain")
+        .unwrap();
+    let info = verify(&prog, &MapRegistry::new()).unwrap();
+    assert!(info.analyzed < 200, "analyzed {}", info.analyzed);
+}
+
+#[test]
+fn unknown_branch_chains_explore_both_sides_but_prune() {
+    // 16 branches on an unknown scalar rejoin immediately: state pruning
+    // must keep exploration linear-ish, not exponential.
+    let mut asm = Asm::new().call(syrup_ebpf::HelperId::GetPrandomU32);
+    for i in 0..16 {
+        let next = format!("l{i}");
+        asm = asm.jeq_imm(Reg::R0, 5, &next).label(&next);
+    }
+    let prog = asm.mov64_imm(Reg::R0, 0).exit().build("diamond").unwrap();
+    let info = verify(&prog, &MapRegistry::new()).unwrap();
+    assert!(info.analyzed < 600, "analyzed {}", info.analyzed);
+}
+
+#[test]
+fn stack_byte_granularity_is_tracked() {
+    // Writing 4 bytes then reading 8 must fail on the uninitialized half.
+    let prog = Asm::new()
+        .st_w(Reg::R10, -8, 1)
+        .ldx_dw(Reg::R0, Reg::R10, -8)
+        .exit()
+        .build("halfinit")
+        .unwrap();
+    assert!(matches!(
+        verify(&prog, &MapRegistry::new()),
+        Err(VerifierError::UninitStackRead { .. })
+    ));
+}
+
+#[test]
+fn division_by_unknown_register_is_allowed_and_safe() {
+    // Kernel semantics: div by zero yields 0 at runtime, so the verifier
+    // does not require a nonzero proof.
+    let prog = Asm::new()
+        .call(syrup_ebpf::HelperId::GetPrandomU32)
+        .mov64_reg(Reg::R1, Reg::R0)
+        .mov64_imm(Reg::R0, 100)
+        .alu64(AluOp::Div, Reg::R0, Operand::Reg(Reg::R1))
+        .exit()
+        .build("div")
+        .unwrap();
+    verify(&prog, &MapRegistry::new()).unwrap();
+}
+
+#[test]
+fn map_value_write_beyond_size_rejected_but_in_bounds_ok() {
+    let maps = MapRegistry::new();
+    let m = maps.create(MapDef {
+        kind: syrup_ebpf::MapKind::Array,
+        key_size: 4,
+        value_size: 16,
+        max_entries: 2,
+    });
+    // In-bounds store at offset 8 of a 16-byte value: fine.
+    let good = Asm::new()
+        .st_w(Reg::R10, -4, 0)
+        .load_map_fd(Reg::R1, m)
+        .mov64_reg(Reg::R2, Reg::R10)
+        .add64_imm(Reg::R2, -4)
+        .call(syrup_ebpf::HelperId::MapLookupElem)
+        .jeq_imm(Reg::R0, 0, "miss")
+        .st_dw(Reg::R0, 8, 42)
+        .label("miss")
+        .mov64_imm(Reg::R0, 0)
+        .exit()
+        .build("mv-ok")
+        .unwrap();
+    verify(&good, &maps).unwrap();
+
+    // Offset 12 + 8 bytes overruns.
+    let bad = Asm::new()
+        .st_w(Reg::R10, -4, 0)
+        .load_map_fd(Reg::R1, m)
+        .mov64_reg(Reg::R2, Reg::R10)
+        .add64_imm(Reg::R2, -4)
+        .call(syrup_ebpf::HelperId::MapLookupElem)
+        .jeq_imm(Reg::R0, 0, "miss")
+        .st_dw(Reg::R0, 12, 42)
+        .label("miss")
+        .mov64_imm(Reg::R0, 0)
+        .exit()
+        .build("mv-bad")
+        .unwrap();
+    assert!(matches!(
+        verify(&bad, &maps),
+        Err(VerifierError::MapValueOutOfBounds { .. })
+    ));
+}
+
+#[test]
+fn verified_equals_interpreted_for_folded_arithmetic() {
+    // The verifier folds constants with the interpreter's exact
+    // semantics; confirm on wrap-around and shifts.
+    let prog = Asm::new()
+        .load_imm64(Reg::R1, i64::MAX)
+        .add64_imm(Reg::R1, 1) // wraps to i64::MIN
+        .rsh64_imm(Reg::R1, 63) // logical: 1
+        .mov64_reg(Reg::R0, Reg::R1)
+        .exit()
+        .build("fold")
+        .unwrap();
+    assert_eq!(run_ok(prog, MapRegistry::new(), &mut [0u8; 4]), 1);
+}

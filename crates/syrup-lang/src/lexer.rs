@@ -1,0 +1,282 @@
+//! Tokenizer for the policy language.
+
+use crate::LangError;
+
+/// A lexical token with its source line (for diagnostics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: Tok,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (keywords are distinguished by the parser).
+    Ident(String),
+    /// Integer literal (decimal or `0x` hex), pre-negated by the parser
+    /// when needed.
+    Int(i64),
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `{`.
+    LBrace,
+    /// `}`.
+    RBrace,
+    /// `;`.
+    Semi,
+    /// `,`.
+    Comma,
+    /// `*`.
+    Star,
+    /// `/`.
+    Slash,
+    /// `%`.
+    Percent,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `&`.
+    Amp,
+    /// `|`.
+    Pipe,
+    /// `^`.
+    Caret,
+    /// `~`.
+    Tilde,
+    /// `!`.
+    Bang,
+    /// `<<`.
+    Shl,
+    /// `>>`.
+    Shr,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `==`.
+    EqEq,
+    /// `!=`.
+    Ne,
+    /// `&&`.
+    AndAnd,
+    /// `||`.
+    OrOr,
+    /// `=`.
+    Assign,
+    /// `+=`.
+    PlusAssign,
+    /// `-=`.
+    MinusAssign,
+    /// `++`.
+    Incr,
+    /// `--`.
+    Decr,
+    /// `->`.
+    Arrow,
+    /// End of input.
+    Eof,
+}
+
+/// Tokenizes `source`, stripping `//` and `/* */` comments.
+pub fn lex(source: &str) -> Result<Vec<Token>, LangError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    let mut line = 1;
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                i += 2;
+                loop {
+                    if i + 1 >= chars.len() {
+                        return Err(LangError::new(line, "unterminated block comment"));
+                    }
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    if chars[i] == '*' && chars[i + 1] == '/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect();
+                tokens.push(Token {
+                    kind: Tok::Ident(word),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let hex = c == '0' && matches!(chars.get(i + 1), Some('x') | Some('X'));
+                if hex {
+                    i += 2;
+                    while i < chars.len() && chars[i].is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                    let text: String = chars[start + 2..i].iter().collect();
+                    let value = i64::from_str_radix(&text, 16)
+                        .map_err(|_| LangError::new(line, "invalid hex literal"))?;
+                    tokens.push(Token {
+                        kind: Tok::Int(value),
+                        line,
+                    });
+                } else {
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let text: String = chars[start..i].iter().collect();
+                    let value = text
+                        .parse::<i64>()
+                        .map_err(|_| LangError::new(line, "invalid integer literal"))?;
+                    tokens.push(Token {
+                        kind: Tok::Int(value),
+                        line,
+                    });
+                }
+                // Swallow C integer suffixes (e.g. `0u`, `1UL`).
+                while i < chars.len() && matches!(chars[i], 'u' | 'U' | 'l' | 'L') {
+                    i += 1;
+                }
+            }
+            _ => {
+                let two: String = chars[i..(i + 2).min(chars.len())].iter().collect();
+                let (kind, adv) = match two.as_str() {
+                    "<<" => (Tok::Shl, 2),
+                    ">>" => (Tok::Shr, 2),
+                    "<=" => (Tok::Le, 2),
+                    ">=" => (Tok::Ge, 2),
+                    "==" => (Tok::EqEq, 2),
+                    "!=" => (Tok::Ne, 2),
+                    "&&" => (Tok::AndAnd, 2),
+                    "||" => (Tok::OrOr, 2),
+                    "+=" => (Tok::PlusAssign, 2),
+                    "-=" => (Tok::MinusAssign, 2),
+                    "++" => (Tok::Incr, 2),
+                    "--" => (Tok::Decr, 2),
+                    "->" => (Tok::Arrow, 2),
+                    _ => match c {
+                        '(' => (Tok::LParen, 1),
+                        ')' => (Tok::RParen, 1),
+                        '{' => (Tok::LBrace, 1),
+                        '}' => (Tok::RBrace, 1),
+                        ';' => (Tok::Semi, 1),
+                        ',' => (Tok::Comma, 1),
+                        '*' => (Tok::Star, 1),
+                        '/' => (Tok::Slash, 1),
+                        '%' => (Tok::Percent, 1),
+                        '+' => (Tok::Plus, 1),
+                        '-' => (Tok::Minus, 1),
+                        '&' => (Tok::Amp, 1),
+                        '|' => (Tok::Pipe, 1),
+                        '^' => (Tok::Caret, 1),
+                        '~' => (Tok::Tilde, 1),
+                        '!' => (Tok::Bang, 1),
+                        '<' => (Tok::Lt, 1),
+                        '>' => (Tok::Gt, 1),
+                        '=' => (Tok::Assign, 1),
+                        other => {
+                            return Err(LangError::new(
+                                line,
+                                format!("unexpected character `{other}`"),
+                            ))
+                        }
+                    },
+                };
+                tokens.push(Token { kind, line });
+                i += adv;
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: Tok::Eof,
+        line,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_basic_function() {
+        let toks = kinds("uint32_t schedule(void *a) { return 0; }");
+        assert_eq!(toks[0], Tok::Ident("uint32_t".into()));
+        assert_eq!(toks[1], Tok::Ident("schedule".into()));
+        assert_eq!(toks[2], Tok::LParen);
+        assert!(toks.contains(&Tok::Int(0)));
+        assert_eq!(*toks.last().unwrap(), Tok::Eof);
+    }
+
+    #[test]
+    fn lexes_multichar_operators() {
+        let toks = kinds("a += b; c ++; d -> e; f == g; h != i; j && k; l || m; n << o;");
+        assert!(toks.contains(&Tok::PlusAssign));
+        assert!(toks.contains(&Tok::Incr));
+        assert!(toks.contains(&Tok::Arrow));
+        assert!(toks.contains(&Tok::EqEq));
+        assert!(toks.contains(&Tok::Ne));
+        assert!(toks.contains(&Tok::AndAnd));
+        assert!(toks.contains(&Tok::OrOr));
+        assert!(toks.contains(&Tok::Shl));
+    }
+
+    #[test]
+    fn lexes_hex_and_suffixed_literals() {
+        let toks = kinds("0xFF 42u 7UL");
+        assert_eq!(toks[0], Tok::Int(255));
+        assert_eq!(toks[1], Tok::Int(42));
+        assert_eq!(toks[2], Tok::Int(7));
+    }
+
+    #[test]
+    fn strips_comments_and_tracks_lines() {
+        let toks = lex("// line one\n/* multi\nline */ x").unwrap();
+        assert_eq!(toks[0].kind, Tok::Ident("x".into()));
+        assert_eq!(toks[0].line, 3);
+    }
+
+    #[test]
+    fn rejects_unterminated_comment() {
+        assert!(lex("/* never ends").is_err());
+    }
+
+    #[test]
+    fn rejects_stray_character() {
+        let err = lex("a @ b").unwrap_err();
+        assert!(err.msg.contains('@'));
+    }
+}

@@ -1,0 +1,109 @@
+//! 5-tuples and client flow sets.
+//!
+//! Figure 2's pathology comes from a *small* flow set: 50 client 5-tuples
+//! hashed onto 6 sockets. With so few flows, the hash assignment is
+//! noticeably unbalanced in most runs — the busiest socket often carries
+//! 50–80% more flows than the average, so it saturates well before the
+//! aggregate capacity is reached.
+
+use syrup_sim::SimRng;
+
+/// A UDP 5-tuple (the protocol field is implied: UDP).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FiveTuple {
+    /// Source IPv4 address (host byte order).
+    pub src_ip: u32,
+    /// Destination IPv4 address (host byte order).
+    pub dst_ip: u32,
+    /// Source UDP port.
+    pub src_port: u16,
+    /// Destination UDP port.
+    pub dst_port: u16,
+}
+
+impl FiveTuple {
+    /// A deterministic "kernel" flow hash (Jenkins-style mix), distinct
+    /// from the NIC's Toeplitz hash — Linux uses its own `flow_hash` for
+    /// reuseport selection.
+    pub fn flow_hash(&self) -> u32 {
+        let mut h: u64 = 0x9E37_79B9_7F4A_7C15;
+        for v in [
+            u64::from(self.src_ip),
+            u64::from(self.dst_ip),
+            u64::from(self.src_port) << 16 | u64::from(self.dst_port),
+        ] {
+            h ^= v;
+            h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+            h ^= h >> 33;
+        }
+        h as u32
+    }
+}
+
+/// Generates `n` distinct client flows toward `server_port` (the paper's
+/// "small number of 5-tuples (50)" setup; client machines vary source IP
+/// and port).
+pub fn client_flows(n: usize, server_port: u16, rng: &mut SimRng) -> Vec<FiveTuple> {
+    let server_ip = u32::from_be_bytes([10, 0, 0, 100]);
+    let mut flows = Vec::with_capacity(n);
+    let mut seen = std::collections::HashSet::new();
+    while flows.len() < n {
+        let flow = FiveTuple {
+            // Two client machines, like the paper's testbed.
+            src_ip: u32::from_be_bytes([10, 0, 0, if rng.chance(0.5) { 1 } else { 2 }]),
+            dst_ip: server_ip,
+            src_port: rng.gen_range(32768..=60999u16),
+            dst_port: server_port,
+        };
+        if seen.insert(flow) {
+            flows.push(flow);
+        }
+    }
+    flows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flow_hash_is_deterministic_and_spread() {
+        let mut rng = SimRng::new(1);
+        let flows = client_flows(50, 8080, &mut rng);
+        let h0 = flows[0].flow_hash();
+        assert_eq!(h0, flows[0].flow_hash());
+        // Hashes are not all identical.
+        assert!(flows.iter().any(|f| f.flow_hash() != h0));
+    }
+
+    #[test]
+    fn client_flows_are_distinct_and_target_the_server() {
+        let mut rng = SimRng::new(7);
+        let flows = client_flows(50, 9999, &mut rng);
+        assert_eq!(flows.len(), 50);
+        let set: std::collections::HashSet<_> = flows.iter().collect();
+        assert_eq!(set.len(), 50);
+        assert!(flows.iter().all(|f| f.dst_port == 9999));
+    }
+
+    #[test]
+    fn small_flow_sets_are_imbalanced_over_six_buckets() {
+        // The Figure 2 phenomenon: with 50 flows on 6 buckets, the max
+        // bucket is well above the mean in typical runs.
+        let mut worst_ratio: f64 = 0.0;
+        for seed in 0..20 {
+            let mut rng = SimRng::new(seed);
+            let flows = client_flows(50, 8080, &mut rng);
+            let mut buckets = [0u32; 6];
+            for f in &flows {
+                buckets[(f.flow_hash() % 6) as usize] += 1;
+            }
+            let max = *buckets.iter().max().unwrap() as f64;
+            worst_ratio = worst_ratio.max(max / (50.0 / 6.0));
+        }
+        assert!(
+            worst_ratio > 1.3,
+            "expected visible imbalance across 20 seeds, got max/mean {worst_ratio}"
+        );
+    }
+}

@@ -1,0 +1,235 @@
+//! Stream scheduling via a Kernel-Connection-Multiplexor-style framer
+//! (paper §6.4).
+//!
+//! Scheduling requests that arrive over TCP streams is hard because
+//! request boundaries do not align with packet boundaries. §6.4 points at
+//! Linux's KCM: a user-programmed parser identifies request frames inside
+//! the byte stream so scheduling can operate on *requests*. This module
+//! implements that: a per-connection [`StreamFramer`] reassembles
+//! length-prefixed frames from arbitrary segment fragmentation, and a
+//! [`KcmMux`] runs a Syrup socket-select policy per completed request.
+//!
+//! Frame format (like KCM's BPF-parsed protos): a 4-byte little-endian
+//! payload length, then the payload.
+
+use syrup_core::{Decision, HookMeta, PacketPolicy};
+
+/// Maximum accepted frame payload, mirroring KCM's sanity limit.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Errors from stream parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Declared length exceeds [`MAX_FRAME`]; the connection is poisoned
+    /// (KCM aborts parsing the socket in this case).
+    Oversized {
+        /// The bogus declared length.
+        declared: usize,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Oversized { declared } => {
+                write!(
+                    f,
+                    "frame of {declared} bytes exceeds the {MAX_FRAME}-byte limit"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Reassembles length-prefixed frames from a TCP byte stream.
+#[derive(Debug, Default)]
+pub struct StreamFramer {
+    buf: Vec<u8>,
+    poisoned: bool,
+}
+
+impl StreamFramer {
+    /// Creates an empty framer.
+    pub fn new() -> Self {
+        StreamFramer::default()
+    }
+
+    /// Feeds one TCP segment's payload; returns every complete request
+    /// framed so far (zero or more).
+    pub fn feed(&mut self, segment: &[u8]) -> Result<Vec<Vec<u8>>, FrameError> {
+        if self.poisoned {
+            return Ok(Vec::new());
+        }
+        self.buf.extend_from_slice(segment);
+        let mut out = Vec::new();
+        loop {
+            if self.buf.len() < 4 {
+                break;
+            }
+            let declared = u32::from_le_bytes(self.buf[..4].try_into().expect("4 bytes")) as usize;
+            if declared > MAX_FRAME {
+                self.poisoned = true;
+                return Err(FrameError::Oversized { declared });
+            }
+            if self.buf.len() < 4 + declared {
+                break;
+            }
+            let payload = self.buf[4..4 + declared].to_vec();
+            self.buf.drain(..4 + declared);
+            out.push(payload);
+        }
+        Ok(out)
+    }
+
+    /// Bytes buffered awaiting a complete frame.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether an oversized frame aborted parsing on this connection.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+}
+
+/// Encodes a request payload in the wire framing (test/client helper).
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// A multiplexor: per-connection framers plus a request-level policy.
+pub struct KcmMux {
+    framers: Vec<StreamFramer>,
+    policy: Box<dyn PacketPolicy>,
+}
+
+impl std::fmt::Debug for KcmMux {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KcmMux")
+            .field("connections", &self.framers.len())
+            .field("policy", &self.policy.name())
+            .finish()
+    }
+}
+
+impl KcmMux {
+    /// Creates a mux over `connections` TCP streams, scheduling each
+    /// completed request with `policy`.
+    pub fn new(connections: usize, policy: Box<dyn PacketPolicy>) -> Self {
+        KcmMux {
+            framers: (0..connections).map(|_| StreamFramer::new()).collect(),
+            policy,
+        }
+    }
+
+    /// Feeds a segment on `conn`; returns `(request, decision)` pairs for
+    /// every request completed by this segment.
+    pub fn on_segment(
+        &mut self,
+        conn: usize,
+        segment: &[u8],
+        meta: &HookMeta,
+    ) -> Result<Vec<(Vec<u8>, Decision)>, FrameError> {
+        let requests = self.framers[conn].feed(segment)?;
+        Ok(requests
+            .into_iter()
+            .map(|mut req| {
+                let d = self.policy.schedule(&mut req, meta);
+                (req, d)
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syrup_core::Decision;
+
+    #[test]
+    fn whole_frame_in_one_segment() {
+        let mut f = StreamFramer::new();
+        let frames = f.feed(&encode_frame(b"hello")).unwrap();
+        assert_eq!(frames, vec![b"hello".to_vec()]);
+        assert_eq!(f.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn frame_split_across_segments_byte_by_byte() {
+        let mut f = StreamFramer::new();
+        let wire = encode_frame(b"abcdef");
+        let mut got = Vec::new();
+        for b in &wire {
+            got.extend(f.feed(std::slice::from_ref(b)).unwrap());
+        }
+        assert_eq!(got, vec![b"abcdef".to_vec()]);
+    }
+
+    #[test]
+    fn multiple_frames_in_one_segment() {
+        let mut f = StreamFramer::new();
+        let mut wire = encode_frame(b"one");
+        wire.extend(encode_frame(b"two"));
+        wire.extend(encode_frame(b""));
+        let frames = f.feed(&wire).unwrap();
+        assert_eq!(frames, vec![b"one".to_vec(), b"two".to_vec(), Vec::new()]);
+    }
+
+    #[test]
+    fn partial_header_then_rest() {
+        let mut f = StreamFramer::new();
+        let wire = encode_frame(b"payload");
+        assert!(f.feed(&wire[..2]).unwrap().is_empty());
+        assert_eq!(f.pending_bytes(), 2);
+        let frames = f.feed(&wire[2..]).unwrap();
+        assert_eq!(frames, vec![b"payload".to_vec()]);
+    }
+
+    #[test]
+    fn oversized_frame_poisons_the_connection() {
+        let mut f = StreamFramer::new();
+        let mut wire = ((MAX_FRAME + 1) as u32).to_le_bytes().to_vec();
+        wire.extend_from_slice(b"junk");
+        assert!(matches!(f.feed(&wire), Err(FrameError::Oversized { .. })));
+        assert!(f.is_poisoned());
+        // Further input is ignored rather than misparsed.
+        assert!(f.feed(&encode_frame(b"later")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn mux_schedules_each_completed_request() {
+        // Round-robin over 3 executors, requests interleaved across two
+        // connections with pathological fragmentation.
+        let mut i = 0u32;
+        let policy = move |_pkt: &mut [u8], _m: &HookMeta| {
+            i += 1;
+            Decision::Executor(i % 3)
+        };
+        let mut mux = KcmMux::new(2, Box::new(policy));
+        let meta = HookMeta::default();
+
+        let wire_a = encode_frame(b"a1");
+        let mut wire_b = encode_frame(b"b1");
+        wire_b.extend(encode_frame(b"b2"));
+
+        // Connection 0 sends half a frame; nothing schedules.
+        let out = mux.on_segment(0, &wire_a[..3], &meta).unwrap();
+        assert!(out.is_empty());
+        // Connection 1 sends two whole frames; both schedule.
+        let out = mux.on_segment(1, &wire_b, &meta).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0, b"b1");
+        assert_eq!(out[0].1, Decision::Executor(1));
+        assert_eq!(out[1].1, Decision::Executor(2));
+        // Connection 0 completes its frame.
+        let out = mux.on_segment(0, &wire_a[3..], &meta).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, b"a1");
+        assert_eq!(out[0].1, Decision::Executor(0));
+    }
+}

@@ -1,0 +1,197 @@
+//! Late binding of inputs to executors (paper §6.3).
+//!
+//! Syrup's network-stack hooks are early-binding: a packet's arrival
+//! forces an immediate executor choice, and a short request committed to
+//! a busy executor suffers head-of-line blocking. §6.3 sketches the fix:
+//! "storing packets in a temporary buffer and triggering the scheduling
+//! function when an executor signals it is available, e.g., when a thread
+//! calls `recvmsg` on a socket."
+//!
+//! [`LateBindingGroup`] implements that: inputs stage in a shared bounded
+//! buffer, and when an executor pulls (the `recvmsg` moment) an
+//! [`InputPick`] policy chooses which staged input it gets. This flips
+//! the matching direction — §4.4 notes thread scheduling already works
+//! this way ("the policy selects one of the threads/inputs when an
+//! executor/core becomes available").
+
+use std::collections::VecDeque;
+
+/// The late-binding matching function: given the staged inputs, pick the
+/// index the pulling executor should receive.
+pub trait InputPick<T>: Send {
+    /// Chooses among `staged` (nonempty) for `executor`; returning an
+    /// out-of-range index falls back to FIFO.
+    fn pick(&mut self, staged: &VecDeque<T>, executor: u32) -> usize;
+
+    /// Diagnostic name.
+    fn name(&self) -> &str {
+        "input-pick"
+    }
+}
+
+/// FIFO pick: the oldest staged input — centralized FCFS, the
+/// single-queue discipline that eliminates executor-level HoL blocking.
+#[derive(Debug, Default, Clone)]
+pub struct FifoPick;
+
+impl<T> InputPick<T> for FifoPick {
+    fn pick(&mut self, _staged: &VecDeque<T>, _executor: u32) -> usize {
+        0
+    }
+    fn name(&self) -> &str {
+        "fifo"
+    }
+}
+
+/// Priority pick by a user key: the staged input minimizing `key(input)`,
+/// FIFO among ties (e.g. shortest-job-first with service estimates).
+pub struct KeyPick<T, F: FnMut(&T) -> u64 + Send> {
+    key: F,
+    _marker: std::marker::PhantomData<fn(&T)>,
+}
+
+impl<T, F: FnMut(&T) -> u64 + Send> KeyPick<T, F> {
+    /// Creates a pick policy minimizing `key`.
+    pub fn new(key: F) -> Self {
+        KeyPick {
+            key,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<T, F: FnMut(&T) -> u64 + Send> InputPick<T> for KeyPick<T, F> {
+    fn pick(&mut self, staged: &VecDeque<T>, _executor: u32) -> usize {
+        let mut best = 0;
+        let mut best_key = u64::MAX;
+        for (i, item) in staged.iter().enumerate() {
+            let k = (self.key)(item);
+            if k < best_key {
+                best_key = k;
+                best = i;
+            }
+        }
+        best
+    }
+    fn name(&self) -> &str {
+        "key-pick"
+    }
+}
+
+/// The staging buffer plus pick policy.
+pub struct LateBindingGroup<T> {
+    staged: VecDeque<T>,
+    capacity: usize,
+    policy: Box<dyn InputPick<T>>,
+    /// Inputs dropped because the staging buffer was full.
+    pub dropped: u64,
+}
+
+impl<T> std::fmt::Debug for LateBindingGroup<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LateBindingGroup")
+            .field("staged", &self.staged.len())
+            .field("capacity", &self.capacity)
+            .field("policy", &self.policy.name())
+            .field("dropped", &self.dropped)
+            .finish()
+    }
+}
+
+impl<T> LateBindingGroup<T> {
+    /// Creates a staging buffer of `capacity` inputs with `policy`.
+    pub fn new(capacity: usize, policy: Box<dyn InputPick<T>>) -> Self {
+        LateBindingGroup {
+            staged: VecDeque::new(),
+            capacity,
+            policy,
+            dropped: 0,
+        }
+    }
+
+    /// Stages an arriving input; `false` means the buffer was full.
+    pub fn stage(&mut self, input: T) -> bool {
+        if self.staged.len() >= self.capacity {
+            self.dropped += 1;
+            return false;
+        }
+        self.staged.push_back(input);
+        true
+    }
+
+    /// An executor signals availability (`recvmsg`): the policy picks its
+    /// input now — the late-binding moment.
+    pub fn pull(&mut self, executor: u32) -> Option<T> {
+        if self.staged.is_empty() {
+            return None;
+        }
+        let mut idx = self.policy.pick(&self.staged, executor);
+        if idx >= self.staged.len() {
+            idx = 0;
+        }
+        self.staged.remove(idx)
+    }
+
+    /// Inputs currently staged.
+    pub fn len(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Whether nothing is staged.
+    pub fn is_empty(&self) -> bool {
+        self.staged.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_pull_order() {
+        let mut g = LateBindingGroup::new(8, Box::new(FifoPick));
+        for i in 0..3 {
+            assert!(g.stage(i));
+        }
+        assert_eq!(g.pull(0), Some(0));
+        assert_eq!(g.pull(1), Some(1));
+        assert_eq!(g.pull(0), Some(2));
+        assert_eq!(g.pull(0), None);
+    }
+
+    #[test]
+    fn capacity_drops_are_counted() {
+        let mut g = LateBindingGroup::new(2, Box::new(FifoPick));
+        assert!(g.stage(1));
+        assert!(g.stage(2));
+        assert!(!g.stage(3));
+        assert_eq!(g.dropped, 1);
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn key_pick_selects_minimum() {
+        // Shortest-job-first over (id, service) pairs.
+        let mut g = LateBindingGroup::new(8, Box::new(KeyPick::new(|&(_, s): &(u32, u64)| s)));
+        g.stage((1, 700));
+        g.stage((2, 11));
+        g.stage((3, 300));
+        assert_eq!(g.pull(0), Some((2, 11)));
+        assert_eq!(g.pull(0), Some((3, 300)));
+        assert_eq!(g.pull(0), Some((1, 700)));
+    }
+
+    #[test]
+    fn out_of_range_pick_falls_back_to_fifo() {
+        struct Bad;
+        impl InputPick<u32> for Bad {
+            fn pick(&mut self, _s: &VecDeque<u32>, _e: u32) -> usize {
+                999
+            }
+        }
+        let mut g = LateBindingGroup::new(4, Box::new(Bad));
+        g.stage(7);
+        g.stage(8);
+        assert_eq!(g.pull(0), Some(7));
+    }
+}

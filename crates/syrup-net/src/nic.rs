@@ -1,0 +1,194 @@
+//! NIC model: RX queues, steering, and IRQ affinity.
+//!
+//! The paper configures "a number of RX queues equal to the number of
+//! hyperthreads used by the application" and maps "the corresponding
+//! interrupts to the hyperthread buddies of the hyperthreads that host
+//! application threads" (§5.1.1). A [`Nic`] reproduces that shape:
+//!
+//! * incoming frames are steered to an RX queue by Toeplitz RSS (the
+//!   default), by MICA-style exact flow-steering rules, or by an
+//!   XDP-offload Syrup policy running *on the NIC* (§5.4's Syrup HW);
+//! * each queue's interrupt is affined to a core.
+
+use std::collections::HashMap;
+
+use crate::flow::FiveTuple;
+use crate::rss::Toeplitz;
+use crate::socket::SocketBuf;
+
+/// How the NIC picks an RX queue for a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steering {
+    /// Toeplitz RSS over the 5-tuple (hardware default).
+    Rss,
+    /// Exact-match flow rules with an RSS fallback (MICA's server-side
+    /// `ethtool` flow steering).
+    FlowRules,
+    /// A Syrup policy offloaded to the NIC picks the queue (Figure 4's
+    /// XDP Offload hook). The decision is supplied by the caller, which
+    /// runs the policy through `syrupd`.
+    Offload,
+}
+
+/// The NIC: RX queues with bounded descriptor rings plus steering state.
+#[derive(Debug)]
+pub struct Nic<T> {
+    queues: Vec<SocketBuf<T>>,
+    irq_affinity: Vec<u32>,
+    toeplitz: Toeplitz,
+    steering: Steering,
+    flow_rules: HashMap<FiveTuple, u32>,
+}
+
+impl<T> Nic<T> {
+    /// Creates a NIC with `num_queues` RX queues of `ring_size` descriptors
+    /// each. Queue `q`'s interrupt initially targets core `q`.
+    pub fn new(num_queues: usize, ring_size: usize) -> Self {
+        assert!(num_queues > 0, "a NIC has at least one queue");
+        Nic {
+            queues: (0..num_queues).map(|_| SocketBuf::new(ring_size)).collect(),
+            irq_affinity: (0..num_queues as u32).collect(),
+            toeplitz: Toeplitz::default(),
+            steering: Steering::Rss,
+            flow_rules: HashMap::new(),
+        }
+    }
+
+    /// Number of RX queues.
+    pub fn num_queues(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Selects the steering mode.
+    pub fn set_steering(&mut self, steering: Steering) {
+        self.steering = steering;
+    }
+
+    /// The current steering mode.
+    pub fn steering(&self) -> Steering {
+        self.steering
+    }
+
+    /// Pins queue `q`'s interrupt to `core` (§5.1.1's hyperthread-buddy
+    /// mapping).
+    pub fn set_irq_affinity(&mut self, queue: usize, core: u32) {
+        self.irq_affinity[queue] = core;
+    }
+
+    /// The core that services queue `q`'s interrupt.
+    pub fn irq_core(&self, queue: usize) -> u32 {
+        self.irq_affinity[queue]
+    }
+
+    /// Installs a MICA-style exact flow rule.
+    pub fn add_flow_rule(&mut self, flow: FiveTuple, queue: u32) {
+        self.flow_rules
+            .insert(flow, queue % self.queues.len() as u32);
+    }
+
+    /// Computes the RX queue for `flow`. For [`Steering::Offload`] the
+    /// caller passes the NIC-resident policy's decision as
+    /// `offload_choice`; `None` (policy PASS) falls back to RSS.
+    pub fn select_queue(&self, flow: &FiveTuple, offload_choice: Option<u32>) -> u32 {
+        let n = self.queues.len() as u32;
+        match self.steering {
+            Steering::Rss => self.toeplitz.queue_for(flow, n),
+            Steering::FlowRules => self
+                .flow_rules
+                .get(flow)
+                .copied()
+                .unwrap_or_else(|| self.toeplitz.queue_for(flow, n)),
+            Steering::Offload => match offload_choice {
+                Some(q) => q % n,
+                None => self.toeplitz.queue_for(flow, n),
+            },
+        }
+    }
+
+    /// Enqueues a frame descriptor on `queue`; `false` means the ring was
+    /// full and the frame was dropped on the wire.
+    pub fn enqueue(&mut self, queue: u32, frame: T) -> bool {
+        self.queues[queue as usize].push(frame)
+    }
+
+    /// Drains the next descriptor from `queue` (driver poll / IRQ work).
+    pub fn dequeue(&mut self, queue: u32) -> Option<T> {
+        self.queues[queue as usize].pop()
+    }
+
+    /// Ring occupancy per queue.
+    pub fn depths(&self) -> Vec<usize> {
+        self.queues.iter().map(|q| q.len()).collect()
+    }
+
+    /// Frames dropped at full rings.
+    pub fn ring_drops(&self) -> u64 {
+        self.queues.iter().map(|q| q.dropped).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow(sport: u16) -> FiveTuple {
+        FiveTuple {
+            src_ip: u32::from_be_bytes([10, 0, 0, 1]),
+            dst_ip: u32::from_be_bytes([10, 0, 0, 2]),
+            src_port: sport,
+            dst_port: 8080,
+        }
+    }
+
+    #[test]
+    fn rss_steering_is_stable_per_flow() {
+        let nic: Nic<u64> = Nic::new(8, 64);
+        let q1 = nic.select_queue(&flow(1000), None);
+        let q2 = nic.select_queue(&flow(1000), None);
+        assert_eq!(q1, q2);
+        assert!(q1 < 8);
+    }
+
+    #[test]
+    fn flow_rules_override_rss() {
+        let mut nic: Nic<u64> = Nic::new(8, 64);
+        nic.set_steering(Steering::FlowRules);
+        nic.add_flow_rule(flow(1000), 5);
+        assert_eq!(nic.select_queue(&flow(1000), None), 5);
+        // Unmatched flows fall back to RSS.
+        let fallback = nic.select_queue(&flow(2000), None);
+        assert!(fallback < 8);
+    }
+
+    #[test]
+    fn offload_policy_chooses_queue() {
+        let mut nic: Nic<u64> = Nic::new(8, 64);
+        nic.set_steering(Steering::Offload);
+        assert_eq!(nic.select_queue(&flow(1), Some(3)), 3);
+        assert_eq!(nic.select_queue(&flow(1), Some(11)), 11 % 8);
+        // Policy PASS falls back to RSS.
+        assert!(nic.select_queue(&flow(1), None) < 8);
+    }
+
+    #[test]
+    fn ring_overflow_drops() {
+        let mut nic: Nic<u64> = Nic::new(1, 2);
+        assert!(nic.enqueue(0, 1));
+        assert!(nic.enqueue(0, 2));
+        assert!(!nic.enqueue(0, 3));
+        assert_eq!(nic.ring_drops(), 1);
+        assert_eq!(nic.dequeue(0), Some(1));
+        assert_eq!(nic.depths(), vec![1]);
+    }
+
+    #[test]
+    fn irq_affinity_is_configurable() {
+        let mut nic: Nic<u64> = Nic::new(4, 8);
+        assert_eq!(nic.irq_core(2), 2);
+        // Hyperthread-buddy mapping: queue q -> core q + 4.
+        for q in 0..4 {
+            nic.set_irq_affinity(q, (q as u32) + 4);
+        }
+        assert_eq!(nic.irq_core(2), 6);
+    }
+}

@@ -1,0 +1,229 @@
+//! Sockets: bounded buffers and `SO_REUSEPORT` groups.
+//!
+//! A [`SocketBuf`] models one socket's receive queue: a FIFO with a finite
+//! capacity, like the kernel's `sk_rcvbuf`. When a datagram arrives at a
+//! full buffer it is dropped — these drops are exactly what Figure 2b
+//! counts.
+//!
+//! A [`ReuseportGroup`] models N sockets bound to the same UDP port with
+//! `SO_REUSEPORT`. The default Linux behaviour selects a socket by flow
+//! hash; a deployed Syrup socket-select policy overrides the choice
+//! (§4.2's Socket Select hook), with `PASS` falling back to the hash and
+//! `DROP` discarding the datagram.
+
+use std::collections::VecDeque;
+
+use syrup_core::Decision;
+
+/// Default receive-queue capacity in datagrams, approximating Linux's
+/// default `net.core.rmem_default` divided by our datagram size.
+pub const DEFAULT_CAPACITY: usize = 256;
+
+/// One socket's bounded receive FIFO.
+#[derive(Debug, Clone)]
+pub struct SocketBuf<T> {
+    queue: VecDeque<T>,
+    capacity: usize,
+    /// Datagrams dropped because the buffer was full.
+    pub dropped: u64,
+    /// Datagrams ever enqueued.
+    pub enqueued: u64,
+}
+
+impl<T> SocketBuf<T> {
+    /// Creates a buffer holding up to `capacity` items.
+    pub fn new(capacity: usize) -> Self {
+        SocketBuf {
+            queue: VecDeque::new(),
+            capacity,
+            dropped: 0,
+            enqueued: 0,
+        }
+    }
+
+    /// Enqueues an item; returns `false` (and counts a drop) when full.
+    pub fn push(&mut self, item: T) -> bool {
+        if self.queue.len() >= self.capacity {
+            self.dropped += 1;
+            return false;
+        }
+        self.enqueued += 1;
+        self.queue.push_back(item);
+        true
+    }
+
+    /// Dequeues the oldest item (`recvmsg`).
+    pub fn pop(&mut self) -> Option<T> {
+        self.queue.pop_front()
+    }
+
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Peeks at the head without removing it (late-binding support).
+    pub fn peek(&self) -> Option<&T> {
+        self.queue.front()
+    }
+}
+
+/// Outcome of delivering one datagram to a reuseport group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// Enqueued on the socket at this index.
+    Enqueued(usize),
+    /// The policy chose to drop it, or the chosen socket's buffer was full.
+    Dropped {
+        /// `true` when a full buffer (not the policy) caused the drop.
+        buffer_full: bool,
+    },
+}
+
+/// N sockets bound to one port with `SO_REUSEPORT`.
+#[derive(Debug)]
+pub struct ReuseportGroup<T> {
+    sockets: Vec<SocketBuf<T>>,
+}
+
+impl<T> ReuseportGroup<T> {
+    /// Creates `n` sockets, each with `capacity` datagram slots.
+    pub fn new(n: usize, capacity: usize) -> Self {
+        assert!(n > 0, "a reuseport group needs at least one socket");
+        ReuseportGroup {
+            sockets: (0..n).map(|_| SocketBuf::new(capacity)).collect(),
+        }
+    }
+
+    /// Number of sockets in the group.
+    pub fn len(&self) -> usize {
+        self.sockets.len()
+    }
+
+    /// Whether the group is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.sockets.is_empty()
+    }
+
+    /// The default Linux selection: flow hash modulo group size.
+    pub fn default_select(&self, flow_hash: u32) -> usize {
+        (flow_hash as usize) % self.sockets.len()
+    }
+
+    /// Delivers a datagram according to a policy decision (or the hash
+    /// default on [`Decision::Pass`]).
+    pub fn deliver(&mut self, item: T, flow_hash: u32, decision: Decision) -> Delivery {
+        let index = match decision {
+            Decision::Executor(i) => {
+                // An out-of-range executor index falls back to the default
+                // (a policy can only hurt its own app, not crash the host).
+                let i = i as usize;
+                if i < self.sockets.len() {
+                    i
+                } else {
+                    self.default_select(flow_hash)
+                }
+            }
+            Decision::Pass => self.default_select(flow_hash),
+            Decision::Drop => return Delivery::Dropped { buffer_full: false },
+        };
+        if self.sockets[index].push(item) {
+            Delivery::Enqueued(index)
+        } else {
+            Delivery::Dropped { buffer_full: true }
+        }
+    }
+
+    /// `recvmsg` on socket `index`.
+    pub fn recv(&mut self, index: usize) -> Option<T> {
+        self.sockets.get_mut(index)?.pop()
+    }
+
+    /// Immutable access to a socket.
+    pub fn socket(&self, index: usize) -> Option<&SocketBuf<T>> {
+        self.sockets.get(index)
+    }
+
+    /// Total drops across the group (policy drops are not included; count
+    /// those at the hook).
+    pub fn total_buffer_drops(&self) -> u64 {
+        self.sockets.iter().map(|s| s.dropped).sum()
+    }
+
+    /// Queue depth per socket (for load-imbalance assertions).
+    pub fn depths(&self) -> Vec<usize> {
+        self.sockets.iter().map(|s| s.len()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn socket_buf_fifo_and_capacity() {
+        let mut buf = SocketBuf::new(2);
+        assert!(buf.push(1));
+        assert!(buf.push(2));
+        assert!(!buf.push(3));
+        assert_eq!(buf.dropped, 1);
+        assert_eq!(buf.enqueued, 2);
+        assert_eq!(buf.pop(), Some(1));
+        assert_eq!(buf.peek(), Some(&2));
+        assert_eq!(buf.pop(), Some(2));
+        assert_eq!(buf.pop(), None);
+    }
+
+    #[test]
+    fn default_selection_follows_hash() {
+        let mut group: ReuseportGroup<u32> = ReuseportGroup::new(6, 4);
+        let d = group.deliver(7, 13, Decision::Pass);
+        assert_eq!(d, Delivery::Enqueued(13 % 6));
+        assert_eq!(group.recv(13 % 6), Some(7));
+    }
+
+    #[test]
+    fn policy_decision_overrides_hash() {
+        let mut group: ReuseportGroup<u32> = ReuseportGroup::new(6, 4);
+        assert_eq!(
+            group.deliver(7, 13, Decision::Executor(2)),
+            Delivery::Enqueued(2)
+        );
+        assert_eq!(group.recv(2), Some(7));
+    }
+
+    #[test]
+    fn drop_decision_discards() {
+        let mut group: ReuseportGroup<u32> = ReuseportGroup::new(2, 4);
+        assert_eq!(
+            group.deliver(7, 0, Decision::Drop),
+            Delivery::Dropped { buffer_full: false }
+        );
+        assert!(group.depths().iter().all(|&d| d == 0));
+    }
+
+    #[test]
+    fn out_of_range_executor_falls_back_to_hash() {
+        let mut group: ReuseportGroup<u32> = ReuseportGroup::new(2, 4);
+        assert_eq!(
+            group.deliver(7, 3, Decision::Executor(99)),
+            Delivery::Enqueued(1)
+        );
+    }
+
+    #[test]
+    fn full_buffer_drop_is_counted() {
+        let mut group: ReuseportGroup<u32> = ReuseportGroup::new(1, 1);
+        assert_eq!(group.deliver(1, 0, Decision::Pass), Delivery::Enqueued(0));
+        assert_eq!(
+            group.deliver(2, 0, Decision::Pass),
+            Delivery::Dropped { buffer_full: true }
+        );
+        assert_eq!(group.total_buffer_drops(), 1);
+    }
+}

@@ -1,0 +1,182 @@
+//! The paper's policy files in the Syrup C subset (Figure 5 and §3.4).
+//!
+//! These stay as close to the published listings as the language allows.
+//! Differences from the paper's exact text are noted per policy; all are
+//! cosmetic (explicit `SYRUP_MAP` declarations, the `get_random()` builtin
+//! name) except where the paper itself says it omitted code "for brevity"
+//! (bounds checks), which these versions include because the verifier —
+//! correctly — refuses the abbreviated forms.
+
+/// Figure 5a: Round Robin. ~6 LoC, as in Table 2.
+pub const ROUND_ROBIN: &str = "\
+uint32_t idx = 0;
+uint32_t schedule(void *pkt_start, void *pkt_end) {
+    idx++;
+    return idx % NUM_THREADS;
+}
+";
+
+/// Figure 5c: the kernel half of SCAN Avoid. Probes random sockets and
+/// settles on one that is not currently serving a SCAN. The userspace
+/// half (Figure 5b) is the application updating `scan_map` around SCAN
+/// processing — see the simulation worlds.
+pub const SCAN_AVOID: &str = "\
+SYRUP_MAP(scan_map, ARRAY, 64);
+uint32_t schedule(void *pkt_start, void *pkt_end) {
+    uint32_t cur_idx = 0;
+    for (int i = 0; i < NUM_THREADS; i++) {
+        cur_idx = get_random() % NUM_THREADS;
+        uint64_t *scan = syr_map_lookup_elem(&scan_map, &cur_idx);
+        if (!scan)
+            return PASS;
+        // Stop searching when a non-SCAN core is found.
+        if (*scan == GET)
+            break;
+    }
+    return cur_idx;
+}
+";
+
+/// Figure 5d: SITA (Size Interval Task Assignment). SCANs go to socket 0,
+/// GETs round-robin over the remaining sockets.
+pub const SITA: &str = "\
+uint32_t idx = 0;
+uint32_t schedule(void *pkt_start, void *pkt_end) {
+    if (pkt_end - pkt_start < 16)
+        return PASS;
+    // First 8 bytes are UDP header.
+    uint64_t type = *(uint64_t *)(pkt_start + 8);
+    if (type == SCAN)
+        return 0;
+    idx++;
+    return (idx % (NUM_THREADS - 1)) + 1;
+}
+";
+
+/// §3.4 / §5.2.2: the token-based QoS policy. Admitted requests
+/// round-robin over the sockets; a user with no tokens is dropped. The
+/// userspace agent replenishes `token_map` every epoch and gifts leftover
+/// LS tokens to the BE user.
+pub const TOKEN_BASED: &str = "\
+SYRUP_MAP(token_map, ARRAY, 16);
+uint32_t idx = 0;
+struct app_hdr {
+    uint64_t req_type;
+    uint32_t user_id;
+};
+uint32_t schedule(void *pkt_start, void *pkt_end) {
+    if (pkt_end - pkt_start < 20)
+        return DROP;
+    void *data = pkt_start + 8;
+    struct app_hdr *hdr = (struct app_hdr *)data;
+    uint32_t user_id = hdr->user_id;
+    uint64_t *tokens = syr_map_lookup_elem(&token_map, &user_id);
+    if (!tokens)
+        return DROP;
+    if (*tokens == 0)
+        return DROP;
+    __sync_fetch_and_add(tokens, -1);
+    idx++;
+    return idx % NUM_THREADS;
+}
+";
+
+/// §3.3's hash example, reading the executor count from a Map at run time
+/// ("it can alternatively be read dynamically from a Map"). Used for the
+/// MICA experiments: the key hash is carried in the application header
+/// and the "hash % executors" choice steers to the home core's socket or
+/// queue (§5.4's Syrup SW / Syrup HW).
+pub const MICA_HOME: &str = "\
+SYRUP_MAP(core_map, ARRAY, 1);
+uint32_t schedule(void *pkt_start, void *pkt_end) {
+    if (pkt_end - pkt_start < 28)
+        return PASS;
+    uint64_t hash = *(uint64_t *)(pkt_start + 20);
+    uint32_t zero = 0;
+    uint64_t *num_cores = syr_map_lookup_elem(&core_map, &zero);
+    if (!num_cores)
+        return PASS;
+    if (*num_cores == 0)
+        return PASS;
+    return hash % *num_cores;
+}
+";
+
+/// §2.1's RFS-style locality policy: look the flow's consumer core up in
+/// an application-maintained Map and process the packet there. Two lines
+/// of logic — the paper's point that useful policies are tiny.
+pub const RFS: &str = "\
+SYRUP_MAP(flow_core, ARRAY, 4096);
+uint32_t schedule(void *pkt_start, void *pkt_end) {
+    if (pkt_end - pkt_start < 4)
+        return PASS;
+    uint32_t flow = *(uint32_t *)(pkt_start + 0);
+    uint64_t *core = syr_map_lookup_elem(&flow_core, &flow);
+    if (!core)
+        return PASS;
+    return *core;
+}
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syrup_core::CompileOptions;
+    use syrup_ebpf::maps::MapRegistry;
+    use syrup_ebpf::verify;
+    use syrup_lang::{compile, count_loc};
+
+    fn compiles_and_verifies(src: &str, opts: CompileOptions) -> usize {
+        let maps = MapRegistry::new();
+        let compiled = compile(src, &opts, &maps).expect("compiles");
+        verify(&compiled.program, &maps)
+            .unwrap_or_else(|e| panic!("verifies: {e}\n{}", compiled.program.disasm()));
+        compiled.program.len()
+    }
+
+    #[test]
+    fn all_policies_compile_and_verify() {
+        compiles_and_verifies(ROUND_ROBIN, CompileOptions::new().define("NUM_THREADS", 6));
+        compiles_and_verifies(
+            SCAN_AVOID,
+            CompileOptions::new()
+                .define("NUM_THREADS", 6)
+                .define("GET", 1),
+        );
+        compiles_and_verifies(
+            SITA,
+            CompileOptions::new()
+                .define("NUM_THREADS", 6)
+                .define("SCAN", 2),
+        );
+        compiles_and_verifies(TOKEN_BASED, CompileOptions::new().define("NUM_THREADS", 6));
+        compiles_and_verifies(MICA_HOME, CompileOptions::new());
+        compiles_and_verifies(RFS, CompileOptions::new());
+    }
+
+    #[test]
+    fn loc_is_in_table2_ballpark() {
+        // Table 2: Round Robin 6, SCAN Avoid 21, SITA 16, Token-based 45.
+        // Ours differ slightly (explicit map declarations, no boilerplate
+        // includes) but stay the same order.
+        assert!(count_loc(ROUND_ROBIN) <= 10);
+        assert!((8..=25).contains(&count_loc(SCAN_AVOID)));
+        assert!((8..=20).contains(&count_loc(SITA)));
+        assert!((12..=45).contains(&count_loc(TOKEN_BASED)));
+    }
+
+    #[test]
+    fn scan_avoid_unrolls_like_clang() {
+        // Table 2 notes SCAN Avoid's higher instruction count comes from
+        // loop unrolling; the compiled program must be visibly larger than
+        // the straight-line policies.
+        let rr = compiles_and_verifies(ROUND_ROBIN, CompileOptions::new().define("NUM_THREADS", 6));
+        let sa = compiles_and_verifies(
+            SCAN_AVOID,
+            CompileOptions::new()
+                .define("NUM_THREADS", 6)
+                .define("GET", 1),
+        );
+        assert!(sa > 2 * rr, "unrolled SCAN Avoid ({sa}) vs RR ({rr})");
+    }
+}

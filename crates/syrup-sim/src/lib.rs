@@ -1,0 +1,32 @@
+//! Discrete-event simulation substrate for the Syrup reproduction.
+//!
+//! The Syrup paper evaluates scheduling policies on real hardware (Xeon
+//! servers, Intel and Netronome NICs, a patched Linux kernel). This crate
+//! provides the deterministic, laptop-scale substitute: a discrete-event
+//! engine with virtual nanosecond time, a seeded random-number layer, an
+//! open-loop (mutilate-style) workload generator, and latency/percentile
+//! statistics matching the paper's methodology (client-observed p99/p99.9
+//! across a load sweep, warm-up trimming, multiple seeded runs).
+//!
+//! Components built on top of this crate (the network stack model in
+//! `syrup-net`, the thread schedulers in `syrup-ghost`, the application
+//! models in `syrup-apps`) are plain state machines; experiment "worlds"
+//! own an [`EventQueue`] and drive the state machines from popped events,
+//! which keeps every component unit-testable in isolation and makes whole
+//! simulations reproducible from a single seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod sweep;
+pub mod time;
+pub mod workload;
+
+pub use queue::EventQueue;
+pub use rng::SimRng;
+pub use stats::{LatencyRecorder, LatencySummary, RunStats};
+pub use time::{Duration, Time};
+pub use workload::{ArrivalGen, RequestMix, ServiceDist};

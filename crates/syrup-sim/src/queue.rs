@@ -1,0 +1,212 @@
+//! The event queue at the heart of the discrete-event engine.
+//!
+//! [`EventQueue`] is a priority queue of `(Time, E)` pairs ordered by time
+//! with deterministic FIFO tie-breaking: two events scheduled for the same
+//! instant pop in the order they were pushed. Determinism matters — every
+//! experiment in the benchmark harness must be exactly reproducible from its
+//! seed, so iteration order may never depend on heap internals.
+
+use core::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Time;
+
+/// A deterministic time-ordered event queue.
+///
+/// `E` is the experiment-specific event payload; worlds typically define an
+/// enum and dispatch on it:
+///
+/// ```
+/// use syrup_sim::{EventQueue, Time};
+///
+/// #[derive(Debug, PartialEq)]
+/// enum Ev { PacketArrival, TimerFired }
+///
+/// let mut q = EventQueue::new();
+/// q.push(Time::from_micros(5), Ev::TimerFired);
+/// q.push(Time::from_micros(1), Ev::PacketArrival);
+/// let (t, ev) = q.pop().unwrap();
+/// assert_eq!((t, ev), (Time::from_micros(1), Ev::PacketArrival));
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: Time,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: Time,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // `BinaryHeap` is a max-heap; invert so the earliest time (and the
+        // lowest sequence number within a time) pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`Time::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: Time::ZERO,
+        }
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    ///
+    /// Scheduling in the past is a logic error in the calling world; the
+    /// queue clamps such events to fire "now" rather than corrupting the
+    /// clock, which keeps long sims debuggable (the event still happens and
+    /// ordering stays monotonic).
+    pub fn push(&mut self, at: Time, event: E) {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            event,
+        });
+    }
+
+    /// Pops the earliest event, advancing the simulation clock to its time.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.time >= self.now, "event queue went backwards");
+        self.now = entry.time;
+        Some((entry.time, entry.event))
+    }
+
+    /// The current simulation time: the timestamp of the last popped event.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The timestamp of the next event, if any, without popping it.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_micros(30), "c");
+        q.push(Time::from_micros(10), "a");
+        q.push(Time::from_micros(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = Time::from_micros(5);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_micros(10), ());
+        q.push(Time::from_micros(10), ());
+        q.push(Time::from_micros(11), ());
+        let mut last = Time::ZERO;
+        while let Some((t, ())) = q.pop() {
+            assert!(t >= last);
+            assert_eq!(q.now(), t);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn past_events_clamp_to_now() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_micros(100), "late");
+        q.pop();
+        // Scheduling before `now` must not rewind the clock.
+        q.push(Time::from_micros(50), "early");
+        let (t, e) = q.pop().unwrap();
+        assert_eq!(e, "early");
+        assert_eq!(t, Time::from_micros(100));
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_micros(7), ());
+        assert_eq!(q.peek_time(), Some(Time::from_micros(7)));
+        assert_eq!(q.now(), Time::ZERO);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_is_deterministic() {
+        // Simulate a self-rescheduling timer plus bursts at the same instant.
+        let mut q = EventQueue::new();
+        q.push(Time::ZERO, 0u32);
+        let mut seen = Vec::new();
+        while let Some((t, id)) = q.pop() {
+            seen.push((t.as_micros(), id));
+            if seen.len() >= 10 {
+                break;
+            }
+            q.push(t + Duration::from_micros(1), id + 1);
+            q.push(t + Duration::from_micros(1), id + 100);
+        }
+        // Every step pops the FIFO-first of the two events pushed one
+        // microsecond apart, in insertion order.
+        assert_eq!(seen[0], (0, 0));
+        assert_eq!(seen[1], (1, 1));
+        assert_eq!(seen[2], (1, 100));
+    }
+}

@@ -1,0 +1,217 @@
+//! Virtual time for the discrete-event engine.
+//!
+//! Simulated time is an absolute count of nanoseconds since the start of the
+//! run ([`Time`]); intervals are [`Duration`]s. Both are thin wrappers over
+//! `u64` so they are `Copy`, hashable, and totally ordered, while the
+//! newtypes prevent accidentally mixing instants with intervals or with raw
+//! packet/byte counts.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// An absolute instant in simulated time, in nanoseconds since run start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(u64);
+
+/// A length of simulated time, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(u64);
+
+impl Time {
+    /// The origin of simulated time.
+    pub const ZERO: Time = Time(0);
+    /// The largest representable instant; used as an "infinitely far" sentinel.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates an instant from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        Time(ns)
+    }
+
+    /// Creates an instant from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        Time(us * 1_000)
+    }
+
+    /// Creates an instant from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Time(ms * 1_000_000)
+    }
+
+    /// Raw nanoseconds since run start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Whole microseconds since run start (truncating).
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Fractional seconds since run start.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Time elapsed since `earlier`, saturating to zero if `earlier` is later.
+    pub fn since(self, earlier: Time) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Duration {
+    /// The zero-length interval.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Creates a duration from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        Duration(ns)
+    }
+
+    /// Creates a duration from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        Duration(us * 1_000)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Duration(ms * 1_000_000)
+    }
+
+    /// Creates a duration from fractional seconds, rounding to nanoseconds.
+    ///
+    /// Negative or non-finite inputs clamp to zero.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if !secs.is_finite() || secs <= 0.0 {
+            return Duration(0);
+        }
+        Duration((secs * 1e9).round() as u64)
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Whole microseconds (truncating).
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Fractional microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Scales the duration by an integer factor, saturating on overflow.
+    pub const fn saturating_mul(self, factor: u64) -> Duration {
+        Duration(self.0.saturating_mul(factor))
+    }
+}
+
+impl Add<Duration> for Time {
+    type Output = Time;
+    fn add(self, rhs: Duration) -> Time {
+        Time(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<Duration> for Time {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}ns", self.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}us", self.0 as f64 / 1e3)
+    }
+}
+
+impl fmt::Debug for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ns", self.0)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}us", self.0 as f64 / 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(Time::from_micros(7).as_nanos(), 7_000);
+        assert_eq!(Time::from_millis(3).as_micros(), 3_000);
+        assert_eq!(Duration::from_micros(12).as_micros(), 12);
+        assert_eq!(Duration::from_millis(1).as_nanos(), 1_000_000);
+    }
+
+    #[test]
+    fn arithmetic_is_saturating() {
+        let almost_max = Time::from_nanos(u64::MAX - 1);
+        assert_eq!(almost_max + Duration::from_micros(5), Time::MAX);
+        assert_eq!(Time::ZERO.since(Time::from_micros(1)), Duration::ZERO);
+        assert_eq!(
+            Duration::from_nanos(u64::MAX).saturating_mul(2).as_nanos(),
+            u64::MAX
+        );
+    }
+
+    #[test]
+    fn since_measures_elapsed() {
+        let a = Time::from_micros(10);
+        let b = Time::from_micros(25);
+        assert_eq!(b.since(a), Duration::from_micros(15));
+    }
+
+    #[test]
+    fn from_secs_f64_handles_edge_cases() {
+        assert_eq!(Duration::from_secs_f64(-1.0), Duration::ZERO);
+        assert_eq!(Duration::from_secs_f64(f64::NAN), Duration::ZERO);
+        assert_eq!(Duration::from_secs_f64(1e-6), Duration::from_micros(1));
+        assert_eq!(Duration::from_secs_f64(0.5).as_nanos(), 500_000_000);
+    }
+
+    #[test]
+    fn display_formats_microseconds() {
+        assert_eq!(format!("{}", Duration::from_nanos(1_500)), "1.500us");
+        assert_eq!(format!("{}", Time::from_micros(2)), "2.000us");
+    }
+}

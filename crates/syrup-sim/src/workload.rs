@@ -1,0 +1,239 @@
+//! Open-loop workload generation (the paper's mutilate-style load generator).
+//!
+//! The paper drives every experiment with an open-loop generator: requests
+//! arrive as a Poisson process at a configured rate regardless of whether
+//! the server keeps up, which is what exposes tail-latency explosions at
+//! saturation. [`ArrivalGen`] produces arrival instants; [`RequestMix`]
+//! picks a request class per arrival (e.g. 99.5% GET / 0.5% SCAN); and
+//! [`ServiceDist`] samples per-class service times (GET = 10–12µs uniform,
+//! SCAN ≈ 700µs).
+
+use crate::rng::SimRng;
+use crate::time::{Duration, Time};
+
+/// An open-loop arrival process.
+#[derive(Debug, Clone)]
+pub struct ArrivalGen {
+    mean_gap: Duration,
+    poisson: bool,
+    next: Time,
+}
+
+impl ArrivalGen {
+    /// Poisson arrivals at `rate_rps` requests per second, starting at time
+    /// zero. A rate of zero yields no arrivals.
+    pub fn poisson(rate_rps: f64) -> Self {
+        ArrivalGen {
+            mean_gap: gap_for_rate(rate_rps),
+            poisson: true,
+            next: Time::ZERO,
+        }
+    }
+
+    /// Deterministic, evenly spaced arrivals at `rate_rps` requests per
+    /// second — useful for closed-form unit tests.
+    pub fn uniform(rate_rps: f64) -> Self {
+        ArrivalGen {
+            mean_gap: gap_for_rate(rate_rps),
+            poisson: false,
+            next: Time::ZERO,
+        }
+    }
+
+    /// Returns the next arrival instant, or `None` if the rate is zero.
+    pub fn next_arrival(&mut self, rng: &mut SimRng) -> Option<Time> {
+        if self.mean_gap == Duration::ZERO {
+            return None;
+        }
+        let at = self.next;
+        let gap = if self.poisson {
+            self.rng_gap(rng)
+        } else {
+            self.mean_gap
+        };
+        self.next = at + gap;
+        Some(at)
+    }
+
+    fn rng_gap(&self, rng: &mut SimRng) -> Duration {
+        rng.exp_duration(self.mean_gap)
+    }
+}
+
+fn gap_for_rate(rate_rps: f64) -> Duration {
+    if !rate_rps.is_finite() || rate_rps <= 0.0 {
+        return Duration::ZERO;
+    }
+    Duration::from_secs_f64(1.0 / rate_rps)
+}
+
+/// A categorical distribution over request classes.
+///
+/// Classes are dense small integers chosen by the experiment (e.g.
+/// `GET = 0`, `SCAN = 1`).
+#[derive(Debug, Clone)]
+pub struct RequestMix {
+    // Cumulative weights, normalized to 1.0, paired with the class id.
+    cumulative: Vec<(f64, u32)>,
+}
+
+impl RequestMix {
+    /// Builds a mix from `(class, weight)` pairs. Weights need not sum to 1;
+    /// they are normalized. Panics if all weights are non-positive.
+    pub fn new(classes: &[(u32, f64)]) -> Self {
+        let total: f64 = classes.iter().map(|&(_, w)| w.max(0.0)).sum();
+        assert!(
+            total > 0.0,
+            "RequestMix requires at least one positive weight"
+        );
+        let mut acc = 0.0;
+        let cumulative = classes
+            .iter()
+            .filter(|&&(_, w)| w > 0.0)
+            .map(|&(c, w)| {
+                acc += w / total;
+                (acc, c)
+            })
+            .collect();
+        RequestMix { cumulative }
+    }
+
+    /// A single-class workload (Figure 2's 100% GET case).
+    pub fn single(class: u32) -> Self {
+        RequestMix::new(&[(class, 1.0)])
+    }
+
+    /// Samples a class.
+    pub fn sample(&self, rng: &mut SimRng) -> u32 {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        for &(cum, class) in &self.cumulative {
+            if u < cum {
+                return class;
+            }
+        }
+        // Floating-point slack: fall back to the final class.
+        self.cumulative.last().map(|&(_, c)| c).unwrap_or(0)
+    }
+}
+
+/// A per-class service-time distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceDist {
+    /// Always exactly this long.
+    Constant(Duration),
+    /// Uniform in `[lo, hi]` — the paper's GETs are 10–12µs uniform.
+    Uniform(Duration, Duration),
+    /// Exponential with the given mean.
+    Exponential(Duration),
+}
+
+impl ServiceDist {
+    /// Samples one service time.
+    pub fn sample(&self, rng: &mut SimRng) -> Duration {
+        match *self {
+            ServiceDist::Constant(d) => d,
+            ServiceDist::Uniform(lo, hi) => rng.uniform_duration(lo, hi),
+            ServiceDist::Exponential(mean) => rng.exp_duration(mean),
+        }
+    }
+
+    /// The distribution mean, used for capacity/utilization arithmetic.
+    pub fn mean(&self) -> Duration {
+        match *self {
+            ServiceDist::Constant(d) => d,
+            ServiceDist::Uniform(lo, hi) => {
+                Duration::from_nanos((lo.as_nanos() + hi.as_nanos()) / 2)
+            }
+            ServiceDist::Exponential(mean) => mean,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_arrivals_are_evenly_spaced() {
+        let mut gen = ArrivalGen::uniform(1_000_000.0); // 1 per microsecond
+        let mut rng = SimRng::new(1);
+        let times: Vec<u64> = (0..5)
+            .map(|_| gen.next_arrival(&mut rng).unwrap().as_nanos())
+            .collect();
+        assert_eq!(times, vec![0, 1_000, 2_000, 3_000, 4_000]);
+    }
+
+    #[test]
+    fn poisson_rate_is_respected() {
+        let rate = 250_000.0;
+        let mut gen = ArrivalGen::poisson(rate);
+        let mut rng = SimRng::new(7);
+        let n = 50_000;
+        let mut last = Time::ZERO;
+        for _ in 0..n {
+            last = gen.next_arrival(&mut rng).unwrap();
+        }
+        let observed_rate = (n - 1) as f64 / last.as_secs_f64();
+        assert!(
+            (observed_rate - rate).abs() / rate < 0.03,
+            "observed {observed_rate}"
+        );
+    }
+
+    #[test]
+    fn zero_rate_yields_nothing() {
+        let mut gen = ArrivalGen::poisson(0.0);
+        let mut rng = SimRng::new(1);
+        assert_eq!(gen.next_arrival(&mut rng), None);
+        let mut gen = ArrivalGen::uniform(-5.0);
+        assert_eq!(gen.next_arrival(&mut rng), None);
+    }
+
+    #[test]
+    fn mix_proportions_converge() {
+        let mix = RequestMix::new(&[(0, 99.5), (1, 0.5)]);
+        let mut rng = SimRng::new(3);
+        let n = 200_000;
+        let scans = (0..n).filter(|_| mix.sample(&mut rng) == 1).count();
+        let frac = scans as f64 / n as f64;
+        assert!((frac - 0.005).abs() < 0.001, "scan fraction {frac}");
+    }
+
+    #[test]
+    fn single_class_mix() {
+        let mix = RequestMix::single(9);
+        let mut rng = SimRng::new(4);
+        assert!((0..100).all(|_| mix.sample(&mut rng) == 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive weight")]
+    fn mix_rejects_all_zero_weights() {
+        let _ = RequestMix::new(&[(0, 0.0), (1, -1.0)]);
+    }
+
+    #[test]
+    fn zero_weight_classes_are_never_sampled() {
+        let mix = RequestMix::new(&[(0, 0.0), (1, 1.0)]);
+        let mut rng = SimRng::new(5);
+        assert!((0..100).all(|_| mix.sample(&mut rng) == 1));
+    }
+
+    #[test]
+    fn service_dists_sample_within_support() {
+        let mut rng = SimRng::new(6);
+        let c = ServiceDist::Constant(Duration::from_micros(700));
+        assert_eq!(c.sample(&mut rng), Duration::from_micros(700));
+        assert_eq!(c.mean(), Duration::from_micros(700));
+
+        let u = ServiceDist::Uniform(Duration::from_micros(10), Duration::from_micros(12));
+        for _ in 0..1_000 {
+            let s = u.sample(&mut rng);
+            assert!(s >= Duration::from_micros(10) && s <= Duration::from_micros(12));
+        }
+        assert_eq!(u.mean(), Duration::from_micros(11));
+
+        let e = ServiceDist::Exponential(Duration::from_micros(50));
+        assert_eq!(e.mean(), Duration::from_micros(50));
+    }
+}

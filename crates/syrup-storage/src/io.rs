@@ -1,0 +1,177 @@
+//! IO requests and NVMe queue executors.
+//!
+//! The matching abstraction extends naturally (§3.2: "Implementing Syrup
+//! support for additional inputs (I/O operations) and executors (NVMe
+//! queues) that cover storage use cases is straightforward \[49\]"). An
+//! [`IoRequest`] is the input; the executor map holds NVMe submission
+//! queue ids.
+
+use syrup_core::Decision;
+use syrup_sim::Time;
+
+/// The operation type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoOp {
+    /// A 4KiB-class read.
+    Read,
+    /// A write/program.
+    Write,
+}
+
+/// One IO request — the storage-input analogue of a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoRequest {
+    /// Operation.
+    pub op: IoOp,
+    /// Logical block address; the device maps it to a flash channel.
+    pub lba: u64,
+    /// Transfer size in bytes.
+    pub len: u32,
+    /// Issuing tenant (the token policy's key).
+    pub tenant: u32,
+    /// Submission time, for latency accounting.
+    pub issued: Time,
+}
+
+impl IoRequest {
+    /// Serializes the request into the byte layout an eBPF-style policy
+    /// would parse (op: u8, pad, tenant: u32, len: u32, lba: u64).
+    pub fn to_bytes(&self) -> [u8; 20] {
+        let mut out = [0u8; 20];
+        out[0] = match self.op {
+            IoOp::Read => 1,
+            IoOp::Write => 2,
+        };
+        out[4..8].copy_from_slice(&self.tenant.to_le_bytes());
+        out[8..12].copy_from_slice(&self.len.to_le_bytes());
+        out[12..20].copy_from_slice(&self.lba.to_le_bytes());
+        out
+    }
+
+    /// Parses the byte layout back (for policy-equivalence tests).
+    pub fn parse(bytes: &[u8], issued: Time) -> Option<IoRequest> {
+        if bytes.len() < 20 {
+            return None;
+        }
+        let op = match bytes[0] {
+            1 => IoOp::Read,
+            2 => IoOp::Write,
+            _ => return None,
+        };
+        Some(IoRequest {
+            op,
+            tenant: u32::from_le_bytes(bytes[4..8].try_into().ok()?),
+            len: u32::from_le_bytes(bytes[8..12].try_into().ok()?),
+            lba: u64::from_le_bytes(bytes[12..20].try_into().ok()?),
+            issued,
+        })
+    }
+}
+
+/// The executor side: NVMe submission queues with bounded depth.
+#[derive(Debug)]
+pub struct NvmeQueues {
+    depths: Vec<u32>,
+    max_depth: u32,
+    /// Requests rejected because the chosen queue was full.
+    pub rejected_full: u64,
+    /// Requests rejected by the policy (`DROP`).
+    pub rejected_policy: u64,
+}
+
+impl NvmeQueues {
+    /// Creates `n` queues of `max_depth` outstanding commands each.
+    pub fn new(n: usize, max_depth: u32) -> Self {
+        assert!(n > 0);
+        NvmeQueues {
+            depths: vec![0; n],
+            max_depth,
+            rejected_full: 0,
+            rejected_policy: 0,
+        }
+    }
+
+    /// Number of queues.
+    pub fn len(&self) -> usize {
+        self.depths.len()
+    }
+
+    /// Whether there are no queues (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.depths.is_empty()
+    }
+
+    /// Applies a policy decision: returns the queue the request enters,
+    /// or `None` if it was rejected. `default` is the hash-style fallback
+    /// for `PASS`.
+    pub fn submit(&mut self, decision: Decision, default: u32) -> Option<u32> {
+        let q = match decision {
+            Decision::Drop => {
+                self.rejected_policy += 1;
+                return None;
+            }
+            Decision::Executor(i) => i % self.depths.len() as u32,
+            Decision::Pass => default % self.depths.len() as u32,
+        };
+        if self.depths[q as usize] >= self.max_depth {
+            self.rejected_full += 1;
+            return None;
+        }
+        self.depths[q as usize] += 1;
+        Some(q)
+    }
+
+    /// Marks one command on `queue` complete.
+    pub fn complete(&mut self, queue: u32) {
+        let d = &mut self.depths[queue as usize];
+        debug_assert!(*d > 0, "completion without submission");
+        *d = d.saturating_sub(1);
+    }
+
+    /// Outstanding commands per queue.
+    pub fn depths(&self) -> &[u32] {
+        &self.depths
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_bytes_round_trip() {
+        let req = IoRequest {
+            op: IoOp::Write,
+            lba: 0xABCDE,
+            len: 4096,
+            tenant: 7,
+            issued: Time::from_micros(5),
+        };
+        let parsed = IoRequest::parse(&req.to_bytes(), Time::from_micros(5)).unwrap();
+        assert_eq!(parsed, req);
+        assert_eq!(IoRequest::parse(&[0u8; 10], Time::ZERO), None);
+        assert_eq!(IoRequest::parse(&[9u8; 20], Time::ZERO), None);
+    }
+
+    #[test]
+    fn queue_depth_accounting() {
+        let mut q = NvmeQueues::new(2, 2);
+        assert_eq!(q.submit(Decision::Executor(0), 0), Some(0));
+        assert_eq!(q.submit(Decision::Executor(0), 0), Some(0));
+        assert_eq!(q.submit(Decision::Executor(0), 0), None, "queue full");
+        assert_eq!(q.rejected_full, 1);
+        q.complete(0);
+        assert_eq!(q.submit(Decision::Executor(0), 0), Some(0));
+        assert_eq!(q.depths(), &[2, 0]);
+    }
+
+    #[test]
+    fn pass_uses_default_and_drop_rejects() {
+        let mut q = NvmeQueues::new(4, 8);
+        assert_eq!(q.submit(Decision::Pass, 3), Some(3));
+        assert_eq!(q.submit(Decision::Drop, 0), None);
+        assert_eq!(q.rejected_policy, 1);
+        // Out-of-range executor wraps like the kernel's bounded arrays.
+        assert_eq!(q.submit(Decision::Executor(6), 0), Some(2));
+    }
+}

@@ -1,0 +1,36 @@
+//! The storage backend: IO requests matched to NVMe queues (paper §6.1).
+//!
+//! §6.1: "One natural extension for Syrup's scheduling model is storage;
+//! we can use Syrup to match IO requests with storage device queues. In
+//! fact, the token-based policy we evaluate in §5.2 is very similar to
+//! the one used by ReFlex for IO request scheduling in flash devices."
+//!
+//! This crate implements that extension end to end:
+//!
+//! * [`io`] — the new input/executor family: [`io::IoRequest`]s and NVMe
+//!   submission queues, plus the Wu et al. \[49\]-style hook placement.
+//! * [`device`] — a flash SSD model with asymmetric read/program
+//!   latencies, per-channel parallelism, and write-interference on reads
+//!   sharing a channel — the phenomenon ReFlex's token policy exists to
+//!   control.
+//! * [`policy`] — the ReFlex-like weighted token policy: tenants hold
+//!   token buckets, reads and writes cost differently (a write costs
+//!   many read-equivalents on flash), and requests beyond the budget are
+//!   rejected fast (like MittOS) instead of queueing behind writes.
+//! * [`world`] — a two-tenant experiment: a latency-sensitive reader and
+//!   a best-effort writer sharing the device, with and without the
+//!   policy; the reproduction target is ReFlex's headline behaviour
+//!   (read p95 protected from write interference).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod io;
+pub mod policy;
+pub mod world;
+
+pub use device::{FlashDevice, FlashParams};
+pub use io::{IoOp, IoRequest, NvmeQueues};
+pub use policy::{IoTokenPolicy, TokenParams};
+pub use world::{StorageConfig, StorageResult};

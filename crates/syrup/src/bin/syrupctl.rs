@@ -1,0 +1,183 @@
+//! `syrupctl` — the operator's tool for Syrup policies.
+//!
+//! Subcommands:
+//!
+//! * `compile <file.c> [-D NAME=VALUE]...` — compile a C-subset policy,
+//!   run the verifier, print the disassembly and Table 2-style stats.
+//! * `verify-asm <file.s>` — assemble a text-format program and verify it.
+//! * `hooks` — list the deployment hooks with their input/executor types.
+//! * `demo` — run the §3.1 workflow end to end on a built-in policy.
+//!
+//! Exit status is nonzero when compilation or verification fails, so the
+//! tool slots into CI pipelines that gate policy changes.
+
+use std::process::ExitCode;
+
+use syrup::core::{CompileOptions, Hook};
+use syrup::ebpf::maps::MapRegistry;
+use syrup::ebpf::{assemble, verify};
+use syrup::lang::count_loc;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("compile") => cmd_compile(&args[1..]),
+        Some("verify-asm") => cmd_verify_asm(&args[1..]),
+        Some("hooks") => cmd_hooks(),
+        Some("demo") => cmd_demo(),
+        _ => {
+            eprintln!(
+                "usage: syrupctl <compile FILE.c [-D NAME=VALUE]... | verify-asm FILE.s | hooks | demo>"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_defines(args: &[String]) -> Result<CompileOptions, String> {
+    let mut opts = CompileOptions::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "-D" {
+            let kv = args
+                .get(i + 1)
+                .ok_or_else(|| "-D requires NAME=VALUE".to_string())?;
+            let (name, value) = kv
+                .split_once('=')
+                .ok_or_else(|| format!("bad define `{kv}` (want NAME=VALUE)"))?;
+            let value: i64 = value
+                .parse()
+                .map_err(|_| format!("define value `{value}` is not an integer"))?;
+            opts = opts.define(name, value);
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    Ok(opts)
+}
+
+fn cmd_compile(args: &[String]) -> ExitCode {
+    let Some(path) = args.first().filter(|a| !a.starts_with('-')) else {
+        eprintln!("usage: syrupctl compile FILE.c [-D NAME=VALUE]...");
+        return ExitCode::FAILURE;
+    };
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let opts = match parse_defines(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let maps = MapRegistry::new();
+    let compiled = match syrup::lang::compile(&source, &opts, &maps) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("compile error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "; {} — {} LoC, {} instructions",
+        path,
+        count_loc(&source),
+        compiled.program.len()
+    );
+    for (name, id) in &compiled.created_maps {
+        println!("; map `{name}` -> #{}", id.0);
+    }
+    println!("{}", compiled.program.disasm());
+    match verify(&compiled.program, &maps) {
+        Ok(info) => {
+            println!("; verifier: OK ({} instructions analyzed)", info.analyzed);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("; verifier: REJECTED — {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_verify_asm(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("usage: syrupctl verify-asm FILE.s");
+        return ExitCode::FAILURE;
+    };
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let prog = match assemble(path, &source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("assembly error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let maps = MapRegistry::new();
+    match verify(&prog, &maps) {
+        Ok(info) => {
+            println!(
+                "OK: {} instructions, {} analyzed",
+                prog.len(),
+                info.analyzed
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("REJECTED: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_hooks() -> ExitCode {
+    println!("{:<18} {:<32} executor", "hook", "input");
+    for hook in Hook::ALL {
+        println!(
+            "{:<18} {:<32} {}",
+            hook.to_string(),
+            hook.input(),
+            hook.executor()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_demo() -> ExitCode {
+    use syrup::core::{HookMeta, PolicySource, Syrupd};
+    let daemon = Syrupd::new();
+    let (app, _) = daemon.register_app("demo", &[8080]).expect("fresh daemon");
+    daemon
+        .deploy(
+            app,
+            Hook::SocketSelect,
+            PolicySource::C {
+                source: syrup::policies::c_sources::ROUND_ROBIN.to_string(),
+                options: CompileOptions::new().define("NUM_THREADS", 4),
+            },
+        )
+        .expect("demo policy deploys");
+    println!("deployed Figure 5a round robin for port 8080; scheduling 8 datagrams:");
+    let mut pkt = [0u8; 32];
+    for i in 0..8 {
+        let meta = HookMeta {
+            dst_port: 8080,
+            ..HookMeta::default()
+        };
+        let (_, d) = daemon.schedule(Hook::SocketSelect, &mut pkt, &meta);
+        println!("  datagram {i} -> {d:?}");
+    }
+    ExitCode::SUCCESS
+}

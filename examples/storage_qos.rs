@@ -1,0 +1,39 @@
+//! Storage scheduling (§6.1): IO requests matched to NVMe queues.
+//!
+//! The paper's extension: the same matching abstraction with IO requests
+//! as inputs and NVMe queues as executors, running the ReFlex-like token
+//! policy. A reader and a writer share a flash device; the policy
+//! protects the reader's tail by throttling the writer.
+//!
+//! Run with: `cargo run --release -p syrup --example storage_qos`
+
+use syrup::storage::world::{self, StorageConfig};
+
+fn main() {
+    println!("shared flash device: 30K read IOPS (latency-sensitive tenant)");
+    println!("                   + 12K write IOPS offered (best-effort tenant)\n");
+    println!(
+        "{:<22} {:>14} {:>14} {:>12} {:>14}",
+        "configuration", "read p50 (us)", "read p95 (us)", "writes/s", "rejected"
+    );
+    for (label, with_policy) in [("no policy", false), ("token policy", true)] {
+        let cfg = StorageConfig {
+            with_policy,
+            ..StorageConfig::default()
+        };
+        let r = world::run(&cfg);
+        println!(
+            "{:<22} {:>14.0} {:>14.0} {:>12.0} {:>14}",
+            label,
+            r.read_latency.p50().as_micros_f64(),
+            r.read_latency.percentile(0.95).as_micros_f64(),
+            r.writes_done as f64 / (2.0 * cfg.measure.as_secs_f64()),
+            r.writes_rejected,
+        );
+    }
+    println!(
+        "\nWrites cost 6 read-equivalent tokens (a NAND program occupies its\n\
+         channel ~6x longer than a read), so the writer is rejected fast once\n\
+         its budget is spent — instead of silently inflating the read tail."
+    );
+}

@@ -1,0 +1,13 @@
+//! Integration-test host crate; the cross-crate tests live in `tests/`.
+//!
+//! * `workflow.rs` — the §3.1 pipeline end to end, eBPF/native
+//!   decision equivalence, live policy updates, hook portability.
+//! * `isolation.rs` — §3.5/§4.3 multi-tenancy guarantees.
+//! * `figures.rs` — reduced-scale assertions of each figure's ordering
+//!   claims.
+//! * `ebpf_end_to_end.rs` — bit-identical simulations under bytecode vs
+//!   native policy deployment.
+//! * `properties.rs`, `lang_differential.rs`, `robustness.rs` —
+//!   property-based and differential suites.
+
+#![forbid(unsafe_code)]

@@ -1,0 +1,135 @@
+//! Reduced-scale checks that each figure's *ordering* claims hold through
+//! the public API. The full sweeps live in the `bench` binaries; these
+//! run in seconds and gate regressions on the qualitative results.
+
+use syrup::apps::mica::{self, MicaConfig, MicaMode};
+use syrup::apps::mt_world::{self, MtConfig, SchedKind};
+use syrup::apps::server_world::{self, ServerConfig, SocketPolicyKind};
+use syrup::sim::Duration;
+
+fn server(
+    policy: SocketPolicyKind,
+    load: f64,
+    get_frac: f64,
+    seed: u64,
+) -> server_world::ServerResult {
+    let mut cfg = ServerConfig::fig2(policy, load, seed);
+    cfg.get_fraction = get_frac;
+    cfg.warmup = Duration::from_millis(20);
+    cfg.measure = Duration::from_millis(100);
+    server_world::run(&cfg)
+}
+
+/// Figure 2: at 350K RPS vanilla hashing misbehaves in most seeds while
+/// round robin drops nothing and stays fast.
+#[test]
+fn fig2_round_robin_beats_vanilla_hashing() {
+    let mut vanilla_trouble = 0;
+    for seed in 1..=4 {
+        let v = server(SocketPolicyKind::Vanilla, 350_000.0, 1.0, seed);
+        if v.overall.drop_pct() > 0.3 || v.overall.latency.p99() > Duration::from_micros(400) {
+            vanilla_trouble += 1;
+        }
+        let rr = server(SocketPolicyKind::RoundRobin, 350_000.0, 1.0, seed);
+        assert_eq!(rr.overall.dropped, 0);
+        assert!(rr.overall.latency.p99() < Duration::from_micros(150));
+    }
+    assert!(
+        vanilla_trouble >= 3,
+        "vanilla misbehaved in {vanilla_trouble}/4 seeds"
+    );
+}
+
+/// Figure 6: the policy ordering SITA < SCAN Avoid < Round Robin ≤
+/// Vanilla on 99% latency at moderate load.
+#[test]
+fn fig6_policy_ordering_holds() {
+    let load = 150_000.0;
+    let vanilla = server(SocketPolicyKind::Vanilla, load, 0.995, 2)
+        .overall
+        .latency
+        .p99();
+    let rr = server(SocketPolicyKind::RoundRobin, load, 0.995, 2)
+        .overall
+        .latency
+        .p99();
+    let sa = server(SocketPolicyKind::ScanAvoid, load, 0.995, 2)
+        .overall
+        .latency
+        .p99();
+    let sita = server(SocketPolicyKind::Sita, load, 0.995, 2)
+        .overall
+        .latency
+        .p99();
+    assert!(sita < sa, "SITA {sita} < SCAN Avoid {sa}");
+    assert!(sa < rr, "SCAN Avoid {sa} < RR {rr}");
+    assert!(rr <= vanilla, "RR {rr} <= Vanilla {vanilla}");
+    // The 8x-or-better claim vs the defaults.
+    assert!(
+        vanilla.as_nanos() >= 8 * sita.as_nanos(),
+        "expected >=8x gap: vanilla {vanilla} vs SITA {sita}"
+    );
+}
+
+/// Figure 7: under the same offered overload, the token policy keeps the
+/// LS tail several times lower than round robin while BE throughput only
+/// drops modestly.
+#[test]
+fn fig7_token_policy_tradeoff() {
+    let run = |policy| {
+        let mut cfg = ServerConfig::fig7(policy, 250_000.0, 150_000.0, 3);
+        cfg.warmup = Duration::from_millis(20);
+        cfg.measure = Duration::from_millis(120);
+        server_world::run(&cfg)
+    };
+    let rr = run(SocketPolicyKind::RoundRobin);
+    let tok = run(SocketPolicyKind::TokenBased {
+        rate_per_sec: 350_000,
+    });
+    let rr_ls = rr.per_tenant[&0].latency.p99();
+    let tok_ls = tok.per_tenant[&0].latency.p99();
+    assert!(
+        rr_ls.as_nanos() > 3 * tok_ls.as_nanos(),
+        "LS p99: RR {rr_ls} vs token {tok_ls}"
+    );
+    // RR serves BE a bit more than the token policy does.
+    assert!(rr.per_tenant[&1].completed >= tok.per_tenant[&1].completed);
+    // But the token policy still serves BE from gifted leftovers.
+    assert!(tok.per_tenant[&1].completed > 0);
+}
+
+/// Figure 8: cross-layer deployment dominates both single-layer ones on
+/// the GET tail.
+#[test]
+fn fig8_cross_layer_dominates() {
+    let run = |socket, sched| {
+        let mut cfg = MtConfig::fig8(socket, sched, 6_000.0, 4);
+        cfg.warmup = Duration::from_millis(50);
+        cfg.measure = Duration::from_millis(300);
+        mt_world::run(&cfg)
+    };
+    let socket_only = run(SocketPolicyKind::ScanAvoid, SchedKind::Cfs);
+    let thread_only = run(SocketPolicyKind::Vanilla, SchedKind::Ghost);
+    let both = run(SocketPolicyKind::ScanAvoid, SchedKind::Ghost);
+    assert!(both.get.p99() < socket_only.get.p99());
+    assert!(both.get.p99() < thread_only.get.p99());
+    assert!(both.get.p99() < Duration::from_micros(500));
+}
+
+/// Figure 9: capacity ordering SW Redirect < Syrup SW < Syrup HW for both
+/// workload mixes.
+#[test]
+fn fig9_capacity_ordering() {
+    for get_frac in [0.5, 0.95] {
+        let probe = 2_300_000.0;
+        let app = mica::run(&MicaConfig::fig9(MicaMode::SwRedirect, get_frac, probe, 5));
+        let sw = mica::run(&MicaConfig::fig9(MicaMode::SyrupSw, get_frac, probe, 5));
+        let hw = mica::run(&MicaConfig::fig9(MicaMode::SyrupHw, get_frac, probe, 5));
+        assert!(
+            app.latency.p999() > Duration::from_millis(1),
+            "SW redirect should be saturated at {probe} (mix {get_frac})"
+        );
+        assert!(sw.latency.p999() < Duration::from_millis(1));
+        assert!(hw.latency.p999() < sw.latency.p999());
+    }
+}

@@ -1,0 +1,172 @@
+//! Multi-tenancy and isolation guarantees (§3.5, §4.3).
+
+use syrup::core::{
+    CompileOptions, Decision, Hook, HookMeta, MapDef, PolicySource, SyrupMaps, Syrupd,
+};
+
+fn meta(port: u16) -> HookMeta {
+    HookMeta {
+        dst_port: port,
+        ..HookMeta::default()
+    }
+}
+
+/// A policy that counts its invocations in a map; deployed for three
+/// co-located apps, each must see exactly its own traffic.
+const COUNTING_POLICY: &str = "
+    SYRUP_MAP(hits, ARRAY, 1);
+    uint32_t schedule(void *pkt_start, void *pkt_end) {
+        uint32_t zero = 0;
+        uint64_t *count = syr_map_lookup_elem(&hits, &zero);
+        if (!count)
+            return PASS;
+        __sync_fetch_and_add(count, 1);
+        return 0;
+    }
+";
+
+#[test]
+fn each_policy_sees_only_its_own_traffic() {
+    let daemon = Syrupd::new();
+    let mut apps = Vec::new();
+    for (name, port) in [("a", 1000u16), ("b", 2000), ("c", 3000)] {
+        let (app, maps) = daemon.register_app(name, &[port]).unwrap();
+        let handle = daemon
+            .deploy(
+                app,
+                Hook::SocketSelect,
+                PolicySource::C {
+                    source: COUNTING_POLICY.to_string(),
+                    options: CompileOptions::new(),
+                },
+            )
+            .unwrap();
+        let hits = maps.open(&handle.pinned_maps["hits"]).unwrap();
+        apps.push((port, hits));
+    }
+
+    // Interleave traffic: 5 packets to a, 3 to b, 7 to c, 2 to nobody.
+    let mut pkt = vec![0u8; 64];
+    let plan: &[(u16, usize)] = &[(1000, 5), (2000, 3), (3000, 7), (4455, 2)];
+    for &(port, count) in plan {
+        for _ in 0..count {
+            daemon.schedule(Hook::SocketSelect, &mut pkt, &meta(port));
+        }
+    }
+
+    assert_eq!(apps[0].1.lookup_u64(0).unwrap(), Some(5));
+    assert_eq!(apps[1].1.lookup_u64(0).unwrap(), Some(3));
+    assert_eq!(apps[2].1.lookup_u64(0).unwrap(), Some(7));
+}
+
+/// A buggy (trapping) policy affects only its own application; the other
+/// tenant's policy keeps working (§3.2's reliability argument).
+#[test]
+fn buggy_policy_only_hurts_its_owner() {
+    let daemon = Syrupd::new();
+
+    // The "buggy" app deploys a native policy that panics on a poisoned
+    // decision path — modelled here by an eBPF program that loops forever,
+    // which the verifier refuses, so deploy a decision-failing native one.
+    let (victim, _) = daemon.register_app("victim", &[5000]).unwrap();
+    daemon
+        .deploy(
+            victim,
+            Hook::SocketSelect,
+            PolicySource::Native(Box::new(|_pkt: &mut [u8], _m: &HookMeta| {
+                // A policy gone wrong: always drops everything it owns.
+                Decision::Drop
+            })),
+        )
+        .unwrap();
+
+    let (healthy, _) = daemon.register_app("healthy", &[6000]).unwrap();
+    daemon
+        .deploy(
+            healthy,
+            Hook::SocketSelect,
+            PolicySource::C {
+                source: "uint32_t schedule(void *a, void *b) { return 1; }".into(),
+                options: CompileOptions::new(),
+            },
+        )
+        .unwrap();
+
+    let mut pkt = vec![0u8; 32];
+    assert_eq!(
+        daemon.schedule(Hook::SocketSelect, &mut pkt, &meta(5000)).1,
+        Decision::Drop,
+        "victim's own traffic suffers"
+    );
+    assert_eq!(
+        daemon.schedule(Hook::SocketSelect, &mut pkt, &meta(6000)).1,
+        Decision::Executor(1),
+        "the healthy app is untouched"
+    );
+}
+
+/// Map namespace permissions: same-user programs share, others are denied.
+#[test]
+fn map_namespace_prefix_permissions() {
+    let daemon = Syrupd::new();
+    let (app1, maps1) = daemon.register_app("one", &[7001]).unwrap();
+    let (_app2, maps2) = daemon.register_app("two", &[7002]).unwrap();
+
+    let m = maps1.create_pinned("shared", MapDef::u64_array(2)).unwrap();
+    m.update_u64(0, 42).unwrap();
+
+    // A second view for the same app (another process of the same user)
+    // can open and read it.
+    let maps1b = SyrupMaps::new(app1, daemon.registry().clone());
+    let shared = maps1b.open("/syrup/1/shared").unwrap();
+    assert_eq!(shared.lookup_u64(0).unwrap(), Some(42));
+
+    // The other tenant is denied.
+    assert!(maps2.open("/syrup/1/shared").is_err());
+}
+
+/// Port ownership is exclusive across applications.
+#[test]
+fn port_ownership_is_exclusive() {
+    let daemon = Syrupd::new();
+    daemon.register_app("first", &[8080, 8081]).unwrap();
+    assert!(daemon.register_app("second", &[8081]).is_err());
+    assert!(daemon.register_app("third", &[8082]).is_ok());
+}
+
+/// Verifier gate: a policy that could read out of bounds never loads, no
+/// matter how it is wrapped.
+#[test]
+fn unverifiable_policies_never_load() {
+    let daemon = Syrupd::new();
+    let (app, _) = daemon.register_app("evil", &[9000]).unwrap();
+    let attempts = [
+        // Unchecked packet read.
+        "uint32_t schedule(void *pkt_start, void *pkt_end) {
+             return *(uint32_t *)(pkt_start + 0);
+         }",
+        // Map value deref without null check is rejected by the verifier.
+        "SYRUP_MAP(m, HASH, 4);
+         uint32_t schedule(void *pkt_start, void *pkt_end) {
+             uint32_t k = 0;
+             uint64_t *v = syr_map_lookup_elem(&m, &k);
+             return *v;
+         }",
+    ];
+    for source in attempts {
+        let err = daemon
+            .deploy(
+                app,
+                Hook::SocketSelect,
+                PolicySource::C {
+                    source: source.to_string(),
+                    options: CompileOptions::new(),
+                },
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, syrup::core::DeployError::Verify(_)),
+            "expected verifier rejection, got {err}"
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! Differential testing of the whole policy toolchain.
+//!
+//! Random arithmetic expressions are rendered as C, compiled by
+//! `syrup-lang`, verified, and executed on the VM; the result must equal
+//! direct evaluation in Rust with matching semantics (wrapping u64
+//! arithmetic, division-by-zero → 0, modulo-zero → unchanged, truncation
+//! to `uint32_t` at return).
+
+use proptest::prelude::*;
+
+use syrup::core::CompileOptions;
+use syrup::ebpf::maps::MapRegistry;
+use syrup::ebpf::verify;
+use syrup::ebpf::vm::{PacketCtx, RunEnv, Vm};
+
+/// A small expression tree over u32 literals.
+#[derive(Debug, Clone)]
+enum Expr {
+    Lit(u32),
+    Bin(&'static str, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    fn render(&self) -> String {
+        match self {
+            Expr::Lit(v) => format!("{v}"),
+            Expr::Bin(op, a, b) => format!("({} {op} {})", a.render(), b.render()),
+        }
+    }
+
+    #[allow(clippy::manual_checked_ops)] // Mirrors the VM's div/mod-by-zero rules.
+    fn eval(&self) -> u64 {
+        match self {
+            Expr::Lit(v) => u64::from(*v),
+            Expr::Bin(op, a, b) => {
+                let (x, y) = (a.eval(), b.eval());
+                match *op {
+                    "+" => x.wrapping_add(y),
+                    "-" => x.wrapping_sub(y),
+                    "*" => x.wrapping_mul(y),
+                    "/" => {
+                        if y == 0 {
+                            0
+                        } else {
+                            x / y
+                        }
+                    }
+                    "%" => {
+                        if y == 0 {
+                            x
+                        } else {
+                            x % y
+                        }
+                    }
+                    "&" => x & y,
+                    "|" => x | y,
+                    "^" => x ^ y,
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = (0u32..100_000).prop_map(Expr::Lit);
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        (
+            prop::sample::select(vec!["+", "-", "*", "/", "%", "&", "|", "^"]),
+            inner.clone(),
+            inner,
+        )
+            .prop_map(|(op, a, b)| Expr::Bin(op, Box::new(a), Box::new(b)))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn compiled_arithmetic_matches_rust(expr in expr_strategy()) {
+        let source = format!(
+            "uint32_t schedule(void *pkt_start, void *pkt_end) {{ return {}; }}",
+            expr.render()
+        );
+        let maps = MapRegistry::new();
+        let compiled = syrup::lang::compile(&source, &CompileOptions::new(), &maps)
+            .expect("arithmetic always compiles");
+        verify(&compiled.program, &maps).expect("arithmetic always verifies");
+        let mut vm = Vm::new(maps);
+        let slot = vm.load_unverified(compiled.program);
+        let mut pkt = [0u8; 8];
+        let mut ctx = PacketCtx::new(&mut pkt);
+        let got = vm.run(slot, &mut ctx, &mut RunEnv::default()).expect("runs").ret;
+        // Return type is uint32_t: truncate the oracle.
+        let expect = expr.eval() as u32 as u64;
+        prop_assert_eq!(got, expect, "source: {}", source);
+    }
+
+    /// Locals round-trip through stack slots without corruption.
+    #[test]
+    fn compiled_locals_match_rust(vals in prop::collection::vec(0u32..1_000_000, 1..6)) {
+        let decls: String = vals
+            .iter()
+            .enumerate()
+            .map(|(i, v)| format!("uint64_t x{i} = {v};"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let sum_expr = (0..vals.len())
+            .map(|i| format!("x{i}"))
+            .collect::<Vec<_>>()
+            .join(" + ");
+        let source = format!(
+            "uint32_t schedule(void *pkt_start, void *pkt_end) {{\n{decls}\nreturn {sum_expr};\n}}"
+        );
+        let maps = MapRegistry::new();
+        let compiled = syrup::lang::compile(&source, &CompileOptions::new(), &maps).unwrap();
+        verify(&compiled.program, &maps).unwrap();
+        let mut vm = Vm::new(maps);
+        let slot = vm.load_unverified(compiled.program);
+        let mut pkt = [0u8; 8];
+        let mut ctx = PacketCtx::new(&mut pkt);
+        let got = vm.run(slot, &mut ctx, &mut RunEnv::default()).unwrap().ret;
+        let expect: u64 = vals.iter().map(|&v| u64::from(v)).sum::<u64>() as u32 as u64;
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Unrolled loops accumulate exactly like their Rust counterparts.
+    #[test]
+    fn compiled_loops_match_rust(n in 1i64..20, step in 1u32..50) {
+        let source = format!(
+            "uint32_t schedule(void *pkt_start, void *pkt_end) {{
+                 uint64_t acc = 0;
+                 for (int i = 0; i < {n}; i++) {{
+                     acc += {step};
+                 }}
+                 return acc;
+             }}"
+        );
+        let maps = MapRegistry::new();
+        let compiled = syrup::lang::compile(&source, &CompileOptions::new(), &maps).unwrap();
+        verify(&compiled.program, &maps).unwrap();
+        let mut vm = Vm::new(maps);
+        let slot = vm.load_unverified(compiled.program);
+        let mut pkt = [0u8; 8];
+        let mut ctx = PacketCtx::new(&mut pkt);
+        let got = vm.run(slot, &mut ctx, &mut RunEnv::default()).unwrap().ret;
+        prop_assert_eq!(got, u64::from(step) * n as u64);
+    }
+}

@@ -1,0 +1,122 @@
+//! Robustness properties: no component panics on hostile input.
+//!
+//! The toolchain faces *untrusted* policy files (§3), so the lexer,
+//! parser, compiler, text assembler, and verifier must fail with errors —
+//! never panic — on arbitrary input.
+
+use proptest::prelude::*;
+
+use syrup::core::CompileOptions;
+use syrup::ebpf::maps::MapRegistry;
+use syrup::ebpf::{assemble, verify};
+use syrup::net::packet::parse_app_header;
+use syrup::net::StreamFramer;
+
+proptest! {
+    /// The policy compiler returns Ok or Err on any string; it never
+    /// panics.
+    #[test]
+    fn compiler_never_panics(source in "\\PC{0,300}") {
+        let maps = MapRegistry::new();
+        let _ = syrup::lang::compile(&source, &CompileOptions::new(), &maps);
+    }
+
+    /// C-looking garbage (keywords, operators, braces in random order)
+    /// also never panics the compiler.
+    #[test]
+    fn compiler_survives_c_shaped_garbage(
+        tokens in prop::collection::vec(
+            prop::sample::select(vec![
+                "uint32_t", "uint64_t", "void", "*", "schedule", "(", ")", "{", "}",
+                "return", "if", "else", "for", "break", ";", ",", "x", "y", "0", "1",
+                "+", "-", "==", "&", "=", "++", "->", "struct", "SYRUP_MAP",
+                "syr_map_lookup_elem",
+            ]),
+            0..60,
+        )
+    ) {
+        let source = tokens.join(" ");
+        let maps = MapRegistry::new();
+        let _ = syrup::lang::compile(&source, &CompileOptions::new(), &maps);
+    }
+
+    /// The text assembler never panics, and anything it accepts the
+    /// verifier can process without panicking.
+    #[test]
+    fn assembler_never_panics(source in "\\PC{0,200}") {
+        if let Ok(prog) = assemble("fuzz", &source) {
+            let maps = MapRegistry::new();
+            let _ = verify(&prog, &maps);
+        }
+    }
+
+    /// Assembler built from plausible mnemonic soup never panics.
+    #[test]
+    fn assembler_survives_mnemonic_soup(
+        lines in prop::collection::vec(
+            prop::sample::select(vec![
+                "mov r0, 0", "add r1, r2", "ldxdw r0, [r1+0]", "stxdw [r10-8], r0",
+                "jeq r0, 0, out", "ja out", "call map_lookup_elem", "exit",
+                "out:", "lddw r3, 0xFFFF", "aadddw [r10-8], r1", "be r0, 16",
+                "garbage", "mov r99, 1", "ldxdw r0, [nope]",
+            ]),
+            0..20,
+        )
+    ) {
+        let source = lines.join("\n");
+        if let Ok(prog) = assemble("soup", &source) {
+            let maps = MapRegistry::new();
+            let _ = verify(&prog, &maps);
+        }
+    }
+
+    /// Packet parsing never panics on arbitrary bytes.
+    #[test]
+    fn packet_parsers_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+        let _ = parse_app_header(&bytes);
+    }
+
+    /// The KCM framer handles arbitrary byte streams without panicking and
+    /// never emits a frame longer than the declared maximum.
+    #[test]
+    fn kcm_framer_never_panics(segments in prop::collection::vec(
+        prop::collection::vec(any::<u8>(), 0..64), 0..12)) {
+        let mut framer = StreamFramer::new();
+        for seg in &segments {
+            match framer.feed(seg) {
+                Ok(frames) => {
+                    for f in frames {
+                        prop_assert!(f.len() <= syrup::net::kcm::MAX_FRAME);
+                    }
+                }
+                Err(_) => {
+                    prop_assert!(framer.is_poisoned());
+                    break;
+                }
+            }
+        }
+    }
+
+    /// KCM reassembly is invariant under re-segmentation: however a wire
+    /// byte stream is chopped into TCP segments, the same frames emerge.
+    #[test]
+    fn kcm_reassembly_is_segmentation_invariant(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..32), 1..6),
+        cut in 1usize..17,
+    ) {
+        let wire: Vec<u8> = payloads
+            .iter()
+            .flat_map(|p| syrup::net::kcm::encode_frame(p))
+            .collect();
+
+        let mut whole = StreamFramer::new();
+        let all_at_once = whole.feed(&wire).unwrap();
+
+        let mut chopped = StreamFramer::new();
+        let mut rejoined = Vec::new();
+        for chunk in wire.chunks(cut) {
+            rejoined.extend(chopped.feed(chunk).unwrap());
+        }
+        prop_assert_eq!(all_at_once, rejoined);
+    }
+}
