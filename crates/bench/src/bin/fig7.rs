@@ -6,6 +6,11 @@
 //! (a) BE goodput tracks the spare capacity, and (b) LS 99% latency stays
 //! flat until LS load reaches the token rate, where round robin lets the
 //! overload inflate the LS tail ~6×.
+//!
+//! Both panels read the run's exported telemetry snapshot
+//! (`tenant<id>/completed` counters and `tenant<id>/latency_ns`
+//! histograms) rather than the simulator's internal recorders — the same
+//! data path an operator would use against a live `syrupd`.
 
 use bench::{emit, scaled, scaled_seeds, Series, Sweep};
 use syrup::apps::server_world::{self, ServerConfig, SocketPolicyKind};
@@ -50,10 +55,13 @@ fn main() {
                 cfg.warmup = scaled(Duration::from_millis(50));
                 cfg.measure = scaled(Duration::from_millis(300));
                 let r = server_world::run(&cfg);
-                let be_stats = &r.per_tenant[&1];
-                let ls_stats = &r.per_tenant[&0];
-                tputs.push(be_stats.throughput_rps(cfg.measure));
-                p99s.push(ls_stats.latency.p99().as_micros_f64());
+                let snap = &r.telemetry;
+                let be_completed = snap.counter("tenant1/completed");
+                tputs.push(be_completed as f64 / cfg.measure.as_secs_f64());
+                let ls_hist = snap
+                    .histogram("tenant0/latency_ns")
+                    .expect("LS tenant exports latency");
+                p99s.push(ls_hist.p99() as f64 / 1e3);
             }
             tput_series.push(ls, tputs);
             lat_series.push(ls, p99s);

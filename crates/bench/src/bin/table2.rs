@@ -20,7 +20,7 @@ use syrup::ebpf::verify;
 use syrup::ebpf::vm::{PacketCtx, RunEnv, Vm};
 use syrup::net::{AppHeader, FiveTuple, Frame, RequestClass};
 use syrup::policies::c_sources;
-use syrup::sim::stats::mean_stdev;
+use syrup::telemetry::Registry;
 
 struct Row {
     name: &'static str,
@@ -65,6 +65,11 @@ fn measure(
     let loc = compiled.source_loc;
     let static_insns = compiled.program.len();
     let mut vm = Vm::new(maps);
+    // The VM publishes per-run cycle/instruction histograms; this harness
+    // only reads the snapshot at the end — the paper's methodology of
+    // instrumenting the runtime rather than the experiment loop.
+    let telemetry = Registry::new();
+    vm.attach_telemetry(&telemetry);
     let slot = vm.load_unverified(compiled.program);
     let model = CycleModel::default();
 
@@ -74,8 +79,6 @@ fn measure(
     };
     let get = datagram(RequestClass::Get, 1);
     let scan = datagram(RequestClass::Scan, 1);
-    let mut cycles = Vec::with_capacity(reps);
-    let mut insns = Vec::with_capacity(reps);
     for i in 0..reps {
         // Alternate classes so class-dependent paths both run.
         let mut pkt = if i % 10 == 0 {
@@ -84,21 +87,24 @@ fn measure(
             get.clone()
         };
         let mut ctx = PacketCtx::new(&mut pkt);
-        let out = vm
-            .run(slot, &mut ctx, &mut env)
+        vm.run(slot, &mut ctx, &mut env)
             .expect("verified policy runs");
-        cycles.push((out.cycles + model.enforcement) as f64);
-        insns.push(out.insns as f64);
     }
-    let (cycles_mean, cycles_stdev) = mean_stdev(&cycles);
-    let (executed_insns, _) = mean_stdev(&insns);
+
+    let snap = telemetry.snapshot();
+    assert_eq!(snap.counter("vm/runs"), reps as u64);
+    let cycles = snap.histogram("vm/run_cycles").expect("runs recorded");
+    let insns = snap.histogram("vm/run_insns").expect("runs recorded");
     Row {
         name,
         loc,
         static_insns,
-        cycles_mean,
-        cycles_stdev,
-        executed_insns,
+        // Histograms carry exact sums/sum-of-squares, so mean and stdev
+        // are exact; enforcement is a per-packet constant (shifts the
+        // mean, leaves the spread).
+        cycles_mean: cycles.mean() + model.enforcement as f64,
+        cycles_stdev: cycles.stdev(),
+        executed_insns: insns.mean(),
     }
 }
 

@@ -183,6 +183,9 @@ pub struct ServerResult {
     pub per_tenant: HashMap<u32, TenantStats>,
     /// Per-class latency (GET vs SCAN), for Figure 6 commentary.
     pub per_class: HashMap<u32, LatencySummary>,
+    /// End-of-run metrics exported by `syrupd` and the substrates
+    /// (dispatch/verdict counters, VM cycle histograms, socket drops).
+    pub telemetry: syrup_telemetry::Snapshot,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -398,12 +401,15 @@ impl<'c> World<'c> {
             })
             .collect();
 
+        let mut group = ReuseportGroup::new(cfg.threads, cfg.socket_capacity);
+        group.attach_telemetry(syrupd.telemetry(), "sock");
+
         World {
             cfg,
             queue: EventQueue::new(),
             syrupd,
             app,
-            group: ReuseportGroup::new(cfg.threads, cfg.socket_capacity),
+            group,
             busy: vec![None; cfg.threads],
             templates,
             arrivals: ArrivalGen::poisson(cfg.load_rps),
@@ -464,13 +470,22 @@ impl<'c> World<'c> {
             }
         }
 
-        let overall = RunStats {
-            offered: self.offered,
-            completed: self.recorder.len() as u64,
-            dropped: self.dropped,
-            latency: self.recorder.summary(),
-            measured: self.cfg.measure,
-        };
+        let overall =
+            RunStats::from_recorder(&self.recorder, self.offered, self.dropped, self.cfg.measure);
+        // Export per-tenant aggregates into the registry so downstream
+        // consumers (the fig7 harness) can work from the snapshot alone.
+        let registry = self.syrupd.telemetry().clone();
+        for (id, t) in &self.tenants {
+            let p = format!("tenant{id}");
+            registry.counter(&format!("{p}/offered")).add(t.offered);
+            registry.counter(&format!("{p}/completed")).add(t.completed);
+            registry.counter(&format!("{p}/dropped")).add(t.dropped);
+            let hist = registry.histogram(&format!("{p}/latency_ns"));
+            for &ns in t.recorder.summary().samples() {
+                hist.record(ns);
+            }
+        }
+        let telemetry = self.syrupd.telemetry_snapshot();
         let per_tenant = self
             .tenants
             .into_iter()
@@ -495,6 +510,7 @@ impl<'c> World<'c> {
             overall,
             per_tenant,
             per_class,
+            telemetry,
         }
     }
 
@@ -696,6 +712,31 @@ mod tests {
         assert!(
             r.overall.dropped > 0,
             "admission control must drop something"
+        );
+    }
+
+    #[test]
+    fn telemetry_snapshot_covers_the_stack() {
+        let r = quick(SocketPolicyKind::RoundRobin, 50_000.0, 1.0);
+        let t = &r.telemetry;
+        assert_eq!(t.counter("syrupd/deploys"), 1);
+        // Every datagram went through the socket-select hook once...
+        assert!(t.counter("syrupd/dispatches") > r.overall.completed);
+        // ...and was delivered to some socket (warm-up included, so the
+        // exported count exceeds the measured completions).
+        assert!(t.counter("sock/delivered") >= r.overall.completed);
+        assert_eq!(t.counter("sock/policy_drops"), 0);
+        // The native RR policy's per-app verdict counters line up.
+        let app = r.telemetry.filter_prefix("app1/");
+        assert_eq!(
+            app.counter("socket-select/verdict_executor"),
+            t.counter("syrupd/dispatches") - t.counter("syrupd/unmatched")
+        );
+        // The exact run latencies mirror into the telemetry histogram.
+        assert_eq!(r.overall.latency_hist.count(), r.overall.completed);
+        assert_eq!(
+            r.overall.latency_hist.max(),
+            r.overall.latency.max().as_nanos()
         );
     }
 

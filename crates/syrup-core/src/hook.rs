@@ -60,19 +60,23 @@ impl Hook {
     pub fn is_offloaded(self) -> bool {
         matches!(self, Hook::XdpOffload)
     }
-}
 
-impl fmt::Display for Hook {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let name = match self {
+    /// Stable short name, used in metric names and decision traces.
+    pub fn name(self) -> &'static str {
+        match self {
             Hook::ThreadScheduler => "thread-scheduler",
             Hook::SocketSelect => "socket-select",
             Hook::CpuRedirect => "cpu-redirect",
             Hook::XdpSkb => "xdp-skb",
             Hook::XdpDrv => "xdp-drv",
             Hook::XdpOffload => "xdp-offload",
-        };
-        f.write_str(name)
+        }
+    }
+}
+
+impl fmt::Display for Hook {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 

@@ -28,6 +28,9 @@ use syrup_ebpf::maps::{MapDef, MapRef, MapRegistry, ProgSlot};
 use syrup_ebpf::vm::{PacketCtx, RunEnv, Vm};
 use syrup_ebpf::{ret, HelperId, Reg, VerifierError};
 use syrup_lang::LangError;
+use syrup_telemetry::{
+    CounterHandle, DecisionEvent, Executor, HistogramHandle, Registry, Snapshot,
+};
 
 use crate::decision::Decision;
 use crate::hook::{Hook, HookMeta};
@@ -103,15 +106,71 @@ pub struct PolicyHandle {
 /// How many executors an executor map can hold by default.
 const EXECUTOR_MAP_ENTRIES: u32 = 64;
 
+/// Telemetry handles for one deployed `(app, hook)` policy. Metric names
+/// are prefixed `app<id>/<hook>/`, so [`Syrupd::app_snapshot`] is a
+/// prefix filter — the moral equivalent of one eBPF percpu stats map per
+/// loaded program.
+struct PolicyMetrics {
+    invocations: CounterHandle,
+    traps: CounterHandle,
+    insns: HistogramHandle,
+    cycles: HistogramHandle,
+    verdict_pass: CounterHandle,
+    verdict_drop: CounterHandle,
+    verdict_executor: CounterHandle,
+    hook_name: &'static str,
+    app_raw: u64,
+}
+
+impl PolicyMetrics {
+    fn new(telemetry: &Registry, app: AppId, hook: Hook) -> Self {
+        let p = format!("app{}/{}", app.0, hook.name());
+        PolicyMetrics {
+            invocations: telemetry.counter(&format!("{p}/invocations")),
+            traps: telemetry.counter(&format!("{p}/traps")),
+            insns: telemetry.histogram(&format!("{p}/insns")),
+            cycles: telemetry.histogram(&format!("{p}/cycles")),
+            verdict_pass: telemetry.counter(&format!("{p}/verdict_pass")),
+            verdict_drop: telemetry.counter(&format!("{p}/verdict_drop")),
+            verdict_executor: telemetry.counter(&format!("{p}/verdict_executor")),
+            hook_name: hook.name(),
+            app_raw: u64::from(app.0),
+        }
+    }
+
+    /// Counts one decision and traces it into the ring buffer.
+    fn record(
+        &self,
+        telemetry: &Registry,
+        meta: &HookMeta,
+        decision: Decision,
+        executor: Executor,
+        cycles: u64,
+    ) {
+        self.invocations.inc();
+        match decision {
+            Decision::Pass => self.verdict_pass.inc(),
+            Decision::Drop => self.verdict_drop.inc(),
+            Decision::Executor(_) => self.verdict_executor.inc(),
+        }
+        telemetry.trace(DecisionEvent {
+            sim_time_ns: meta.now_ns,
+            hook: self.hook_name,
+            app: self.app_raw,
+            verdict: decision.to_ret() as i64,
+            executor,
+            cycles,
+        });
+    }
+}
+
 enum Deployed {
     Ebpf {
         slot: ProgSlot,
         env: RunEnv,
-        insns: u64,
-        cycles: u64,
-        invocations: u64,
+        metrics: PolicyMetrics,
     },
-    Native(Box<dyn PacketPolicy>),
+    Native(Box<dyn PacketPolicy>, PolicyMetrics),
 }
 
 struct HookState {
@@ -148,6 +207,11 @@ struct Inner {
 #[derive(Clone)]
 pub struct Syrupd {
     registry: MapRegistry,
+    telemetry: Registry,
+    /// Daemon-wide counters, cached so the hot path never re-registers.
+    deploys: CounterHandle,
+    dispatches: CounterHandle,
+    unmatched: CounterHandle,
     inner: Arc<Mutex<Inner>>,
 }
 
@@ -168,17 +232,29 @@ impl Default for Syrupd {
 }
 
 impl Syrupd {
-    /// Starts a daemon with a fresh map registry.
+    /// Starts a daemon with a fresh map registry and telemetry enabled.
     pub fn new() -> Self {
+        Self::with_telemetry(Registry::new())
+    }
+
+    /// Starts a daemon publishing into `telemetry`. Pass
+    /// [`Registry::disabled`] to strip instrumentation cost entirely.
+    pub fn with_telemetry(telemetry: Registry) -> Self {
         let registry = MapRegistry::new();
+        let mut vm = Vm::new(registry.clone());
+        vm.attach_telemetry(&telemetry);
         Syrupd {
             inner: Arc::new(Mutex::new(Inner {
-                vm: Vm::new(registry.clone()),
+                vm,
                 apps: HashMap::new(),
                 hooks: HashMap::new(),
                 next_app: 1,
             })),
             registry,
+            deploys: telemetry.counter("syrupd/deploys"),
+            dispatches: telemetry.counter("syrupd/dispatches"),
+            unmatched: telemetry.counter("syrupd/unmatched"),
+            telemetry,
         }
     }
 
@@ -186,6 +262,32 @@ impl Syrupd {
     /// maps).
     pub fn registry(&self) -> &MapRegistry {
         &self.registry
+    }
+
+    /// The telemetry registry the daemon publishes into. Substrates and
+    /// applications register their own instruments here so one snapshot
+    /// covers the whole stack.
+    pub fn telemetry(&self) -> &Registry {
+        &self.telemetry
+    }
+
+    /// Point-in-time copy of every metric across the daemon, the VM, and
+    /// anything else sharing the registry.
+    pub fn telemetry_snapshot(&self) -> Snapshot {
+        self.telemetry.snapshot()
+    }
+
+    /// One application's slice of the metrics: every name under
+    /// `app<id>/`, with the prefix stripped.
+    pub fn app_snapshot(&self, app: AppId) -> Snapshot {
+        self.telemetry
+            .snapshot()
+            .filter_prefix(&format!("app{}/", app.0))
+    }
+
+    /// Consumes the buffered decision trace, oldest first.
+    pub fn drain_decisions(&self) -> Vec<DecisionEvent> {
+        self.telemetry.drain_trace()
     }
 
     /// Registers an application with the ports it owns. Returns the app id
@@ -245,6 +347,7 @@ impl Syrupd {
         let executors = self.registry.get(exec_id).expect("map just created");
 
         let mut pinned_maps = HashMap::new();
+        let metrics = PolicyMetrics::new(&self.telemetry, app, hook);
         let deployed = match source {
             PolicySource::C { source, options } => {
                 let compiled = syrup_lang::compile(&source, &options, &self.registry)?;
@@ -266,9 +369,7 @@ impl Syrupd {
                 Deployed::Ebpf {
                     slot,
                     env: RunEnv::default(),
-                    insns: 0,
-                    cycles: 0,
-                    invocations: 0,
+                    metrics,
                 }
             }
             PolicySource::Bytecode(program) => {
@@ -276,13 +377,12 @@ impl Syrupd {
                 Deployed::Ebpf {
                     slot,
                     env: RunEnv::default(),
-                    insns: 0,
-                    cycles: 0,
-                    invocations: 0,
+                    metrics,
                 }
             }
-            PolicySource::Native(policy) => Deployed::Native(policy),
+            PolicySource::Native(policy) => Deployed::Native(policy, metrics),
         };
+        self.deploys.inc();
 
         // Wire the isolation dispatch: every port the app owns routes to
         // this policy, and only to this policy.
@@ -340,21 +440,26 @@ impl Syrupd {
         pkt: &mut [u8],
         meta: &HookMeta,
     ) -> (Option<AppId>, Decision) {
+        self.dispatches.inc();
         let mut inner = self.inner.lock();
         let Some(hs) = inner.hooks.get(&hook) else {
+            self.unmatched.inc();
             return (None, Decision::Pass);
         };
         let Some(&app) = hs.port_owner.get(&meta.dst_port) else {
             // No policy deployed for this port: default system behaviour.
+            self.unmatched.inc();
             return (None, Decision::Pass);
         };
-        let is_native = matches!(hs.policies.get(&app), Some(Deployed::Native(_)));
+        let is_native = matches!(hs.policies.get(&app), Some(Deployed::Native(..)));
         if is_native {
             let hs = inner.hooks.get_mut(&hook).expect("exists");
-            let Some(Deployed::Native(policy)) = hs.policies.get_mut(&app) else {
+            let Some(Deployed::Native(policy, metrics)) = hs.policies.get_mut(&app) else {
                 return (Some(app), Decision::Pass);
             };
-            return (Some(app), policy.schedule(pkt, meta));
+            let decision = policy.schedule(pkt, meta);
+            metrics.record(&self.telemetry, meta, decision, Executor::Native, 0);
+            return (Some(app), decision);
         }
 
         // eBPF path: run the root dispatcher, which tail-calls the policy.
@@ -380,12 +485,11 @@ impl Syrupd {
             0,
         ];
         let outcome = inner.vm.run(root_slot, &mut ctx, &mut env);
-        // Persist env + stats.
+        // Persist env + record per-policy telemetry.
+        let mut decision = Decision::Pass;
         if let Some(Deployed::Ebpf {
             env: stored,
-            insns,
-            cycles,
-            invocations,
+            metrics,
             ..
         }) = inner
             .hooks
@@ -393,39 +497,45 @@ impl Syrupd {
             .and_then(|h| h.policies.get_mut(&app))
         {
             *stored = env;
-            if let Ok(out) = &outcome {
-                *insns += out.insns;
-                *cycles += out.cycles;
-                *invocations += 1;
-            }
-        }
-        match outcome {
-            Ok(out) => {
-                if let Some((_, idx)) = out.redirect {
-                    return (Some(app), Decision::Executor(idx));
+            match &outcome {
+                Ok(out) => {
+                    metrics.insns.record(out.insns);
+                    metrics.cycles.record(out.cycles);
+                    decision = match out.redirect {
+                        Some((_, idx)) => Decision::Executor(idx),
+                        None => Decision::from_ret(out.ret),
+                    };
+                    metrics.record(&self.telemetry, meta, decision, Executor::Ebpf, out.cycles);
                 }
-                (Some(app), Decision::from_ret(out.ret))
+                // A trapping policy affects only its own traffic (§3.2):
+                // its input PASSes to the default policy.
+                Err(_) => {
+                    metrics.traps.inc();
+                    metrics.record(&self.telemetry, meta, decision, Executor::Ebpf, 0);
+                }
             }
-            // A trapping policy affects only its own traffic (§3.2).
-            Err(_) => (Some(app), Decision::Pass),
         }
+        (Some(app), decision)
     }
 
     /// Mean (instructions, cycles) per invocation for an eBPF policy
-    /// (Table 2 instrumentation). `None` for native policies.
+    /// (Table 2 instrumentation). `None` for native policies or before
+    /// the first invocation.
+    ///
+    /// Reads the `app<id>/<hook>/{insns,cycles}` telemetry histograms;
+    /// means are exact because histograms carry exact sums.
     pub fn policy_stats(&self, app: AppId, hook: Hook) -> Option<(f64, f64)> {
         let inner = self.inner.lock();
         match inner.hooks.get(&hook)?.policies.get(&app)? {
-            Deployed::Ebpf {
-                insns,
-                cycles,
-                invocations,
-                ..
-            } if *invocations > 0 => Some((
-                *insns as f64 / *invocations as f64,
-                *cycles as f64 / *invocations as f64,
-            )),
-            _ => None,
+            Deployed::Ebpf { metrics, .. } => {
+                let insns = metrics.insns.snapshot();
+                let cycles = metrics.cycles.snapshot();
+                if insns.is_empty() {
+                    return None;
+                }
+                Some((insns.mean(), cycles.mean()))
+            }
+            Deployed::Native(..) => None,
         }
     }
 
@@ -715,6 +825,73 @@ mod tests {
             "dispatch + policy should be tens of insns, got {insns}"
         );
         assert!(cycles > insns);
+    }
+
+    #[test]
+    fn telemetry_counts_verdicts_and_traces_decisions() {
+        let d = Syrupd::new();
+        let (app, _) = d.register_app("traced", &[8080]).unwrap();
+        d.deploy(app, Hook::SocketSelect, rr_source()).unwrap();
+        let mut pkt = [0u8; 16];
+        for _ in 0..4 {
+            d.schedule(Hook::SocketSelect, &mut pkt, &meta(8080));
+        }
+        d.schedule(Hook::SocketSelect, &mut pkt, &meta(9999)); // unmatched
+
+        let snap = d.telemetry_snapshot();
+        assert_eq!(snap.counter("syrupd/deploys"), 1);
+        assert_eq!(snap.counter("syrupd/dispatches"), 5);
+        assert_eq!(snap.counter("syrupd/unmatched"), 1);
+        // The round-robin policy always names an executor.
+        let per_app = d.app_snapshot(app);
+        assert_eq!(per_app.counter("socket-select/invocations"), 4);
+        assert_eq!(per_app.counter("socket-select/verdict_executor"), 4);
+        assert_eq!(per_app.counter("socket-select/verdict_pass"), 0);
+        // The VM shares the registry: root dispatcher runs are visible.
+        assert!(snap.counter("vm/runs") >= 4);
+
+        let events = d.drain_decisions();
+        assert_eq!(events.len(), 4);
+        assert!(events.iter().all(|e| e.hook == "socket-select"));
+        assert!(events.iter().all(|e| e.app == u64::from(app.0)));
+        assert!(events.iter().all(|e| e.cycles > 0));
+    }
+
+    #[test]
+    fn native_policies_trace_with_zero_cycles() {
+        let d = Syrupd::new();
+        let (app, _) = d.register_app("native", &[5000]).unwrap();
+        d.deploy(
+            app,
+            Hook::CpuRedirect,
+            PolicySource::Native(Box::new(|_pkt: &mut [u8], _m: &HookMeta| Decision::Drop)),
+        )
+        .unwrap();
+        let mut pkt = [0u8; 4];
+        d.schedule(Hook::CpuRedirect, &mut pkt, &meta(5000));
+        let per_app = d.app_snapshot(app);
+        assert_eq!(per_app.counter("cpu-redirect/verdict_drop"), 1);
+        let events = d.drain_decisions();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].executor, syrup_telemetry::Executor::Native);
+        assert_eq!(events[0].cycles, 0);
+        // Native policies have no insns histogram → no stats.
+        assert!(d.policy_stats(app, Hook::CpuRedirect).is_none());
+    }
+
+    #[test]
+    fn disabled_telemetry_still_schedules() {
+        let d = Syrupd::with_telemetry(Registry::disabled());
+        let (app, _) = d.register_app("quiet", &[8080]).unwrap();
+        d.deploy(app, Hook::SocketSelect, rr_source()).unwrap();
+        let mut pkt = [0u8; 16];
+        let (owner, decision) = d.schedule(Hook::SocketSelect, &mut pkt, &meta(8080));
+        assert_eq!(owner, Some(app));
+        assert!(matches!(decision, Decision::Executor(_)));
+        assert!(d.telemetry_snapshot().counters.is_empty());
+        assert!(d.drain_decisions().is_empty());
+        // Stats need the histograms, which a disabled registry drops.
+        assert!(d.policy_stats(app, Hook::SocketSelect).is_none());
     }
 
     #[test]

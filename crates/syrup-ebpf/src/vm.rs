@@ -23,6 +23,7 @@ use crate::insn::{AluOp, CmpOp, Insn, MemSize, Operand, Reg, Width};
 use crate::maps::{MapError, MapId, MapKind, MapRegistry, ProgSlot, UpdateFlag};
 use crate::verifier::{verify, VerifierError};
 use crate::Program;
+use syrup_telemetry::{CounterHandle, HistogramHandle, Registry};
 
 /// Stack bytes available per invocation, matching the kernel's limit.
 pub const STACK_SIZE: i64 = 512;
@@ -205,22 +206,57 @@ impl RunEnv {
     }
 }
 
+/// Telemetry handles the VM records into on every invocation. All
+/// recording is lock-free and becomes a no-op branch when built from a
+/// disabled registry ([`VmTelemetry::default`]).
+#[derive(Debug, Clone, Default)]
+pub struct VmTelemetry {
+    /// Successful invocations.
+    runs: CounterHandle,
+    /// Invocations that trapped with a [`VmError`].
+    traps: CounterHandle,
+    /// Modelled cycles per successful run (the percpu-histogram analogue).
+    cycles: HistogramHandle,
+    /// Instructions executed per successful run.
+    insns: HistogramHandle,
+}
+
+impl VmTelemetry {
+    /// Registers the VM's instruments (`vm/runs`, `vm/traps`,
+    /// `vm/run_cycles`, `vm/run_insns`) in `registry`.
+    pub fn attached(registry: &Registry) -> Self {
+        VmTelemetry {
+            runs: registry.counter("vm/runs"),
+            traps: registry.counter("vm/traps"),
+            cycles: registry.histogram("vm/run_cycles"),
+            insns: registry.histogram("vm/run_insns"),
+        }
+    }
+}
+
 /// The virtual machine: loaded programs plus the shared map registry.
 #[derive(Debug, Clone)]
 pub struct Vm {
     maps: MapRegistry,
     progs: Vec<Program>,
     model: CycleModel,
+    telemetry: VmTelemetry,
 }
 
 impl Vm {
-    /// Creates a VM over a map registry.
+    /// Creates a VM over a map registry, with telemetry disabled.
     pub fn new(maps: MapRegistry) -> Self {
         Vm {
             maps,
             progs: Vec::new(),
             model: CycleModel::default(),
+            telemetry: VmTelemetry::default(),
         }
+    }
+
+    /// Starts recording per-run statistics into `registry`.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.telemetry = VmTelemetry::attached(registry);
     }
 
     /// The map registry this VM resolves `LoadMapFd` against.
@@ -252,8 +288,26 @@ impl Vm {
         self.progs.get(slot.0 as usize)
     }
 
-    /// Runs the program in `slot` over `ctx`.
+    /// Runs the program in `slot` over `ctx`, recording telemetry.
     pub fn run(
+        &self,
+        slot: ProgSlot,
+        ctx: &mut PacketCtx<'_>,
+        env: &mut RunEnv,
+    ) -> Result<VmOutcome, VmError> {
+        let result = self.run_inner(slot, ctx, env);
+        match &result {
+            Ok(out) => {
+                self.telemetry.runs.inc();
+                self.telemetry.cycles.record(out.cycles);
+                self.telemetry.insns.record(out.insns);
+            }
+            Err(_) => self.telemetry.traps.inc(),
+        }
+        result
+    }
+
+    fn run_inner(
         &self,
         slot: ProgSlot,
         ctx: &mut PacketCtx<'_>,
@@ -1400,6 +1454,37 @@ mod tests {
         let out = vm.run(slot, &mut ctx, &mut RunEnv::default()).unwrap();
         assert_eq!(out.ret, 9);
         assert_eq!(out.tail_calls, MAX_TAIL_CALLS);
+    }
+
+    #[test]
+    fn telemetry_records_runs_and_traps() {
+        let registry = Registry::new();
+        let mut vm = vm();
+        vm.attach_telemetry(&registry);
+        let ok = Asm::new().mov64_imm(Reg::R0, 1).exit().build("ok").unwrap();
+        let bad = Asm::new()
+            .mov64_reg(Reg::R0, Reg::R5) // uninit read
+            .exit()
+            .build("bad")
+            .unwrap();
+        let ok_slot = vm.load_unverified(ok);
+        let bad_slot = vm.load_unverified(bad);
+        let mut data = [0u8; 4];
+        for _ in 0..3 {
+            let mut ctx = PacketCtx::new(&mut data);
+            vm.run(ok_slot, &mut ctx, &mut RunEnv::default()).unwrap();
+        }
+        let mut ctx = PacketCtx::new(&mut data);
+        vm.run(bad_slot, &mut ctx, &mut RunEnv::default())
+            .unwrap_err();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("vm/runs"), 3);
+        assert_eq!(snap.counter("vm/traps"), 1);
+        let cycles = snap.histogram("vm/run_cycles").unwrap();
+        assert_eq!(cycles.count(), 3);
+        // Two insns: invoke cost + 2 ALU-class costs, identical per run.
+        assert_eq!(cycles.min(), cycles.max());
+        assert_eq!(snap.histogram("vm/run_insns").unwrap().min(), 2);
     }
 
     #[test]

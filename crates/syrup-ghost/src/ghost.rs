@@ -18,10 +18,11 @@
 //! application-populated Map — Syrup's cross-layer communication in
 //! action.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use syrup_ebpf::maps::MapRef;
 use syrup_sim::{Duration, Time};
+use syrup_telemetry::{CounterHandle, GaugeHandle, HistogramHandle, Registry};
 
 use crate::{Assignment, CoreId, ThreadId, ThreadScheduler};
 
@@ -59,6 +60,19 @@ impl Default for GhostParams {
     }
 }
 
+/// Agent-side instrumentation: what ghOSt's own stats interface exports.
+/// Disabled (free) until [`GhostSched::attach_telemetry`].
+#[derive(Debug, Default)]
+struct GhostTelemetry {
+    /// Runnable-queue depth after each scheduling event.
+    runnable_depth: GaugeHandle,
+    /// Wire-to-decision latency of each agent message (message delay +
+    /// queueing at the agent + processing), in nanoseconds.
+    decision_latency: HistogramHandle,
+    messages: CounterHandle,
+    preemptions: CounterHandle,
+}
+
 /// The centralized scheduler state.
 #[derive(Debug)]
 pub struct GhostSched {
@@ -68,7 +82,10 @@ pub struct GhostSched {
     pub agent_core: CoreId,
     /// Thread → class, written by the application layer (§3.4 Map).
     class_map: MapRef,
-    running: HashMap<CoreId, ThreadId>,
+    /// Keyed by a `BTreeMap` so victim selection in `policy` walks cores
+    /// in a fixed order — `HashMap` iteration order made seeded runs
+    /// nondeterministic.
+    running: BTreeMap<CoreId, ThreadId>,
     runnable: Vec<ThreadId>,
     /// When the agent finishes its current message backlog.
     agent_busy_until: Time,
@@ -76,6 +93,7 @@ pub struct GhostSched {
     pub messages: u64,
     /// Total preemptions issued (diagnostics).
     pub preemptions: u64,
+    telemetry: GhostTelemetry,
 }
 
 impl GhostSched {
@@ -93,12 +111,25 @@ impl GhostSched {
             app_cores,
             agent_core,
             class_map,
-            running: HashMap::new(),
+            running: BTreeMap::new(),
             runnable: Vec::new(),
             agent_busy_until: Time::ZERO,
             messages: 0,
             preemptions: 0,
+            telemetry: GhostTelemetry::default(),
         }
+    }
+
+    /// Publishes agent metrics under `ghost/` in `registry`
+    /// (`ghost/runnable_depth`, `ghost/decision_latency_ns`,
+    /// `ghost/messages`, `ghost/preemptions`).
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.telemetry = GhostTelemetry {
+            runnable_depth: registry.gauge("ghost/runnable_depth"),
+            decision_latency: registry.histogram("ghost/decision_latency_ns"),
+            messages: registry.counter("ghost/messages"),
+            preemptions: registry.counter("ghost/preemptions"),
+        };
     }
 
     fn class_of(&self, t: ThreadId) -> u64 {
@@ -117,6 +148,10 @@ impl GhostSched {
         let done = start + self.params.agent_cost;
         self.agent_busy_until = done;
         self.messages += 1;
+        self.telemetry.messages.inc();
+        self.telemetry
+            .decision_latency
+            .record(done.since(now).as_nanos());
         done
     }
 
@@ -178,6 +213,7 @@ impl GhostSched {
             self.running.insert(core, get_thread);
             self.runnable.push(victim);
             self.preemptions += 1;
+            self.telemetry.preemptions.inc();
             out.push(Assignment {
                 core,
                 thread: get_thread,
@@ -185,6 +221,9 @@ impl GhostSched {
                 preempted: Some(victim),
             });
         }
+        self.telemetry
+            .runnable_depth
+            .set(self.runnable.len() as i64);
         out
     }
 }
@@ -328,6 +367,27 @@ mod tests {
         let a = s.thread_stopped(ThreadId(1), CoreId(0), Time::from_micros(15));
         assert_eq!(a.len(), 1);
         assert_eq!(a[0].thread, ThreadId(2));
+    }
+
+    #[test]
+    fn telemetry_tracks_agent_costs_and_queue_depth() {
+        let registry = Registry::new();
+        let (mut s, map) = setup(2);
+        s.attach_telemetry(&registry);
+        map.update_u64(1, class::SCAN).unwrap();
+        map.update_u64(2, class::GET).unwrap();
+        s.thread_ready(ThreadId(1), Time::ZERO);
+        s.thread_ready(ThreadId(2), Time::from_micros(100)); // preempts
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("ghost/messages"), 2);
+        assert_eq!(snap.counter("ghost/preemptions"), 1);
+        // After the preemption the displaced SCAN waits in the queue.
+        assert_eq!(snap.gauge("ghost/runnable_depth"), 1);
+        let lat = snap.histogram("ghost/decision_latency_ns").unwrap();
+        assert_eq!(lat.count(), 2);
+        // An uncontended message costs exactly delay + agent cost.
+        assert_eq!(lat.min(), 1_000 + 600);
     }
 
     #[test]

@@ -12,6 +12,8 @@
 
 use std::collections::HashMap;
 
+use syrup_telemetry::{CounterHandle, Registry};
+
 use crate::flow::FiveTuple;
 use crate::rss::Toeplitz;
 use crate::socket::SocketBuf;
@@ -30,6 +32,18 @@ pub enum Steering {
     Offload,
 }
 
+/// Per-queue and steering-mode counters, mirroring the percpu stats a
+/// hardware driver exports via `ethtool -S`. Disabled (free) by default;
+/// [`Nic::attach_telemetry`] wires them to a registry.
+#[derive(Debug, Default)]
+struct NicTelemetry {
+    q_enqueued: Vec<CounterHandle>,
+    q_dropped: Vec<CounterHandle>,
+    steer_rss: CounterHandle,
+    steer_flow_rule: CounterHandle,
+    steer_offload: CounterHandle,
+}
+
 /// The NIC: RX queues with bounded descriptor rings plus steering state.
 #[derive(Debug)]
 pub struct Nic<T> {
@@ -38,6 +52,7 @@ pub struct Nic<T> {
     toeplitz: Toeplitz,
     steering: Steering,
     flow_rules: HashMap<FiveTuple, u32>,
+    telemetry: NicTelemetry,
 }
 
 impl<T> Nic<T> {
@@ -51,7 +66,25 @@ impl<T> Nic<T> {
             toeplitz: Toeplitz::default(),
             steering: Steering::Rss,
             flow_rules: HashMap::new(),
+            telemetry: NicTelemetry::default(),
         }
+    }
+
+    /// Publishes per-queue enqueue/drop and steering-mode counters under
+    /// `nic/` in `registry` (`nic/q<i>/enqueued`, `nic/q<i>/ring_drops`,
+    /// `nic/steer_{rss,flow_rule,offload}`).
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.telemetry = NicTelemetry {
+            q_enqueued: (0..self.queues.len())
+                .map(|q| registry.counter(&format!("nic/q{q}/enqueued")))
+                .collect(),
+            q_dropped: (0..self.queues.len())
+                .map(|q| registry.counter(&format!("nic/q{q}/ring_drops")))
+                .collect(),
+            steer_rss: registry.counter("nic/steer_rss"),
+            steer_flow_rule: registry.counter("nic/steer_flow_rule"),
+            steer_offload: registry.counter("nic/steer_offload"),
+        };
     }
 
     /// Number of RX queues.
@@ -92,15 +125,29 @@ impl<T> Nic<T> {
     pub fn select_queue(&self, flow: &FiveTuple, offload_choice: Option<u32>) -> u32 {
         let n = self.queues.len() as u32;
         match self.steering {
-            Steering::Rss => self.toeplitz.queue_for(flow, n),
-            Steering::FlowRules => self
-                .flow_rules
-                .get(flow)
-                .copied()
-                .unwrap_or_else(|| self.toeplitz.queue_for(flow, n)),
+            Steering::Rss => {
+                self.telemetry.steer_rss.inc();
+                self.toeplitz.queue_for(flow, n)
+            }
+            Steering::FlowRules => match self.flow_rules.get(flow) {
+                Some(&q) => {
+                    self.telemetry.steer_flow_rule.inc();
+                    q
+                }
+                None => {
+                    self.telemetry.steer_rss.inc();
+                    self.toeplitz.queue_for(flow, n)
+                }
+            },
             Steering::Offload => match offload_choice {
-                Some(q) => q % n,
-                None => self.toeplitz.queue_for(flow, n),
+                Some(q) => {
+                    self.telemetry.steer_offload.inc();
+                    q % n
+                }
+                None => {
+                    self.telemetry.steer_rss.inc();
+                    self.toeplitz.queue_for(flow, n)
+                }
             },
         }
     }
@@ -108,7 +155,15 @@ impl<T> Nic<T> {
     /// Enqueues a frame descriptor on `queue`; `false` means the ring was
     /// full and the frame was dropped on the wire.
     pub fn enqueue(&mut self, queue: u32, frame: T) -> bool {
-        self.queues[queue as usize].push(frame)
+        let ok = self.queues[queue as usize].push(frame);
+        if let Some(c) = self.telemetry.q_enqueued.get(queue as usize) {
+            if ok {
+                c.inc();
+            } else {
+                self.telemetry.q_dropped[queue as usize].inc();
+            }
+        }
+        ok
     }
 
     /// Drains the next descriptor from `queue` (driver poll / IRQ work).
@@ -179,6 +234,30 @@ mod tests {
         assert_eq!(nic.ring_drops(), 1);
         assert_eq!(nic.dequeue(0), Some(1));
         assert_eq!(nic.depths(), vec![1]);
+    }
+
+    #[test]
+    fn telemetry_counts_steering_and_ring_activity() {
+        let registry = Registry::new();
+        let mut nic: Nic<u64> = Nic::new(2, 1);
+        nic.attach_telemetry(&registry);
+
+        nic.select_queue(&flow(1000), None); // RSS
+        nic.set_steering(Steering::Offload);
+        nic.select_queue(&flow(1000), Some(1)); // offload pick
+        nic.select_queue(&flow(1000), None); // offload PASS → RSS
+
+        assert!(nic.enqueue(0, 1));
+        assert!(!nic.enqueue(0, 2)); // ring full
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("nic/steer_rss"), 2);
+        assert_eq!(snap.counter("nic/steer_offload"), 1);
+        assert_eq!(snap.counter("nic/q0/enqueued"), 1);
+        assert_eq!(snap.counter("nic/q0/ring_drops"), 1);
+        assert_eq!(snap.counter("nic/q1/enqueued"), 0);
+        // Internal tallies agree with the exported counters.
+        assert_eq!(nic.ring_drops(), snap.counter("nic/q0/ring_drops"));
     }
 
     #[test]

@@ -14,6 +14,7 @@
 use std::collections::VecDeque;
 
 use syrup_core::Decision;
+use syrup_telemetry::{CounterHandle, Registry};
 
 /// Default receive-queue capacity in datagrams, approximating Linux's
 /// default `net.core.rmem_default` divided by our datagram size.
@@ -85,10 +86,21 @@ pub enum Delivery {
     },
 }
 
+/// Delivery counters for one reuseport group, split the way Figure 2b
+/// needs them: policy drops vs full-buffer drops. Disabled (free) until
+/// [`ReuseportGroup::attach_telemetry`].
+#[derive(Debug, Default)]
+struct GroupTelemetry {
+    delivered: CounterHandle,
+    policy_drops: CounterHandle,
+    buffer_drops: CounterHandle,
+}
+
 /// N sockets bound to one port with `SO_REUSEPORT`.
 #[derive(Debug)]
 pub struct ReuseportGroup<T> {
     sockets: Vec<SocketBuf<T>>,
+    telemetry: GroupTelemetry,
 }
 
 impl<T> ReuseportGroup<T> {
@@ -97,7 +109,20 @@ impl<T> ReuseportGroup<T> {
         assert!(n > 0, "a reuseport group needs at least one socket");
         ReuseportGroup {
             sockets: (0..n).map(|_| SocketBuf::new(capacity)).collect(),
+            telemetry: GroupTelemetry::default(),
         }
+    }
+
+    /// Publishes delivery counters under `<prefix>/` in `registry`
+    /// (`<prefix>/delivered`, `<prefix>/policy_drops`,
+    /// `<prefix>/buffer_drops`). The prefix lets one registry host many
+    /// groups (e.g. `sock8080`).
+    pub fn attach_telemetry(&mut self, registry: &Registry, prefix: &str) {
+        self.telemetry = GroupTelemetry {
+            delivered: registry.counter(&format!("{prefix}/delivered")),
+            policy_drops: registry.counter(&format!("{prefix}/policy_drops")),
+            buffer_drops: registry.counter(&format!("{prefix}/buffer_drops")),
+        };
     }
 
     /// Number of sockets in the group.
@@ -130,11 +155,16 @@ impl<T> ReuseportGroup<T> {
                 }
             }
             Decision::Pass => self.default_select(flow_hash),
-            Decision::Drop => return Delivery::Dropped { buffer_full: false },
+            Decision::Drop => {
+                self.telemetry.policy_drops.inc();
+                return Delivery::Dropped { buffer_full: false };
+            }
         };
         if self.sockets[index].push(item) {
+            self.telemetry.delivered.inc();
             Delivery::Enqueued(index)
         } else {
+            self.telemetry.buffer_drops.inc();
             Delivery::Dropped { buffer_full: true }
         }
     }
@@ -214,6 +244,20 @@ mod tests {
             group.deliver(7, 3, Decision::Executor(99)),
             Delivery::Enqueued(1)
         );
+    }
+
+    #[test]
+    fn telemetry_splits_policy_and_buffer_drops() {
+        let registry = Registry::new();
+        let mut group: ReuseportGroup<u32> = ReuseportGroup::new(1, 1);
+        group.attach_telemetry(&registry, "sock8080");
+        group.deliver(1, 0, Decision::Pass); // enqueued
+        group.deliver(2, 0, Decision::Drop); // policy drop
+        group.deliver(3, 0, Decision::Pass); // buffer full
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("sock8080/delivered"), 1);
+        assert_eq!(snap.counter("sock8080/policy_drops"), 1);
+        assert_eq!(snap.counter("sock8080/buffer_drops"), 1);
     }
 
     #[test]

@@ -6,6 +6,13 @@
 //! bars. [`LatencyRecorder`] collects per-request samples with a warm-up
 //! cutoff, [`LatencySummary`] extracts exact percentiles, and [`RunStats`]
 //! aggregates one whole run (completions, drops, achieved throughput).
+//!
+//! Alongside the exact samples, the recorder mirrors every latency into a
+//! telemetry [`HistogramSnapshot`] — the cross-stack exchange format the
+//! benchmark binaries consume — so a run's statistics can be merged with
+//! (or compared against) metrics exported by `syrupd` and the substrates.
+
+use syrup_telemetry::HistogramSnapshot;
 
 use crate::time::{Duration, Time};
 
@@ -14,6 +21,7 @@ use crate::time::{Duration, Time};
 pub struct LatencyRecorder {
     warmup_until: Time,
     samples: Vec<u64>,
+    hist: HistogramSnapshot,
     discarded: u64,
 }
 
@@ -24,6 +32,7 @@ impl LatencyRecorder {
         LatencyRecorder {
             warmup_until,
             samples: Vec::new(),
+            hist: HistogramSnapshot::empty(),
             discarded: 0,
         }
     }
@@ -34,7 +43,9 @@ impl LatencyRecorder {
             self.discarded += 1;
             return;
         }
-        self.samples.push(now.since(arrival).as_nanos());
+        let ns = now.since(arrival).as_nanos();
+        self.samples.push(ns);
+        self.hist.record(ns);
     }
 
     /// Records an already-computed latency at completion time `now`.
@@ -44,6 +55,12 @@ impl LatencyRecorder {
             return;
         }
         self.samples.push(latency.as_nanos());
+        self.hist.record(latency.as_nanos());
+    }
+
+    /// The telemetry-format mirror of the recorded samples.
+    pub fn histogram(&self) -> &HistogramSnapshot {
+        &self.hist
     }
 
     /// Number of post-warm-up samples.
@@ -86,6 +103,11 @@ impl LatencySummary {
     /// Number of samples.
     pub fn len(&self) -> usize {
         self.sorted.len()
+    }
+
+    /// The sorted raw samples, in nanoseconds.
+    pub fn samples(&self) -> &[u64] {
+        &self.sorted
     }
 
     /// Whether the summary holds no samples.
@@ -147,11 +169,45 @@ pub struct RunStats {
     pub dropped: u64,
     /// Latency order statistics over completed requests.
     pub latency: LatencySummary,
+    /// The same latencies in the telemetry exchange format (exact count,
+    /// sum, min, max; log2-bucketed quantiles). Mergeable across runs and
+    /// alongside substrate-exported histograms.
+    pub latency_hist: HistogramSnapshot,
     /// Measurement interval used for throughput calculations.
     pub measured: Duration,
 }
 
 impl RunStats {
+    /// An empty run over a zero-length interval (the `merge` identity).
+    pub fn empty() -> Self {
+        RunStats {
+            offered: 0,
+            completed: 0,
+            dropped: 0,
+            latency: LatencySummary::from_nanos(Vec::new()),
+            latency_hist: HistogramSnapshot::empty(),
+            measured: Duration::ZERO,
+        }
+    }
+
+    /// Builds the aggregate from a finished recorder plus the run's
+    /// admission counts.
+    pub fn from_recorder(
+        recorder: &LatencyRecorder,
+        offered: u64,
+        dropped: u64,
+        measured: Duration,
+    ) -> Self {
+        RunStats {
+            offered,
+            completed: recorder.len() as u64,
+            dropped,
+            latency: recorder.summary(),
+            latency_hist: recorder.histogram().clone(),
+            measured,
+        }
+    }
+
     /// Fraction of offered requests that were dropped, in percent
     /// (Figure 2b's y-axis).
     pub fn drop_pct(&self) -> f64 {
@@ -168,6 +224,20 @@ impl RunStats {
             return 0.0;
         }
         self.completed as f64 / secs
+    }
+
+    /// Folds another run (e.g. a different seed or a later interval) into
+    /// this one: counts add, latencies pool, intervals concatenate.
+    pub fn merge(&mut self, other: &RunStats) {
+        self.offered += other.offered;
+        self.completed += other.completed;
+        self.dropped += other.dropped;
+        let mut samples = Vec::with_capacity(self.latency.len() + other.latency.len());
+        samples.extend_from_slice(self.latency.samples());
+        samples.extend_from_slice(other.latency.samples());
+        self.latency = LatencySummary::from_nanos(samples);
+        self.latency_hist.merge(&other.latency_hist);
+        self.measured += other.measured;
     }
 }
 
@@ -241,6 +311,7 @@ mod tests {
             completed: 900,
             dropped: 100,
             latency: LatencySummary::from_nanos(vec![1, 2, 3]),
+            latency_hist: HistogramSnapshot::empty(),
             measured: Duration::from_millis(100),
         };
         assert!((stats.drop_pct() - 10.0).abs() < 1e-9);
@@ -249,15 +320,90 @@ mod tests {
 
     #[test]
     fn run_stats_empty_interval() {
-        let stats = RunStats {
-            offered: 0,
-            completed: 0,
-            dropped: 0,
-            latency: LatencySummary::from_nanos(vec![]),
-            measured: Duration::ZERO,
-        };
+        // Zero-duration and zero-request runs must not divide by zero.
+        let stats = RunStats::empty();
         assert_eq!(stats.drop_pct(), 0.0);
         assert_eq!(stats.throughput_rps(), 0.0);
+        assert!(stats.latency.is_empty());
+        assert!(stats.latency_hist.is_empty());
+    }
+
+    #[test]
+    fn zero_duration_interval_with_completions_reports_zero_rate() {
+        // Completions recorded against a zero-length window: throughput is
+        // defined as 0, not infinity.
+        let mut rec = LatencyRecorder::new(Time::ZERO);
+        rec.record(Time::ZERO, Time::from_micros(5));
+        let stats = RunStats::from_recorder(&rec, 1, 0, Duration::ZERO);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.throughput_rps(), 0.0);
+    }
+
+    #[test]
+    fn zero_request_interval_with_duration_is_all_zero() {
+        let rec = LatencyRecorder::new(Time::ZERO);
+        let stats = RunStats::from_recorder(&rec, 0, 0, Duration::from_millis(10));
+        assert_eq!(stats.offered, 0);
+        assert_eq!(stats.drop_pct(), 0.0);
+        assert_eq!(stats.throughput_rps(), 0.0);
+        assert_eq!(stats.latency.p99(), Duration::ZERO);
+    }
+
+    #[test]
+    fn merge_of_empty_is_identity() {
+        let mut rec = LatencyRecorder::new(Time::ZERO);
+        for ns in [10, 20, 30] {
+            rec.record_latency(Time::from_millis(1), Duration::from_nanos(ns));
+        }
+        let base = RunStats::from_recorder(&rec, 4, 1, Duration::from_millis(5));
+
+        let mut merged = base.clone();
+        merged.merge(&RunStats::empty());
+        assert_eq!(merged.offered, base.offered);
+        assert_eq!(merged.completed, base.completed);
+        assert_eq!(merged.dropped, base.dropped);
+        assert_eq!(merged.measured, base.measured);
+        assert_eq!(merged.latency.samples(), base.latency.samples());
+        assert_eq!(merged.latency_hist, base.latency_hist);
+
+        // And the other direction: empty.merge(base) == base.
+        let mut from_empty = RunStats::empty();
+        from_empty.merge(&base);
+        assert_eq!(from_empty.latency.samples(), base.latency.samples());
+        assert_eq!(from_empty.measured, base.measured);
+    }
+
+    #[test]
+    fn merge_pools_counts_and_samples() {
+        let mut a_rec = LatencyRecorder::new(Time::ZERO);
+        a_rec.record_latency(Time::from_millis(1), Duration::from_nanos(100));
+        let mut b_rec = LatencyRecorder::new(Time::ZERO);
+        b_rec.record_latency(Time::from_millis(1), Duration::from_nanos(300));
+
+        let mut a = RunStats::from_recorder(&a_rec, 2, 1, Duration::from_millis(10));
+        let b = RunStats::from_recorder(&b_rec, 3, 0, Duration::from_millis(10));
+        a.merge(&b);
+        assert_eq!(a.offered, 5);
+        assert_eq!(a.completed, 2);
+        assert_eq!(a.dropped, 1);
+        assert_eq!(a.latency.samples(), &[100, 300]);
+        assert_eq!(a.latency_hist.count(), 2);
+        assert_eq!(a.latency_hist.min(), 100);
+        assert_eq!(a.latency_hist.max(), 300);
+        assert_eq!(a.measured, Duration::from_millis(20));
+    }
+
+    #[test]
+    fn recorder_histogram_mirrors_samples() {
+        let mut rec = LatencyRecorder::new(Time::from_millis(10));
+        rec.record(Time::ZERO, Time::from_millis(5)); // warm-up: both skip it
+        rec.record_latency(Time::from_millis(11), Duration::from_nanos(1000));
+        rec.record_latency(Time::from_millis(12), Duration::from_nanos(2000));
+        let h = rec.histogram();
+        assert_eq!(h.count(), rec.len() as u64);
+        assert_eq!(h.min(), 1000);
+        assert_eq!(h.max(), 2000);
+        assert_eq!(h.sum(), 3000);
     }
 
     #[test]

@@ -1,0 +1,172 @@
+//! Lock-free counters and gauges.
+//!
+//! All updates use relaxed atomics: telemetry never orders other memory
+//! accesses, it only has to be eventually consistent with a [`sum`]
+//! (`ShardedCounter::sum`) or `get` read at snapshot time.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering::Relaxed};
+
+/// A monotonic event counter (deployments, dispatches, drops, ...).
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub const fn new() -> Self {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Relaxed)
+    }
+}
+
+/// A signed instantaneous value (queue depth, runnable tasks, ...).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub const fn new() -> Self {
+        Gauge {
+            value: AtomicI64::new(0),
+        }
+    }
+
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Relaxed);
+    }
+
+    /// Adds `n` (may be negative via [`Gauge::sub`]).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Relaxed);
+    }
+
+    /// Subtracts `n`.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.value.fetch_sub(n, Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Relaxed)
+    }
+}
+
+/// Shard count for [`ShardedCounter`]; power of two, sized like a small
+/// percpu array.
+const SHARDS: usize = 16;
+
+/// One cache line per shard so concurrent writers don't false-share.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct PaddedU64(AtomicU64);
+
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+std::thread_local! {
+    /// Each thread gets a home shard round-robin, mirroring how percpu
+    /// map updates land on the updating CPU's slot.
+    static HOME_SHARD: usize = NEXT_SHARD.fetch_add(1, Relaxed) % SHARDS;
+}
+
+/// A counter striped across cache-padded shards for write-heavy,
+/// multi-thread hot paths. Reads sum all shards.
+#[derive(Debug, Default)]
+pub struct ShardedCounter {
+    shards: [PaddedU64; SHARDS],
+}
+
+impl ShardedCounter {
+    /// Creates a sharded counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one on the calling thread's home shard.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` on the calling thread's home shard.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        let shard = HOME_SHARD.with(|s| *s);
+        self.shards[shard].0.fetch_add(n, Relaxed);
+    }
+
+    /// Sums every shard. Concurrent updates may or may not be included.
+    pub fn sum(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Relaxed))
+            .fold(0, u64::wrapping_add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::new();
+        g.add(5);
+        g.sub(2);
+        assert_eq!(g.get(), 3);
+        g.set(-7);
+        assert_eq!(g.get(), -7);
+    }
+
+    #[test]
+    fn sharded_counter_sums_across_threads() {
+        let c = Arc::new(ShardedCounter::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.sum(), 80_000);
+    }
+}

@@ -1,0 +1,495 @@
+//! The metric registry: named instruments, disabled mode, snapshots.
+//!
+//! Registration (`counter`/`gauge`/`histogram`) takes a short lock and
+//! returns a cloneable *handle*; every subsequent update through the
+//! handle is lock-free. A [`Registry::disabled`] registry returns empty
+//! handles whose updates compile down to a single `Option` branch —
+//! instrumentation stays in place at zero cost.
+//!
+//! Metric names are plain `/`-separated strings; integrations scope them
+//! as `<component>/<metric>` or `app<id>/<hook>/<metric>`, which makes
+//! per-app export a prefix filter ([`Snapshot::filter_prefix`]).
+
+use crate::counter::{Counter, Gauge};
+use crate::hist::{Histogram, HistogramSnapshot};
+use crate::ring::{DecisionEvent, DecisionRing};
+use parking_lot::Mutex;
+use serde::{Serialize, SerializeStruct, Serializer};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Default bound on buffered decision events, matching a small eBPF
+/// ringbuf (4096 entries).
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+#[derive(Debug, Default)]
+struct Instruments {
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+}
+
+#[derive(Debug)]
+struct RegistryInner {
+    instruments: Mutex<Instruments>,
+    ring: DecisionRing,
+}
+
+/// A shareable registry of named metrics plus a decision ring buffer.
+/// Cloning shares the underlying state (like sharing a map fd).
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    inner: Option<Arc<RegistryInner>>,
+}
+
+impl Registry {
+    /// An enabled registry with the default ring capacity.
+    pub fn new() -> Self {
+        Self::with_ring_capacity(DEFAULT_RING_CAPACITY)
+    }
+
+    /// An enabled registry whose decision ring holds `capacity` events.
+    pub fn with_ring_capacity(capacity: usize) -> Self {
+        Registry {
+            inner: Some(Arc::new(RegistryInner {
+                instruments: Mutex::new(Instruments::default()),
+                ring: DecisionRing::new(capacity),
+            })),
+        }
+    }
+
+    /// A disabled registry: all handles are no-ops, snapshots are empty.
+    pub fn disabled() -> Self {
+        Registry { inner: None }
+    }
+
+    /// Whether metrics are actually collected.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Registers (or fetches) the named counter.
+    pub fn counter(&self, name: &str) -> CounterHandle {
+        CounterHandle {
+            inner: self.inner.as_ref().map(|r| {
+                Arc::clone(
+                    r.instruments
+                        .lock()
+                        .counters
+                        .entry(name.to_string())
+                        .or_default(),
+                )
+            }),
+        }
+    }
+
+    /// Registers (or fetches) the named gauge.
+    pub fn gauge(&self, name: &str) -> GaugeHandle {
+        GaugeHandle {
+            inner: self.inner.as_ref().map(|r| {
+                Arc::clone(
+                    r.instruments
+                        .lock()
+                        .gauges
+                        .entry(name.to_string())
+                        .or_default(),
+                )
+            }),
+        }
+    }
+
+    /// Registers (or fetches) the named histogram.
+    pub fn histogram(&self, name: &str) -> HistogramHandle {
+        HistogramHandle {
+            inner: self.inner.as_ref().map(|r| {
+                Arc::clone(
+                    r.instruments
+                        .lock()
+                        .histograms
+                        .entry(name.to_string())
+                        .or_default(),
+                )
+            }),
+        }
+    }
+
+    /// Traces one decision into the ring buffer. Returns whether the
+    /// event was stored (false when full or disabled).
+    pub fn trace(&self, event: DecisionEvent) -> bool {
+        match &self.inner {
+            Some(r) => r.ring.push(event),
+            None => false,
+        }
+    }
+
+    /// Consumes all buffered decision events, oldest first.
+    pub fn drain_trace(&self) -> Vec<DecisionEvent> {
+        match &self.inner {
+            Some(r) => r.ring.drain(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Decision events lost to ring overflow so far.
+    pub fn trace_dropped(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |r| r.ring.dropped())
+    }
+
+    /// Point-in-time copy of every metric. Disabled registries snapshot
+    /// as empty.
+    pub fn snapshot(&self) -> Snapshot {
+        let Some(r) = &self.inner else {
+            return Snapshot::default();
+        };
+        let instruments = r.instruments.lock();
+        Snapshot {
+            counters: instruments
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: instruments
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: instruments
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+            trace_buffered: r.ring.len() as u64,
+            trace_dropped: r.ring.dropped(),
+        }
+    }
+}
+
+/// Lock-free handle to a registered [`Counter`]; no-op when disabled.
+#[derive(Debug, Clone, Default)]
+pub struct CounterHandle {
+    inner: Option<Arc<Counter>>,
+}
+
+impl CounterHandle {
+    /// A permanently disabled handle.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        if let Some(c) = &self.inner {
+            c.inc();
+        }
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.inner {
+            c.add(n);
+        }
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |c| c.get())
+    }
+}
+
+/// Lock-free handle to a registered [`Gauge`]; no-op when disabled.
+#[derive(Debug, Clone, Default)]
+pub struct GaugeHandle {
+    inner: Option<Arc<Gauge>>,
+}
+
+impl GaugeHandle {
+    /// A permanently disabled handle.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if let Some(g) = &self.inner {
+            g.set(v);
+        }
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: i64) {
+        if let Some(g) = &self.inner {
+            g.add(n);
+        }
+    }
+
+    /// Subtracts `n`.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        if let Some(g) = &self.inner {
+            g.sub(n);
+        }
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> i64 {
+        self.inner.as_ref().map_or(0, |g| g.get())
+    }
+}
+
+/// Lock-free handle to a registered [`Histogram`]; no-op when disabled.
+#[derive(Debug, Clone, Default)]
+pub struct HistogramHandle {
+    inner: Option<Arc<Histogram>>,
+}
+
+impl HistogramHandle {
+    /// A permanently disabled handle.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if let Some(h) = &self.inner {
+            h.record(v);
+        }
+    }
+
+    /// Current state (empty when disabled).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.inner
+            .as_ref()
+            .map_or_else(HistogramSnapshot::empty, |h| h.snapshot())
+    }
+}
+
+/// Point-in-time copy of a registry's metrics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Decision events buffered in the ring at snapshot time.
+    pub trace_buffered: u64,
+    /// Decision events lost to ring overflow.
+    pub trace_dropped: u64,
+}
+
+impl Snapshot {
+    /// Counter value, 0 if absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value, 0 if absent.
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram state, if recorded.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Sub-snapshot of metrics whose name starts with `prefix` (the
+    /// prefix is stripped). Used for per-app export: metrics are named
+    /// `app<id>/...`, so one app's view is `filter_prefix("app3/")`.
+    pub fn filter_prefix(&self, prefix: &str) -> Snapshot {
+        fn strip<V: Clone>(map: &BTreeMap<String, V>, prefix: &str) -> BTreeMap<String, V> {
+            map.iter()
+                .filter_map(|(k, v)| {
+                    k.strip_prefix(prefix)
+                        .map(|rest| (rest.to_string(), v.clone()))
+                })
+                .collect()
+        }
+        Snapshot {
+            counters: strip(&self.counters, prefix),
+            gauges: strip(&self.gauges, prefix),
+            histograms: strip(&self.histograms, prefix),
+            trace_buffered: self.trace_buffered,
+            trace_dropped: self.trace_dropped,
+        }
+    }
+
+    /// Renders a plain-text table of every metric.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() || !self.gauges.is_empty() {
+            let _ = writeln!(out, "{:<44} {:>14}", "counter/gauge", "value");
+            let _ = writeln!(out, "{}", "-".repeat(59));
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "{name:<44} {v:>14}");
+            }
+            for (name, v) in &self.gauges {
+                let _ = writeln!(out, "{name:<44} {v:>14}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            let _ = writeln!(
+                out,
+                "{:<36} {:>9} {:>11} {:>9} {:>9} {:>10}",
+                "histogram", "count", "mean", "p50", "p99", "max"
+            );
+            let _ = writeln!(out, "{}", "-".repeat(89));
+            for (name, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "{:<36} {:>9} {:>11.1} {:>9} {:>9} {:>10}",
+                    name,
+                    h.count(),
+                    h.mean(),
+                    h.p50(),
+                    h.p99(),
+                    h.max()
+                );
+            }
+        }
+        if self.trace_buffered > 0 || self.trace_dropped > 0 {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            let _ = writeln!(
+                out,
+                "trace: {} buffered, {} dropped",
+                self.trace_buffered, self.trace_dropped
+            );
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+        }
+        out
+    }
+
+    /// Serializes the snapshot to JSON.
+    pub fn to_json(&self) -> String {
+        serde::json::to_string(self).expect("JSON emission into a String cannot fail")
+    }
+}
+
+impl Serialize for Snapshot {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("Snapshot", 5)?;
+        s.serialize_field("counters", &self.counters)?;
+        s.serialize_field("gauges", &self.gauges)?;
+        s.serialize_field("histograms", &self.histograms)?;
+        s.serialize_field("trace_buffered", &self.trace_buffered)?;
+        s.serialize_field("trace_dropped", &self.trace_dropped)?;
+        s.end()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::Executor;
+
+    #[test]
+    fn handles_share_state_by_name() {
+        let reg = Registry::new();
+        let a = reg.counter("syrupd/dispatches");
+        let b = reg.counter("syrupd/dispatches");
+        a.inc();
+        b.add(2);
+        assert_eq!(reg.snapshot().counter("syrupd/dispatches"), 3);
+    }
+
+    #[test]
+    fn disabled_registry_is_inert() {
+        let reg = Registry::disabled();
+        let c = reg.counter("x");
+        let g = reg.gauge("y");
+        let h = reg.histogram("z");
+        c.inc();
+        g.set(9);
+        h.record(100);
+        assert!(!reg.trace(DecisionEvent {
+            sim_time_ns: 0,
+            hook: "h",
+            app: 0,
+            verdict: 0,
+            executor: Executor::Native,
+            cycles: 0,
+        }));
+        let snap = reg.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert!(snap.histograms.is_empty());
+        assert_eq!(snap.render_table(), "(no metrics recorded)\n");
+    }
+
+    #[test]
+    fn clone_shares_underlying_metrics() {
+        let reg = Registry::new();
+        let clone = reg.clone();
+        clone.counter("net/q0/enqueued").add(5);
+        assert_eq!(reg.snapshot().counter("net/q0/enqueued"), 5);
+    }
+
+    #[test]
+    fn prefix_filter_scopes_per_app() {
+        let reg = Registry::new();
+        reg.counter("app1/nic_steer/verdicts").add(4);
+        reg.counter("app2/nic_steer/verdicts").add(9);
+        reg.histogram("app1/run_cycles").record(1500);
+        let app1 = reg.snapshot().filter_prefix("app1/");
+        assert_eq!(app1.counter("nic_steer/verdicts"), 4);
+        assert_eq!(app1.counter("app2/nic_steer/verdicts"), 0);
+        assert!(app1.histogram("run_cycles").is_some());
+    }
+
+    #[test]
+    fn table_and_json_render() {
+        let reg = Registry::with_ring_capacity(8);
+        reg.counter("syrupd/deploys").inc();
+        reg.gauge("ghost/runnable").set(3);
+        reg.histogram("vm/run_cycles").record(1500);
+        reg.trace(DecisionEvent {
+            sim_time_ns: 10,
+            hook: "nic_steer",
+            app: 1,
+            verdict: 2,
+            executor: Executor::Ebpf,
+            cycles: 1500,
+        });
+        let snap = reg.snapshot();
+        let table = snap.render_table();
+        assert!(table.contains("syrupd/deploys"), "{table}");
+        assert!(table.contains("vm/run_cycles"), "{table}");
+        assert!(table.contains("trace: 1 buffered, 0 dropped"), "{table}");
+        let json = snap.to_json();
+        assert!(json.contains("\"syrupd/deploys\":1"), "{json}");
+        assert!(json.contains("\"trace_buffered\":1"), "{json}");
+    }
+
+    #[test]
+    fn drain_trace_consumes_events() {
+        let reg = Registry::with_ring_capacity(2);
+        for t in 0..3 {
+            reg.trace(DecisionEvent {
+                sim_time_ns: t,
+                hook: "select_cpu",
+                app: 7,
+                verdict: 0,
+                executor: Executor::Native,
+                cycles: 25,
+            });
+        }
+        assert_eq!(reg.trace_dropped(), 1);
+        let events = reg.drain_trace();
+        assert_eq!(events.len(), 2);
+        assert!(reg.drain_trace().is_empty());
+    }
+}

@@ -1,0 +1,181 @@
+//! Bounded decision tracing, mirroring an eBPF ring buffer.
+//!
+//! In the real system each scheduling decision can be streamed to
+//! userspace through a `BPF_MAP_TYPE_RINGBUF`. A producer that cannot
+//! reserve space *drops its own event* and the consumer learns how many
+//! events were lost. [`DecisionRing`] reproduces exactly those semantics:
+//! bounded capacity, newest event dropped on overflow, monotonic drop
+//! counter readable at any time.
+
+use parking_lot::Mutex;
+use serde::{Serialize, SerializeStruct, Serializer};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Where a scheduling decision was executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Executor {
+    /// Interpreted native policy (trusted in-process closure).
+    Native,
+    /// Software eBPF VM.
+    Ebpf,
+}
+
+impl Executor {
+    /// Short lowercase name for tables and JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Executor::Native => "native",
+            Executor::Ebpf => "ebpf",
+        }
+    }
+}
+
+/// One traced scheduling decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecisionEvent {
+    /// Virtual time of the decision, nanoseconds.
+    pub sim_time_ns: u64,
+    /// Hook the decision was made at (e.g. `"nic_steer"`, `"select_cpu"`).
+    pub hook: &'static str,
+    /// Application the policy belongs to.
+    pub app: u64,
+    /// Raw verdict returned by the policy (queue index, CPU id, drop code).
+    pub verdict: i64,
+    /// Execution engine that produced the verdict.
+    pub executor: Executor,
+    /// Cycles charged for producing the verdict.
+    pub cycles: u64,
+}
+
+impl Serialize for DecisionEvent {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("DecisionEvent", 6)?;
+        s.serialize_field("sim_time_ns", &self.sim_time_ns)?;
+        s.serialize_field("hook", &self.hook)?;
+        s.serialize_field("app", &self.app)?;
+        s.serialize_field("verdict", &self.verdict)?;
+        s.serialize_field("executor", &self.executor.as_str())?;
+        s.serialize_field("cycles", &self.cycles)?;
+        s.end()
+    }
+}
+
+/// Bounded ring of recent [`DecisionEvent`]s with drop counting.
+#[derive(Debug)]
+pub struct DecisionRing {
+    events: Mutex<VecDeque<DecisionEvent>>,
+    capacity: usize,
+    dropped: AtomicU64,
+}
+
+impl DecisionRing {
+    /// Creates a ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        DecisionRing {
+            events: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity,
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends an event. If the ring is full the event is discarded (like
+    /// a failed ringbuf reservation) and the drop counter advances;
+    /// returns whether the event was stored.
+    pub fn push(&self, event: DecisionEvent) -> bool {
+        let mut events = self.events.lock();
+        if events.len() >= self.capacity {
+            drop(events);
+            self.dropped.fetch_add(1, Relaxed);
+            return false;
+        }
+        events.push_back(event);
+        true
+    }
+
+    /// Removes and returns all buffered events, oldest first (consumer
+    /// read). Frees capacity for new events.
+    pub fn drain(&self) -> Vec<DecisionEvent> {
+        self.events.lock().drain(..).collect()
+    }
+
+    /// Copies the buffered events without consuming them.
+    pub fn peek(&self) -> Vec<DecisionEvent> {
+        self.events.lock().iter().cloned().collect()
+    }
+
+    /// Number of currently buffered events.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of buffered events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events discarded because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64) -> DecisionEvent {
+        DecisionEvent {
+            sim_time_ns: t,
+            hook: "nic_steer",
+            app: 1,
+            verdict: 3,
+            executor: Executor::Ebpf,
+            cycles: 1500,
+        }
+    }
+
+    #[test]
+    fn overflow_drops_the_new_event() {
+        let ring = DecisionRing::new(2);
+        assert!(ring.push(ev(1)));
+        assert!(ring.push(ev(2)));
+        assert!(!ring.push(ev(3)));
+        assert_eq!(ring.dropped(), 1);
+        // The buffered events are the OLD ones; event 3 was lost.
+        let events: Vec<u64> = ring.drain().iter().map(|e| e.sim_time_ns).collect();
+        assert_eq!(events, vec![1, 2]);
+    }
+
+    #[test]
+    fn drain_frees_capacity() {
+        let ring = DecisionRing::new(1);
+        assert!(ring.push(ev(1)));
+        assert!(!ring.push(ev(2)));
+        assert_eq!(ring.drain().len(), 1);
+        assert!(ring.push(ev(3)));
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.dropped(), 1);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let ring = DecisionRing::new(4);
+        ring.push(ev(1));
+        assert_eq!(ring.peek().len(), 1);
+        assert_eq!(ring.len(), 1);
+    }
+
+    #[test]
+    fn events_serialize_with_executor_names() {
+        let json = serde::json::to_string(&ev(9)).unwrap();
+        assert!(json.contains("\"executor\":\"ebpf\""), "{json}");
+        assert!(json.contains("\"hook\":\"nic_steer\""), "{json}");
+    }
+}

@@ -18,6 +18,8 @@
 //! * [`apps`] — application models and the Figure 2/6/7/8/9 experiment
 //!   worlds.
 //! * [`sim`] — the deterministic discrete-event engine.
+//! * [`telemetry`] — cross-stack observability: named counters/gauges,
+//!   log2 cycle histograms, and a bounded decision-trace ring buffer.
 //!
 //! # Quickstart
 //!
@@ -70,3 +72,6 @@ pub use syrup_policies as policies;
 pub use syrup_sim as sim;
 /// The storage backend (re-export of `syrup-storage`, paper §6.1).
 pub use syrup_storage as storage;
+/// Cross-stack observability: counters, cycle histograms, decision
+/// tracing (re-export of `syrup-telemetry`).
+pub use syrup_telemetry as telemetry;

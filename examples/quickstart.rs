@@ -83,4 +83,21 @@ fn main() {
         )
         .unwrap_err();
     println!("\nunsafe policy rejected as expected:\n  {err}");
+
+    // ❺ Everything above was observed: syrupd keeps counters, cycle
+    // histograms, and a ring buffer of per-decision trace events.
+    println!("\ntelemetry snapshot:");
+    print!("{}", daemon.telemetry_snapshot().render_table());
+    println!("\nrecent decisions (oldest first):");
+    for ev in daemon.drain_decisions() {
+        println!(
+            "  t={}ns {} app{} -> verdict {} via {} ({} cycles)",
+            ev.sim_time_ns,
+            ev.hook,
+            ev.app,
+            ev.verdict,
+            ev.executor.as_str(),
+            ev.cycles
+        );
+    }
 }

@@ -1,0 +1,618 @@
+//! Offline stub for `proptest` 1.x.
+//!
+//! Implements real property-based testing — deterministic strategy
+//! sampling, edge-case-biased integer generation, the `proptest!` macro,
+//! `prop_assert*` — over the API surface this workspace uses. The one
+//! deliberate omission versus the real crate is *shrinking*: a failing case
+//! is reported with its case number (re-runnable, since generation is
+//! deterministic per test name) but not minimized.
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+pub mod test_runner {
+    //! Run configuration and the per-test RNG.
+
+    /// Error produced by a failing `prop_assert*`.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Wraps a failure message.
+        pub fn new(msg: String) -> Self {
+            TestCaseError(msg)
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl From<String> for TestCaseError {
+        fn from(s: String) -> Self {
+            TestCaseError(s)
+        }
+    }
+
+    /// How many cases each property runs, configurable via
+    /// `#![proptest_config(ProptestConfig::with_cases(n))]`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// The generator handed to strategies: the vendored `StdRng`.
+    pub type TestRng = rand::rngs::StdRng;
+
+    /// Deterministic RNG for one (test, case) pair: same binary, same
+    /// sequence — failures reproduce exactly.
+    pub fn rng_for(test_name: &str, case: u32) -> TestRng {
+        use rand::SeedableRng;
+        // FNV-1a over the test name, mixed with the case index.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng::seed_from_u64(h ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+    }
+}
+
+use test_runner::TestRng;
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+    use super::*;
+    use rand::distributions::uniform::{SampleRange, SampleUniform};
+    use rand::{Rng, RngCore};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Filters generated values, retrying until `f` accepts one.
+        fn prop_filter<F>(self, _whence: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { inner: self, f }
+        }
+
+        /// Builds recursive structures: `self` generates leaves and `f`
+        /// lifts a strategy for depth-`k` values into one for depth-`k+1`.
+        /// `levels` bounds the recursion depth; the remaining size hints
+        /// are accepted for API compatibility.
+        fn prop_recursive<F, S>(
+            self,
+            levels: u32,
+            _desired_size: u32,
+            _expected_branch: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S,
+            S: Strategy<Value = Self::Value> + 'static,
+        {
+            let mut cur = self.boxed();
+            for _ in 0..levels.max(1) {
+                let leaf = cur.clone();
+                let branch = f(cur).boxed();
+                cur = BoxedStrategy::new(move |rng| {
+                    // One third leaves keeps expected depth below `levels`
+                    // while still exercising deep nests.
+                    if rng.next_u64() % 3 == 0 {
+                        leaf.sample(rng)
+                    } else {
+                        branch.sample(rng)
+                    }
+                });
+            }
+            cur
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy::new(move |rng| self.sample(rng))
+        }
+    }
+
+    /// A cloneable, type-erased strategy.
+    pub struct BoxedStrategy<T> {
+        f: Rc<dyn Fn(&mut TestRng) -> T>,
+    }
+
+    impl<T> BoxedStrategy<T> {
+        /// Wraps a sampling closure.
+        pub fn new(f: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+            BoxedStrategy { f: Rc::new(f) }
+        }
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy { f: self.f.clone() }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (self.f)(rng)
+        }
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Clone)]
+    pub struct Filter<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1_000 {
+                let v = self.inner.sample(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter rejected 1000 consecutive candidates");
+        }
+    }
+
+    impl<T> Strategy for Range<T>
+    where
+        T: SampleUniform,
+        Range<T>: Clone + SampleRange<T>,
+    {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T> Strategy for RangeInclusive<T>
+    where
+        T: SampleUniform,
+        RangeInclusive<T>: Clone + SampleRange<T>,
+    {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// String patterns are strategies: a tiny regex subset supporting the
+    /// workspace's fuzz patterns — a char class (`\PC` = any printable,
+    /// `[a-z]`-free) with a `{lo,hi}` repetition suffix. Anything else
+    /// falls back to printable soup of length 0..=64.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            let (lo, hi) = parse_repeat(self).unwrap_or((0, 64));
+            let len = if hi > lo { rng.gen_range(lo..=hi) } else { lo };
+            (0..len).map(|_| printable_char(rng)).collect()
+        }
+    }
+
+    fn parse_repeat(pat: &str) -> Option<(usize, usize)> {
+        let open = pat.rfind('{')?;
+        let body = pat[open + 1..].strip_suffix('}')?;
+        let (lo, hi) = body.split_once(',')?;
+        Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+    }
+
+    fn printable_char(rng: &mut TestRng) -> char {
+        // Mostly ASCII printable, occasionally multibyte to stress UTF-8
+        // handling (mirrors \PC matching any printable codepoint).
+        match rng.next_u64() % 16 {
+            0 => char::from_u32(0x00A1 + (rng.next_u64() % 0x500) as u32).unwrap_or('§'),
+            _ => (0x20u8 + (rng.next_u64() % 95) as u8) as char,
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — the canonical strategy per type.
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::RngCore;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    // Bias toward boundary values, like the real crate.
+                    match rng.next_u64() % 16 {
+                        0 => 0,
+                        1 => <$t>::MAX,
+                        2 => <$t>::MIN,
+                        3 => 1 as $t,
+                        _ => rng.next_u64() as $t,
+                    }
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            f64::from_bits(rng.next_u64())
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A length range for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end.max(r.start + 1),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.size.lo..self.size.hi_exclusive);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling from fixed candidate sets.
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+
+    /// Uniformly selects one of `options` (must be non-empty).
+    pub fn select<T: Clone + 'static>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select() needs at least one option");
+        Select { options }
+    }
+
+    /// See [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.options[rng.gen_range(0..self.options.len())].clone()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Module-style access: `prop::collection::vec`, `prop::sample::select`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Asserts a condition inside a property, failing the case (not panicking)
+/// so the runner can report the case number.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::new(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {:?} == {:?}: {}",
+            l,
+            r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `Config::cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                for case in 0..config.cases {
+                    let mut __proptest_rng = $crate::test_runner::rng_for(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(
+                        let $pat =
+                            $crate::strategy::Strategy::sample(&($strat), &mut __proptest_rng);
+                    )+
+                    let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(e) = result {
+                        panic!(
+                            "proptest {} failed at case {}/{}: {}",
+                            stringify!($name),
+                            case,
+                            config.cases,
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(v in 10u64..20, f in 0.0f64..=1.0) {
+            prop_assert!((10..20).contains(&v));
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size(xs in prop::collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 5);
+        }
+
+        #[test]
+        fn select_only_returns_options(s in prop::sample::select(vec!["a", "b"])) {
+            prop_assert!(s == "a" || s == "b");
+        }
+
+        #[test]
+        fn maps_apply(n in (0u32..10).prop_map(|x| x * 2)) {
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    enum Tree {
+        #[allow(dead_code)] // payload only exercises prop_map plumbing
+        Leaf(u32),
+        Node(Box<Tree>, Box<Tree>),
+    }
+
+    fn depth(t: &Tree) -> u32 {
+        match t {
+            Tree::Leaf(_) => 0,
+            Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn recursive_strategies_bound_depth(
+            t in (0u32..100).prop_map(Tree::Leaf).prop_recursive(4, 16, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            })
+        ) {
+            prop_assert!(depth(&t) <= 4);
+        }
+    }
+
+    #[test]
+    fn string_patterns_honor_repetition() {
+        let mut rng = crate::test_runner::rng_for("string_patterns", 0);
+        for _ in 0..100 {
+            let s = Strategy::sample(&"\\PC{0,30}", &mut rng);
+            assert!(s.chars().count() <= 30);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut a = crate::test_runner::rng_for("x", 3);
+        let mut b = crate::test_runner::rng_for("x", 3);
+        let s = prop::collection::vec(any::<u64>(), 0..8);
+        for _ in 0..50 {
+            assert_eq!(Strategy::sample(&s, &mut a), Strategy::sample(&s, &mut b));
+        }
+    }
+}

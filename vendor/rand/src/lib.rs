@@ -1,0 +1,299 @@
+//! Offline stub for `rand` 0.8.
+//!
+//! Provides [`rngs::StdRng`] (xoshiro256** seeded via SplitMix64 — a
+//! different stream than the real crate's ChaCha12, but this workspace only
+//! relies on *determinism*, never on a specific stream), the [`Rng`] /
+//! [`SeedableRng`] traits, and uniform range sampling via
+//! [`distributions::uniform`]. Ranges use rejection sampling so integer
+//! draws are unbiased.
+
+/// Low-level entropy source: everything derives from `next_u64`.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable from raw bits ("Standard distribution" analogue).
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// The user-facing sampling interface.
+pub trait Rng: RngCore {
+    /// Draws a value of type `T` from its standard distribution.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Uniform draw from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: distributions::uniform::SampleUniform,
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+pub mod rngs {
+    //! Concrete generators.
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256**.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        fn from_splitmix(seed: u64) -> Self {
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng::from_splitmix(seed)
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod distributions {
+    //! Distribution traits (uniform ranges only).
+
+    pub mod uniform {
+        //! Uniform sampling over ranges.
+        use crate::RngCore;
+        use std::ops::{Range, RangeInclusive};
+
+        /// Types that can be drawn uniformly from a bounded range.
+        pub trait SampleUniform: Sized + Copy + PartialOrd {
+            /// Uniform draw from `[lo, hi]` (both inclusive); `lo <= hi`.
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+
+            /// The largest representable value strictly below `v`, used to
+            /// convert half-open ranges to inclusive ones.
+            fn just_below(v: Self) -> Self;
+        }
+
+        /// Unbiased draw from `[0, span]` by rejection sampling.
+        fn span_draw<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+            if span == u64::MAX {
+                return rng.next_u64();
+            }
+            let n = span + 1;
+            // Largest multiple of n that fits in u64: reject above it.
+            let zone = u64::MAX - (u64::MAX % n) - 1;
+            loop {
+                let v = rng.next_u64();
+                if v <= zone {
+                    return v % n;
+                }
+            }
+        }
+
+        macro_rules! impl_uniform_uint {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                        debug_assert!(lo <= hi);
+                        let span = (hi as u64).wrapping_sub(lo as u64);
+                        lo.wrapping_add(span_draw(rng, span) as $t)
+                    }
+                    fn just_below(v: Self) -> Self {
+                        v - 1
+                    }
+                }
+            )*};
+        }
+        impl_uniform_uint!(u8, u16, u32, u64, usize);
+
+        macro_rules! impl_uniform_int {
+            ($($t:ty => $u:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                        debug_assert!(lo <= hi);
+                        let span = (hi as $u).wrapping_sub(lo as $u) as u64;
+                        lo.wrapping_add(span_draw(rng, span) as $t)
+                    }
+                    fn just_below(v: Self) -> Self {
+                        v - 1
+                    }
+                }
+            )*};
+        }
+        impl_uniform_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+        impl SampleUniform for f64 {
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                lo + u * (hi - lo)
+            }
+            fn just_below(v: Self) -> Self {
+                // Half-open float ranges: `gen::<f64>() in [0,1)` never hits
+                // 1.0, so the inclusive bound is effectively exclusive.
+                v
+            }
+        }
+
+        impl SampleUniform for f32 {
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let u = (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+                lo + u * (hi - lo)
+            }
+            fn just_below(v: Self) -> Self {
+                v
+            }
+        }
+
+        /// Range forms accepted by `Rng::gen_range`.
+        pub trait SampleRange<T> {
+            /// Draws one value from the range.
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for Range<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                assert!(self.start < self.end, "gen_range: empty range");
+                T::sample_inclusive(rng, self.start, T::just_below(self.end))
+            }
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "gen_range: empty range");
+                T::sample_inclusive(rng, lo, hi)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn determinism() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    use super::RngCore;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: u64 = r.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let w: u64 = r.gen_range(5..=5);
+            assert_eq!(w, 5);
+            let f: f64 = r.gen_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&f));
+            let i: i32 = r.gen_range(-64..64);
+            assert!((-64..64).contains(&i));
+        }
+    }
+
+    #[test]
+    fn f64_standard_is_unit_interval() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut acc = 0.0;
+        for _ in 0..10_000 {
+            let f: f64 = r.gen();
+            assert!((0.0..1.0).contains(&f));
+            acc += f;
+        }
+        let mean = acc / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn usize_range_covers_domain() {
+        let mut r = StdRng::seed_from_u64(11);
+        let mut seen = [false; 6];
+        for _ in 0..1_000 {
+            seen[r.gen_range(0..6usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

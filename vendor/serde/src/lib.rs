@@ -1,0 +1,448 @@
+//! Offline stub for `serde`.
+//!
+//! Keeps the real crate's shape — a [`Serialize`] trait visiting a
+//! [`Serializer`] with compound sub-serializers — so hand-written impls
+//! read exactly like expanded `#[derive(Serialize)]` output. Two
+//! deliberate divergences, both because this build is offline:
+//! no proc-macro derive (impls are written by hand), and a built-in
+//! [`json`] backend standing in for `serde_json`.
+
+/// A value that can drive a [`Serializer`].
+pub trait Serialize {
+    /// Visits `serializer` with this value's structure.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A data-format backend.
+pub trait Serializer: Sized {
+    /// Value returned on success.
+    type Ok;
+    /// Format error type.
+    type Error;
+    /// Sub-serializer for sequences.
+    type SerializeSeq: SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+    /// Sub-serializer for maps.
+    type SerializeMap: SerializeMap<Ok = Self::Ok, Error = Self::Error>;
+    /// Sub-serializer for structs.
+    type SerializeStruct: SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+
+    /// Serializes a boolean.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a signed integer.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an unsigned integer.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a float.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a string.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a unit value / `None`.
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+    /// Serializes `Some(value)`.
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Self::Ok, Self::Error>;
+    /// Begins a sequence of `len` elements (if known).
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+    /// Begins a map of `len` entries (if known).
+    fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap, Self::Error>;
+    /// Begins a struct with `len` fields.
+    fn serialize_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStruct, Self::Error>;
+}
+
+/// Sequence sub-serializer.
+pub trait SerializeSeq {
+    /// See [`Serializer::Ok`].
+    type Ok;
+    /// See [`Serializer::Error`].
+    type Error;
+    /// Appends one element.
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Closes the sequence.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Map sub-serializer.
+pub trait SerializeMap {
+    /// See [`Serializer::Ok`].
+    type Ok;
+    /// See [`Serializer::Error`].
+    type Error;
+    /// Appends one key/value entry.
+    fn serialize_entry<K: Serialize + ?Sized, V: Serialize + ?Sized>(
+        &mut self,
+        key: &K,
+        value: &V,
+    ) -> Result<(), Self::Error>;
+    /// Closes the map.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Struct sub-serializer.
+pub trait SerializeStruct {
+    /// See [`Serializer::Ok`].
+    type Ok;
+    /// See [`Serializer::Error`].
+    type Error;
+    /// Appends one named field.
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error>;
+    /// Closes the struct.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+macro_rules! impl_serialize_int {
+    (signed: $($s:ty),*; unsigned: $($u:ty),*) => {
+        $(impl Serialize for $s {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_i64(*self as i64)
+            }
+        })*
+        $(impl Serialize for $u {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_u64(*self as u64)
+            }
+        })*
+    };
+}
+impl_serialize_int!(signed: i8, i16, i32, i64, isize; unsigned: u8, u16, u32, u64, usize);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(f64::from(*self))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => serializer.serialize_some(v),
+            None => serializer.serialize_none(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = serializer.serialize_seq(Some(self.len()))?;
+        for item in self {
+            seq.serialize_element(item)?;
+        }
+        seq.end()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut map = serializer.serialize_map(Some(self.len()))?;
+        for (k, v) in self {
+            map.serialize_entry(k, v)?;
+        }
+        map.end()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::HashMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut map = serializer.serialize_map(Some(self.len()))?;
+        for (k, v) in self {
+            map.serialize_entry(k, v)?;
+        }
+        map.end()
+    }
+}
+
+pub mod json {
+    //! Built-in JSON backend (stands in for `serde_json`).
+    use super::*;
+    use std::fmt::Write as _;
+
+    /// Error type; JSON emission into a `String` cannot actually fail.
+    pub type Error = std::fmt::Error;
+
+    /// Serializes `value` to a compact JSON string.
+    pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+        let mut out = String::new();
+        value.serialize(JsonSerializer { out: &mut out })?;
+        Ok(out)
+    }
+
+    struct JsonSerializer<'a> {
+        out: &'a mut String,
+    }
+
+    fn push_json_str(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    /// Compound JSON writer shared by seq/map/struct.
+    pub struct JsonCompound<'a> {
+        out: &'a mut String,
+        close: char,
+        first: bool,
+    }
+
+    impl JsonCompound<'_> {
+        fn comma(&mut self) {
+            if self.first {
+                self.first = false;
+            } else {
+                self.out.push(',');
+            }
+        }
+    }
+
+    impl<'a> Serializer for JsonSerializer<'a> {
+        type Ok = ();
+        type Error = Error;
+        type SerializeSeq = JsonCompound<'a>;
+        type SerializeMap = JsonCompound<'a>;
+        type SerializeStruct = JsonCompound<'a>;
+
+        fn serialize_bool(self, v: bool) -> Result<(), Error> {
+            self.out.push_str(if v { "true" } else { "false" });
+            Ok(())
+        }
+
+        fn serialize_i64(self, v: i64) -> Result<(), Error> {
+            write!(self.out, "{v}")
+        }
+
+        fn serialize_u64(self, v: u64) -> Result<(), Error> {
+            write!(self.out, "{v}")
+        }
+
+        fn serialize_f64(self, v: f64) -> Result<(), Error> {
+            if v.is_finite() {
+                write!(self.out, "{v}")
+            } else {
+                // JSON has no NaN/Inf; mirror serde_json's strictness is
+                // unhelpful offline, so emit null instead of failing.
+                self.out.push_str("null");
+                Ok(())
+            }
+        }
+
+        fn serialize_str(self, v: &str) -> Result<(), Error> {
+            push_json_str(self.out, v);
+            Ok(())
+        }
+
+        fn serialize_none(self) -> Result<(), Error> {
+            self.out.push_str("null");
+            Ok(())
+        }
+
+        fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), Error> {
+            value.serialize(self)
+        }
+
+        fn serialize_seq(self, _len: Option<usize>) -> Result<JsonCompound<'a>, Error> {
+            self.out.push('[');
+            Ok(JsonCompound {
+                out: self.out,
+                close: ']',
+                first: true,
+            })
+        }
+
+        fn serialize_map(self, _len: Option<usize>) -> Result<JsonCompound<'a>, Error> {
+            self.out.push('{');
+            Ok(JsonCompound {
+                out: self.out,
+                close: '}',
+                first: true,
+            })
+        }
+
+        fn serialize_struct(
+            self,
+            _name: &'static str,
+            _len: usize,
+        ) -> Result<JsonCompound<'a>, Error> {
+            self.out.push('{');
+            Ok(JsonCompound {
+                out: self.out,
+                close: '}',
+                first: true,
+            })
+        }
+    }
+
+    impl SerializeSeq for JsonCompound<'_> {
+        type Ok = ();
+        type Error = Error;
+
+        fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+            self.comma();
+            value.serialize(JsonSerializer { out: self.out })
+        }
+
+        fn end(self) -> Result<(), Error> {
+            self.out.push(self.close);
+            Ok(())
+        }
+    }
+
+    impl SerializeMap for JsonCompound<'_> {
+        type Ok = ();
+        type Error = Error;
+
+        fn serialize_entry<K: Serialize + ?Sized, V: Serialize + ?Sized>(
+            &mut self,
+            key: &K,
+            value: &V,
+        ) -> Result<(), Error> {
+            self.comma();
+            // JSON object keys must be strings: serialize the key, then
+            // re-quote it if it rendered as a bare scalar (e.g. an AppId).
+            let mut key_json = String::new();
+            key.serialize(JsonSerializer { out: &mut key_json })?;
+            if key_json.starts_with('"') {
+                self.out.push_str(&key_json);
+            } else {
+                push_json_str(self.out, &key_json);
+            }
+            self.out.push(':');
+            value.serialize(JsonSerializer { out: self.out })
+        }
+
+        fn end(self) -> Result<(), Error> {
+            self.out.push(self.close);
+            Ok(())
+        }
+    }
+
+    impl SerializeStruct for JsonCompound<'_> {
+        type Ok = ();
+        type Error = Error;
+
+        fn serialize_field<T: Serialize + ?Sized>(
+            &mut self,
+            key: &'static str,
+            value: &T,
+        ) -> Result<(), Error> {
+            self.comma();
+            push_json_str(self.out, key);
+            self.out.push(':');
+            value.serialize(JsonSerializer { out: self.out })
+        }
+
+        fn end(self) -> Result<(), Error> {
+            self.out.push(self.close);
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Point {
+        x: u64,
+        label: String,
+        tags: Vec<i32>,
+        extra: Option<f64>,
+    }
+
+    impl Serialize for Point {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            let mut s = serializer.serialize_struct("Point", 4)?;
+            s.serialize_field("x", &self.x)?;
+            s.serialize_field("label", &self.label)?;
+            s.serialize_field("tags", &self.tags)?;
+            s.serialize_field("extra", &self.extra)?;
+            s.end()
+        }
+    }
+
+    #[test]
+    fn struct_round_trip_shape() {
+        let p = Point {
+            x: 42,
+            label: "a\"b".into(),
+            tags: vec![-1, 2],
+            extra: None,
+        };
+        assert_eq!(
+            json::to_string(&p).unwrap(),
+            r#"{"x":42,"label":"a\"b","tags":[-1,2],"extra":null}"#
+        );
+    }
+
+    #[test]
+    fn maps_quote_numeric_keys() {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert(7u64, "seven");
+        assert_eq!(json::to_string(&m).unwrap(), r#"{"7":"seven"}"#);
+    }
+
+    #[test]
+    fn floats_and_bools() {
+        assert_eq!(json::to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(json::to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(json::to_string(&true).unwrap(), "true");
+    }
+}
