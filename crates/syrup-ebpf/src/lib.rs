@@ -43,7 +43,7 @@ pub use asm_text::assemble;
 pub use helpers::HelperId;
 pub use insn::{AluOp, CmpOp, Insn, MemSize, Operand, Reg, Width};
 pub use maps::{MapDef, MapId, MapKind, MapRef, MapRegistry};
-pub use verifier::{verify, VerifierError};
+pub use verifier::{verify, verify_with_config, VerifierConfig, VerifierError};
 pub use vm::{PacketCtx, Vm, VmError, VmOutcome};
 
 /// A loaded, verified program: instructions plus a human-readable name.

@@ -551,6 +551,13 @@ impl MapRegistry {
         Ok(())
     }
 
+    /// Removes a pin; the map itself survives (ids are never reused), only
+    /// the path lookup goes away. Errors if the path was not pinned.
+    pub fn unpin(&self, path: &str) -> Result<MapId, MapError> {
+        let mut inner = self.inner.write();
+        inner.pins.remove(path).ok_or(MapError::NotFound)
+    }
+
     /// Opens a pinned map by path (`syr_map_open`).
     pub fn open(&self, path: &str) -> Option<MapRef> {
         let inner = self.inner.read();

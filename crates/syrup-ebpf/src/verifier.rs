@@ -292,8 +292,32 @@ pub struct VerifyInfo {
     pub analyzed: u64,
 }
 
+/// Tunable verifier behavior.
+///
+/// The default configuration is the sound verifier. The switches exist so
+/// the fuzz harness (`syrup-fuzz`) can deliberately weaken one check and
+/// confirm its soundness oracle detects the resulting unsound acceptances —
+/// a self-test of the test infrastructure, never for production loading.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VerifierConfig {
+    /// DELIBERATE BUG (testing only): skip the upper `data_end` bounds
+    /// proof on packet loads/stores, accepting programs that may read or
+    /// write past the end of the packet. Negative offsets are still
+    /// rejected so the weakened verifier remains deterministic.
+    pub assume_packet_in_bounds: bool,
+}
+
 /// Verifies `prog` against `maps` (needed for key/value sizes and kinds).
 pub fn verify(prog: &Program, maps: &MapRegistry) -> Result<VerifyInfo, VerifierError> {
+    verify_with_config(prog, maps, &VerifierConfig::default())
+}
+
+/// [`verify`] with explicit [`VerifierConfig`] knobs (fuzz harness only).
+pub fn verify_with_config(
+    prog: &Program,
+    maps: &MapRegistry,
+    cfg: &VerifierConfig,
+) -> Result<VerifyInfo, VerifierError> {
     if prog.insns.is_empty() {
         return Err(VerifierError::EmptyProgram);
     }
@@ -389,7 +413,7 @@ pub fn verify(prog: &Program, maps: &MapRegistry) -> Result<VerifyInfo, Verifier
                     off,
                 } => {
                     let ptr = st.read(pc, base)?;
-                    let out = check_load(&st, maps, pc, ptr, i64::from(off), size)?;
+                    let out = check_load(&st, maps, cfg, pc, ptr, i64::from(off), size)?;
                     st.write(pc, dst, out)?;
                     pc = next;
                 }
@@ -409,14 +433,14 @@ pub fn verify(prog: &Program, maps: &MapRegistry) -> Result<VerifyInfo, Verifier
                         return Err(VerifierError::BadPointerArith { pc });
                     }
                     let ptr = st.read(pc, base)?;
-                    check_store(&mut st, maps, pc, ptr, i64::from(off), size)?;
+                    check_store(&mut st, maps, cfg, pc, ptr, i64::from(off), size)?;
                     pc = next;
                 }
                 Insn::StoreImm {
                     size, base, off, ..
                 } => {
                     let ptr = st.read(pc, base)?;
-                    check_store(&mut st, maps, pc, ptr, i64::from(off), size)?;
+                    check_store(&mut st, maps, cfg, pc, ptr, i64::from(off), size)?;
                     pc = next;
                 }
                 Insn::AtomicAdd {
@@ -435,8 +459,8 @@ pub fn verify(prog: &Program, maps: &MapRegistry) -> Result<VerifyInfo, Verifier
                     }
                     let ptr = st.read(pc, base)?;
                     // An atomic both reads and writes the target.
-                    check_load(&st, maps, pc, ptr, i64::from(off), size)?;
-                    check_store(&mut st, maps, pc, ptr, i64::from(off), size)?;
+                    check_load(&st, maps, cfg, pc, ptr, i64::from(off), size)?;
+                    check_store(&mut st, maps, cfg, pc, ptr, i64::from(off), size)?;
                     if fetch {
                         st.write(pc, src, Abs::Scalar(None))?;
                     }
@@ -472,7 +496,29 @@ pub fn verify(prog: &Program, maps: &MapRegistry) -> Result<VerifyInfo, Verifier
                     }
                 }
                 Insn::Call { helper } => {
-                    let ret = check_helper(&st, maps, pc, helper)?;
+                    let ret = check_helper(&st, maps, cfg, pc, helper)?;
+                    if helper == HelperId::MapDeleteElem {
+                        // Deleting a hash entry frees its slot, so any
+                        // live pointer into that map's values may now be
+                        // stale (the VM traps on such a deref; the kernel
+                        // relies on RCU grace periods instead). Invalidate
+                        // them so a later deref is rejected statically.
+                        // Array/prog-array deletes fail without freeing,
+                        // so their value pointers stay valid.
+                        if let Abs::MapFd(deleted) = st.regs[Reg::R1.index()] {
+                            let is_hash = maps
+                                .get(deleted)
+                                .is_some_and(|m| m.def().kind == MapKind::Hash);
+                            if is_hash {
+                                for r in 0..=9 {
+                                    if matches!(st.regs[r], Abs::MapValue { map, .. } if map == deleted)
+                                    {
+                                        st.regs[r] = Abs::Uninit;
+                                    }
+                                }
+                            }
+                        }
+                    }
                     st.regs[Reg::R0.index()] = ret;
                     for r in 1..=5 {
                         st.regs[r] = Abs::Uninit;
@@ -807,6 +853,7 @@ fn fold_cmp(op: CmpOp, w: Width, a: u64, b: u64) -> bool {
 fn check_load(
     st: &State,
     maps: &MapRegistry,
+    cfg: &VerifierConfig,
     pc: usize,
     ptr: Abs,
     insn_off: i64,
@@ -828,7 +875,7 @@ fn check_load(
         }
         Abs::PacketPtr(base) => {
             let off = base + insn_off;
-            if off < 0 || off + n > st.pkt_avail {
+            if off < 0 || (off + n > st.pkt_avail && !cfg.assume_packet_in_bounds) {
                 return Err(VerifierError::PacketBoundsNotProven {
                     pc,
                     needed: off + n,
@@ -869,6 +916,7 @@ fn check_load(
 fn check_store(
     st: &mut State,
     maps: &MapRegistry,
+    cfg: &VerifierConfig,
     pc: usize,
     ptr: Abs,
     insn_off: i64,
@@ -888,7 +936,7 @@ fn check_store(
         }
         Abs::PacketPtr(base) => {
             let off = base + insn_off;
-            if off < 0 || off + n > st.pkt_avail {
+            if off < 0 || (off + n > st.pkt_avail && !cfg.assume_packet_in_bounds) {
                 return Err(VerifierError::PacketBoundsNotProven {
                     pc,
                     needed: off + n,
@@ -915,6 +963,7 @@ fn check_store(
 }
 
 /// Validates a pointer argument that a helper reads `len` bytes through.
+#[allow(clippy::too_many_arguments)]
 fn check_mem_arg(
     st: &State,
     pc: usize,
@@ -923,6 +972,7 @@ fn check_mem_arg(
     ptr: Abs,
     len: i64,
     maps: &MapRegistry,
+    cfg: &VerifierConfig,
 ) -> Result<(), VerifierError> {
     match ptr {
         Abs::StackPtr(base) => {
@@ -937,7 +987,7 @@ fn check_mem_arg(
             Ok(())
         }
         Abs::PacketPtr(base) => {
-            if base < 0 || base + len > st.pkt_avail {
+            if base < 0 || (base + len > st.pkt_avail && !cfg.assume_packet_in_bounds) {
                 return Err(VerifierError::PacketBoundsNotProven {
                     pc,
                     needed: base + len,
@@ -962,6 +1012,7 @@ fn check_mem_arg(
 fn check_helper(
     st: &State,
     maps: &MapRegistry,
+    cfg: &VerifierConfig,
     pc: usize,
     helper: HelperId,
 ) -> Result<Abs, VerifierError> {
@@ -1000,6 +1051,7 @@ fn check_helper(
                 arg(2)?,
                 i64::from(map_ref.def().key_size),
                 maps,
+                cfg,
             )?;
             Ok(Abs::MapValue {
                 map,
@@ -1021,6 +1073,7 @@ fn check_helper(
                 arg(2)?,
                 i64::from(map_ref.def().key_size),
                 maps,
+                cfg,
             )?;
             check_mem_arg(
                 st,
@@ -1030,6 +1083,7 @@ fn check_helper(
                 arg(3)?,
                 i64::from(map_ref.def().value_size),
                 maps,
+                cfg,
             )?;
             scalar_arg(4)?;
             Ok(Abs::Scalar(None))
@@ -1045,6 +1099,7 @@ fn check_helper(
                 arg(2)?,
                 i64::from(map_ref.def().key_size),
                 maps,
+                cfg,
             )?;
             Ok(Abs::Scalar(None))
         }
@@ -1563,5 +1618,100 @@ mod tests {
             verify(&prog, &reg),
             Err(VerifierError::PossiblyNullDeref { .. })
         ));
+    }
+
+    /// Regression (found by syrup-fuzz): a hash-map value pointer held in a
+    /// callee-saved register across `map_delete_elem` of the same map used
+    /// to stay valid in the abstract state, but the VM traps with
+    /// `Map(BadSlotAccess)` when the deref hits the freed slot. The
+    /// verifier must invalidate such pointers at the delete.
+    #[test]
+    fn hash_delete_invalidates_live_value_pointers() {
+        let reg = maps();
+        let m = reg.create(MapDef::u64_hash(4));
+        reg.get(m).unwrap().update_u64(7, 1).unwrap();
+        let asm = |deref_after_delete: bool| {
+            let mut a = Asm::new()
+                .st_w(Reg::R10, -4, 7)
+                .load_map_fd(Reg::R1, m)
+                .mov64_reg(Reg::R2, Reg::R10)
+                .add64_imm(Reg::R2, -4)
+                .call(HelperId::MapLookupElem)
+                .jne_imm(Reg::R0, 0, "hit")
+                .mov64_imm(Reg::R0, 0)
+                .exit()
+                .label("hit")
+                .mov64_reg(Reg::R6, Reg::R0) // save checked value pointer
+                .load_map_fd(Reg::R1, m)
+                .mov64_reg(Reg::R2, Reg::R10)
+                .add64_imm(Reg::R2, -4)
+                .call(HelperId::MapDeleteElem);
+            if deref_after_delete {
+                a = a.ldx_dw(Reg::R0, Reg::R6, 0); // stale slot!
+            } else {
+                a = a.mov64_imm(Reg::R0, 0);
+            }
+            a.exit().build("stale").unwrap()
+        };
+        assert!(matches!(
+            verify(&asm(true), &reg),
+            Err(VerifierError::UninitRegister { reg: Reg::R6, .. })
+        ));
+        // Without the post-delete deref the same shape still verifies.
+        ok(asm(false), &reg);
+    }
+
+    /// Array-map deletes always fail (`WrongKind` → -1) without freeing
+    /// anything, so value pointers survive them.
+    #[test]
+    fn array_delete_keeps_value_pointers_valid() {
+        let reg = maps();
+        let m = reg.create(MapDef::u64_array(4));
+        let prog = Asm::new()
+            .st_w(Reg::R10, -4, 0)
+            .load_map_fd(Reg::R1, m)
+            .mov64_reg(Reg::R2, Reg::R10)
+            .add64_imm(Reg::R2, -4)
+            .call(HelperId::MapLookupElem)
+            .jne_imm(Reg::R0, 0, "hit")
+            .mov64_imm(Reg::R0, 0)
+            .exit()
+            .label("hit")
+            .mov64_reg(Reg::R6, Reg::R0)
+            .load_map_fd(Reg::R1, m)
+            .mov64_reg(Reg::R2, Reg::R10)
+            .add64_imm(Reg::R2, -4)
+            .call(HelperId::MapDeleteElem)
+            .ldx_dw(Reg::R0, Reg::R6, 0)
+            .exit()
+            .build("array-delete")
+            .unwrap();
+        ok(prog, &reg);
+    }
+
+    #[test]
+    fn injected_bug_config_skips_data_end_proof() {
+        let prog = Asm::new()
+            .ldx_dw(Reg::R1, Reg::R1, ctx_off::DATA as i16)
+            .ldx_b(Reg::R0, Reg::R1, 0) // no bounds check
+            .exit()
+            .build("unchecked")
+            .unwrap();
+        assert!(matches!(
+            verify(&prog, &maps()),
+            Err(VerifierError::PacketBoundsNotProven { .. })
+        ));
+        let buggy = VerifierConfig {
+            assume_packet_in_bounds: true,
+        };
+        assert!(verify_with_config(&prog, &maps(), &buggy).is_ok());
+        // Negative offsets stay rejected even under the injected bug.
+        let neg = Asm::new()
+            .ldx_dw(Reg::R1, Reg::R1, ctx_off::DATA as i16)
+            .ldx_b(Reg::R0, Reg::R1, -1)
+            .exit()
+            .build("neg")
+            .unwrap();
+        assert!(verify_with_config(&neg, &maps(), &buggy).is_err());
     }
 }

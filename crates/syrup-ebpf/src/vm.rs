@@ -192,7 +192,11 @@ impl Default for RunEnv {
 }
 
 impl RunEnv {
-    fn next_prandom(&mut self) -> u32 {
+    /// Advances the xorshift64* stream and returns the next
+    /// `get_prandom_u32` value. Public so reference interpreters (the
+    /// `syrup-lang` differential oracle) can consume the exact stream the
+    /// VM would.
+    pub fn next_prandom(&mut self) -> u32 {
         if self.prandom_state == 0 {
             self.prandom_state = 0x9E37_79B9_7F4A_7C15;
         }

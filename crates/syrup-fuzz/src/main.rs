@@ -1,0 +1,76 @@
+//! Command-line fuzz driver.
+//!
+//! ```text
+//! syrup-fuzz --iters 2000 --seed 0xC0FFEE
+//! ```
+//!
+//! Runs the full harness (generator + mutator + differential) and exits
+//! nonzero if any oracle fires, printing the reproducing seed and the
+//! shrunk failing program. `--inject-bounds-bug` weakens the verifier the
+//! way the self-test does, to demonstrate the oracle catching it.
+
+use std::process::ExitCode;
+
+use syrup_ebpf::VerifierConfig;
+
+fn parse_u64(text: &str) -> Result<u64, String> {
+    let parsed = if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        text.parse()
+    };
+    parsed.map_err(|_| format!("not a number: {text}"))
+}
+
+fn main() -> ExitCode {
+    let mut iters: u64 = 2000;
+    let mut seed: u64 = 0xC0FFEE;
+    let mut cfg = VerifierConfig::default();
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let take_value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("{} needs a value", args[*i - 1]))
+        };
+        let result = match args[i].as_str() {
+            "--iters" => take_value(&mut i)
+                .and_then(|v| parse_u64(&v))
+                .map(|v| iters = v),
+            "--seed" => take_value(&mut i)
+                .and_then(|v| parse_u64(&v))
+                .map(|v| seed = v),
+            "--inject-bounds-bug" => {
+                cfg.assume_packet_in_bounds = true;
+                Ok(())
+            }
+            "--help" | "-h" => {
+                println!("usage: syrup-fuzz [--iters N] [--seed 0xHEX] [--inject-bounds-bug]");
+                return ExitCode::SUCCESS;
+            }
+            other => Err(format!("unknown argument: {other}")),
+        };
+        if let Err(msg) = result {
+            eprintln!("syrup-fuzz: {msg}");
+            return ExitCode::from(2);
+        }
+        i += 1;
+    }
+
+    println!("syrup-fuzz: {iters} iterations, seed 0x{seed:X}");
+    let report = syrup_fuzz::run_fuzz_with_config(iters, seed, &cfg);
+    println!("{report}");
+    match report.failure {
+        None => {
+            println!("no oracle violations");
+            ExitCode::SUCCESS
+        }
+        Some(failure) => {
+            eprintln!("{failure}");
+            ExitCode::FAILURE
+        }
+    }
+}

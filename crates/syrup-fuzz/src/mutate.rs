@@ -1,0 +1,163 @@
+//! Mutation of known-good programs.
+//!
+//! The seed corpus is the paper's policy set (`syrup_policies::corpus()`)
+//! compiled through the real code generator. Mutations perturb operands,
+//! opcodes, offsets, and instruction order but never helper identities or
+//! map references — a mutated program should stress the verifier's
+//! analysis, not invent helpers that do not exist.
+
+use syrup_ebpf::maps::MapRegistry;
+use syrup_ebpf::{AluOp, Insn, Operand, Program, Reg};
+
+use crate::Prng;
+
+/// Compiles every corpus policy once, returning `(program, registry)`
+/// pairs ready for mutation and replay.
+///
+/// Panics if a corpus policy stops compiling or verifying — that is a
+/// regression in `syrup-lang`/`syrup-policies`, not a fuzz finding.
+pub fn compiled_corpus() -> Vec<(Program, MapRegistry)> {
+    syrup_policies::corpus()
+        .into_iter()
+        .map(|entry| {
+            let maps = MapRegistry::new();
+            let compiled = syrup_lang::compile(entry.source, &entry.opts, &maps)
+                .unwrap_or_else(|e| panic!("corpus policy {} failed to compile: {e}", entry.name));
+            syrup_ebpf::verify(&compiled.program, &maps)
+                .unwrap_or_else(|e| panic!("corpus policy {} failed to verify: {e}", entry.name));
+            (compiled.program, maps)
+        })
+        .collect()
+}
+
+/// Applies 1–3 random mutations to `base`.
+pub fn mutate(rng: &mut Prng, base: &[Insn]) -> Vec<Insn> {
+    let mut insns = base.to_vec();
+    let count = 1 + rng.below(3);
+    for _ in 0..count {
+        mutate_once(rng, &mut insns);
+    }
+    insns
+}
+
+fn mutate_once(rng: &mut Prng, insns: &mut Vec<Insn>) {
+    if insns.len() < 2 {
+        return;
+    }
+    let idx = rng.below(insns.len() as u64) as usize;
+    // Helper calls and map references are structural; leave them alone.
+    if matches!(insns[idx], Insn::Call { .. } | Insn::LoadMapFd { .. }) {
+        return;
+    }
+    match rng.below(7) {
+        0 => flip_alu_op(rng, &mut insns[idx]),
+        1 => perturb_imm(rng, &mut insns[idx]),
+        2 => perturb_off(rng, &mut insns[idx]),
+        3 => {
+            let other = rng.below(insns.len() as u64) as usize;
+            insns.swap(idx, other);
+        }
+        4 => {
+            if insns.len() > 2 {
+                insns.remove(idx);
+            }
+        }
+        5 => {
+            let dup = insns[idx];
+            insns.insert(idx, dup);
+        }
+        _ => perturb_reg(rng, &mut insns[idx]),
+    }
+}
+
+fn flip_alu_op(rng: &mut Prng, insn: &mut Insn) {
+    if let Insn::Alu { op, .. } = insn {
+        *op = *rng.pick(&[
+            AluOp::Add,
+            AluOp::Sub,
+            AluOp::Mul,
+            AluOp::Div,
+            AluOp::Mod,
+            AluOp::And,
+            AluOp::Or,
+            AluOp::Xor,
+            AluOp::Lsh,
+            AluOp::Rsh,
+            AluOp::Arsh,
+            AluOp::Mov,
+        ]);
+    }
+}
+
+fn perturb_imm(rng: &mut Prng, insn: &mut Insn) {
+    let delta = *rng.pick(&[-128i32, -1, 1, 2, 16, 127, 0x7fff]);
+    match insn {
+        Insn::Alu {
+            src: Operand::Imm(imm),
+            ..
+        }
+        | Insn::Branch {
+            rhs: Operand::Imm(imm),
+            ..
+        }
+        | Insn::StoreImm { imm, .. } => *imm = imm.wrapping_add(delta),
+        Insn::LoadImm64 { imm, .. } => *imm = imm.wrapping_add(i64::from(delta)),
+        _ => {}
+    }
+}
+
+fn perturb_off(rng: &mut Prng, insn: &mut Insn) {
+    let delta = *rng.pick(&[-8i16, -4, -1, 1, 4, 8]);
+    match insn {
+        Insn::LoadMem { off, .. }
+        | Insn::StoreMem { off, .. }
+        | Insn::StoreImm { off, .. }
+        | Insn::AtomicAdd { off, .. }
+        | Insn::Jump { off }
+        | Insn::Branch { off, .. } => *off = off.wrapping_add(delta),
+        _ => {}
+    }
+}
+
+fn perturb_reg(rng: &mut Prng, insn: &mut Insn) {
+    let reg = Reg::new(rng.below(11) as u8);
+    match insn {
+        Insn::Alu { dst, .. }
+        | Insn::Neg { dst, .. }
+        | Insn::Endian { dst, .. }
+        | Insn::LoadImm64 { dst, .. }
+        | Insn::LoadMem { dst, .. } => *dst = reg,
+        Insn::StoreMem { src, .. } | Insn::AtomicAdd { src, .. } => *src = reg,
+        Insn::Branch { lhs, .. } => *lhs = reg,
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_compiles() {
+        let corpus = compiled_corpus();
+        assert!(corpus.len() >= 6);
+        for (prog, _) in &corpus {
+            assert!(!prog.is_empty());
+        }
+    }
+
+    #[test]
+    fn mutations_change_programs() {
+        let corpus = compiled_corpus();
+        let mut rng = Prng::new(11);
+        let mut changed = 0;
+        for _ in 0..50 {
+            let (base, _) = rng.pick(&corpus);
+            let mutated = mutate(&mut rng, &base.insns);
+            if mutated != base.insns {
+                changed += 1;
+            }
+        }
+        assert!(changed > 30, "mutator is a no-op too often: {changed}/50");
+    }
+}

@@ -1,0 +1,196 @@
+//! Delta-debugging shrinker for failing instruction sequences.
+//!
+//! Greedy one-instruction removal to a fixpoint: each candidate deletes a
+//! single instruction and rewrites every jump offset that crossed it, and
+//! is kept only if the caller's failure predicate still holds. A final
+//! pass simplifies immediates toward zero. The result is the minimal (in
+//! this reduction order) program that still reproduces the failure — what
+//! the fuzz report prints next to the seed.
+
+use syrup_ebpf::{Insn, Operand};
+
+/// Shrinks `insns` while `fails` keeps returning `true`.
+///
+/// `fails` must return `true` for the input sequence itself; if it does
+/// not, the input is returned unchanged.
+pub fn shrink(insns: &[Insn], mut fails: impl FnMut(&[Insn]) -> bool) -> Vec<Insn> {
+    let mut cur = insns.to_vec();
+    if !fails(&cur) {
+        return cur;
+    }
+    loop {
+        let mut progressed = false;
+        let mut i = 0;
+        while i < cur.len() {
+            if let Some(candidate) = remove_insn(&cur, i) {
+                if fails(&candidate) {
+                    cur = candidate;
+                    progressed = true;
+                    continue; // same index now holds the next instruction
+                }
+            }
+            i += 1;
+        }
+        for i in 0..cur.len() {
+            if let Some(candidate) = zero_imm(&cur, i) {
+                if fails(&candidate) {
+                    cur = candidate;
+                    progressed = true;
+                }
+            }
+        }
+        if !progressed {
+            return cur;
+        }
+    }
+}
+
+/// Removes instruction `i`, rewriting every jump offset that spans it.
+///
+/// Returns `None` when the removal would leave an empty program or push an
+/// offset out of `i16` range. A jump that *targeted* the removed
+/// instruction now targets its successor.
+pub fn remove_insn(insns: &[Insn], i: usize) -> Option<Vec<Insn>> {
+    if insns.len() <= 1 {
+        return None;
+    }
+    let adjust = |off: i16, j: usize| -> Option<i16> {
+        let target = j as i64 + 1 + i64::from(off);
+        let new_j = if j > i { j as i64 - 1 } else { j as i64 };
+        let new_target = if target > i as i64 {
+            target - 1
+        } else {
+            target
+        };
+        i16::try_from(new_target - new_j - 1).ok()
+    };
+    let mut out = Vec::with_capacity(insns.len() - 1);
+    for (j, insn) in insns.iter().enumerate() {
+        if j == i {
+            continue;
+        }
+        let mut insn = *insn;
+        match &mut insn {
+            Insn::Jump { off } => *off = adjust(*off, j)?,
+            Insn::Branch { off, .. } => *off = adjust(*off, j)?,
+            _ => {}
+        }
+        out.push(insn);
+    }
+    Some(out)
+}
+
+/// Replaces instruction `i`'s immediate with zero, if it has a nonzero one.
+fn zero_imm(insns: &[Insn], i: usize) -> Option<Vec<Insn>> {
+    let mut out = insns.to_vec();
+    let changed = match &mut out[i] {
+        Insn::Alu {
+            src: Operand::Imm(imm),
+            ..
+        }
+        | Insn::StoreImm { imm, .. } => {
+            if *imm == 0 {
+                false
+            } else {
+                *imm = 0;
+                true
+            }
+        }
+        Insn::LoadImm64 { imm, .. } => {
+            if *imm == 0 {
+                false
+            } else {
+                *imm = 0;
+                true
+            }
+        }
+        _ => false,
+    };
+    if changed {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syrup_ebpf::{AluOp, CmpOp, Reg, Width};
+
+    fn mov(dst: Reg, imm: i32) -> Insn {
+        Insn::Alu {
+            w: Width::W64,
+            op: AluOp::Mov,
+            dst,
+            src: Operand::Imm(imm),
+        }
+    }
+
+    #[test]
+    fn removal_fixes_forward_branch_offsets() {
+        // 0: mov r0,0   1: if r0==0 goto 4   2: mov r0,1   3: mov r0,2
+        // 4: exit
+        let insns = vec![
+            mov(Reg::R0, 0),
+            Insn::Branch {
+                op: CmpOp::Eq,
+                w: Width::W64,
+                lhs: Reg::R0,
+                rhs: Operand::Imm(0),
+                off: 2,
+            },
+            mov(Reg::R0, 1),
+            mov(Reg::R0, 2),
+            Insn::Exit,
+        ];
+        // Remove insn 2 (inside the branch span): offset shrinks to 1.
+        let out = remove_insn(&insns, 2).unwrap();
+        assert_eq!(out.len(), 4);
+        match out[1] {
+            Insn::Branch { off, .. } => assert_eq!(off, 1),
+            other => panic!("expected branch, got {other:?}"),
+        }
+        // Remove insn 4 (after the span): offset unchanged.
+        let out = remove_insn(&insns, 3).unwrap();
+        match out[1] {
+            Insn::Branch { off, .. } => assert_eq!(off, 1),
+            other => panic!("expected branch, got {other:?}"),
+        }
+        // Remove insn 0 (before the span): offset unchanged, positions
+        // shift.
+        let out = remove_insn(&insns, 0).unwrap();
+        match out[0] {
+            Insn::Branch { off, .. } => assert_eq!(off, 2),
+            other => panic!("expected branch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn removing_a_jump_target_retargets_to_successor() {
+        // 0: jump +1   1: mov r0,7 (target of nothing)   2: mov r0,0
+        // 3: exit — jump targets insn 2; removing insn 2 should retarget
+        // to the old insn 3.
+        let insns = vec![
+            Insn::Jump { off: 1 },
+            mov(Reg::R0, 7),
+            mov(Reg::R0, 0),
+            Insn::Exit,
+        ];
+        let out = remove_insn(&insns, 2).unwrap();
+        match out[0] {
+            Insn::Jump { off } => assert_eq!(off, 1), // now targets exit
+            other => panic!("expected jump, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shrink_respects_predicate() {
+        let insns = vec![mov(Reg::R0, 3), mov(Reg::R2, 9), Insn::Exit];
+        // Predicate: program still contains `mov r0, 3` and an exit.
+        let shrunk = shrink(&insns, |cand| {
+            cand.contains(&mov(Reg::R0, 3)) && cand.contains(&Insn::Exit)
+        });
+        assert_eq!(shrunk, vec![mov(Reg::R0, 3), Insn::Exit]);
+    }
+}

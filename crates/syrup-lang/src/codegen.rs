@@ -524,24 +524,38 @@ impl Cg<'_> {
                 None => Err(LangError::new(line, format!("unknown variable `{name}`"))),
             },
             LValue::Deref(ptr_expr) => {
+                // Value first, parked in the value slot: materializing the
+                // address shares the pointer scratch register (`r5`) with
+                // expression evaluation, so computing the address before
+                // the value would let a packet or struct load inside
+                // `value` clobber it (found by syrup-fuzz's differential
+                // oracle).
+                self.scalar_expr(line, value, Reg::R0, 1)?;
+                let vslot = self.val_slot;
+                self.with_asm(|a| a.stx_dw(Reg::R10, vslot, Reg::R0));
                 let (reg, kind) = self.resolve_ptr_reg(line, ptr_expr)?;
                 let size = match kind {
                     VKind::MapVal(w) => mem_size(w),
                     VKind::PktPtr => MemSize::B,
                     _ => return Err(LangError::new(line, "cannot store through this pointer")),
                 };
-                self.scalar_expr(line, value, Reg::R0, 1)?;
                 self.with_asm(|a| {
-                    a.raw(syrup_ebpf::Insn::StoreMem {
-                        size,
-                        base: reg,
-                        off: 0,
-                        src: Reg::R0,
-                    })
+                    a.ldx_dw(Reg::R1, Reg::R10, vslot)
+                        .raw(syrup_ebpf::Insn::StoreMem {
+                            size,
+                            base: reg,
+                            off: 0,
+                            src: Reg::R1,
+                        })
                 });
                 Ok(())
             }
             LValue::Member(base, field) => {
+                // Value first for the same scratch-clobber reason as the
+                // `Deref` arm above.
+                self.scalar_expr(line, value, Reg::R0, 1)?;
+                let vslot = self.val_slot;
+                self.with_asm(|a| a.stx_dw(Reg::R10, vslot, Reg::R0));
                 let (reg, kind) = self.resolve_ptr_reg(line, base)?;
                 let VKind::Struct(sname) = kind else {
                     return Err(LangError::new(line, "`->` requires a struct pointer"));
@@ -555,14 +569,14 @@ impl Cg<'_> {
                     LangError::new(line, format!("no field `{field}` in `{sname}`"))
                 })?;
                 let size = mem_size(fty.size());
-                self.scalar_expr(line, value, Reg::R0, 1)?;
                 self.with_asm(|a| {
-                    a.raw(syrup_ebpf::Insn::StoreMem {
-                        size,
-                        base: reg,
-                        off: off as i16,
-                        src: Reg::R0,
-                    })
+                    a.ldx_dw(Reg::R1, Reg::R10, vslot)
+                        .raw(syrup_ebpf::Insn::StoreMem {
+                            size,
+                            base: reg,
+                            off: off as i16,
+                            src: Reg::R1,
+                        })
                 });
                 Ok(())
             }
@@ -759,6 +773,33 @@ impl Cg<'_> {
         }
     }
 
+    /// Whether evaluating `e` materializes a boolean via branches
+    /// (`branch_if_true`), which uses the fixed scratch registers
+    /// `r0`/`r3`/`r4` and so clobbers any operand an enclosing
+    /// expression is holding there.
+    fn contains_bool(&self, e: &Expr) -> bool {
+        match &e.kind {
+            ExprKind::Unary(UnOp::Not, _) => true,
+            ExprKind::Binary(
+                BinOp::Eq
+                | BinOp::Ne
+                | BinOp::Lt
+                | BinOp::Le
+                | BinOp::Gt
+                | BinOp::Ge
+                | BinOp::LAnd
+                | BinOp::LOr,
+                ..,
+            ) => true,
+            ExprKind::Unary(_, x) | ExprKind::Deref(x) | ExprKind::Cast(_, x) => {
+                self.contains_bool(x)
+            }
+            ExprKind::Member(x, _) => self.contains_bool(x),
+            ExprKind::Binary(_, a, b) => self.contains_bool(a) || self.contains_bool(b),
+            _ => false,
+        }
+    }
+
     /// Emits a scalar (or call) expression into `dst`. `min_scratch` is the
     /// first free scratch index after `dst`.
     #[allow(clippy::only_used_in_recursion)] // Kept for future spill heuristics.
@@ -937,13 +978,20 @@ impl Cg<'_> {
                     }
                     return Ok(());
                 }
-                if self.contains_call(b) {
-                    // Park the left side in a temp across the call.
+                if self.contains_call(b) || self.contains_bool(b) {
+                    // Park the left side in a stack slot: a call clobbers
+                    // `r1`–`r5`, and a boolean materialization clobbers
+                    // `r0`/`r3`/`r4` (found by syrup-fuzz's differential
+                    // oracle).
                     self.scalar_expr(line, a, dst, min_scratch)?;
                     let slot = self.alloc_slot();
                     self.with_asm(|x| x.stx_dw(Reg::R10, slot, dst));
                     self.scalar_expr(line, b, Reg::R0, 1)?;
-                    let scratch = next_scratch(line, Reg::R0)?;
+                    let scratch = if dst == Reg::R1 {
+                        next_scratch(line, Reg::R1)?
+                    } else {
+                        next_scratch(line, Reg::R0)?
+                    };
                     self.with_asm(|x| {
                         x.mov64_reg(scratch, Reg::R0)
                             .ldx_dw(dst, Reg::R10, slot)
@@ -1314,7 +1362,11 @@ impl Cg<'_> {
             }
             return Ok(());
         }
-        if self.contains_call(b) {
+        if self.contains_call(b) || self.contains_bool(b) {
+            // Evaluating `b` would clobber the left operand parked in
+            // `r3`: calls trash `r1`–`r5`, and a nested comparison's
+            // boolean materialization reuses `r3`/`r4` (found by
+            // syrup-fuzz's differential oracle). Spill across it.
             self.scalar_expr(line, a, Reg::R0, 1)?;
             let slot = self.alloc_slot();
             self.with_asm(|x| x.stx_dw(Reg::R10, slot, Reg::R0));

@@ -1,0 +1,1407 @@
+//! A direct AST interpreter for the policy language.
+//!
+//! This is the *reference semantics* used by the differential oracle in
+//! `syrup-fuzz`: a policy source is compiled through [`crate::codegen`] and
+//! run on the `syrup-ebpf` VM, and independently executed here straight off
+//! the AST. Any divergence in the scheduling verdict is a bug in one of the
+//! two implementations.
+//!
+//! The interpreter deliberately mirrors the *compiler as implemented*, not
+//! an idealized C semantics — e.g. scalar locals always occupy a full
+//! 64-bit slot regardless of their declared width, `return` truncates to
+//! `uint32_t`, packet stores through `void *` write a single byte, and a
+//! pointer local whose initializer is packet-derived loses its declared
+//! pointee width. Where the compiler rejects a construct the interpreter
+//! may also reject it (only programs that compile *and* verify are ever
+//! compared).
+
+use std::collections::HashMap;
+
+use syrup_ebpf::maps::{MapDef, MapId, MapRef, MapRegistry, UpdateFlag};
+use syrup_ebpf::ret;
+use syrup_ebpf::vm::RunEnv;
+
+use crate::ast::{BinOp, Expr, ExprKind, LValue, MapDeclKind, Stmt, StructDef, Type, UnOp, Unit};
+use crate::{CompileOptions, LangError};
+
+/// Pointer provenance, mirroring the VM's `Region` tagging.
+#[derive(Debug, Clone)]
+enum Base {
+    /// Into the packet; `data_end` is `Pkt(len)`. The offset may be
+    /// negative or past the end — dereferencing checks bounds.
+    Pkt(i64),
+    /// Into a map value slot.
+    Map { map: MapRef, slot: u32, off: i64 },
+    /// A failed lookup: the VM models this as `Scalar(0)`.
+    Null,
+}
+
+/// Static pointer kind, mirroring codegen's `VKind` (pointer cases only).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum PKind {
+    /// Packet pointer (byte-granular, width recovered from casts).
+    Pkt,
+    /// The `data_end` sentinel.
+    PktEnd,
+    /// Map value pointer with pointee width.
+    MapVal(u32),
+    /// Struct pointer.
+    Struct(String),
+}
+
+#[derive(Debug, Clone)]
+struct PtrVal {
+    base: Base,
+    kind: PKind,
+}
+
+impl PtrVal {
+    /// The numeric value the VM would compare: packet pointers compare by
+    /// offset (same region), a null lookup result is the scalar 0.
+    fn is_null(&self) -> bool {
+        matches!(self.base, Base::Null)
+    }
+}
+
+/// A name binding, mirroring codegen's `Binding`.
+#[derive(Clone)]
+enum Cell {
+    /// Compile-time constant (defines, `PASS`/`DROP`/`NULL`, loop vars).
+    Const(i64),
+    /// Scalar local: always a full 64-bit stack slot.
+    Scalar(u64),
+    /// Pointer local or parameter.
+    Ptr(PtrVal),
+    /// Global: (slot index in the globals map, declared width).
+    Global(u32, u32),
+    /// A declared or externally bound map.
+    Map(MapRef),
+}
+
+/// Statement-level control flow.
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+    Return(u64),
+}
+
+/// The verdict of one interpreted run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterpOutcome {
+    /// The `schedule` return value, truncated to `uint32_t` like codegen.
+    pub ret: u64,
+    /// The last `bpf_redirect_map` call, if any.
+    pub redirect: Option<(MapId, u32)>,
+}
+
+/// A prepared policy: maps created, globals initialized, ready to run.
+///
+/// Mirrors [`crate::codegen::generate`]'s deploy-time work so that a policy
+/// prepared against a fresh registry has bit-identical map state to one
+/// compiled against another fresh registry.
+pub struct Policy {
+    unit: Unit,
+    structs: HashMap<String, StructDef>,
+    base: HashMap<String, Cell>,
+    globals: Option<MapRef>,
+    /// Maps created for `SYRUP_MAP` declarations, by name.
+    pub created_maps: HashMap<String, MapId>,
+    /// The implicit globals map, if the policy declares globals.
+    pub globals_map: Option<MapId>,
+}
+
+/// Validates the unit and performs deploy-time setup (map creation, global
+/// initialization) exactly as codegen does.
+pub fn prepare(
+    unit: &Unit,
+    opts: &CompileOptions,
+    maps: &MapRegistry,
+) -> Result<Policy, LangError> {
+    let func = unit
+        .function
+        .as_ref()
+        .ok_or_else(|| LangError::new(1, "policy must define a `schedule` function"))?;
+    if func.name != "schedule" {
+        return Err(LangError::new(
+            1,
+            "the entry function must be named `schedule`",
+        ));
+    }
+    if !(func.params.is_empty() || func.params.len() == 2) {
+        return Err(LangError::new(
+            1,
+            "schedule must take (void *pkt_start, void *pkt_end) or no parameters",
+        ));
+    }
+
+    let mut base = HashMap::new();
+    base.insert("PASS".to_string(), Cell::Const(ret::PASS as i64));
+    base.insert("DROP".to_string(), Cell::Const(ret::DROP as i64));
+    base.insert("NULL".to_string(), Cell::Const(0));
+    for (name, value) in &opts.defines {
+        base.insert(name.clone(), Cell::Const(*value));
+    }
+
+    let mut created_maps = HashMap::new();
+    for decl in &unit.maps {
+        let def = match decl.kind {
+            MapDeclKind::Array => MapDef::u64_array(decl.max_entries as u32),
+            MapDeclKind::Hash => MapDef::u64_hash(decl.max_entries as u32),
+        };
+        let id = maps.create(def);
+        created_maps.insert(decl.name.clone(), id);
+        let mref = maps.get(id).expect("map just created");
+        base.insert(decl.name.clone(), Cell::Map(mref));
+    }
+    for (name, id) in &opts.external_maps {
+        let mref = maps
+            .get(*id)
+            .ok_or_else(|| LangError::new(1, format!("external map `{name}` does not exist")))?;
+        base.insert(name.clone(), Cell::Map(mref));
+    }
+
+    let mut globals = None;
+    let mut globals_map = None;
+    if !unit.globals.is_empty() {
+        let gmap = maps.create(MapDef::u64_array(unit.globals.len() as u32));
+        let gref = maps.get(gmap).expect("map just created");
+        for (i, g) in unit.globals.iter().enumerate() {
+            gref.update_u64(i as u32, g.init as u64)
+                .expect("in-range global slot");
+            base.insert(g.name.clone(), Cell::Global(i as u32, g.ty.size()));
+        }
+        globals = Some(gref);
+        globals_map = Some(gmap);
+    }
+
+    Ok(Policy {
+        unit: unit.clone(),
+        structs: unit
+            .structs
+            .iter()
+            .map(|s| (s.name.clone(), s.clone()))
+            .collect(),
+        base,
+        globals,
+        created_maps,
+        globals_map,
+    })
+}
+
+impl Policy {
+    /// Interprets one `schedule` invocation over `pkt`.
+    ///
+    /// `env` supplies the same helper inputs the VM's [`RunEnv`] does
+    /// (`ktime_get_ns`, `cpu_id`, the `get_random` stream); pass an
+    /// identically seeded value on both sides of a differential run.
+    pub fn run(&self, pkt: &mut [u8], env: &mut RunEnv) -> Result<InterpOutcome, LangError> {
+        let func = self.unit.function.as_ref().expect("checked in prepare");
+        let mut scopes = vec![self.base.clone()];
+        if func.params.len() == 2 {
+            let mut params = HashMap::new();
+            params.insert(
+                func.params[0].clone(),
+                Cell::Ptr(PtrVal {
+                    base: Base::Pkt(0),
+                    kind: PKind::Pkt,
+                }),
+            );
+            params.insert(
+                func.params[1].clone(),
+                Cell::Ptr(PtrVal {
+                    base: Base::Pkt(pkt.len() as i64),
+                    kind: PKind::PktEnd,
+                }),
+            );
+            scopes.push(params);
+        }
+        let mut run = Run {
+            pol: self,
+            pkt,
+            env,
+            scopes,
+            redirect: None,
+        };
+        let ret = match run.exec_block(&func.body)? {
+            Flow::Return(v) => v,
+            // Implicit `return PASS` at the end of the body. Codegen emits
+            // `mov64 r0, PASS as i32` with no uint32_t truncation, so the
+            // value is the sign-extended -1, not 0xFFFF_FFFF.
+            _ => i64::from(ret::PASS as i32) as u64,
+        };
+        Ok(InterpOutcome {
+            ret,
+            redirect: run.redirect,
+        })
+    }
+}
+
+struct Run<'a> {
+    pol: &'a Policy,
+    pkt: &'a mut [u8],
+    env: &'a mut RunEnv,
+    scopes: Vec<HashMap<String, Cell>>,
+    redirect: Option<(MapId, u32)>,
+}
+
+fn err(line: usize, msg: impl Into<String>) -> LangError {
+    LangError::new(line, msg)
+}
+
+impl Run<'_> {
+    fn lookup(&self, name: &str) -> Option<&Cell> {
+        self.scopes.iter().rev().find_map(|s| s.get(name))
+    }
+
+    fn set(&mut self, name: &str, cell: Cell) {
+        for scope in self.scopes.iter_mut().rev() {
+            if let Some(slot) = scope.get_mut(name) {
+                *slot = cell;
+                return;
+            }
+        }
+    }
+
+    fn exec_block(&mut self, stmts: &[Stmt]) -> Result<Flow, LangError> {
+        self.scopes.push(HashMap::new());
+        let mut flow = Flow::Normal;
+        for stmt in stmts {
+            flow = self.exec_stmt(stmt)?;
+            if !matches!(flow, Flow::Normal) {
+                break;
+            }
+        }
+        self.scopes.pop();
+        Ok(flow)
+    }
+
+    fn exec_stmt(&mut self, stmt: &Stmt) -> Result<Flow, LangError> {
+        match stmt {
+            Stmt::Decl {
+                line,
+                ty,
+                name,
+                init,
+            } => {
+                if ty.is_ptr() {
+                    let init = init.as_ref().ok_or_else(|| {
+                        err(*line, "pointer locals must be initialized at declaration")
+                    })?;
+                    let actual = self.eval_ptr(*line, init)?;
+                    let declared = self.pkind_of_type(*line, ty)?;
+                    // The declared pointee width wins for plain scalar
+                    // pointers; packet provenance wins otherwise — same
+                    // merge as codegen's `decl`.
+                    let kind = match (&declared, actual.kind.clone()) {
+                        (PKind::MapVal(w), PKind::MapVal(_)) => PKind::MapVal(*w),
+                        (PKind::Struct(s), PKind::Pkt) => PKind::Struct(s.clone()),
+                        (_, k) => k,
+                    };
+                    self.scopes.last_mut().expect("scope").insert(
+                        name.clone(),
+                        Cell::Ptr(PtrVal {
+                            base: actual.base,
+                            kind,
+                        }),
+                    );
+                } else {
+                    let v = match init {
+                        Some(e) => self.eval_scalar(*line, e)?,
+                        None => 0,
+                    };
+                    self.scopes
+                        .last_mut()
+                        .expect("scope")
+                        .insert(name.clone(), Cell::Scalar(v));
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Assign {
+                line,
+                target,
+                value,
+            } => {
+                self.assign(*line, target, value)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::If {
+                line,
+                cond,
+                then_body,
+                else_body,
+            } => {
+                if self.eval_cond(*line, cond)? {
+                    self.exec_block(then_body)
+                } else {
+                    self.exec_block(else_body)
+                }
+            }
+            Stmt::For {
+                line,
+                var,
+                start,
+                end,
+                body,
+            } => {
+                let start_c = self
+                    .const_fold(start)
+                    .ok_or_else(|| err(*line, "for-loop start must be a compile-time constant"))?;
+                let end_c = self
+                    .const_fold(end)
+                    .ok_or_else(|| err(*line, "for-loop bound must be a compile-time constant"))?;
+                if end_c.checked_sub(start_c).is_none_or(|d| d > 64) {
+                    return Err(err(*line, "for-loop unrolls to more than 64 iterations"));
+                }
+                for i in start_c..end_c {
+                    let mut scope = HashMap::new();
+                    scope.insert(var.clone(), Cell::Const(i));
+                    self.scopes.push(scope);
+                    let flow = self.exec_block(body);
+                    self.scopes.pop();
+                    match flow? {
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        Flow::Normal | Flow::Continue => {}
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Break { .. } => Ok(Flow::Break),
+            Stmt::Continue { .. } => Ok(Flow::Continue),
+            Stmt::Return { line, value } => {
+                let v = self.eval_scalar(*line, value)?;
+                // Truncate to the uint32_t return type, like codegen's
+                // `alu32 mov r0, r0`.
+                Ok(Flow::Return(v & 0xFFFF_FFFF))
+            }
+            Stmt::ExprStmt { line, expr } => {
+                match &expr.kind {
+                    ExprKind::Call(name, args) => {
+                        self.eval_call(*line, name, args)?;
+                    }
+                    _ => {
+                        self.eval_scalar(*line, expr)?;
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+        }
+    }
+
+    fn assign(&mut self, line: usize, target: &LValue, value: &Expr) -> Result<(), LangError> {
+        match target {
+            LValue::Var(name) => match self.lookup(name).cloned() {
+                Some(Cell::Scalar(_)) => {
+                    let v = self.eval_scalar(line, value)?;
+                    self.set(name, Cell::Scalar(v));
+                    Ok(())
+                }
+                Some(Cell::Ptr(old)) => {
+                    let new = self.eval_ptr(line, value)?;
+                    let kind = match (&old.kind, new.kind.clone()) {
+                        (PKind::MapVal(w), PKind::MapVal(_)) => PKind::MapVal(*w),
+                        (PKind::Struct(s), PKind::Pkt) => PKind::Struct(s.clone()),
+                        (_, k) => k,
+                    };
+                    self.set(
+                        name,
+                        Cell::Ptr(PtrVal {
+                            base: new.base,
+                            kind,
+                        }),
+                    );
+                    Ok(())
+                }
+                Some(Cell::Global(index, _)) => {
+                    // Codegen stores the full 64-bit value regardless of
+                    // the declared width.
+                    let v = self.eval_scalar(line, value)?;
+                    let gmap = self.pol.globals.as_ref().expect("globals map exists");
+                    gmap.write_value(index, 0, 8, v)
+                        .map_err(|e| err(line, format!("global store: {e:?}")))?;
+                    Ok(())
+                }
+                Some(Cell::Const(_)) => {
+                    Err(err(line, format!("cannot assign to constant `{name}`")))
+                }
+                Some(Cell::Map(_)) => Err(err(line, format!("cannot assign to map `{name}`"))),
+                None => Err(err(line, format!("unknown variable `{name}`"))),
+            },
+            LValue::Deref(pe) => {
+                // Value before address, mirroring codegen (which parks the
+                // value on the stack so address materialization cannot
+                // clobber it).
+                let v = self.eval_scalar(line, value)?;
+                let p = self.eval_ptr(line, pe)?;
+                let width = match &p.kind {
+                    PKind::MapVal(w) => *w,
+                    // Codegen stores a single byte through untyped packet
+                    // pointers.
+                    PKind::Pkt => 1,
+                    _ => return Err(err(line, "cannot store through this pointer")),
+                };
+                self.store(line, &p, 0, width, v)
+            }
+            LValue::Member(base, field) => {
+                let v = self.eval_scalar(line, value)?;
+                let p = self.eval_ptr(line, base)?;
+                let PKind::Struct(sname) = &p.kind else {
+                    return Err(err(line, "`->` requires a struct pointer"));
+                };
+                let sdef = self
+                    .pol
+                    .structs
+                    .get(sname)
+                    .cloned()
+                    .ok_or_else(|| err(line, format!("unknown struct `{sname}`")))?;
+                let (off, fty) = sdef
+                    .offset_of(field)
+                    .ok_or_else(|| err(line, format!("no field `{field}` in `{sname}`")))?;
+                let width = fty.size();
+                self.store(line, &p, i64::from(off), width, v)
+            }
+        }
+    }
+
+    /// Loads `width` bytes (little-endian) at `ptr + extra_off`.
+    fn load(&self, line: usize, p: &PtrVal, extra_off: i64, width: u32) -> Result<u64, LangError> {
+        match &p.base {
+            Base::Null => Err(err(line, "null pointer dereference")),
+            Base::Pkt(off) => {
+                let off = off.wrapping_add(extra_off);
+                let end = off.wrapping_add(i64::from(width));
+                if off < 0 || end < off || end > self.pkt.len() as i64 {
+                    return Err(err(
+                        line,
+                        format!("packet read out of bounds: off {off} width {width}"),
+                    ));
+                }
+                let bytes = &self.pkt[off as usize..end as usize];
+                let mut v = 0u64;
+                for (i, b) in bytes.iter().enumerate() {
+                    v |= u64::from(*b) << (8 * i);
+                }
+                Ok(v)
+            }
+            Base::Map { map, slot, off } => {
+                let off = off.wrapping_add(extra_off);
+                let off = u32::try_from(off).map_err(|_| err(line, "negative map value offset"))?;
+                map.read_value(*slot, off, width)
+                    .map_err(|e| err(line, format!("map value read: {e:?}")))
+            }
+        }
+    }
+
+    /// Stores the low `width` bytes of `v` (little-endian) at
+    /// `ptr + extra_off`.
+    fn store(
+        &mut self,
+        line: usize,
+        p: &PtrVal,
+        extra_off: i64,
+        width: u32,
+        v: u64,
+    ) -> Result<(), LangError> {
+        match &p.base {
+            Base::Null => Err(err(line, "null pointer store")),
+            Base::Pkt(off) => {
+                let off = off.wrapping_add(extra_off);
+                let end = off.wrapping_add(i64::from(width));
+                if off < 0 || end < off || end > self.pkt.len() as i64 {
+                    return Err(err(
+                        line,
+                        format!("packet write out of bounds: off {off} width {width}"),
+                    ));
+                }
+                for i in 0..width as usize {
+                    self.pkt[off as usize + i] = (v >> (8 * i)) as u8;
+                }
+                Ok(())
+            }
+            Base::Map { map, slot, off } => {
+                let off = off.wrapping_add(extra_off);
+                let off = u32::try_from(off).map_err(|_| err(line, "negative map value offset"))?;
+                map.write_value(*slot, off, width, v)
+                    .map_err(|e| err(line, format!("map value write: {e:?}")))
+            }
+        }
+    }
+
+    fn pkind_of_type(&self, line: usize, ty: &Type) -> Result<PKind, LangError> {
+        Ok(match ty {
+            Type::VoidPtr => PKind::Pkt,
+            Type::Ptr(inner) => PKind::MapVal(inner.size()),
+            Type::StructPtr(name) => {
+                if !self.pol.structs.contains_key(name) {
+                    return Err(err(line, format!("unknown struct `{name}`")));
+                }
+                PKind::Struct(name.clone())
+            }
+            _ => return Err(err(line, "expected a pointer type")),
+        })
+    }
+
+    /// Mirrors codegen's `const_fold` exactly (i64 wrapping arithmetic,
+    /// unsigned division/shifts/comparisons).
+    fn const_fold(&self, e: &Expr) -> Option<i64> {
+        match &e.kind {
+            ExprKind::Int(n) => Some(*n),
+            ExprKind::Ident(name) => match self.lookup(name) {
+                Some(Cell::Const(k)) => Some(*k),
+                _ => None,
+            },
+            ExprKind::SizeOf(ty) => Some(i64::from(ty.size())),
+            ExprKind::SizeOfStruct(name) => self.pol.structs.get(name).map(|s| i64::from(s.size())),
+            ExprKind::Unary(UnOp::Neg, inner) => Some(self.const_fold(inner)?.wrapping_neg()),
+            ExprKind::Unary(UnOp::BitNot, inner) => Some(!self.const_fold(inner)?),
+            ExprKind::Unary(UnOp::Not, inner) => Some(i64::from(self.const_fold(inner)? == 0)),
+            ExprKind::Binary(op, a, b) => {
+                let a = self.const_fold(a)?;
+                let b = self.const_fold(b)?;
+                Some(match op {
+                    BinOp::Add => a.wrapping_add(b),
+                    BinOp::Sub => a.wrapping_sub(b),
+                    BinOp::Mul => a.wrapping_mul(b),
+                    BinOp::Div => {
+                        if b == 0 {
+                            0
+                        } else {
+                            ((a as u64) / (b as u64)) as i64
+                        }
+                    }
+                    BinOp::Mod => {
+                        if b == 0 {
+                            a
+                        } else {
+                            ((a as u64) % (b as u64)) as i64
+                        }
+                    }
+                    BinOp::And => a & b,
+                    BinOp::Or => a | b,
+                    BinOp::Xor => a ^ b,
+                    BinOp::Shl => ((a as u64) << (b as u64 & 63)) as i64,
+                    BinOp::Shr => ((a as u64) >> (b as u64 & 63)) as i64,
+                    BinOp::Eq => i64::from(a == b),
+                    BinOp::Ne => i64::from(a != b),
+                    BinOp::Lt => i64::from((a as u64) < (b as u64)),
+                    BinOp::Le => i64::from(a as u64 <= b as u64),
+                    BinOp::Gt => i64::from(a as u64 > b as u64),
+                    BinOp::Ge => i64::from(a as u64 >= b as u64),
+                    BinOp::LAnd => i64::from(a != 0 && b != 0),
+                    BinOp::LOr => i64::from(a != 0 || b != 0),
+                })
+            }
+            _ => None,
+        }
+    }
+
+    fn eval_scalar(&mut self, line: usize, e: &Expr) -> Result<u64, LangError> {
+        if let Some(k) = self.const_fold(e) {
+            return Ok(k as u64);
+        }
+        let line = if e.line != 0 { e.line } else { line };
+        match &e.kind {
+            ExprKind::Ident(name) => match self.lookup(name).cloned() {
+                Some(Cell::Scalar(v)) => Ok(v),
+                Some(Cell::Global(index, w)) => {
+                    // Codegen reads globals back at their declared width.
+                    let gmap = self.pol.globals.as_ref().expect("globals map exists");
+                    gmap.read_value(index, 0, w)
+                        .map_err(|e| err(line, format!("global read: {e:?}")))
+                }
+                Some(Cell::Ptr(_)) => Err(err(
+                    line,
+                    format!("`{name}` is a pointer; dereference or compare it instead"),
+                )),
+                _ => Err(err(line, format!("unknown variable `{name}`"))),
+            },
+            ExprKind::Deref(inner) => {
+                // Width comes from the pointer's static kind for map
+                // values, and from the *syntactic* cast (default 8) for
+                // packet/struct pointers — codegen-as-implemented.
+                let cast_width = deref_width(inner).unwrap_or(8);
+                let p = self.eval_ptr(line, inner)?;
+                let width = match &p.kind {
+                    PKind::MapVal(w) => *w,
+                    PKind::Pkt | PKind::Struct(_) => cast_width,
+                    PKind::PktEnd => return Err(err(line, "cannot dereference this value")),
+                };
+                self.load(line, &p, 0, width)
+            }
+            ExprKind::Member(base, field) => {
+                let p = self.eval_ptr(line, base)?;
+                let PKind::Struct(sname) = &p.kind else {
+                    return Err(err(line, "`->` requires a struct pointer"));
+                };
+                let sdef = self
+                    .pol
+                    .structs
+                    .get(sname)
+                    .cloned()
+                    .ok_or_else(|| err(line, format!("unknown struct `{sname}`")))?;
+                let (off, fty) = sdef
+                    .offset_of(field)
+                    .ok_or_else(|| err(line, format!("no field `{field}` in `{sname}`")))?;
+                self.load(line, &p, i64::from(off), fty.size())
+            }
+            ExprKind::Cast(ty, inner) => {
+                if ty.is_ptr() {
+                    return Err(err(line, "pointer casts are only valid in pointer context"));
+                }
+                let v = self.eval_scalar(line, inner)?;
+                Ok(match ty.size() {
+                    8 => v,
+                    4 => v & 0xFFFF_FFFF,
+                    w => v & ((1u64 << (w * 8)) - 1),
+                })
+            }
+            ExprKind::Unary(UnOp::Neg, inner) => Ok(self.eval_scalar(line, inner)?.wrapping_neg()),
+            ExprKind::Unary(UnOp::BitNot, inner) => Ok(!self.eval_scalar(line, inner)?),
+            ExprKind::Unary(UnOp::Not, _)
+            | ExprKind::Binary(
+                BinOp::Eq
+                | BinOp::Ne
+                | BinOp::Lt
+                | BinOp::Le
+                | BinOp::Gt
+                | BinOp::Ge
+                | BinOp::LAnd
+                | BinOp::LOr,
+                ..,
+            ) => Ok(u64::from(self.eval_cond(line, e)?)),
+            ExprKind::Binary(op, a, b) => {
+                let va = self.eval_scalar(line, a)?;
+                let vb = self.eval_scalar(line, b)?;
+                Ok(match op {
+                    BinOp::Add => va.wrapping_add(vb),
+                    BinOp::Sub => va.wrapping_sub(vb),
+                    BinOp::Mul => va.wrapping_mul(vb),
+                    BinOp::Div => va.checked_div(vb).unwrap_or(0),
+                    BinOp::Mod => {
+                        if vb == 0 {
+                            va
+                        } else {
+                            va % vb
+                        }
+                    }
+                    BinOp::And => va & vb,
+                    BinOp::Or => va | vb,
+                    BinOp::Xor => va ^ vb,
+                    BinOp::Shl => va.wrapping_shl((vb & 63) as u32),
+                    BinOp::Shr => va.wrapping_shr((vb & 63) as u32),
+                    _ => unreachable!("comparisons handled above"),
+                })
+            }
+            ExprKind::Call(name, args) => match self.eval_call(line, name, args)? {
+                Cell::Scalar(v) => Ok(v),
+                _ => Err(err(
+                    line,
+                    format!("`{name}` returns a pointer; assign it to a pointer local"),
+                )),
+            },
+            ExprKind::AddrOf(_) => Err(err(
+                line,
+                "`&` expressions may only appear as helper-call arguments",
+            )),
+            // Unfoldable sizeof of an unknown struct, etc.
+            _ => Err(err(line, "expected a scalar expression")),
+        }
+    }
+
+    fn eval_ptr(&mut self, line: usize, e: &Expr) -> Result<PtrVal, LangError> {
+        let line = if e.line != 0 { e.line } else { line };
+        match &e.kind {
+            ExprKind::Ident(name) => match self.lookup(name).cloned() {
+                Some(Cell::Ptr(p)) => Ok(p),
+                _ => Err(err(line, format!("`{name}` is not a pointer"))),
+            },
+            ExprKind::Cast(ty, inner) => {
+                let p = self.eval_ptr(line, inner)?;
+                let declared = self.pkind_of_type(line, ty)?;
+                // Codegen's cast-kind matrix: declared widths win between
+                // map pointers, packet provenance survives scalar-pointer
+                // casts (the deref width is then recovered syntactically).
+                let kind = match (declared, p.kind) {
+                    (PKind::MapVal(w), PKind::MapVal(_)) => PKind::MapVal(w),
+                    (PKind::Struct(s), PKind::Pkt) => PKind::Struct(s),
+                    (PKind::Struct(s), PKind::Struct(_)) => PKind::Struct(s),
+                    (PKind::Pkt, PKind::Pkt | PKind::Struct(_)) => PKind::Pkt,
+                    (PKind::MapVal(_), PKind::Pkt | PKind::Struct(_)) => PKind::Pkt,
+                    (d, _) => d,
+                };
+                Ok(PtrVal { base: p.base, kind })
+            }
+            ExprKind::Binary(op @ (BinOp::Add | BinOp::Sub), a, b) => {
+                let p = self.eval_ptr(line, a)?;
+                // Constant offsets go through a 32-bit immediate in
+                // codegen; mirror the truncation.
+                let delta = match self.const_fold(b) {
+                    Some(k) => i64::from(k as i32),
+                    None => self.eval_scalar(line, b)? as i64,
+                };
+                let delta = if matches!(op, BinOp::Sub) {
+                    delta.wrapping_neg()
+                } else {
+                    delta
+                };
+                let base = match p.base {
+                    Base::Pkt(off) => Base::Pkt(off.wrapping_add(delta)),
+                    Base::Map { map, slot, off } => Base::Map {
+                        map,
+                        slot,
+                        off: off.wrapping_add(delta),
+                    },
+                    Base::Null => Base::Null,
+                };
+                Ok(PtrVal { base, kind: p.kind })
+            }
+            ExprKind::Call(name, args) => match self.eval_call(line, name, args)? {
+                Cell::Ptr(p) => Ok(p),
+                _ => Err(err(line, format!("`{name}` does not return a pointer"))),
+            },
+            ExprKind::AddrOf(_) => Err(err(
+                line,
+                "`&` expressions may only appear as helper-call arguments",
+            )),
+            _ => Err(err(line, "expected a pointer-valued expression")),
+        }
+    }
+
+    fn eval_cond(&mut self, line: usize, e: &Expr) -> Result<bool, LangError> {
+        let line = if e.line != 0 { e.line } else { line };
+        match &e.kind {
+            ExprKind::Binary(BinOp::LAnd, a, b) => {
+                if !self.eval_cond(line, a)? {
+                    Ok(false)
+                } else {
+                    self.eval_cond(line, b)
+                }
+            }
+            ExprKind::Binary(BinOp::LOr, a, b) => {
+                if self.eval_cond(line, a)? {
+                    Ok(true)
+                } else {
+                    self.eval_cond(line, b)
+                }
+            }
+            ExprKind::Unary(UnOp::Not, inner) => Ok(!self.eval_cond(line, inner)?),
+            ExprKind::Binary(op, a, b) if is_cmp(*op) => self.eval_cmp(line, *op, a, b),
+            _ => {
+                // Truthiness: pointer locals test against NULL (a live
+                // pointer is never null, exactly like the VM's compare),
+                // scalars against zero.
+                if let ExprKind::Ident(name) = &e.kind {
+                    if let Some(Cell::Ptr(p)) = self.lookup(name) {
+                        return Ok(!p.is_null());
+                    }
+                }
+                Ok(self.eval_scalar(line, e)? != 0)
+            }
+        }
+    }
+
+    fn eval_cmp(&mut self, line: usize, op: BinOp, a: &Expr, b: &Expr) -> Result<bool, LangError> {
+        // `(pkt_end - pkt_start) < K` strength reduction:
+        // `pkt_start + K > pkt_end`, with the comparison flipped.
+        if let ExprKind::Binary(BinOp::Sub, hi, lo) = &a.kind {
+            if self.is_pkt_end(hi) && self.is_pkt_ptr(lo) {
+                if let Some(k) = self.const_fold(b) {
+                    let flipped = match op {
+                        BinOp::Lt => BinOp::Gt,
+                        BinOp::Le => BinOp::Ge,
+                        BinOp::Gt => BinOp::Lt,
+                        BinOp::Ge => BinOp::Le,
+                        other => other,
+                    };
+                    let lo_p = self.eval_ptr(line, lo)?;
+                    let hi_p = self.eval_ptr(line, hi)?;
+                    let (Base::Pkt(lo_off), Base::Pkt(hi_off)) = (&lo_p.base, &hi_p.base) else {
+                        return Err(err(line, "pointer comparison across regions"));
+                    };
+                    // The +K goes through a 32-bit immediate add.
+                    let lhs = (*lo_off as u64).wrapping_add(i64::from(k as i32) as u64);
+                    return Ok(cmp_u64(flipped, lhs, *hi_off as u64));
+                }
+            }
+        }
+
+        let a_ptr = self.expr_is_ptr(a);
+        let b_ptr = self.expr_is_ptr(b);
+        if a_ptr && b_ptr {
+            let pa = self.eval_ptr(line, a)?;
+            let pb = self.eval_ptr(line, b)?;
+            return self.cmp_ptrs(line, op, &pa, &pb);
+        }
+        if a_ptr {
+            // Pointer vs constant: only NULL comparisons make sense.
+            let k = self
+                .const_fold(b)
+                .ok_or_else(|| err(line, "pointers can only be compared to NULL or pointers"))?;
+            let pa = self.eval_ptr(line, a)?;
+            // The immediate operand is sign-extended from 32 bits.
+            let kv = i64::from(k as i32) as u64;
+            if pa.is_null() {
+                // A failed lookup is the scalar 0 at runtime.
+                return Ok(cmp_u64(op, 0, kv));
+            }
+            // A live pointer is never NULL; any other comparison against a
+            // scalar traps in the VM.
+            return match op {
+                BinOp::Eq if kv == 0 => Ok(false),
+                BinOp::Ne if kv == 0 => Ok(true),
+                _ => Err(err(line, "pointer compared against a non-null scalar")),
+            };
+        }
+        if b_ptr {
+            return Err(err(
+                line,
+                "pointers can only appear on the left of a comparison",
+            ));
+        }
+        let va = self.eval_scalar(line, a)?;
+        let vb = self.eval_scalar(line, b)?;
+        Ok(cmp_u64(op, va, vb))
+    }
+
+    /// Mirrors the VM's pointer-vs-pointer compare: same region compares
+    /// by offset, a null operand is the scalar 0 (which only the
+    /// left-hand `Ptr vs 0` special case tolerates).
+    fn cmp_ptrs(
+        &self,
+        line: usize,
+        op: BinOp,
+        pa: &PtrVal,
+        pb: &PtrVal,
+    ) -> Result<bool, LangError> {
+        match (&pa.base, &pb.base) {
+            (Base::Null, Base::Null) => Ok(cmp_u64(op, 0, 0)),
+            (_, Base::Null) => match op {
+                BinOp::Eq => Ok(false),
+                BinOp::Ne => Ok(true),
+                _ => Err(err(line, "pointer compared against a non-pointer")),
+            },
+            (Base::Null, _) => Err(err(line, "pointer compared against a non-pointer")),
+            (Base::Pkt(oa), Base::Pkt(ob)) => Ok(cmp_u64(op, *oa as u64, *ob as u64)),
+            (
+                Base::Map {
+                    map: ma,
+                    slot: sa,
+                    off: oa,
+                },
+                Base::Map {
+                    map: mb,
+                    slot: sb,
+                    off: ob,
+                },
+            ) if ma.id() == mb.id() && sa == sb => Ok(cmp_u64(op, *oa as u64, *ob as u64)),
+            _ => Err(err(line, "pointer comparison across regions")),
+        }
+    }
+
+    fn is_pkt_ptr(&self, e: &Expr) -> bool {
+        match &e.kind {
+            ExprKind::Ident(name) => matches!(
+                self.lookup(name),
+                Some(Cell::Ptr(PtrVal {
+                    kind: PKind::Pkt | PKind::Struct(_),
+                    ..
+                }))
+            ),
+            ExprKind::Cast(_, inner) => self.is_pkt_ptr(inner),
+            ExprKind::Binary(BinOp::Add | BinOp::Sub, a, _) => self.is_pkt_ptr(a),
+            _ => false,
+        }
+    }
+
+    fn is_pkt_end(&self, e: &Expr) -> bool {
+        match &e.kind {
+            ExprKind::Ident(name) => matches!(
+                self.lookup(name),
+                Some(Cell::Ptr(PtrVal {
+                    kind: PKind::PktEnd,
+                    ..
+                }))
+            ),
+            _ => false,
+        }
+    }
+
+    fn expr_is_ptr(&self, e: &Expr) -> bool {
+        match &e.kind {
+            ExprKind::Ident(name) => matches!(self.lookup(name), Some(Cell::Ptr(_))),
+            ExprKind::Cast(ty, inner) => ty.is_ptr() && self.expr_is_ptr(inner),
+            ExprKind::Binary(BinOp::Add | BinOp::Sub, a, b) => {
+                self.expr_is_ptr(a) && self.const_fold(b).is_some()
+                    || self.expr_is_ptr(a) && !self.expr_is_ptr(b)
+            }
+            _ => false,
+        }
+    }
+
+    fn map_ref_arg(&self, line: usize, e: &Expr) -> Result<MapRef, LangError> {
+        let name = match &e.kind {
+            ExprKind::AddrOf(n) | ExprKind::Ident(n) => n,
+            _ => return Err(err(line, "expected `&map_name`")),
+        };
+        match self.lookup(name) {
+            Some(Cell::Map(m)) => Ok(m.clone()),
+            _ => Err(err(line, format!("`{name}` is not a map"))),
+        }
+    }
+
+    /// Evaluates a key argument to the 4-byte key the VM would read.
+    fn key_arg(&mut self, line: usize, e: &Expr) -> Result<u32, LangError> {
+        if let ExprKind::AddrOf(name) = &e.kind {
+            return match self.lookup(name).cloned() {
+                // `&local`: keys are the low 4 bytes of the 8-byte slot.
+                Some(Cell::Scalar(v)) => Ok(v as u32),
+                Some(Cell::Const(k)) => Ok(k as u32),
+                _ => Err(err(line, format!("`&{name}` is not addressable as a key"))),
+            };
+        }
+        Ok(self.eval_scalar(line, e)? as u32)
+    }
+
+    /// Evaluates a value argument to the full 64-bit value.
+    fn value_arg(&mut self, line: usize, e: &Expr) -> Result<u64, LangError> {
+        if let ExprKind::AddrOf(name) = &e.kind {
+            if let Some(Cell::Scalar(v)) = self.lookup(name).cloned() {
+                return Ok(v);
+            }
+        }
+        self.eval_scalar(line, e)
+    }
+
+    fn expect_args(
+        &self,
+        line: usize,
+        name: &str,
+        args: &[Expr],
+        n: usize,
+    ) -> Result<(), LangError> {
+        if args.len() != n {
+            return Err(err(
+                line,
+                format!("`{name}` takes {n} argument(s), got {}", args.len()),
+            ));
+        }
+        Ok(())
+    }
+
+    fn eval_call(&mut self, line: usize, name: &str, args: &[Expr]) -> Result<Cell, LangError> {
+        match name {
+            "get_random" => {
+                self.expect_args(line, name, args, 0)?;
+                Ok(Cell::Scalar(u64::from(self.env.next_prandom())))
+            }
+            "ktime_get_ns" => {
+                self.expect_args(line, name, args, 0)?;
+                Ok(Cell::Scalar(self.env.now_ns))
+            }
+            "cpu_id" => {
+                self.expect_args(line, name, args, 0)?;
+                Ok(Cell::Scalar(u64::from(self.env.cpu_id)))
+            }
+            "syr_map_lookup_elem" | "map_lookup" => {
+                self.expect_args(line, name, args, 2)?;
+                let map = self.map_ref_arg(line, &args[0])?;
+                let key = self.key_arg(line, &args[1])?;
+                match map.slot_for_key(&key.to_le_bytes()) {
+                    Ok(Some(slot)) => Ok(Cell::Ptr(PtrVal {
+                        base: Base::Map { map, slot, off: 0 },
+                        kind: PKind::MapVal(8),
+                    })),
+                    Ok(None) => Ok(Cell::Ptr(PtrVal {
+                        base: Base::Null,
+                        kind: PKind::MapVal(8),
+                    })),
+                    Err(e) => Err(err(line, format!("map lookup: {e:?}"))),
+                }
+            }
+            "syr_map_update_elem" | "map_update" => {
+                self.expect_args(line, name, args, 3)?;
+                let map = self.map_ref_arg(line, &args[0])?;
+                // Codegen evaluates the value first (it may contain
+                // calls), then the key.
+                let value = self.value_arg(line, &args[2])?;
+                let key = self.key_arg(line, &args[1])?;
+                let ret =
+                    match map.update(&key.to_le_bytes(), &value.to_le_bytes(), UpdateFlag::Any) {
+                        Ok(()) => 0u64,
+                        Err(_) => u64::MAX,
+                    };
+                Ok(Cell::Scalar(ret))
+            }
+            "syr_map_delete_elem" | "map_delete" => {
+                self.expect_args(line, name, args, 2)?;
+                let map = self.map_ref_arg(line, &args[0])?;
+                let key = self.key_arg(line, &args[1])?;
+                let ret = match map.delete(&key.to_le_bytes()) {
+                    Ok(()) => 0u64,
+                    Err(_) => u64::MAX,
+                };
+                Ok(Cell::Scalar(ret))
+            }
+            "__sync_fetch_and_add" => {
+                self.expect_args(line, name, args, 2)?;
+                let p = self.eval_ptr(line, &args[0])?;
+                if !matches!(p.kind, PKind::MapVal(_)) {
+                    return Err(err(
+                        line,
+                        "__sync_fetch_and_add requires a map value pointer",
+                    ));
+                }
+                let v = self.eval_scalar(line, &args[1])?;
+                let Base::Map { map, slot, off } = &p.base else {
+                    return Err(err(line, "atomic add on a null or non-map pointer"));
+                };
+                let off =
+                    u32::try_from(*off).map_err(|_| err(line, "negative map value offset"))?;
+                let old = map
+                    .fetch_add_value(*slot, off, 8, v)
+                    .map_err(|e| err(line, format!("atomic add: {e:?}")))?;
+                Ok(Cell::Scalar(old))
+            }
+            "bpf_redirect_map" | "redirect_map" => {
+                self.expect_args(line, name, args, 2)?;
+                let map = self.map_ref_arg(line, &args[0])?;
+                let index = self.eval_scalar(line, &args[1])? as u32;
+                self.redirect = Some((map.id(), index));
+                // XDP_REDIRECT == 4; execution continues with that return
+                // value, exactly like the VM.
+                Ok(Cell::Scalar(4))
+            }
+            other => Err(err(line, format!("unknown function `{other}`"))),
+        }
+    }
+}
+
+fn is_cmp(op: BinOp) -> bool {
+    matches!(
+        op,
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+    )
+}
+
+fn cmp_u64(op: BinOp, a: u64, b: u64) -> bool {
+    match op {
+        BinOp::Eq => a == b,
+        BinOp::Ne => a != b,
+        BinOp::Lt => a < b,
+        BinOp::Le => a <= b,
+        BinOp::Gt => a > b,
+        BinOp::Ge => a >= b,
+        _ => unreachable!("not a comparison"),
+    }
+}
+
+/// Pointee width of a deref target, derived from casts (codegen's rule:
+/// only a syntactic cast on the dereferenced expression carries a width).
+fn deref_width(e: &Expr) -> Option<u32> {
+    match &e.kind {
+        ExprKind::Cast(Type::Ptr(inner), _) => Some(inner.size()),
+        ExprKind::Cast(Type::VoidPtr, _) => Some(1),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile, parse_source};
+    use syrup_ebpf::verify;
+    use syrup_ebpf::vm::{PacketCtx, Vm};
+
+    /// Runs `source` both ways — codegen + VM and the AST interpreter,
+    /// each against its own freshly prepared registry — over `packets`,
+    /// and asserts identical verdicts (and identical map state evolution,
+    /// observed through the verdicts of later packets).
+    fn assert_differential(source: &str, opts: &CompileOptions, packets: &[Vec<u8>]) {
+        // Side A: compile, verify, run on the VM.
+        let maps_a = MapRegistry::new();
+        let compiled = compile(source, opts, &maps_a).expect("compile");
+        verify(&compiled.program, &maps_a)
+            .unwrap_or_else(|e| panic!("verify: {e}\n{}", compiled.program.disasm()));
+        let mut vm = Vm::new(maps_a);
+        let slot = vm.load_unverified(compiled.program.clone());
+        let mut env_a = RunEnv::default();
+
+        // Side B: parse, prepare, interpret.
+        let maps_b = MapRegistry::new();
+        let unit = parse_source(source).expect("parse");
+        let policy = prepare(&unit, opts, &maps_b).expect("prepare");
+        let mut env_b = RunEnv::default();
+
+        for (i, pkt) in packets.iter().enumerate() {
+            let mut bytes_a = pkt.clone();
+            let mut ctx = PacketCtx::new(&mut bytes_a);
+            let out_a = vm
+                .run(slot, &mut ctx, &mut env_a)
+                .unwrap_or_else(|e| panic!("vm trap on packet {i}: {e}"));
+            let mut bytes_b = pkt.clone();
+            let out_b = policy
+                .run(&mut bytes_b, &mut env_b)
+                .unwrap_or_else(|e| panic!("interp error on packet {i}: {e}"));
+            assert_eq!(
+                out_a.ret,
+                out_b.ret,
+                "verdict diverged on packet {i}: vm={} interp={}\n{}",
+                out_a.ret,
+                out_b.ret,
+                compiled.program.disasm()
+            );
+            assert_eq!(bytes_a, bytes_b, "packet bytes diverged on packet {i}");
+        }
+    }
+
+    fn packets_with_type(n: usize, mk: impl Fn(usize) -> Vec<u8>) -> Vec<Vec<u8>> {
+        (0..n).map(mk).collect()
+    }
+
+    #[test]
+    fn round_robin_matches_vm() {
+        let src = "\
+uint32_t idx = 0;
+uint32_t schedule(void *pkt_start, void *pkt_end) {
+    idx++;
+    return idx % NUM_THREADS;
+}
+";
+        let opts = CompileOptions::new().define("NUM_THREADS", 6);
+        let pkts = packets_with_type(12, |_| vec![0u8; 32]);
+        assert_differential(src, &opts, &pkts);
+    }
+
+    #[test]
+    fn sita_matches_vm_including_short_packets() {
+        let src = "\
+uint32_t idx = 0;
+uint32_t schedule(void *pkt_start, void *pkt_end) {
+    if (pkt_end - pkt_start < 16)
+        return PASS;
+    uint64_t type = *(uint64_t *)(pkt_start + 8);
+    if (type == SCAN)
+        return 0;
+    idx++;
+    return (idx % (NUM_THREADS - 1)) + 1;
+}
+";
+        let opts = CompileOptions::new()
+            .define("NUM_THREADS", 6)
+            .define("SCAN", 2);
+        let pkts = packets_with_type(20, |i| {
+            if i % 5 == 4 {
+                vec![0u8; 7] // Too short: must PASS on both sides.
+            } else {
+                let mut p = vec![0u8; 24];
+                let ty: u64 = if i % 3 == 0 { 2 } else { 1 };
+                p[8..16].copy_from_slice(&ty.to_le_bytes());
+                p
+            }
+        });
+        assert_differential(src, &opts, &pkts);
+    }
+
+    #[test]
+    fn token_based_matches_vm_with_struct_access_and_atomics() {
+        let src = "\
+SYRUP_MAP(token_map, ARRAY, 16);
+uint32_t idx = 0;
+struct app_hdr {
+    uint64_t req_type;
+    uint32_t user_id;
+};
+uint32_t schedule(void *pkt_start, void *pkt_end) {
+    if (pkt_end - pkt_start < 20)
+        return DROP;
+    void *data = pkt_start + 8;
+    struct app_hdr *hdr = (struct app_hdr *)data;
+    uint32_t user_id = hdr->user_id;
+    uint64_t *tokens = syr_map_lookup_elem(&token_map, &user_id);
+    if (!tokens)
+        return DROP;
+    if (*tokens == 0)
+        return DROP;
+    __sync_fetch_and_add(tokens, -1);
+    idx++;
+    return idx % NUM_THREADS;
+}
+";
+        let opts = CompileOptions::new().define("NUM_THREADS", 4);
+        // Seed both token maps identically through each side's own
+        // registry: user 1 gets 3 tokens, user 2 gets none.
+        let seed = |maps: &MapRegistry, id: MapId| {
+            let m = maps.get(id).unwrap();
+            m.update_u64(1, 3).unwrap();
+            m.update_u64(2, 0).unwrap();
+        };
+        let maps_a = MapRegistry::new();
+        let compiled = compile(src, &opts, &maps_a).expect("compile");
+        verify(&compiled.program, &maps_a).expect("verify");
+        seed(&maps_a, compiled.created_maps["token_map"]);
+        let mut vm = Vm::new(maps_a);
+        let slot = vm.load_unverified(compiled.program);
+
+        let maps_b = MapRegistry::new();
+        let unit = parse_source(src).expect("parse");
+        let policy = prepare(&unit, &opts, &maps_b).expect("prepare");
+        seed(&maps_b, policy.created_maps["token_map"]);
+
+        let mut env_a = RunEnv::default();
+        let mut env_b = RunEnv::default();
+        for i in 0..10u64 {
+            let mut pkt = vec![0u8; 24];
+            let user: u32 = if i % 2 == 0 { 1 } else { 2 };
+            pkt[16..20].copy_from_slice(&user.to_le_bytes());
+            let mut a = pkt.clone();
+            let mut ctx = PacketCtx::new(&mut a);
+            let ra = vm.run(slot, &mut ctx, &mut env_a).expect("run").ret;
+            let rb = policy
+                .run(&mut pkt.clone(), &mut env_b)
+                .expect("interp")
+                .ret;
+            assert_eq!(ra, rb, "diverged on request {i}");
+        }
+    }
+
+    #[test]
+    fn scan_avoid_consumes_identical_random_stream() {
+        let src = "\
+SYRUP_MAP(scan_map, ARRAY, 64);
+uint32_t schedule(void *pkt_start, void *pkt_end) {
+    uint32_t cur_idx = 0;
+    for (int i = 0; i < NUM_THREADS; i++) {
+        cur_idx = get_random() % NUM_THREADS;
+        uint64_t *scan = syr_map_lookup_elem(&scan_map, &cur_idx);
+        if (!scan)
+            return PASS;
+        if (*scan == GET)
+            break;
+    }
+    return cur_idx;
+}
+";
+        let opts = CompileOptions::new()
+            .define("NUM_THREADS", 6)
+            .define("GET", 1);
+        let pkts = packets_with_type(16, |_| vec![0u8; 16]);
+        assert_differential(src, &opts, &pkts);
+    }
+
+    #[test]
+    fn packet_writes_match_vm() {
+        // Codegen stores exactly one byte through `void *` pointers; the
+        // interpreter must reproduce that quirk, not idealized C.
+        let src = "\
+uint32_t schedule(void *pkt_start, void *pkt_end) {
+    if (pkt_end - pkt_start < 4)
+        return PASS;
+    uint8_t *p = (uint8_t *)(pkt_start + 1);
+    *p = 258;
+    return *(uint32_t *)(pkt_start + 0);
+}
+";
+        let opts = CompileOptions::new();
+        let pkts = packets_with_type(4, |i| vec![i as u8; 8]);
+        assert_differential(src, &opts, &pkts);
+    }
+
+    #[test]
+    fn packet_store_address_survives_rhs_packet_load() {
+        // Regression (found by syrup-fuzz's differential oracle): codegen
+        // materialized the store address into the pointer scratch register
+        // `r5` *before* evaluating the right-hand side, so a packet load
+        // inside the RHS re-used `r5` and the store went to the load's
+        // offset instead of its own.
+        let src = "\
+uint32_t schedule(void *pkt_start, void *pkt_end) {
+    if (pkt_end - pkt_start < 10)
+        return PASS;
+    *(uint8_t *)(pkt_start + 7) = ((*(uint8_t *)(pkt_start + 5)) | 64);
+    return 0;
+}
+";
+        let opts = CompileOptions::new();
+
+        // Direct VM check: byte 7 must change, byte 5 must not.
+        let maps = MapRegistry::new();
+        let compiled = compile(src, &opts, &maps).expect("compile");
+        verify(&compiled.program, &maps).expect("verify");
+        let mut vm = Vm::new(maps);
+        let slot = vm.load_unverified(compiled.program);
+        let mut bytes: Vec<u8> = (0..12u8).collect();
+        let mut ctx = PacketCtx::new(&mut bytes);
+        let mut env = RunEnv::default();
+        vm.run(slot, &mut ctx, &mut env).expect("run");
+        assert_eq!(bytes[5], 5, "load offset must be untouched");
+        assert_eq!(bytes[7], 5 | 64, "store must land on offset 7");
+
+        // And the interpreter must agree byte-for-byte.
+        let pkts = packets_with_type(3, |i| (0..12).map(|b| (b + i) as u8).collect());
+        assert_differential(src, &opts, &pkts);
+    }
+
+    #[test]
+    fn nested_comparison_operands_survive_materialization() {
+        // Regression (found by syrup-fuzz's differential oracle): codegen
+        // held a comparison's left operand in the fixed scratch register
+        // `r3` while evaluating the right operand; if that operand was
+        // itself a comparison, its boolean materialization reused `r3`
+        // and overwrote the in-flight value. Both operands being
+        // comparisons exercises the spill on each side.
+        let src = "\
+uint64_t g = 4;
+uint32_t schedule(void *pkt_start, void *pkt_end) {
+    uint64_t v = 3;
+    uint64_t both = ((g < v) != (0 >= v));
+    uint64_t sum = (1 + (v > 2));
+    return ((both << 1) | sum);
+}
+";
+        let opts = CompileOptions::new();
+
+        // g=4, v=3: (g < v) = 0, (0 >= v) = 0, so both = (0 != 0) = 0.
+        // sum = 1 + (3 > 2) = 2. Return (0 << 1) | 2 = 2. The broken
+        // codegen computed both = 1 (clobbered lhs) and returned 3.
+        let maps = MapRegistry::new();
+        let compiled = compile(src, &opts, &maps).expect("compile");
+        verify(&compiled.program, &maps).expect("verify");
+        let mut vm = Vm::new(maps);
+        let slot = vm.load_unverified(compiled.program);
+        let mut bytes = vec![0u8; 8];
+        let mut ctx = PacketCtx::new(&mut bytes);
+        let mut env = RunEnv::default();
+        let out = vm.run(slot, &mut ctx, &mut env).expect("run");
+        assert_eq!(out.ret, 2, "nested comparison clobbered an operand");
+
+        // Interpreter agreement, including the global mutating across
+        // packets via a second source that feeds the comparisons.
+        let pkts = packets_with_type(4, |_| vec![0u8; 8]);
+        assert_differential(src, &opts, &pkts);
+        let src2 = "\
+uint64_t g = 0;
+uint32_t schedule(void *pkt_start, void *pkt_end) {
+    g = (g + 3);
+    return (((1073741824 & g) < 2) != ((61 >> 29) >= 2));
+}
+";
+        assert_differential(src2, &opts, &pkts);
+    }
+
+    #[test]
+    fn implicit_return_and_globals_match_vm() {
+        let src = "\
+uint64_t counter = 7;
+uint32_t schedule(void *pkt_start, void *pkt_end) {
+    counter = counter + 3;
+    if (counter > 100) {
+        return 1;
+    }
+}
+";
+        let opts = CompileOptions::new();
+        let pkts = packets_with_type(40, |_| vec![0u8; 8]);
+        assert_differential(src, &opts, &pkts);
+    }
+}

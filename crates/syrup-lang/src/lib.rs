@@ -38,6 +38,7 @@
 
 pub mod ast;
 pub mod codegen;
+pub mod interp;
 pub mod lexer;
 pub mod parser;
 
@@ -124,6 +125,14 @@ pub fn count_loc(source: &str) -> usize {
         .map(str::trim)
         .filter(|l| !l.is_empty() && !l.starts_with("//") && !l.starts_with("/*") && *l != "*/")
         .count()
+}
+
+/// Parses `source` to an AST without generating code.
+///
+/// Used by the fuzz harness to feed the same AST to both [`codegen`] (via
+/// [`compile`]) and the reference [`interp`]reter.
+pub fn parse_source(source: &str) -> Result<ast::Unit, LangError> {
+    parser::parse(lexer::lex(source)?)
 }
 
 /// Compiles `source` into a program, creating declared maps in `maps`.

@@ -118,6 +118,62 @@ uint32_t schedule(void *pkt_start, void *pkt_end) {
 }
 ";
 
+/// One known-good policy with the options it needs to compile.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// Short policy name (Table 2 / Figure 5 naming).
+    pub name: &'static str,
+    /// The policy source text.
+    pub source: &'static str,
+    /// Compile options (workload `#define`s) the source expects.
+    pub opts: syrup_lang::CompileOptions,
+}
+
+/// Every policy in this module paired with working compile options.
+///
+/// This is the seed corpus for `syrup-fuzz`: the mutator perturbs these
+/// known-good sources and their codegen output, and the differential
+/// oracle checks each against the reference interpreter.
+pub fn corpus() -> Vec<CorpusEntry> {
+    use syrup_lang::CompileOptions;
+    vec![
+        CorpusEntry {
+            name: "round_robin",
+            source: ROUND_ROBIN,
+            opts: CompileOptions::new().define("NUM_THREADS", 6),
+        },
+        CorpusEntry {
+            name: "scan_avoid",
+            source: SCAN_AVOID,
+            opts: CompileOptions::new()
+                .define("NUM_THREADS", 6)
+                .define("GET", 1),
+        },
+        CorpusEntry {
+            name: "sita",
+            source: SITA,
+            opts: CompileOptions::new()
+                .define("NUM_THREADS", 6)
+                .define("SCAN", 2),
+        },
+        CorpusEntry {
+            name: "token_based",
+            source: TOKEN_BASED,
+            opts: CompileOptions::new().define("NUM_THREADS", 6),
+        },
+        CorpusEntry {
+            name: "mica_home",
+            source: MICA_HOME,
+            opts: CompileOptions::new(),
+        },
+        CorpusEntry {
+            name: "rfs",
+            source: RFS,
+            opts: CompileOptions::new(),
+        },
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -19,6 +19,7 @@
 pub mod c_sources;
 pub mod native;
 
+pub use c_sources::{corpus, CorpusEntry};
 pub use native::{
     MicaHomePolicy, RoundRobinPolicy, ScanAvoidPolicy, SitaPolicy, TokenPolicy, VanillaPolicy,
 };

@@ -13,7 +13,7 @@ use syrup::apps::mt_world::{self, MtConfig, SchedKind};
 use syrup::apps::server_world::SocketPolicyKind;
 use syrup::sim::Duration;
 
-fn main() {
+pub fn main() {
     let load = 6_000.0;
     let configs = [
         (

@@ -13,7 +13,7 @@ use syrup::ebpf::maps::MapRegistry;
 use syrup::ebpf::vm::{ctx_off, PacketCtx, RunEnv, Vm};
 use syrup::ebpf::{verify, Asm, Reg};
 
-fn main() {
+pub fn main() {
     // if (pkt_end - pkt_start < 64) return 0; else return 1;
     // lowered the way a compiler would: prove "64 bytes available" by
     // comparing data + 64 against data_end.

@@ -32,7 +32,7 @@ fn datagram(user: u32) -> Vec<u8> {
     .to_vec()
 }
 
-fn main() {
+pub fn main() {
     let daemon = Syrupd::new();
 
     // Tenant A: a KV store with token-based admission on port 7000.

@@ -11,7 +11,7 @@
 
 use syrup::core::{CompileOptions, Decision, Hook, HookMeta, PolicySource, Syrupd};
 
-fn main() {
+pub fn main() {
     // The policy file, exactly as an application developer would write it.
     let policy_file = r#"
         uint32_t idx = 0;

@@ -9,7 +9,7 @@
 
 use syrup::storage::world::{self, StorageConfig};
 
-fn main() {
+pub fn main() {
     println!("shared flash device: 30K read IOPS (latency-sensitive tenant)");
     println!("                   + 12K write IOPS offered (best-effort tenant)\n");
     println!(

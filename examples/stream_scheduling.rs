@@ -13,7 +13,7 @@ use syrup::net::kcm::encode_frame;
 use syrup::net::{KcmMux, KeyPick, LateBindingGroup};
 use syrup::policies::SitaPolicy;
 
-fn main() {
+pub fn main() {
     // Requests on the wire: 8-byte fake UDP header + u64 request type, the
     // same layout the SITA policy parses (type 2 = SCAN).
     let request = |ty: u64| -> Vec<u8> {

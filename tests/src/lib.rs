@@ -9,5 +9,67 @@
 //!   native policy deployment.
 //! * `properties.rs`, `lang_differential.rs`, `robustness.rs` —
 //!   property-based and differential suites.
+//! * `verifier_rejections.rs`, `map_edge_cases.rs`,
+//!   `examples_smoke.rs` — structured verifier errors, map limits, and
+//!   example-program smoke coverage.
+//!
+//! The crate itself exports one thing: [`SeedGuard`], the shared
+//! seed-on-failure reporter every randomized test holds so a red run
+//! always names the seed that reproduces it (proptest-based suites get
+//! the same treatment from the `proptest!` macro directly).
 
 #![forbid(unsafe_code)]
+
+/// Prints the reproducing RNG seed if the enclosing test panics.
+///
+/// Randomized tests create one guard per seeded run; it is silent on
+/// success, and on failure the seed lands on stderr next to the panic so
+/// the exact run can be replayed:
+///
+/// ```
+/// let _guard = syrup_integration::SeedGuard::new("my_test", 42);
+/// // ... assertions driven by an RNG seeded with 42 ...
+/// ```
+pub struct SeedGuard {
+    test: &'static str,
+    seed: u64,
+}
+
+impl SeedGuard {
+    /// Arms a guard for one seeded run of `test`.
+    pub fn new(test: &'static str, seed: u64) -> Self {
+        SeedGuard { test, seed }
+    }
+}
+
+impl Drop for SeedGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "[syrup-integration] {} failed — reproduce with RNG seed 0x{:016X} ({})",
+                self.test, self.seed, self.seed
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_is_silent_on_success() {
+        let _guard = SeedGuard::new("guard_is_silent_on_success", 7);
+    }
+
+    #[test]
+    fn guard_reports_on_panic() {
+        // The message goes to stderr (not capturable here), but the panic
+        // must propagate unchanged through the guard's drop.
+        let result = std::panic::catch_unwind(|| {
+            let _guard = SeedGuard::new("guard_reports_on_panic", 9);
+            panic!("boom");
+        });
+        assert!(result.is_err());
+    }
+}

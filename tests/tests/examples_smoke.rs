@@ -1,0 +1,53 @@
+//! Smoke coverage for every program under `examples/`: each one is
+//! compiled into this test binary as a module and its `main` executed,
+//! so a broken example fails `cargo test` rather than lingering until
+//! someone runs it by hand. (The examples also build as standalone
+//! binaries via `cargo test -p syrup`, which compiles example targets.)
+
+#[path = "../../examples/quickstart.rs"]
+mod quickstart;
+
+#[path = "../../examples/multi_tenant_qos.rs"]
+mod multi_tenant_qos;
+
+#[path = "../../examples/cross_layer_kv.rs"]
+mod cross_layer_kv;
+
+#[path = "../../examples/custom_policy_ebpf.rs"]
+mod custom_policy_ebpf;
+
+#[path = "../../examples/storage_qos.rs"]
+mod storage_qos;
+
+#[path = "../../examples/stream_scheduling.rs"]
+mod stream_scheduling;
+
+#[test]
+fn quickstart_runs() {
+    quickstart::main();
+}
+
+#[test]
+fn multi_tenant_qos_runs() {
+    multi_tenant_qos::main();
+}
+
+#[test]
+fn cross_layer_kv_runs() {
+    cross_layer_kv::main();
+}
+
+#[test]
+fn custom_policy_ebpf_runs() {
+    custom_policy_ebpf::main();
+}
+
+#[test]
+fn storage_qos_runs() {
+    storage_qos::main();
+}
+
+#[test]
+fn stream_scheduling_runs() {
+    stream_scheduling::main();
+}

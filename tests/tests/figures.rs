@@ -26,6 +26,8 @@ fn server(
 fn fig2_round_robin_beats_vanilla_hashing() {
     let mut vanilla_trouble = 0;
     for seed in 1..=4 {
+        let _seed_guard =
+            syrup_integration::SeedGuard::new("fig2_round_robin_beats_vanilla_hashing", seed);
         let v = server(SocketPolicyKind::Vanilla, 350_000.0, 1.0, seed);
         if v.overall.drop_pct() > 0.3 || v.overall.latency.p99() > Duration::from_micros(400) {
             vanilla_trouble += 1;

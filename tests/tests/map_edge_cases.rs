@@ -1,0 +1,106 @@
+//! Map subsystem edge cases: tail-call chain depth, hash capacity, and
+//! the pin/unpin lifecycle — the limits a policy author actually hits.
+
+use syrup::ebpf::maps::{MapDef, MapError, MapRegistry};
+use syrup::ebpf::vm::{PacketCtx, RunEnv, Vm, MAX_TAIL_CALLS};
+use syrup::ebpf::{verify, Asm, HelperId, Reg};
+
+/// A program that tail-calls itself caps out at `MAX_TAIL_CALLS`, after
+/// which the failed call falls through (kernel semantics) and the program
+/// finishes normally.
+#[test]
+fn tail_call_depth_is_capped_at_32() {
+    let maps = MapRegistry::new();
+    let prog_array = maps.create(MapDef::prog_array(4));
+    let prog = Asm::new()
+        .load_map_fd(Reg::R2, prog_array)
+        .mov64_imm(Reg::R3, 0) // index 0 = ourselves
+        .call(HelperId::TailCall)
+        // Reached only when the tail call fails (depth limit).
+        .mov64_imm(Reg::R0, 7)
+        .exit()
+        .build("chain")
+        .unwrap();
+    verify(&prog, &maps).expect("tail-call program must verify");
+
+    let mut vm = Vm::new(maps.clone());
+    let slot = vm.load_unverified(prog);
+    maps.get(prog_array)
+        .unwrap()
+        .set_prog(0, Some(slot))
+        .unwrap();
+
+    let mut pkt = vec![0u8; 16];
+    let mut ctx = PacketCtx::new(&mut pkt);
+    let out = vm.run(slot, &mut ctx, &mut RunEnv::default()).expect("run");
+    assert_eq!(out.tail_calls, MAX_TAIL_CALLS, "chain must cap at 32");
+    assert_eq!(out.ret, 7, "the failed 33rd call must fall through");
+}
+
+/// A tail call through an empty slot fails immediately and falls through.
+#[test]
+fn tail_call_to_missing_entry_falls_through() {
+    let maps = MapRegistry::new();
+    let prog_array = maps.create(MapDef::prog_array(4));
+    let prog = Asm::new()
+        .load_map_fd(Reg::R2, prog_array)
+        .mov64_imm(Reg::R3, 3) // never populated
+        .call(HelperId::TailCall)
+        .mov64_imm(Reg::R0, 9)
+        .exit()
+        .build("missing")
+        .unwrap();
+    verify(&prog, &maps).expect("verify");
+    let mut vm = Vm::new(maps);
+    let slot = vm.load_unverified(prog);
+    let mut pkt = vec![0u8; 16];
+    let mut ctx = PacketCtx::new(&mut pkt);
+    let out = vm.run(slot, &mut ctx, &mut RunEnv::default()).expect("run");
+    assert_eq!(out.tail_calls, 0);
+    assert_eq!(out.ret, 9);
+}
+
+/// Hash maps enforce capacity: updates of *new* keys fail with
+/// `MapError::Full` once `max_entries` is reached, existing keys stay
+/// updatable, and deleting frees a slot.
+#[test]
+fn hash_map_capacity_full_then_freed() {
+    let reg = MapRegistry::new();
+    let map = reg.get(reg.create(MapDef::u64_hash(2))).unwrap();
+    map.update_u64(1, 10).unwrap();
+    map.update_u64(2, 20).unwrap();
+    assert_eq!(map.update_u64(3, 30), Err(MapError::Full));
+    // Overwriting an existing key is not an insertion.
+    map.update_u64(2, 21).unwrap();
+    assert_eq!(map.lookup_u64(2).unwrap(), Some(21));
+    // Deleting frees capacity for a new key.
+    map.delete(&1u32.to_le_bytes()).unwrap();
+    map.update_u64(3, 30).unwrap();
+    assert_eq!(map.lookup_u64(3).unwrap(), Some(30));
+}
+
+/// The pin lifecycle: pin makes a map reachable by path, unpin removes
+/// the path (the map itself survives via its id), and a second unpin or
+/// post-unpin open fails.
+#[test]
+fn pin_lookup_unpin_lookup_fails() {
+    let reg = MapRegistry::new();
+    let id = reg.create(MapDef::u64_array(8));
+    reg.get(id).unwrap().update_u64(0, 42).unwrap();
+
+    reg.pin(id, "/sys/fs/bpf/syrup/test_map").unwrap();
+    let by_path = reg
+        .open("/sys/fs/bpf/syrup/test_map")
+        .expect("pinned path resolves");
+    assert_eq!(by_path.lookup_u64(0).unwrap(), Some(42));
+
+    let unpinned = reg.unpin("/sys/fs/bpf/syrup/test_map").unwrap();
+    assert_eq!(unpinned, id);
+    assert!(
+        reg.open("/sys/fs/bpf/syrup/test_map").is_none(),
+        "unpinned path must no longer resolve"
+    );
+    assert!(reg.unpin("/sys/fs/bpf/syrup/test_map").is_err());
+    // The map object itself is still alive through its id.
+    assert_eq!(reg.get(id).unwrap().lookup_u64(0).unwrap(), Some(42));
+}

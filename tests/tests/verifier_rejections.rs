@@ -1,0 +1,123 @@
+//! One test per verifier rejection class, asserting the *structured*
+//! error variant — not just "rejected" — so diagnostics stay stable for
+//! tooling (the fuzzer's determinism oracle compares these values across
+//! runs).
+
+use syrup::ebpf::maps::{MapDef, MapRegistry};
+use syrup::ebpf::verifier::VerifierError;
+use syrup::ebpf::{verify, Asm, HelperId, Reg};
+
+fn maps() -> MapRegistry {
+    MapRegistry::new()
+}
+
+/// A loop whose state never changes: the verifier detects the revisit and
+/// rejects as `TooComplex` without burning the whole analysis budget.
+#[test]
+fn unbounded_loop_is_too_complex() {
+    let prog = Asm::new()
+        .mov64_imm(Reg::R0, 0)
+        .label("spin")
+        .jmp("spin")
+        .exit()
+        .build("spin")
+        .unwrap();
+    assert_eq!(verify(&prog, &maps()), Err(VerifierError::TooComplex));
+}
+
+/// A loop whose trip count depends on a runtime value the analysis
+/// cannot bound: the verifier gives up with the same structured
+/// `TooComplex` its instruction budget produces.
+#[test]
+fn value_dependent_loop_exceeds_analysis_budget() {
+    let prog = Asm::new()
+        .call(HelperId::GetPrandomU32)
+        .label("top")
+        .add64_imm(Reg::R0, 1)
+        .jlt_imm(Reg::R0, 1_000_000, "top")
+        .exit()
+        .build("unbounded-count")
+        .unwrap();
+    assert_eq!(verify(&prog, &maps()), Err(VerifierError::TooComplex));
+}
+
+/// Packet access without a dominating `data_end` comparison names the
+/// faulting instruction and the byte it could not prove available.
+#[test]
+fn missing_data_end_check_is_structured() {
+    let prog = Asm::new()
+        .ldx_dw(Reg::R6, Reg::R1, 0) // data
+        .ldx_w(Reg::R0, Reg::R6, 4) // unchecked 4-byte read at offset 4
+        .exit()
+        .build("nocheck")
+        .unwrap();
+    match verify(&prog, &maps()) {
+        Err(VerifierError::PacketBoundsNotProven { pc, needed }) => {
+            assert_eq!(pc, 1);
+            assert_eq!(needed, 8, "4-byte read at offset 4 needs byte 8");
+        }
+        other => panic!("expected PacketBoundsNotProven, got {other:?}"),
+    }
+}
+
+/// Dereferencing a map lookup result before comparing it to NULL.
+#[test]
+fn map_value_deref_without_null_check_is_structured() {
+    let maps = maps();
+    let map = maps.create(MapDef::u64_array(4));
+    let prog = Asm::new()
+        .st_w(Reg::R10, -8, 0) // key = 0
+        .load_map_fd(Reg::R1, map)
+        .mov64_reg(Reg::R2, Reg::R10)
+        .add64_imm(Reg::R2, -8)
+        .call(HelperId::MapLookupElem)
+        .ldx_dw(Reg::R0, Reg::R0, 0) // no null check first
+        .exit()
+        .build("nullderef")
+        .unwrap();
+    match verify(&prog, &maps) {
+        Err(VerifierError::PossiblyNullDeref { pc }) => assert_eq!(pc, 5),
+        other => panic!("expected PossiblyNullDeref, got {other:?}"),
+    }
+}
+
+/// Stack access outside the 512-byte frame reports the faulting offset.
+#[test]
+fn stack_out_of_bounds_is_structured() {
+    let prog = Asm::new()
+        .mov64_imm(Reg::R0, 1)
+        .stx_dw(Reg::R10, -520, Reg::R0)
+        .exit()
+        .build("oob")
+        .unwrap();
+    match verify(&prog, &maps()) {
+        Err(VerifierError::StackOutOfBounds { pc, off }) => {
+            assert_eq!(pc, 1);
+            // Frame offsets are relative to the frame base (r10 - 512), so
+            // `r10 - 520` lands 8 bytes below it.
+            assert_eq!(off, -8);
+        }
+        other => panic!("expected StackOutOfBounds, got {other:?}"),
+    }
+}
+
+/// Rejections are deterministic: re-verifying the same program yields the
+/// same structured error (the fuzzer's third oracle, pinned as a unit
+/// test).
+#[test]
+fn rejections_are_deterministic() {
+    let prog = Asm::new()
+        .ldx_dw(Reg::R6, Reg::R1, 0)
+        .ldx_b(Reg::R0, Reg::R6, 0)
+        .exit()
+        .build("det")
+        .unwrap();
+    let maps = maps();
+    let first = verify(&prog, &maps);
+    let second = verify(&prog, &maps);
+    assert_eq!(first, second);
+    assert!(matches!(
+        first,
+        Err(VerifierError::PacketBoundsNotProven { .. })
+    ));
+}

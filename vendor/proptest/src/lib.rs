@@ -60,17 +60,28 @@ pub mod test_runner {
     /// The generator handed to strategies: the vendored `StdRng`.
     pub type TestRng = rand::rngs::StdRng;
 
-    /// Deterministic RNG for one (test, case) pair: same binary, same
-    /// sequence — failures reproduce exactly.
-    pub fn rng_for(test_name: &str, case: u32) -> TestRng {
-        use rand::SeedableRng;
+    /// The RNG seed for one (test, case) pair. Failure reports print this
+    /// value; [`rng_from_seed`] rebuilds the exact generator from it.
+    pub fn seed_for(test_name: &str, case: u32) -> u64 {
         // FNV-1a over the test name, mixed with the case index.
         let mut h: u64 = 0xCBF2_9CE4_8422_2325;
         for b in test_name.bytes() {
             h ^= u64::from(b);
             h = h.wrapping_mul(0x0000_0100_0000_01B3);
         }
-        TestRng::seed_from_u64(h ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+        h ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Rebuilds the generator a failure report named, for reproduction.
+    pub fn rng_from_seed(seed: u64) -> TestRng {
+        use rand::SeedableRng;
+        TestRng::seed_from_u64(seed)
+    }
+
+    /// Deterministic RNG for one (test, case) pair: same binary, same
+    /// sequence — failures reproduce exactly.
+    pub fn rng_for(test_name: &str, case: u32) -> TestRng {
+        rng_from_seed(seed_for(test_name, case))
     }
 }
 
@@ -514,10 +525,12 @@ macro_rules! proptest {
             fn $name() {
                 let config: $crate::test_runner::Config = $cfg;
                 for case in 0..config.cases {
-                    let mut __proptest_rng = $crate::test_runner::rng_for(
+                    let __proptest_seed = $crate::test_runner::seed_for(
                         concat!(module_path!(), "::", stringify!($name)),
                         case,
                     );
+                    let mut __proptest_rng =
+                        $crate::test_runner::rng_from_seed(__proptest_seed);
                     $(
                         let $pat =
                             $crate::strategy::Strategy::sample(&($strat), &mut __proptest_rng);
@@ -529,10 +542,12 @@ macro_rules! proptest {
                         })();
                     if let ::std::result::Result::Err(e) = result {
                         panic!(
-                            "proptest {} failed at case {}/{}: {}",
+                            "proptest {} failed at case {}/{} (RNG seed 0x{:016X}; \
+                             rebuild inputs with test_runner::rng_from_seed): {}",
                             stringify!($name),
                             case,
                             config.cases,
+                            __proptest_seed,
                             e
                         );
                     }
