@@ -1,0 +1,84 @@
+//! Request-tracer hot-path cost: span sites enabled vs disabled.
+//!
+//! The contract every instrumented substrate relies on (ISSUE acceptance
+//! criterion): with a [`Tracer::disabled`] tracer — or an unsampled
+//! input, which is the common case at any realistic sampling rate — each
+//! span site must collapse to a single branch on a `Copy` value, ≤5ns.
+//! The enabled+sampled path takes a lock and pushes a record; it is
+//! measured here for contrast, not bound.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use syrup::trace::{Stage, TraceConfig, TraceCtx, Tracer};
+
+fn bench_span_sites_disabled(c: &mut Criterion) {
+    let tracer = Tracer::disabled();
+    let ctx = tracer.ingress(0);
+    assert!(!ctx.is_traced());
+
+    let mut g = c.benchmark_group("trace_disabled");
+    g.bench_function("ingress", |b| {
+        b.iter(|| black_box(&tracer).ingress(black_box(7)))
+    });
+    g.bench_function("span", |b| {
+        b.iter(|| black_box(&tracer).span(black_box(ctx), Stage::SockQueue, 10, 20))
+    });
+    g.bench_function("policy_span", |b| {
+        b.iter(|| black_box(&tracer).policy_span(black_box(ctx), Stage::XdpDrv, 10, 20, 3, 150))
+    });
+    g.bench_function("instant", |b| {
+        b.iter(|| black_box(&tracer).instant(black_box(ctx), Stage::GhostPreempt, 10, 2))
+    });
+    g.bench_function("finish", |b| {
+        b.iter(|| black_box(&tracer).finish(black_box(ctx), black_box(30)))
+    });
+    g.finish();
+}
+
+fn bench_span_sites_unsampled(c: &mut Criterion) {
+    // Tracing on, but this particular input was not sampled — the common
+    // case at any realistic sampling rate. Must cost the same single
+    // branch as the disabled tracer.
+    let tracer = Tracer::with_config(TraceConfig {
+        sample_every: u64::MAX,
+        capacity: 1 << 10,
+    });
+    let ctx = TraceCtx::none();
+
+    let mut g = c.benchmark_group("trace_unsampled");
+    g.bench_function("span", |b| {
+        b.iter(|| black_box(&tracer).span(black_box(ctx), Stage::SockQueue, 10, 20))
+    });
+    g.bench_function("policy_span", |b| {
+        b.iter(|| black_box(&tracer).policy_span(black_box(ctx), Stage::XdpDrv, 10, 20, 3, 150))
+    });
+    g.finish();
+}
+
+fn bench_span_sites_enabled(c: &mut Criterion) {
+    // The paid path: sampled input, record pushed under a mutex. Drain
+    // periodically so pushes stay on the non-drop path.
+    let tracer = Tracer::new();
+    let ctx = tracer.ingress(0);
+    assert!(ctx.is_traced());
+
+    let mut g = c.benchmark_group("trace_enabled");
+    let mut n = 0u32;
+    g.bench_function("span", |b| {
+        b.iter(|| {
+            black_box(&tracer).span(black_box(ctx), Stage::SockQueue, 10, 20);
+            n += 1;
+            if n & 0xFFF == 0 {
+                tracer.drain();
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_span_sites_disabled,
+    bench_span_sites_unsampled,
+    bench_span_sites_enabled
+);
+criterion_main!(benches);

@@ -11,15 +11,23 @@
 //! (`tenant<id>/completed` counters and `tenant<id>/latency_ns`
 //! histograms) rather than the simulator's internal recorders — the same
 //! data path an operator would use against a live `syrupd`.
+//!
+//! `--trace-out <path>` additionally runs one token-based configuration
+//! (LS = BE = 200K) with request tracing sampled at 1/512 and writes the
+//! per-stage latency breakdown JSON there (relative paths land in
+//! `results/`).
 
 use bench::{emit, scaled, scaled_seeds, Series, Sweep};
 use syrup::apps::server_world::{self, ServerConfig, SocketPolicyKind};
 use syrup::sim::Duration;
+use syrup::trace::{TraceConfig, Tracer};
 
 const TOTAL: f64 = 400_000.0;
 const TOKEN_RATE: u64 = 350_000;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_out = bench::flag_value(&args, "--trace-out");
     let ls_loads: Vec<f64> = (1..=7).map(|i| i as f64 * 50_000.0).collect();
     let seeds = scaled_seeds(5);
     let policies = [
@@ -86,4 +94,25 @@ fn main() {
         "\n# Mean LS p99 across the sweep: Round Robin {rr_avg:.0}us vs Token-based {tok_avg:.0}us ({:.1}x)",
         rr_avg / tok_avg.max(1.0)
     );
+
+    if let Some(path) = trace_out {
+        // One traced run: where in the stack do requests spend time under
+        // the token policy at the balanced 200K/200K point?
+        let mut cfg = ServerConfig::fig7(
+            SocketPolicyKind::TokenBased {
+                rate_per_sec: TOKEN_RATE,
+            },
+            200_000.0,
+            200_000.0,
+            1,
+        );
+        cfg.warmup = scaled(Duration::from_millis(50));
+        cfg.measure = scaled(Duration::from_millis(300));
+        cfg.tracer = Tracer::with_config(TraceConfig {
+            sample_every: 512,
+            ..TraceConfig::default()
+        });
+        let _ = server_world::run(&cfg);
+        bench::write_breakdown(&path, &cfg.tracer.drain());
+    }
 }

@@ -12,6 +12,10 @@
 //!   fixed enforcement cost of steering the packet, which Table 2 notes
 //!   dominates: "most of this time is spent on enforcing … rather than
 //!   making … each scheduling decision".
+//!
+//! `--trace-out <path>` samples ~1% of invocations through the request
+//! tracer and writes the vm-exec stage-latency breakdown JSON there
+//! (relative paths land in `results/`).
 
 use syrup::core::CompileOptions;
 use syrup::ebpf::cycles::CycleModel;
@@ -57,6 +61,7 @@ fn measure(
     opts: CompileOptions,
     prepare: impl Fn(&MapRegistry, &syrup::lang::CompiledPolicy),
     reps: usize,
+    tracer: &syrup::trace::Tracer,
 ) -> Row {
     let maps = MapRegistry::new();
     let compiled = syrup::lang::compile(source, &opts, &maps).expect("compile");
@@ -70,6 +75,7 @@ fn measure(
     // instrumenting the runtime rather than the experiment loop.
     let telemetry = Registry::new();
     vm.attach_telemetry(&telemetry);
+    vm.attach_tracer(tracer);
     let slot = vm.load_unverified(compiled.program);
     let model = CycleModel::default();
 
@@ -86,9 +92,15 @@ fn measure(
         } else {
             get.clone()
         };
+        // Space invocations out on the virtual clock so sampled traces
+        // (`--trace-out`) don't overlap on the vm-exec track.
+        env.now_ns = (i as u64) * 10_000;
+        env.trace = tracer.ingress(env.now_ns);
         let mut ctx = PacketCtx::new(&mut pkt);
-        vm.run(slot, &mut ctx, &mut env)
+        let out = vm
+            .run(slot, &mut ctx, &mut env)
             .expect("verified policy runs");
+        tracer.finish(env.trace, env.now_ns + out.cycles);
     }
 
     let snap = telemetry.snapshot();
@@ -109,6 +121,17 @@ fn measure(
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_out = bench::flag_value(&args, "--trace-out");
+    // With `--trace-out` every ~101st invocation is traced (per policy),
+    // so the exported breakdown aggregates vm-exec spans from all four.
+    let tracer = match trace_out {
+        Some(_) => syrup::trace::Tracer::with_config(syrup::trace::TraceConfig {
+            sample_every: 101,
+            ..syrup::trace::TraceConfig::default()
+        }),
+        None => syrup::trace::Tracer::disabled(),
+    };
     let reps = 10_000;
     let rows = vec![
         measure(
@@ -117,6 +140,7 @@ fn main() {
             CompileOptions::new().define("NUM_THREADS", 6),
             |_, _| {},
             reps,
+            &tracer,
         ),
         measure(
             "SCAN Avoid",
@@ -133,6 +157,7 @@ fn main() {
                 }
             },
             reps,
+            &tracer,
         ),
         measure(
             "SITA",
@@ -142,6 +167,7 @@ fn main() {
                 .define("SCAN", 2),
             |_, _| {},
             reps,
+            &tracer,
         ),
         measure(
             "Token-based",
@@ -153,6 +179,7 @@ fn main() {
                 token_map.update_u64(1, u64::MAX / 2).unwrap();
             },
             reps,
+            &tracer,
         ),
     ];
 
@@ -181,5 +208,9 @@ fn main() {
     let path = bench::results_dir().join("table2.csv");
     if std::fs::write(&path, csv).is_ok() {
         println!("wrote {}", path.display());
+    }
+
+    if let Some(out) = trace_out {
+        bench::write_breakdown(&out, &tracer.drain());
     }
 }

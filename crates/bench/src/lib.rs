@@ -49,6 +49,36 @@ pub fn results_dir() -> PathBuf {
     dir
 }
 
+/// Value of a `--name VALUE` flag in a harness's argument list.
+pub fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Reconstructs timelines from `records` and writes the per-stage latency
+/// breakdown as JSON to `path` — the `--trace-out` flag of the fig7 and
+/// table2 harnesses. Relative paths land in `results/`.
+pub fn write_breakdown(path: &str, records: &[syrup::trace::SpanRecord]) {
+    let timelines = syrup::trace::reconstruct(records);
+    let breakdown = syrup::trace::StageBreakdown::from_timelines(&timelines);
+    let json = serde::json::to_string(&breakdown).expect("breakdown serializes");
+    let dest = if path.contains('/') {
+        PathBuf::from(path)
+    } else {
+        results_dir().join(path)
+    };
+    match fs::write(&dest, json) {
+        Ok(()) => println!(
+            "wrote stage-latency breakdown ({} traces) to {}",
+            breakdown.traces,
+            dest.display()
+        ),
+        Err(e) => eprintln!("could not write {}: {e}", dest.display()),
+    }
+}
+
 /// Prints the sweep as a table and writes `results/<name>.csv`.
 pub fn emit(name: &str, sweep: &Sweep) {
     println!("{}", sweep.to_table());

@@ -20,6 +20,9 @@
 //!   in the kernel XDP hook, Syrup HW on the NIC). Regenerates Figure 9.
 //! * [`token_agent`] — the userspace token-refill agent of §5.2.2
 //!   (epoch-based replenishment, leftover gifting to best-effort).
+//! * [`quickstart`] — a compact deterministic pipeline (NIC → XDP → CPU
+//!   redirect → socket → worker) used by `syrupctl trace record` and the
+//!   tracing docs.
 //! * [`late_world`] — the §6.3 extension experiment: early vs late
 //!   binding of datagrams to threads on the Figure 6 workload.
 //! * [`rfs_world`] — §2.1's RFS motivation: flow-locality steering at the
@@ -36,6 +39,7 @@
 pub mod late_world;
 pub mod mica;
 pub mod mt_world;
+pub mod quickstart;
 pub mod rfs_world;
 pub mod rocksdb;
 pub mod server_world;
@@ -44,6 +48,7 @@ pub mod token_agent;
 pub use late_world::{Binding, LateConfig, LateResult};
 pub use mica::{MicaConfig, MicaMode, MicaResult};
 pub use mt_world::{MtConfig, MtResult, SchedKind};
+pub use quickstart::Quickstart;
 pub use rfs_world::{RfsConfig, RfsResult, Steering};
 pub use rocksdb::RocksDbModel;
 pub use server_world::{ServerConfig, ServerResult, SocketPolicyKind};

@@ -307,6 +307,7 @@ pub fn run(cfg: &MicaConfig) -> MicaResult {
                             cpu: 0,
                             rx_queue: toeplitz.queue_for(flow, cfg.threads as u32),
                             dst_port: cfg.port,
+                            ..HookMeta::default()
                         };
                         let (_, d) = syrupd.schedule(Hook::XdpSkb, &mut pkt, &meta);
                         let target = match d {
@@ -339,6 +340,7 @@ pub fn run(cfg: &MicaConfig) -> MicaResult {
                             cpu: 0,
                             rx_queue: 0,
                             dst_port: cfg.port,
+                            ..HookMeta::default()
                         };
                         let (_, d) = syrupd.schedule(Hook::XdpOffload, &mut pkt, &meta);
                         let target = match d {

@@ -78,6 +78,11 @@ pub struct MtConfig {
     pub measure: Duration,
     /// RNG seed.
     pub seed: u64,
+    /// Request tracer (disabled by default). An enabled tracer records
+    /// stack-RX, socket-select, socket-residency, and run spans per
+    /// sampled request, plus ghOSt enqueue/dispatch/preempt spans when
+    /// `sched` is [`SchedKind::Ghost`].
+    pub tracer: syrup_trace::Tracer,
 }
 
 impl MtConfig {
@@ -104,6 +109,7 @@ impl MtConfig {
             warmup: Duration::from_millis(100),
             measure: Duration::from_millis(800),
             seed,
+            tracer: syrup_trace::Tracer::disabled(),
         }
     }
 }
@@ -130,6 +136,7 @@ struct Req {
     service: Duration,
     flow_hash: u32,
     measured: bool,
+    trace: syrup_trace::TraceCtx,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -213,16 +220,21 @@ pub fn run(cfg: &MtConfig) -> MtResult {
         other => panic!("Figure 8 uses vanilla or SCAN Avoid, not {other:?}"),
     }
 
+    syrupd.attach_tracer(&cfg.tracer);
     let sched = match cfg.sched {
         SchedKind::Cfs => Sched::Cfs(CfsSched::new(
             (0..cfg.cores as u32).map(CoreId).collect(),
             CfsParams::default(),
         )),
-        SchedKind::Ghost => Sched::Ghost(GhostSched::new(
-            (0..cfg.cores as u32).map(CoreId).collect(),
-            class_map.clone(),
-            GhostParams::default(),
-        )),
+        SchedKind::Ghost => {
+            let mut g = GhostSched::new(
+                (0..cfg.cores as u32).map(CoreId).collect(),
+                class_map.clone(),
+                GhostParams::default(),
+            );
+            g.attach_tracer(&cfg.tracer);
+            Sched::Ghost(g)
+        }
     };
 
     let flows = flow::client_flows(cfg.num_flows, cfg.port, &mut rng);
@@ -244,12 +256,15 @@ pub fn run(cfg: &MtConfig) -> MtResult {
     let warmup_end = Time::ZERO + cfg.warmup;
     let end = warmup_end + cfg.measure;
 
+    let mut group = ReuseportGroup::new(cfg.threads, cfg.socket_capacity);
+    group.attach_tracer(&cfg.tracer);
+
     let mut world = MtWorld {
         cfg,
         rng,
         queue: EventQueue::new(),
         syrupd,
-        group: ReuseportGroup::new(cfg.threads, cfg.socket_capacity),
+        group,
         class_map,
         templates,
         flow_hashes,
@@ -356,15 +371,23 @@ impl MtWorld<'_> {
             RequestClass::Get
         };
         let flow = self.rng.index(self.flow_hashes.len());
+        let trace = self.cfg.tracer.ingress(now.as_nanos());
+        let deliver_at = now + self.cfg.stack.standard_rx_latency();
+        self.cfg.tracer.span(
+            trace,
+            syrup_trace::Stage::StackRx,
+            now.as_nanos(),
+            deliver_at.as_nanos(),
+        );
         let req = Req {
             arrival: now,
             class,
             service: self.cfg.model.sample(class, &mut self.rng),
             flow_hash: self.flow_hashes[flow],
             measured: now >= Time::ZERO + self.cfg.warmup,
+            trace,
         };
-        self.queue
-            .push(now + self.cfg.stack.standard_rx_latency(), Ev::Deliver(req));
+        self.queue.push(deliver_at, Ev::Deliver(req));
     }
 
     fn on_deliver(&mut self, now: Time, req: Req) {
@@ -378,11 +401,15 @@ impl MtWorld<'_> {
             cpu: 0,
             rx_queue: 0,
             dst_port: self.cfg.port,
+            trace: req.trace,
         };
         let (_, decision) = self
             .syrupd
             .schedule(Hook::SocketSelect, &mut template, &meta);
-        match self.group.deliver(req, req.flow_hash, decision) {
+        match self
+            .group
+            .deliver_traced(req, req.flow_hash, decision, req.trace, now.as_nanos())
+        {
             Delivery::Enqueued(thread) => {
                 // Publish the class this thread will serve next if it is
                 // about to pick this request up (head of an empty queue).
@@ -396,6 +423,9 @@ impl MtWorld<'_> {
                     let _ = self.class_map.update_u64(thread as u32, c);
                 }
                 if idle {
+                    // The thread will pick this request up next: attribute
+                    // its ghOSt enqueue/dispatch spans to this trace.
+                    self.set_ghost_trace(thread, req.trace);
                     let assignments = self
                         .sched
                         .as_dyn()
@@ -408,6 +438,14 @@ impl MtWorld<'_> {
                     self.dropped += 1;
                 }
             }
+        }
+    }
+
+    /// Points ghOSt's per-thread trace attribution at `ctx` (no-op under
+    /// CFS, which records no scheduler spans).
+    fn set_ghost_trace(&mut self, thread: usize, ctx: syrup_trace::TraceCtx) {
+        if let Sched::Ghost(g) = &mut self.sched {
+            g.set_thread_trace(ThreadId(thread as u32), ctx);
         }
     }
 
@@ -437,6 +475,15 @@ impl MtWorld<'_> {
             if let Some(started) = inflight.started.take() {
                 let ran = at.since(started);
                 inflight.remaining = inflight.remaining - ran;
+                // Each on-core interval is its own run span, so a
+                // preempted request's timeline shows the gap.
+                self.cfg.tracer.span_arg(
+                    inflight.req.trace,
+                    syrup_trace::Stage::Run,
+                    started.as_nanos(),
+                    at.as_nanos(),
+                    thread as u64,
+                );
             }
         }
     }
@@ -463,6 +510,15 @@ impl MtWorld<'_> {
                 class::GET
             };
             let _ = self.class_map.update_u64(thread as u32, c);
+            let enqueued_at = req.arrival + self.cfg.stack.standard_rx_latency();
+            self.cfg.tracer.span_arg(
+                req.trace,
+                syrup_trace::Stage::SockQueue,
+                enqueued_at.as_nanos(),
+                now.as_nanos(),
+                thread as u64,
+            );
+            self.set_ghost_trace(thread, req.trace);
             self.current[thread] = Some(InFlight {
                 req,
                 remaining: self.cfg.per_request_overhead + req.service,
@@ -481,6 +537,16 @@ impl MtWorld<'_> {
         }
         let inflight = self.current[thread].take().expect("was running");
         let core = self.on_core[thread].expect("completing thread is on a core");
+        if let Some(started) = inflight.started {
+            self.cfg.tracer.span_arg(
+                inflight.req.trace,
+                syrup_trace::Stage::Run,
+                started.as_nanos(),
+                now.as_nanos(),
+                thread as u64,
+            );
+        }
+        self.cfg.tracer.finish(inflight.req.trace, now.as_nanos());
         if inflight.req.measured {
             match inflight.req.class {
                 RequestClass::Scan => self.scan_rec.record(inflight.req.arrival, now),
@@ -495,6 +561,15 @@ impl MtWorld<'_> {
                 class::GET
             };
             let _ = self.class_map.update_u64(thread as u32, c);
+            let enqueued_at = req.arrival + self.cfg.stack.standard_rx_latency();
+            self.cfg.tracer.span_arg(
+                req.trace,
+                syrup_trace::Stage::SockQueue,
+                enqueued_at.as_nanos(),
+                now.as_nanos(),
+                thread as u64,
+            );
+            self.set_ghost_trace(thread, req.trace);
             self.token[thread] += 1;
             let new_token = self.token[thread];
             self.current[thread] = Some(InFlight {
@@ -514,6 +589,7 @@ impl MtWorld<'_> {
         }
         // Idle: release the core.
         let _ = self.class_map.update_u64(thread as u32, class::GET);
+        self.set_ghost_trace(thread, syrup_trace::TraceCtx::none());
         self.on_core[thread] = None;
         self.token[thread] += 1;
         let assignments = self

@@ -97,6 +97,11 @@ pub struct ServerConfig {
     pub measure: Duration,
     /// RNG seed (sweeps vary this for error bars).
     pub seed: u64,
+    /// Request tracer (disabled by default — the fast path stays free).
+    /// An enabled tracer samples ingresses and records a span per stage
+    /// each traced request crosses: stack RX, the socket-select hook (and
+    /// the VM, when `use_ebpf`), socket residency, and on-thread run.
+    pub tracer: syrup_trace::Tracer,
 }
 
 impl ServerConfig {
@@ -119,6 +124,7 @@ impl ServerConfig {
             warmup: Duration::from_millis(50),
             measure: Duration::from_millis(300),
             seed,
+            tracer: syrup_trace::Tracer::disabled(),
         }
     }
 
@@ -197,6 +203,8 @@ struct Req {
     flow_hash: u32,
     /// Set once the request survives admission, for warm-up accounting.
     measured: bool,
+    /// Trace context (untraced unless the world's tracer sampled it).
+    trace: syrup_trace::TraceCtx,
 }
 
 enum Ev {
@@ -403,6 +411,8 @@ impl<'c> World<'c> {
 
         let mut group = ReuseportGroup::new(cfg.threads, cfg.socket_capacity);
         group.attach_telemetry(syrupd.telemetry(), "sock");
+        group.attach_tracer(&cfg.tracer);
+        syrupd.attach_tracer(&cfg.tracer);
 
         World {
             cfg,
@@ -535,6 +545,14 @@ impl<'c> World<'c> {
                 t.offered += 1;
             }
         }
+        let trace = self.cfg.tracer.ingress(now.as_nanos());
+        let deliver_at = now + self.cfg.stack.standard_rx_latency();
+        self.cfg.tracer.span(
+            trace,
+            syrup_trace::Stage::StackRx,
+            now.as_nanos(),
+            deliver_at.as_nanos(),
+        );
         let req = Req {
             arrival: now,
             class,
@@ -542,9 +560,9 @@ impl<'c> World<'c> {
             service: self.cfg.model.sample(class, &mut self.rng),
             flow_hash: self.flow_hashes[flow],
             measured,
+            trace,
         };
-        self.queue
-            .push(now + self.cfg.stack.standard_rx_latency(), Ev::Deliver(req));
+        self.queue.push(deliver_at, Ev::Deliver(req));
     }
 
     fn on_deliver(&mut self, now: Time, req: Req) {
@@ -555,12 +573,16 @@ impl<'c> World<'c> {
             cpu: 0,
             rx_queue: 0,
             dst_port: self.cfg.port,
+            trace: req.trace,
         };
         let (_app, decision) = self
             .syrupd
             .schedule(Hook::SocketSelect, &mut template, &meta);
         debug_assert!(_app.is_none() || _app == Some(self.app));
-        match self.group.deliver(req, req.flow_hash, decision) {
+        match self
+            .group
+            .deliver_traced(req, req.flow_hash, decision, req.trace, now.as_nanos())
+        {
             Delivery::Enqueued(socket) => {
                 if self.busy[socket].is_none() {
                     self.start_next(now, socket);
@@ -591,12 +613,29 @@ impl<'c> World<'c> {
             let _ = map.update_u64(thread as u32, c);
         }
         let busy_for = self.cfg.per_request_overhead + req.service;
+        // Residency: from the post-hook enqueue until this `recvmsg`.
+        let enqueued_at = req.arrival + self.cfg.stack.standard_rx_latency();
+        self.cfg.tracer.span_arg(
+            req.trace,
+            syrup_trace::Stage::SockQueue,
+            enqueued_at.as_nanos(),
+            now.as_nanos(),
+            thread as u64,
+        );
+        self.cfg.tracer.span_arg(
+            req.trace,
+            syrup_trace::Stage::Run,
+            now.as_nanos(),
+            (now + busy_for).as_nanos(),
+            thread as u64,
+        );
         self.busy[thread] = Some(req);
         self.queue.push(now + busy_for, Ev::Complete { thread });
     }
 
     fn on_complete(&mut self, now: Time, thread: usize) {
         if let Some(req) = self.busy[thread].take() {
+            self.cfg.tracer.finish(req.trace, now.as_nanos());
             if req.measured {
                 self.recorder.record(req.arrival, now);
                 self.per_class

@@ -94,6 +94,9 @@ pub struct HookMeta {
     pub rx_queue: u32,
     /// Destination UDP/TCP port — what `syrupd` keys isolation on.
     pub dst_port: u16,
+    /// Trace context of the input (untraced by default); `syrupd` uses it
+    /// to attribute policy invocations to the request's timeline.
+    pub trace: syrup_trace::TraceCtx,
 }
 
 #[cfg(test)]

@@ -200,6 +200,7 @@ struct Inner {
     apps: HashMap<AppId, AppInfo>,
     hooks: HashMap<Hook, HookState>,
     next_app: u32,
+    tracer: syrup_trace::Tracer,
 }
 
 /// The daemon. Cloning shares the instance (it is "a long-running daemon"
@@ -249,6 +250,7 @@ impl Syrupd {
                 apps: HashMap::new(),
                 hooks: HashMap::new(),
                 next_app: 1,
+                tracer: syrup_trace::Tracer::disabled(),
             })),
             registry,
             deploys: telemetry.counter("syrupd/deploys"),
@@ -288,6 +290,39 @@ impl Syrupd {
     /// Consumes the buffered decision trace, oldest first.
     pub fn drain_decisions(&self) -> Vec<DecisionEvent> {
         self.telemetry.drain_trace()
+    }
+
+    /// Starts recording request spans into `tracer`: one span per policy
+    /// invocation at the invoked hook's stage (plus the VM's own
+    /// `vm-exec` span), and a `policy-lifecycle` instant per
+    /// deploy/undeploy. Affects every clone of this daemon.
+    pub fn attach_tracer(&self, tracer: &syrup_trace::Tracer) {
+        let mut inner = self.inner.lock();
+        inner.vm.attach_tracer(tracer);
+        inner.tracer = tracer.clone();
+    }
+
+    /// The tracer the daemon records into ([`syrup_trace::Tracer::disabled`]
+    /// unless [`Syrupd::attach_tracer`] was called).
+    pub fn tracer(&self) -> syrup_trace::Tracer {
+        self.inner.lock().tracer.clone()
+    }
+
+    /// Apps with a deployed policy, as `(app, hook, is_native)` rows —
+    /// the data behind `syrupctl prog list`.
+    pub fn deployed(&self) -> Vec<(AppId, Hook, bool)> {
+        let inner = self.inner.lock();
+        let mut rows: Vec<(AppId, Hook, bool)> = inner
+            .hooks
+            .iter()
+            .flat_map(|(hook, hs)| {
+                hs.policies
+                    .iter()
+                    .map(|(app, d)| (*app, *hook, matches!(d, Deployed::Native(..))))
+            })
+            .collect();
+        rows.sort_by_key(|(app, hook, _)| (app.0, *hook));
+        rows
     }
 
     /// Registers an application with the ports it owns. Returns the app id
@@ -408,6 +443,9 @@ impl Syrupd {
             hook_state.port_owner.insert(port, app);
         }
         hook_state.policies.insert(app, deployed);
+        inner
+            .tracer
+            .global_instant(syrup_trace::Stage::PolicyLifecycle, 0, u64::from(app.0));
 
         Ok(PolicyHandle {
             app,
@@ -421,12 +459,18 @@ impl Syrupd {
     /// system default.
     pub fn undeploy(&self, app: AppId, hook: Hook) {
         let mut inner = self.inner.lock();
+        let mut removed = false;
         if let Some(hs) = inner.hooks.get_mut(&hook) {
-            hs.policies.remove(&app);
+            removed = hs.policies.remove(&app).is_some();
             if let Some(&index) = hs.indices.get(&app) {
                 let _ = hs.prog_array.set_prog(index, None);
             }
             hs.port_owner.retain(|_, owner| *owner != app);
+        }
+        if removed {
+            inner
+                .tracer
+                .global_instant(syrup_trace::Stage::PolicyLifecycle, 0, u64::from(app.0));
         }
     }
 
@@ -451,6 +495,8 @@ impl Syrupd {
             self.unmatched.inc();
             return (None, Decision::Pass);
         };
+        let tracer = inner.tracer.clone();
+        let hook_stage = syrup_trace::Stage::for_hook(hook.name());
         let is_native = matches!(hs.policies.get(&app), Some(Deployed::Native(..)));
         if is_native {
             let hs = inner.hooks.get_mut(&hook).expect("exists");
@@ -459,6 +505,14 @@ impl Syrupd {
             };
             let decision = policy.schedule(pkt, meta);
             metrics.record(&self.telemetry, meta, decision, Executor::Native, 0);
+            tracer.policy_span(
+                meta.trace,
+                hook_stage,
+                meta.now_ns,
+                meta.now_ns,
+                decision.to_ret() as i64,
+                0,
+            );
             return (Some(app), decision);
         }
 
@@ -477,6 +531,7 @@ impl Syrupd {
         };
         env.now_ns = meta.now_ns;
         env.cpu_id = meta.cpu;
+        env.trace = meta.trace;
         let mut ctx = PacketCtx::new(pkt);
         ctx.meta = [
             u64::from(meta.rx_queue),
@@ -515,6 +570,15 @@ impl Syrupd {
                 }
             }
         }
+        let cycles = outcome.as_ref().map(|o| o.cycles).unwrap_or(0);
+        tracer.policy_span(
+            meta.trace,
+            hook_stage,
+            meta.now_ns,
+            meta.now_ns + cycles,
+            decision.to_ret() as i64,
+            cycles,
+        );
         (Some(app), decision)
     }
 

@@ -565,6 +565,17 @@ impl MapRegistry {
         inner.maps.get(id.0 as usize).cloned()
     }
 
+    /// All pinned paths with their map ids, sorted by path (the
+    /// `ls /sys/fs/bpf` an operator would run; `syrupctl map dump` uses
+    /// it to enumerate maps).
+    pub fn pins(&self) -> Vec<(String, MapId)> {
+        let inner = self.inner.read();
+        let mut pins: Vec<(String, MapId)> =
+            inner.pins.iter().map(|(p, &id)| (p.clone(), id)).collect();
+        pins.sort();
+        pins
+    }
+
     /// Number of maps ever created.
     pub fn len(&self) -> usize {
         self.inner.read().maps.len()

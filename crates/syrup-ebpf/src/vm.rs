@@ -179,6 +179,10 @@ pub struct RunEnv {
     /// xorshift64* state for `get_prandom_u32`; seed it per run for
     /// reproducibility. Zero is auto-fixed to a nonzero constant.
     pub prandom_state: u64,
+    /// Trace context of the input this invocation is scheduling; untraced
+    /// by default. When traced (and a tracer is attached), each run emits
+    /// a `vm-exec` span covering the invocation's cycle account.
+    pub trace: syrup_trace::TraceCtx,
 }
 
 impl Default for RunEnv {
@@ -187,6 +191,7 @@ impl Default for RunEnv {
             now_ns: 0,
             cpu_id: 0,
             prandom_state: 0x853C_49E6_748F_EA9B,
+            trace: syrup_trace::TraceCtx::none(),
         }
     }
 }
@@ -245,6 +250,7 @@ pub struct Vm {
     progs: Vec<Program>,
     model: CycleModel,
     telemetry: VmTelemetry,
+    tracer: syrup_trace::Tracer,
 }
 
 impl Vm {
@@ -255,12 +261,20 @@ impl Vm {
             progs: Vec::new(),
             model: CycleModel::default(),
             telemetry: VmTelemetry::default(),
+            tracer: syrup_trace::Tracer::disabled(),
         }
     }
 
     /// Starts recording per-run statistics into `registry`.
     pub fn attach_telemetry(&mut self, registry: &Registry) {
         self.telemetry = VmTelemetry::attached(registry);
+    }
+
+    /// Starts recording a `vm-exec` span per traced invocation into
+    /// `tracer`. The span covers `env.now_ns` plus the run's modelled
+    /// cycles (1 cycle ≙ 1 ns at the simulator's reference clock).
+    pub fn attach_tracer(&mut self, tracer: &syrup_trace::Tracer) {
+        self.tracer = tracer.clone();
     }
 
     /// The map registry this VM resolves `LoadMapFd` against.
@@ -305,8 +319,20 @@ impl Vm {
                 self.telemetry.runs.inc();
                 self.telemetry.cycles.record(out.cycles);
                 self.telemetry.insns.record(out.insns);
+                self.tracer.policy_span(
+                    env.trace,
+                    syrup_trace::Stage::VmExec,
+                    env.now_ns,
+                    env.now_ns + out.cycles,
+                    out.ret as i64,
+                    out.cycles,
+                );
             }
-            Err(_) => self.telemetry.traps.inc(),
+            Err(_) => {
+                self.telemetry.traps.inc();
+                self.tracer
+                    .instant(env.trace, syrup_trace::Stage::VmExec, env.now_ns, 0);
+            }
         }
         result
     }

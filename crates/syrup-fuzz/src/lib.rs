@@ -142,6 +142,7 @@ impl FuzzInput {
             now_ns: self.now_ns,
             cpu_id: self.cpu_id,
             prandom_state: self.prandom_state,
+            ..RunEnv::default()
         }
     }
 }

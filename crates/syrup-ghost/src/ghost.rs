@@ -94,6 +94,10 @@ pub struct GhostSched {
     /// Total preemptions issued (diagnostics).
     pub preemptions: u64,
     telemetry: GhostTelemetry,
+    tracer: syrup_trace::Tracer,
+    /// Trace context of the request each thread is serving, set by the
+    /// application via [`GhostSched::set_thread_trace`].
+    thread_trace: BTreeMap<u32, syrup_trace::TraceCtx>,
 }
 
 impl GhostSched {
@@ -117,7 +121,36 @@ impl GhostSched {
             messages: 0,
             preemptions: 0,
             telemetry: GhostTelemetry::default(),
+            tracer: syrup_trace::Tracer::disabled(),
+            thread_trace: BTreeMap::new(),
         }
+    }
+
+    /// Starts recording the agent pipeline onto request timelines:
+    /// `ghost-enqueue` (wakeup message → agent decision), `ghost-dispatch`
+    /// (decision → thread running, covering ctx-switch/IPI cost), and a
+    /// `ghost-preempt` instant on the victim's timeline.
+    pub fn attach_tracer(&mut self, tracer: &syrup_trace::Tracer) {
+        self.tracer = tracer.clone();
+    }
+
+    /// Associates `thread` with the trace context of the request it is
+    /// (about to be) serving. Subsequent agent decisions about the thread
+    /// land on that request's timeline; pass
+    /// [`syrup_trace::TraceCtx::none`] to detach.
+    pub fn set_thread_trace(&mut self, thread: ThreadId, ctx: syrup_trace::TraceCtx) {
+        if ctx.is_traced() {
+            self.thread_trace.insert(thread.0, ctx);
+        } else {
+            self.thread_trace.remove(&thread.0);
+        }
+    }
+
+    fn trace_of(&self, thread: ThreadId) -> syrup_trace::TraceCtx {
+        self.thread_trace
+            .get(&thread.0)
+            .copied()
+            .unwrap_or_default()
     }
 
     /// Publishes agent metrics under `ghost/` in `registry`
@@ -214,12 +247,27 @@ impl GhostSched {
             self.runnable.push(victim);
             self.preemptions += 1;
             self.telemetry.preemptions.inc();
+            self.tracer.instant(
+                self.trace_of(victim),
+                syrup_trace::Stage::GhostPreempt,
+                decision_at.as_nanos(),
+                u64::from(core.0),
+            );
             out.push(Assignment {
                 core,
                 thread: get_thread,
                 start_at: decision_at + self.params.ipi,
                 preempted: Some(victim),
             });
+        }
+        for a in &out {
+            self.tracer.span_arg(
+                self.trace_of(a.thread),
+                syrup_trace::Stage::GhostDispatch,
+                decision_at.as_nanos(),
+                a.start_at.as_nanos(),
+                u64::from(a.core.0),
+            );
         }
         self.telemetry
             .runnable_depth
@@ -238,6 +286,12 @@ impl ThreadScheduler for GhostSched {
             return Vec::new();
         }
         let decision_at = self.agent_process_time(now);
+        self.tracer.span(
+            self.trace_of(t),
+            syrup_trace::Stage::GhostEnqueue,
+            now.as_nanos(),
+            decision_at.as_nanos(),
+        );
         self.runnable.push(t);
         self.policy(decision_at)
     }

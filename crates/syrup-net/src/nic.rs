@@ -53,6 +53,7 @@ pub struct Nic<T> {
     steering: Steering,
     flow_rules: HashMap<FiveTuple, u32>,
     telemetry: NicTelemetry,
+    tracer: syrup_trace::Tracer,
 }
 
 impl<T> Nic<T> {
@@ -67,7 +68,14 @@ impl<T> Nic<T> {
             steering: Steering::Rss,
             flow_rules: HashMap::new(),
             telemetry: NicTelemetry::default(),
+            tracer: syrup_trace::Tracer::disabled(),
         }
+    }
+
+    /// Starts recording a `nic-steer` instant (arg = chosen queue) per
+    /// traced frame passed to [`Nic::select_queue_traced`].
+    pub fn attach_tracer(&mut self, tracer: &syrup_trace::Tracer) {
+        self.tracer = tracer.clone();
     }
 
     /// Publishes per-queue enqueue/drop and steering-mode counters under
@@ -150,6 +158,22 @@ impl<T> Nic<T> {
                 }
             },
         }
+    }
+
+    /// [`Nic::select_queue`] for a traced frame: additionally records a
+    /// `nic-steer` instant carrying the chosen queue on the frame's
+    /// timeline.
+    pub fn select_queue_traced(
+        &self,
+        flow: &FiveTuple,
+        offload_choice: Option<u32>,
+        ctx: syrup_trace::TraceCtx,
+        now_ns: u64,
+    ) -> u32 {
+        let q = self.select_queue(flow, offload_choice);
+        self.tracer
+            .instant(ctx, syrup_trace::Stage::NicSteer, now_ns, u64::from(q));
+        q
     }
 
     /// Enqueues a frame descriptor on `queue`; `false` means the ring was

@@ -101,6 +101,7 @@ struct GroupTelemetry {
 pub struct ReuseportGroup<T> {
     sockets: Vec<SocketBuf<T>>,
     telemetry: GroupTelemetry,
+    tracer: syrup_trace::Tracer,
 }
 
 impl<T> ReuseportGroup<T> {
@@ -110,7 +111,14 @@ impl<T> ReuseportGroup<T> {
         ReuseportGroup {
             sockets: (0..n).map(|_| SocketBuf::new(capacity)).collect(),
             telemetry: GroupTelemetry::default(),
+            tracer: syrup_trace::Tracer::disabled(),
         }
+    }
+
+    /// Starts closing traced datagrams' timelines on delivery drops
+    /// (policy `DROP` or full buffer) via [`ReuseportGroup::deliver_traced`].
+    pub fn attach_tracer(&mut self, tracer: &syrup_trace::Tracer) {
+        self.tracer = tracer.clone();
     }
 
     /// Publishes delivery counters under `<prefix>/` in `registry`
@@ -167,6 +175,32 @@ impl<T> ReuseportGroup<T> {
             self.telemetry.buffer_drops.inc();
             Delivery::Dropped { buffer_full: true }
         }
+    }
+
+    /// [`ReuseportGroup::deliver`] for a traced datagram: a drop (policy
+    /// `DROP` or full buffer) closes the datagram's timeline with a
+    /// dropped record at the socket stage, and an enqueue records a
+    /// `sock-queue` instant carrying the chosen socket.
+    pub fn deliver_traced(
+        &mut self,
+        item: T,
+        flow_hash: u32,
+        decision: Decision,
+        ctx: syrup_trace::TraceCtx,
+        now_ns: u64,
+    ) -> Delivery {
+        let outcome = self.deliver(item, flow_hash, decision);
+        match outcome {
+            Delivery::Enqueued(socket) => {
+                self.tracer
+                    .instant(ctx, syrup_trace::Stage::SockQueue, now_ns, socket as u64)
+            }
+            Delivery::Dropped { .. } => {
+                self.tracer
+                    .drop_input(ctx, syrup_trace::Stage::SockQueue, now_ns)
+            }
+        }
+        outcome
     }
 
     /// `recvmsg` on socket `index`.

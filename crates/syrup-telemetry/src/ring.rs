@@ -86,7 +86,9 @@ impl DecisionRing {
     pub fn push(&self, event: DecisionEvent) -> bool {
         let mut events = self.events.lock();
         if events.len() >= self.capacity {
-            drop(events);
+            // Count the drop while still holding the lock: a consumer that
+            // drains and then reads `dropped()` must never observe a state
+            // where an event was already rejected but not yet counted.
             self.dropped.fetch_add(1, Relaxed);
             return false;
         }
@@ -162,6 +164,66 @@ mod tests {
         assert!(ring.push(ev(3)));
         assert_eq!(ring.len(), 1);
         assert_eq!(ring.dropped(), 1);
+    }
+
+    #[test]
+    fn overfill_counts_every_drop_exactly_and_keeps_order() {
+        let ring = DecisionRing::new(8);
+        for t in 0..100 {
+            ring.push(ev(t));
+        }
+        assert_eq!(ring.len(), 8);
+        assert_eq!(ring.dropped(), 92);
+        // Survivors are the oldest events, in insertion order.
+        let stored: Vec<u64> = ring.drain().iter().map(|e| e.sim_time_ns).collect();
+        assert_eq!(stored, (0..8).collect::<Vec<u64>>());
+        // Draining frees capacity; the drop counter keeps its history.
+        for t in 100..112 {
+            ring.push(ev(t));
+        }
+        assert_eq!(ring.dropped(), 96);
+        let stored: Vec<u64> = ring.drain().iter().map(|e| e.sim_time_ns).collect();
+        assert_eq!(stored, (100..108).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn concurrent_overfill_loses_no_record_and_no_drop() {
+        use std::sync::Arc;
+        const PRODUCERS: u64 = 4;
+        const PER_PRODUCER: u64 = 1_000;
+        let ring = Arc::new(DecisionRing::new(4));
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    let mut stored = 0u64;
+                    for i in 0..PER_PRODUCER {
+                        if ring.push(ev(p * PER_PRODUCER + i)) {
+                            stored += 1;
+                        }
+                    }
+                    stored
+                })
+            })
+            .collect();
+        // Drain concurrently so pushes keep landing into freed capacity.
+        let consumer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                let mut got = 0u64;
+                for _ in 0..500 {
+                    got += ring.drain().len() as u64;
+                    std::thread::yield_now();
+                }
+                got
+            })
+        };
+        let stored: u64 = producers.into_iter().map(|h| h.join().unwrap()).sum();
+        let drained = consumer.join().unwrap() + ring.drain().len() as u64;
+        // Every accepted push is drained exactly once, and accepted +
+        // dropped accounts for every push attempted.
+        assert_eq!(stored, drained);
+        assert_eq!(stored + ring.dropped(), PRODUCERS * PER_PRODUCER);
     }
 
     #[test]

@@ -1,0 +1,202 @@
+//! Span records and the Chrome-trace/Perfetto export.
+
+use crate::stage::Stage;
+use serde::{Serialize, SerializeStruct, Serializer};
+use std::fmt::Write as _;
+
+/// What kind of record a [`SpanRecord`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// An interval with a start and an end.
+    Complete,
+    /// A zero-duration point event.
+    Instant,
+    /// The input was dropped at this stage; closes the trace.
+    Dropped,
+}
+
+impl SpanKind {
+    /// Short lowercase name for JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpanKind::Complete => "complete",
+            SpanKind::Instant => "instant",
+            SpanKind::Dropped => "dropped",
+        }
+    }
+}
+
+/// One recorded event in a trace.
+///
+/// `Copy` and fixed-size on purpose: recording must not allocate on the
+/// hot path, mirroring a fixed-size eBPF ringbuf record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Trace this record belongs to; 0 for global events (policy
+    /// lifecycle) that are not tied to one input.
+    pub trace_id: u64,
+    /// Where in the stack the event happened.
+    pub stage: Stage,
+    /// Start of the interval (== `end_ns` for instants), virtual ns.
+    pub start_ns: u64,
+    /// End of the interval, virtual ns.
+    pub end_ns: u64,
+    /// Interval, instant, or drop.
+    pub kind: SpanKind,
+    /// Policy verdict, when the stage is a policy invocation (else 0).
+    pub verdict: i64,
+    /// Cycles charged by the VM's cycle accounting (else 0).
+    pub cycles: u64,
+    /// Free-form argument: queue/socket/core index, app id — stage-specific.
+    pub arg: u64,
+}
+
+impl SpanRecord {
+    /// Duration of the span (0 for instants).
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+impl Serialize for SpanRecord {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("SpanRecord", 8)?;
+        s.serialize_field("trace_id", &self.trace_id)?;
+        s.serialize_field("stage", &self.stage.as_str())?;
+        s.serialize_field("start_ns", &self.start_ns)?;
+        s.serialize_field("end_ns", &self.end_ns)?;
+        s.serialize_field("kind", &self.kind.as_str())?;
+        s.serialize_field("verdict", &self.verdict)?;
+        s.serialize_field("cycles", &self.cycles)?;
+        s.serialize_field("arg", &self.arg)?;
+        s.end()
+    }
+}
+
+/// Serializes records to the Chrome trace-event JSON format, loadable in
+/// `chrome://tracing` and <https://ui.perfetto.dev>.
+///
+/// Layout: one process per stack layer (`nic`, `kernel`, `socket`,
+/// `thread`, `vm`, `app`), one track (tid) per trace within the layer, so
+/// a request's journey reads left-to-right across the layer swimlanes.
+/// Complete spans emit `ph:"X"` events with microsecond timestamps;
+/// instants and drops emit `ph:"i"`.
+pub fn chrome_trace_json(records: &[SpanRecord]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    // Name the layer "processes" once so Perfetto labels the swimlanes.
+    for (pid, layer) in LAYERS.iter().enumerate() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+             \"args\":{{\"name\":\"{layer}\"}}}}"
+        );
+    }
+    for r in records {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let pid = LAYERS
+            .iter()
+            .position(|&l| l == r.stage.layer())
+            .unwrap_or(0);
+        let ts_us = r.start_ns as f64 / 1_000.0;
+        let name = match r.kind {
+            SpanKind::Dropped => "dropped",
+            _ => r.stage.as_str(),
+        };
+        let _ = write!(
+            out,
+            "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts_us}",
+            cat = r.stage.layer(),
+            tid = r.trace_id,
+        );
+        match r.kind {
+            SpanKind::Complete => {
+                let dur_us = r.duration_ns() as f64 / 1_000.0;
+                let _ = write!(out, ",\"ph\":\"X\",\"dur\":{dur_us}");
+            }
+            SpanKind::Instant | SpanKind::Dropped => {
+                out.push_str(",\"ph\":\"i\",\"s\":\"t\"");
+            }
+        }
+        let _ = write!(
+            out,
+            ",\"args\":{{\"trace_id\":{},\"stage\":\"{}\",\"verdict\":{},\"cycles\":{},\"arg\":{}}}}}",
+            r.trace_id,
+            r.stage.as_str(),
+            r.verdict,
+            r.cycles,
+            r.arg
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+const LAYERS: [&str; 8] = [
+    "trace", "nic", "kernel", "socket", "thread", "vm", "app", "syrupd",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, stage: Stage, start: u64, end: u64) -> SpanRecord {
+        SpanRecord {
+            trace_id: id,
+            stage,
+            start_ns: start,
+            end_ns: end,
+            kind: SpanKind::Complete,
+            verdict: 2,
+            cycles: 1500,
+            arg: 3,
+        }
+    }
+
+    #[test]
+    fn records_serialize_with_stage_names() {
+        let json = serde::json::to_string(&span(7, Stage::SocketSelect, 10, 40)).unwrap();
+        assert!(json.contains("\"stage\":\"socket-select\""), "{json}");
+        assert!(json.contains("\"kind\":\"complete\""), "{json}");
+        assert!(json.contains("\"trace_id\":7"), "{json}");
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json_with_x_and_i_phases() {
+        let records = vec![
+            span(1, Stage::SocketSelect, 1_000, 3_000),
+            SpanRecord {
+                kind: SpanKind::Instant,
+                ..span(1, Stage::NicSteer, 500, 500)
+            },
+            SpanRecord {
+                kind: SpanKind::Dropped,
+                ..span(2, Stage::SockQueue, 900, 900)
+            },
+        ];
+        let json = chrome_trace_json(&records);
+        let value = serde::json::from_str(&json).expect("export parses");
+        let events = value
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .expect("traceEvents array");
+        // 8 process-name metadata events + 3 records.
+        assert_eq!(events.len(), LAYERS.len() + 3);
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"dur\":2"), "{json}");
+    }
+
+    #[test]
+    fn duration_saturates() {
+        let r = span(1, Stage::Run, 50, 20);
+        assert_eq!(r.duration_ns(), 0);
+    }
+}

@@ -1,6 +1,6 @@
 //! `syrupctl` — the operator's tool for Syrup policies.
 //!
-//! Subcommands:
+//! Policy pipeline subcommands:
 //!
 //! * `compile <file.c> [-D NAME=VALUE]...` — compile a C-subset policy,
 //!   run the verifier, print the disassembly and Table 2-style stats.
@@ -8,15 +8,39 @@
 //! * `hooks` — list the deployment hooks with their input/executor types.
 //! * `demo` — run the §3.1 workflow end to end on a built-in policy.
 //!
-//! Exit status is nonzero when compilation or verification fails, so the
-//! tool slots into CI pipelines that gate policy changes.
+//! Introspection subcommands — these run the built-in quickstart scenario
+//! (three policies on one request path: eBPF round robin at the XDP
+//! driver hook, native round robin at CPU-redirect and socket-select) and
+//! report on the live daemon state afterwards, standing in for attaching
+//! to a long-running `syrupd`:
+//!
+//! * `prog list [--json]` — deployed policies per hook (app, backend).
+//! * `prog stats [--json]` — per-policy mean instructions/cycles per
+//!   invocation (Table 2 instrumentation).
+//! * `map dump [--json]` — every pinned map with its definition.
+//! * `map get <path> <key>` — one value from a pinned map.
+//! * `metrics [--json]` — the full telemetry snapshot (counters, gauges,
+//!   histogram percentiles).
+//! * `trace record [--requests N] [--sample N] [--export PATH]` — trace
+//!   the scenario, print a summary, optionally write Chrome-trace/Perfetto
+//!   JSON (load it at <https://ui.perfetto.dev>).
+//! * `trace report [--requests N] [--json]` — per-stage latency breakdown
+//!   (count, mean, p50/p99/p99.9 per stage, end-to-end percentiles).
+//! * `trace export <PATH>` — shorthand for `trace record --export PATH`.
+//! * `trace validate <PATH>` — check an exported file parses and holds at
+//!   least one complete multi-hook trace (the CI gate).
+//!
+//! Exit status is nonzero on compile/verify failures, unknown maps, or a
+//! failed validation, so the tool slots into CI pipelines.
 
 use std::process::ExitCode;
 
+use syrup::apps::quickstart;
 use syrup::core::{CompileOptions, Hook};
-use syrup::ebpf::maps::MapRegistry;
+use syrup::ebpf::maps::{MapKind, MapRegistry};
 use syrup::ebpf::{assemble, verify};
 use syrup::lang::count_loc;
+use syrup::trace::{chrome_trace_json, StageBreakdown, TraceConfig, Tracer};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -25,13 +49,65 @@ fn main() -> ExitCode {
         Some("verify-asm") => cmd_verify_asm(&args[1..]),
         Some("hooks") => cmd_hooks(),
         Some("demo") => cmd_demo(),
-        _ => {
-            eprintln!(
-                "usage: syrupctl <compile FILE.c [-D NAME=VALUE]... | verify-asm FILE.s | hooks | demo>"
-            );
-            ExitCode::FAILURE
-        }
+        Some("prog") => match args.get(1).map(String::as_str) {
+            Some("list") => cmd_prog_list(&args[2..]),
+            Some("stats") => cmd_prog_stats(&args[2..]),
+            _ => usage(),
+        },
+        Some("map") => match args.get(1).map(String::as_str) {
+            Some("dump") => cmd_map_dump(&args[2..]),
+            Some("get") => cmd_map_get(&args[2..]),
+            _ => usage(),
+        },
+        Some("metrics") => cmd_metrics(&args[1..]),
+        Some("trace") => match args.get(1).map(String::as_str) {
+            Some("record") => cmd_trace_record(&args[2..]),
+            Some("report") => cmd_trace_report(&args[2..]),
+            Some("export") => match args.get(2) {
+                Some(path) => cmd_trace_record(&["--export".to_string(), path.clone()]),
+                None => usage(),
+            },
+            Some("validate") => cmd_trace_validate(&args[2..]),
+            _ => usage(),
+        },
+        _ => usage(),
     }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: syrupctl <subcommand>\n\
+         \n\
+         policy pipeline:\n\
+         \x20 compile FILE.c [-D NAME=VALUE]...\n\
+         \x20 verify-asm FILE.s\n\
+         \x20 hooks\n\
+         \x20 demo\n\
+         \n\
+         introspection (quickstart scenario):\n\
+         \x20 prog list [--json]\n\
+         \x20 prog stats [--json]\n\
+         \x20 map dump [--json]\n\
+         \x20 map get PATH KEY\n\
+         \x20 metrics [--json]\n\
+         \x20 trace record [--scenario quickstart] [--requests N] [--sample N] [--export PATH]\n\
+         \x20 trace report [--requests N] [--json]\n\
+         \x20 trace export PATH\n\
+         \x20 trace validate PATH"
+    );
+    ExitCode::FAILURE
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// Value of `--name VALUE`, if present.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
 }
 
 fn parse_defines(args: &[String]) -> Result<CompileOptions, String> {
@@ -179,5 +255,375 @@ fn cmd_demo() -> ExitCode {
         let (_, d) = daemon.schedule(Hook::SocketSelect, &mut pkt, &meta);
         println!("  datagram {i} -> {d:?}");
     }
+    ExitCode::SUCCESS
+}
+
+/// Runs the quickstart scenario untraced so the introspection commands
+/// have a populated daemon to report on.
+fn warm_quickstart() -> quickstart::Quickstart {
+    quickstart::run_default(&Tracer::disabled())
+}
+
+fn cmd_prog_list(args: &[String]) -> ExitCode {
+    let q = warm_quickstart();
+    let rows = q.syrupd.deployed();
+    if has_flag(args, "--json") {
+        let mut out = String::from("[");
+        for (i, (app, hook, native)) in rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"app\":{},\"hook\":\"{}\",\"backend\":\"{}\"}}",
+                app.0,
+                hook.name(),
+                if *native { "native" } else { "ebpf" }
+            ));
+        }
+        out.push(']');
+        println!("{out}");
+    } else {
+        println!("{:<6} {:<18} backend", "app", "hook");
+        for (app, hook, native) in &rows {
+            println!(
+                "{:<6} {:<18} {}",
+                app.0,
+                hook.name(),
+                if *native { "native" } else { "ebpf" }
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_prog_stats(args: &[String]) -> ExitCode {
+    let q = warm_quickstart();
+    let rows = q.syrupd.deployed();
+    let json = has_flag(args, "--json");
+    let mut out = String::from("[");
+    if !json {
+        println!(
+            "{:<6} {:<18} {:<8} {:>12} {:>12}",
+            "app", "hook", "backend", "insns/invoc", "cycles/invoc"
+        );
+    }
+    for (i, (app, hook, native)) in rows.iter().enumerate() {
+        let stats = q.syrupd.policy_stats(*app, *hook);
+        if json {
+            if i > 0 {
+                out.push(',');
+            }
+            match stats {
+                Some((insns, cycles)) => out.push_str(&format!(
+                    "{{\"app\":{},\"hook\":\"{}\",\"backend\":\"ebpf\",\
+                     \"insns_per_invocation\":{insns:.1},\"cycles_per_invocation\":{cycles:.1}}}",
+                    app.0,
+                    hook.name()
+                )),
+                None => out.push_str(&format!(
+                    "{{\"app\":{},\"hook\":\"{}\",\"backend\":\"{}\",\
+                     \"insns_per_invocation\":null,\"cycles_per_invocation\":null}}",
+                    app.0,
+                    hook.name(),
+                    if *native { "native" } else { "ebpf" }
+                )),
+            }
+        } else {
+            match stats {
+                Some((insns, cycles)) => println!(
+                    "{:<6} {:<18} {:<8} {:>12.1} {:>12.1}",
+                    app.0,
+                    hook.name(),
+                    "ebpf",
+                    insns,
+                    cycles
+                ),
+                None => println!(
+                    "{:<6} {:<18} {:<8} {:>12} {:>12}",
+                    app.0,
+                    hook.name(),
+                    if *native { "native" } else { "ebpf" },
+                    "-",
+                    "-"
+                ),
+            }
+        }
+    }
+    if json {
+        out.push(']');
+        println!("{out}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn map_kind_str(kind: MapKind) -> &'static str {
+    match kind {
+        MapKind::Array => "array",
+        MapKind::Hash => "hash",
+        MapKind::ProgArray => "prog-array",
+    }
+}
+
+fn cmd_map_dump(args: &[String]) -> ExitCode {
+    let q = warm_quickstart();
+    let registry = q.syrupd.registry();
+    let pins = registry.pins();
+    if has_flag(args, "--json") {
+        let mut out = String::from("[");
+        for (i, (path, id)) in pins.iter().enumerate() {
+            let Some(map) = registry.get(*id) else {
+                continue;
+            };
+            let def = map.def();
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"path\":\"{path}\",\"id\":{},\"kind\":\"{}\",\
+                 \"key_size\":{},\"value_size\":{},\"max_entries\":{}}}",
+                id.0,
+                map_kind_str(def.kind),
+                def.key_size,
+                def.value_size,
+                def.max_entries
+            ));
+        }
+        out.push(']');
+        println!("{out}");
+    } else {
+        println!(
+            "{:<28} {:<4} {:<10} {:>8} {:>10} {:>11}",
+            "path", "id", "kind", "key_sz", "value_sz", "max_entries"
+        );
+        for (path, id) in &pins {
+            let Some(map) = registry.get(*id) else {
+                continue;
+            };
+            let def = map.def();
+            println!(
+                "{:<28} {:<4} {:<10} {:>8} {:>10} {:>11}",
+                path,
+                id.0,
+                map_kind_str(def.kind),
+                def.key_size,
+                def.value_size,
+                def.max_entries
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_map_get(args: &[String]) -> ExitCode {
+    let (Some(path), Some(key)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: syrupctl map get PATH KEY");
+        return ExitCode::FAILURE;
+    };
+    let key: u32 = match key.parse() {
+        Ok(k) => k,
+        Err(_) => {
+            eprintln!("key `{key}` is not a u32");
+            return ExitCode::FAILURE;
+        }
+    };
+    let q = warm_quickstart();
+    let Some(map) = q.syrupd.registry().open(path) else {
+        eprintln!("no map pinned at `{path}` (try `syrupctl map dump`)");
+        return ExitCode::FAILURE;
+    };
+    match map.lookup_u64(key) {
+        Ok(Some(v)) => {
+            println!("{v}");
+            ExitCode::SUCCESS
+        }
+        Ok(None) => {
+            eprintln!("key {key} not present");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("lookup failed: {e:?}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_metrics(args: &[String]) -> ExitCode {
+    let q = warm_quickstart();
+    let snapshot = q.syrupd.telemetry_snapshot();
+    if has_flag(args, "--json") {
+        println!("{}", snapshot.to_json());
+    } else {
+        print!("{}", snapshot.render_table());
+    }
+    ExitCode::SUCCESS
+}
+
+/// Parses the shared trace flags and runs the traced scenario.
+fn traced_run(args: &[String]) -> Result<quickstart::Quickstart, String> {
+    if let Some(scenario) = flag_value(args, "--scenario") {
+        if scenario != "quickstart" {
+            return Err(format!(
+                "unknown scenario `{scenario}` (only `quickstart` is built in)"
+            ));
+        }
+    }
+    let requests = match flag_value(args, "--requests") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| format!("--requests `{v}` is not a number"))?,
+        None => quickstart::DEFAULT_REQUESTS,
+    };
+    let sample_every = match flag_value(args, "--sample") {
+        Some(v) => v
+            .parse::<u64>()
+            .map_err(|_| format!("--sample `{v}` is not a number"))?,
+        None => 1,
+    };
+    let tracer = Tracer::with_config(TraceConfig {
+        sample_every,
+        ..TraceConfig::default()
+    });
+    Ok(quickstart::run(&tracer, requests))
+}
+
+fn cmd_trace_record(args: &[String]) -> ExitCode {
+    let q = match traced_run(args) {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let complete = q
+        .timelines
+        .iter()
+        .filter(|t| t.close_ns().is_some())
+        .count();
+    println!(
+        "recorded {} spans across {} traces ({} complete) from {} requests",
+        q.records.len(),
+        q.timelines.len(),
+        complete,
+        q.completed
+    );
+    if let Some(path) = flag_value(args, "--export") {
+        let json = chrome_trace_json(&q.records);
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "wrote {} bytes of Chrome-trace JSON to {path} (load at https://ui.perfetto.dev)",
+            json.len()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_trace_report(args: &[String]) -> ExitCode {
+    let q = match traced_run(args) {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for tl in &q.timelines {
+        if let Err(e) = tl.validate() {
+            eprintln!("invalid timeline {}: {e}", tl.trace_id);
+            return ExitCode::FAILURE;
+        }
+    }
+    let breakdown = StageBreakdown::from_timelines(&q.timelines);
+    if has_flag(args, "--json") {
+        match serde::json::to_string(&breakdown) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("serialization failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        print!("{}", breakdown.render_table());
+    }
+    ExitCode::SUCCESS
+}
+
+/// The CI gate: an exported file must parse as JSON and hold at least one
+/// complete trace (closed by an `end` instant) whose spans cover at least
+/// three distinct hooks.
+fn cmd_trace_validate(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("usage: syrupctl trace validate PATH");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let value = match serde::json::from_str(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{path} is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(events) = value.get("traceEvents").and_then(|e| e.as_array()) else {
+        eprintln!("{path}: no `traceEvents` array");
+        return ExitCode::FAILURE;
+    };
+    const HOOK_STAGES: [&str; 6] = [
+        "xdp-offload",
+        "xdp-drv",
+        "xdp-skb",
+        "cpu-redirect",
+        "socket-select",
+        "thread-scheduler",
+    ];
+    // trace id -> (hook stages seen, closed by an `end` instant).
+    let mut traces: std::collections::BTreeMap<u64, (std::collections::BTreeSet<&str>, bool)> =
+        std::collections::BTreeMap::new();
+    for ev in events {
+        let Some(id) = ev
+            .get("args")
+            .and_then(|a| a.get("trace_id"))
+            .and_then(|v| v.as_u64())
+        else {
+            continue; // metadata events
+        };
+        let Some(stage) = ev
+            .get("args")
+            .and_then(|a| a.get("stage"))
+            .and_then(|v| v.as_str())
+        else {
+            continue;
+        };
+        let entry = traces.entry(id).or_default();
+        if let Some(&s) = HOOK_STAGES.iter().find(|&&s| s == stage) {
+            entry.0.insert(s);
+        }
+        if stage == "end" {
+            entry.1 = true;
+        }
+    }
+    let good = traces
+        .values()
+        .filter(|(hooks, closed)| *closed && hooks.len() >= 3)
+        .count();
+    if good == 0 {
+        eprintln!(
+            "{path}: {} traces, none complete with spans from >=3 distinct hooks",
+            traces.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "{path}: OK — {} events, {} traces, {good} complete multi-hook traces",
+        events.len(),
+        traces.len()
+    );
     ExitCode::SUCCESS
 }

@@ -75,3 +75,6 @@ pub use syrup_storage as storage;
 /// Cross-stack observability: counters, cycle histograms, decision
 /// tracing (re-export of `syrup-telemetry`).
 pub use syrup_telemetry as telemetry;
+/// Cross-stack request tracing: per-request timelines, stage-latency
+/// breakdowns, Perfetto export (re-export of `syrup-trace`).
+pub use syrup_trace as trace;

@@ -1,0 +1,260 @@
+//! Smoke tests for every `syrupctl` subcommand: exit codes and the
+//! stability of the `--json` output schemas that CI and scripts consume.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn syrupctl(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_syrupctl"))
+        .args(args)
+        .output()
+        .expect("syrupctl spawns")
+}
+
+fn stdout_of(args: &[&str]) -> String {
+    let out = syrupctl(args);
+    assert!(
+        out.status.success(),
+        "`syrupctl {}` failed: {}",
+        args.join(" "),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 stdout")
+}
+
+fn json_of(args: &[&str]) -> serde::json::Value {
+    let text = stdout_of(args);
+    serde::json::from_str(&text).unwrap_or_else(|e| {
+        panic!(
+            "`syrupctl {}` emitted bad JSON ({e}): {text}",
+            args.join(" ")
+        )
+    })
+}
+
+fn tmp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("syrupctl-smoke-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn no_args_and_unknown_subcommands_fail_with_usage() {
+    for args in [
+        &[][..],
+        &["frobnicate"][..],
+        &["prog"][..],
+        &["map"][..],
+        &["trace"][..],
+    ] {
+        let out = syrupctl(args);
+        assert!(
+            !out.status.success(),
+            "`syrupctl {}` should fail",
+            args.join(" ")
+        );
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("usage:"), "stderr should print usage: {err}");
+    }
+}
+
+#[test]
+fn hooks_lists_every_deployment_hook() {
+    let out = stdout_of(&["hooks"]);
+    for hook in [
+        "xdp-drv",
+        "cpu-redirect",
+        "socket-select",
+        "thread-scheduler",
+    ] {
+        assert!(out.contains(hook), "hooks output missing {hook}: {out}");
+    }
+}
+
+#[test]
+fn demo_runs_the_end_to_end_workflow() {
+    let out = stdout_of(&["demo"]);
+    assert!(!out.is_empty());
+}
+
+#[test]
+fn compile_accepts_a_policy_and_rejects_a_missing_file() {
+    let src = tmp_path("rr.c");
+    std::fs::write(&src, syrup::policies::c_sources::ROUND_ROBIN).unwrap();
+    let out = stdout_of(&["compile", src.to_str().unwrap(), "-D", "NUM_THREADS=4"]);
+    assert!(out.contains("insns") || out.contains("instructions") || !out.is_empty());
+    std::fs::remove_file(&src).ok();
+
+    let missing = syrupctl(&["compile", "/nonexistent/policy.c"]);
+    assert!(!missing.status.success());
+}
+
+#[test]
+fn verify_asm_rejects_an_unverifiable_program() {
+    let src = tmp_path("bad.s");
+    // No exit: falls off the end, which the verifier must reject.
+    std::fs::write(&src, "mov r0, 0\n").unwrap();
+    let out = syrupctl(&["verify-asm", src.to_str().unwrap()]);
+    assert!(!out.status.success());
+    std::fs::remove_file(&src).ok();
+}
+
+#[test]
+fn prog_list_json_schema_is_stable() {
+    let v = json_of(&["prog", "list", "--json"]);
+    let rows = v.as_array().expect("array of deployments");
+    assert_eq!(rows.len(), 3, "quickstart deploys three policies");
+    for row in rows {
+        assert!(row.get("app").and_then(|a| a.as_u64()).is_some());
+        assert!(row.get("hook").and_then(|h| h.as_str()).is_some());
+        let backend = row.get("backend").and_then(|b| b.as_str()).unwrap();
+        assert!(
+            backend == "native" || backend == "ebpf",
+            "backend {backend}"
+        );
+    }
+    assert!(rows.iter().any(|r| {
+        r.get("hook").and_then(|h| h.as_str()) == Some("xdp-drv")
+            && r.get("backend").and_then(|b| b.as_str()) == Some("ebpf")
+    }));
+}
+
+#[test]
+fn prog_stats_json_reports_ebpf_costs_and_null_for_native() {
+    let v = json_of(&["prog", "stats", "--json"]);
+    let rows = v.as_array().expect("array of stats");
+    assert_eq!(rows.len(), 3);
+    for row in rows {
+        let backend = row.get("backend").and_then(|b| b.as_str()).unwrap();
+        let insns = row.get("insns_per_invocation").expect("key present");
+        let cycles = row.get("cycles_per_invocation").expect("key present");
+        if backend == "ebpf" {
+            assert!(insns.as_f64().unwrap() > 0.0);
+            assert!(cycles.as_f64().unwrap() > 0.0);
+        } else {
+            assert!(insns.as_f64().is_none(), "native insns must be null");
+            assert!(cycles.as_f64().is_none(), "native cycles must be null");
+        }
+    }
+}
+
+#[test]
+fn map_dump_json_lists_pinned_maps_with_definitions() {
+    let v = json_of(&["map", "dump", "--json"]);
+    let rows = v.as_array().expect("array of maps");
+    assert!(!rows.is_empty());
+    for row in rows {
+        assert!(row.get("path").and_then(|p| p.as_str()).is_some());
+        assert!(row.get("id").and_then(|i| i.as_u64()).is_some());
+        assert!(row.get("kind").and_then(|k| k.as_str()).is_some());
+        for field in ["key_size", "value_size", "max_entries"] {
+            assert!(row.get(field).and_then(|f| f.as_u64()).is_some(), "{field}");
+        }
+    }
+    assert!(rows
+        .iter()
+        .any(|r| r.get("path").and_then(|p| p.as_str()) == Some("/syrup/1/__globals")));
+}
+
+#[test]
+fn map_get_reads_a_value_and_fails_on_unknown_paths() {
+    let out = stdout_of(&["map", "get", "/syrup/1/__globals", "0"]);
+    out.trim().parse::<u64>().expect("a u64 value");
+
+    let missing = syrupctl(&["map", "get", "/not/pinned", "0"]);
+    assert!(!missing.status.success());
+    let bad_key = syrupctl(&["map", "get", "/syrup/1/__globals", "not-a-number"]);
+    assert!(!bad_key.status.success());
+}
+
+#[test]
+fn metrics_json_is_a_snapshot_object() {
+    let v = json_of(&["metrics", "--json"]);
+    let counters = v.get("counters").expect("counters key");
+    assert!(counters
+        .get("app1/xdp-drv/invocations")
+        .and_then(|c| c.as_u64())
+        .is_some_and(|n| n > 0));
+    // The table form renders too.
+    let table = stdout_of(&["metrics"]);
+    assert!(table.contains("app1/xdp-drv/invocations"), "{table}");
+}
+
+#[test]
+fn trace_record_export_validate_round_trip() {
+    let export = tmp_path("trace.json");
+    let summary = stdout_of(&[
+        "trace",
+        "record",
+        "--scenario",
+        "quickstart",
+        "--export",
+        export.to_str().unwrap(),
+    ]);
+    assert!(summary.contains("recorded"), "{summary}");
+
+    let verdict = stdout_of(&["trace", "validate", export.to_str().unwrap()]);
+    assert!(verdict.contains("OK"), "{verdict}");
+
+    // The export is Chrome-trace JSON with the expected envelope.
+    let raw = std::fs::read_to_string(&export).unwrap();
+    let v: serde::json::Value = serde::json::from_str(&raw).expect("export parses");
+    assert!(v
+        .get("traceEvents")
+        .and_then(|e| e.as_array())
+        .is_some_and(|e| !e.is_empty()));
+    std::fs::remove_file(&export).ok();
+
+    let missing = syrupctl(&["trace", "validate", "/nonexistent/trace.json"]);
+    assert!(!missing.status.success());
+}
+
+#[test]
+fn trace_export_shorthand_writes_the_file() {
+    let export = tmp_path("shorthand.json");
+    stdout_of(&["trace", "export", export.to_str().unwrap()]);
+    assert!(export.exists());
+    std::fs::remove_file(&export).ok();
+}
+
+#[test]
+fn trace_report_json_schema_is_stable() {
+    let v = json_of(&["trace", "report", "--scenario", "quickstart", "--json"]);
+    assert!(v
+        .get("traces")
+        .and_then(|t| t.as_u64())
+        .is_some_and(|n| n > 0));
+    assert!(v.get("dropped").and_then(|d| d.as_u64()).is_some());
+    for field in ["total_p50_ns", "total_p99_ns", "total_p999_ns"] {
+        assert!(v.get(field).and_then(|f| f.as_u64()).is_some(), "{field}");
+    }
+    let stages = v
+        .get("stages")
+        .and_then(|s| s.as_array())
+        .expect("stages array");
+    assert!(stages.len() >= 3);
+    for s in stages {
+        assert!(s.get("stage").and_then(|n| n.as_str()).is_some());
+        assert!(s.get("mean_ns").and_then(|f| f.as_f64()).is_some());
+        for field in ["count", "p50_ns", "p99_ns", "p999_ns", "max_ns"] {
+            assert!(s.get(field).and_then(|f| f.as_u64()).is_some(), "{field}");
+        }
+    }
+    // The table form renders the same stages.
+    let table = stdout_of(&["trace", "report", "--scenario", "quickstart"]);
+    assert!(
+        table.contains("STAGE") && table.contains("end-to-end"),
+        "{table}"
+    );
+
+    // An unknown scenario is an error, not an empty report.
+    let bad = syrupctl(&["trace", "report", "--scenario", "nope"]);
+    assert!(!bad.status.success());
+}
+
+#[test]
+fn trace_record_respects_requests_and_sampling_flags() {
+    let out = stdout_of(&["trace", "record", "--requests", "32", "--sample", "8"]);
+    // 32 ingresses sampled 1-in-8 → exactly 4 traces.
+    assert!(out.contains("across 4 traces"), "{out}");
+    let bad = syrupctl(&["trace", "record", "--requests", "zero"]);
+    assert!(!bad.status.success());
+}

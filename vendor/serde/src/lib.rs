@@ -394,6 +394,315 @@ pub mod json {
             Ok(())
         }
     }
+
+    /// A parsed JSON document (stands in for `serde_json::Value`).
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// Any JSON number, kept as f64 (sufficient for validation use).
+        Number(f64),
+        /// A string.
+        String(String),
+        /// An array.
+        Array(Vec<Value>),
+        /// An object; insertion order is not preserved.
+        Object(std::collections::BTreeMap<String, Value>),
+    }
+
+    impl Value {
+        /// Object field lookup (`None` for non-objects/missing keys).
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Object(map) => map.get(key),
+                _ => None,
+            }
+        }
+
+        /// The elements, if this is an array.
+        pub fn as_array(&self) -> Option<&Vec<Value>> {
+            match self {
+                Value::Array(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        /// The string contents, if this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::String(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The number as f64, if this is a number.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Number(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        /// The number as u64, if this is a non-negative integral number.
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                    Some(*n as u64)
+                }
+                _ => None,
+            }
+        }
+
+        /// The number as i64, if this is an integral number.
+        pub fn as_i64(&self) -> Option<i64> {
+            match self {
+                Value::Number(n)
+                    if n.fract() == 0.0 && *n >= i64::MIN as f64 && *n <= i64::MAX as f64 =>
+                {
+                    Some(*n as i64)
+                }
+                _ => None,
+            }
+        }
+
+        /// The boolean, if this is a boolean.
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+    }
+
+    /// A JSON parse error with a byte offset.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct ParseError {
+        /// What went wrong.
+        pub message: String,
+        /// Byte offset into the input where it went wrong.
+        pub offset: usize,
+    }
+
+    impl std::fmt::Display for ParseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(
+                f,
+                "JSON parse error at byte {}: {}",
+                self.offset, self.message
+            )
+        }
+    }
+
+    impl std::error::Error for ParseError {}
+
+    /// Parses a JSON document (stands in for `serde_json::from_str`).
+    /// Rejects trailing non-whitespace after the top-level value.
+    pub fn from_str(input: &str) -> Result<Value, ParseError> {
+        let bytes = input.as_bytes();
+        let mut p = Parser { bytes, pos: 0 };
+        p.skip_ws();
+        let value = p.parse_value()?;
+        p.skip_ws();
+        if p.pos != bytes.len() {
+            return Err(p.err("trailing characters after JSON value"));
+        }
+        Ok(value)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn err(&self, message: &str) -> ParseError {
+            ParseError {
+                message: message.to_string(),
+                offset: self.pos,
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn skip_ws(&mut self) {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+            if self.peek() == Some(b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(self.err(&format!("expected '{}'", b as char)))
+            }
+        }
+
+        fn eat_literal(&mut self, lit: &str, value: Value) -> Result<Value, ParseError> {
+            if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+                self.pos += lit.len();
+                Ok(value)
+            } else {
+                Err(self.err(&format!("expected '{lit}'")))
+            }
+        }
+
+        fn parse_value(&mut self) -> Result<Value, ParseError> {
+            match self.peek() {
+                Some(b'n') => self.eat_literal("null", Value::Null),
+                Some(b't') => self.eat_literal("true", Value::Bool(true)),
+                Some(b'f') => self.eat_literal("false", Value::Bool(false)),
+                Some(b'"') => self.parse_string().map(Value::String),
+                Some(b'[') => self.parse_array(),
+                Some(b'{') => self.parse_object(),
+                Some(b'-' | b'0'..=b'9') => self.parse_number(),
+                Some(_) => Err(self.err("unexpected character")),
+                None => Err(self.err("unexpected end of input")),
+            }
+        }
+
+        fn parse_array(&mut self) -> Result<Value, ParseError> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.parse_value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(self.err("expected ',' or ']' in array")),
+                }
+            }
+        }
+
+        fn parse_object(&mut self) -> Result<Value, ParseError> {
+            self.expect(b'{')?;
+            let mut map = std::collections::BTreeMap::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Object(map));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.parse_string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                self.skip_ws();
+                let value = self.parse_value()?;
+                map.insert(key, value);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Object(map));
+                    }
+                    _ => return Err(self.err("expected ',' or '}' in object")),
+                }
+            }
+        }
+
+        fn parse_string(&mut self) -> Result<String, ParseError> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                let start = self.pos;
+                // Copy runs of plain bytes in one shot.
+                while let Some(b) = self.peek() {
+                    if b == b'"' || b == b'\\' || b < 0x20 {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                out.push_str(
+                    std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?,
+                );
+                match self.peek() {
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        let esc = self.peek().ok_or_else(|| self.err("truncated escape"))?;
+                        self.pos += 1;
+                        match esc {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'b' => out.push('\u{8}'),
+                            b'f' => out.push('\u{c}'),
+                            b'n' => out.push('\n'),
+                            b'r' => out.push('\r'),
+                            b't' => out.push('\t'),
+                            b'u' => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos..self.pos + 4)
+                                    .and_then(|h| std::str::from_utf8(h).ok())
+                                    .ok_or_else(|| self.err("truncated \\u escape"))?;
+                                let code = u32::from_str_radix(hex, 16)
+                                    .map_err(|_| self.err("invalid \\u escape"))?;
+                                self.pos += 4;
+                                // Surrogate pairs are not needed for our
+                                // exports; map lone surrogates to U+FFFD.
+                                out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            }
+                            _ => return Err(self.err("unknown escape")),
+                        }
+                    }
+                    Some(_) => return Err(self.err("control character in string")),
+                    None => return Err(self.err("unterminated string")),
+                }
+            }
+        }
+
+        fn parse_number(&mut self) -> Result<Value, ParseError> {
+            let start = self.pos;
+            if self.peek() == Some(b'-') {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.peek() == Some(b'.') {
+                self.pos += 1;
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            if matches!(self.peek(), Some(b'e' | b'E')) {
+                self.pos += 1;
+                if matches!(self.peek(), Some(b'+' | b'-')) {
+                    self.pos += 1;
+                }
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|_| self.err("invalid number"))?;
+            text.parse::<f64>()
+                .map(Value::Number)
+                .map_err(|_| self.err("invalid number"))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -444,5 +753,47 @@ mod tests {
         assert_eq!(json::to_string(&1.5f64).unwrap(), "1.5");
         assert_eq!(json::to_string(&f64::NAN).unwrap(), "null");
         assert_eq!(json::to_string(&true).unwrap(), "true");
+    }
+
+    #[test]
+    fn parser_round_trips_serialized_output() {
+        let p = Point {
+            x: 42,
+            label: "a\"b\nc".into(),
+            tags: vec![-1, 2],
+            extra: Some(0.25),
+        };
+        let text = json::to_string(&p).unwrap();
+        let value = json::from_str(&text).unwrap();
+        assert_eq!(value.get("x").and_then(|v| v.as_u64()), Some(42));
+        assert_eq!(value.get("label").and_then(|v| v.as_str()), Some("a\"b\nc"));
+        let tags = value.get("tags").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(tags[0].as_i64(), Some(-1));
+        assert_eq!(value.get("extra").and_then(|v| v.as_f64()), Some(0.25));
+    }
+
+    #[test]
+    fn parser_handles_nesting_escapes_and_numbers() {
+        let value = json::from_str(r#"{"a":[1,2.5,-3e2,true,null],"b":{"c":"A\t"}}"#).unwrap();
+        let a = value.get("a").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(a.len(), 5);
+        assert_eq!(a[2].as_f64(), Some(-300.0));
+        assert_eq!(a[3].as_bool(), Some(true));
+        assert_eq!(a[4], json::Value::Null);
+        assert_eq!(
+            value
+                .get("b")
+                .and_then(|b| b.get("c"))
+                .and_then(|v| v.as_str()),
+            Some("A\t")
+        );
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(json::from_str("{").is_err());
+        assert!(json::from_str("[1,]").is_err());
+        assert!(json::from_str("42 junk").is_err());
+        assert!(json::from_str("\"unterminated").is_err());
     }
 }
