@@ -1,0 +1,85 @@
+//! Profiler hot-path cost: the disabled-profiler contract.
+//!
+//! Every sample site the profiler adds to the stack — per-instruction
+//! attribution in the VM loop, queue-depth sampling in the NIC/socket
+//! layers, thread-state transitions in ghOSt — must collapse to a single
+//! `Option` branch when no profiler is attached (the ≤5 ns contract that
+//! lets `Vm::run_inner` keep the call unconditional). The enabled
+//! variants are measured alongside so regressions in either direction
+//! show up.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use syrup::profile::{Profiler, ThreadState};
+
+fn bench_vm_attribution(c: &mut Criterion) {
+    let on = Profiler::new();
+    on.register_program("bench", vec!["mov r0, 0".into(); 32]);
+    let off = Profiler::disabled();
+
+    let mut g = c.benchmark_group("profile_vm");
+    // The per-run shape: one vm_enter, a burst of insn() calls, flush on
+    // drop. Amortized per-insn cost is what the VM loop pays.
+    g.bench_function("run_16_insns_enabled", |b| {
+        b.iter(|| {
+            let mut span = black_box(&on).vm_enter("bench", 25);
+            for pc in 0..16usize {
+                span.insn(black_box(pc), 1);
+            }
+        })
+    });
+    g.bench_function("run_16_insns_disabled", |b| {
+        b.iter(|| {
+            let mut span = black_box(&off).vm_enter("bench", 25);
+            for pc in 0..16usize {
+                span.insn(black_box(pc), 1);
+            }
+        })
+    });
+    // The single-site cost in isolation: one insn() on a live span.
+    g.bench_function("insn_disabled", |b| {
+        let mut span = off.vm_enter("bench", 25);
+        b.iter(|| span.insn(black_box(3), black_box(1)));
+    });
+    g.finish();
+}
+
+fn bench_queue_and_thread_samples(c: &mut Criterion) {
+    let on = Profiler::new();
+    let off = Profiler::disabled();
+    let depths = [3usize, 1, 4, 1];
+
+    let mut g = c.benchmark_group("profile_pressure");
+    g.bench_function("queue_depths_enabled", |b| {
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 1;
+            black_box(&on).queue_depths("nic", now, black_box(&depths));
+        })
+    });
+    g.bench_function("queue_depths_disabled", |b| {
+        b.iter(|| black_box(&off).queue_depths("nic", 1, black_box(&depths)))
+    });
+    g.bench_function("thread_state_enabled", |b| {
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 1;
+            let state = if now.is_multiple_of(2) {
+                ThreadState::Running
+            } else {
+                ThreadState::Runnable
+            };
+            black_box(&on).thread_state(1, state, now);
+        })
+    });
+    g.bench_function("thread_state_disabled", |b| {
+        b.iter(|| black_box(&off).thread_state(1, ThreadState::Runnable, black_box(7)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_vm_attribution,
+    bench_queue_and_thread_samples
+);
+criterion_main!(benches);

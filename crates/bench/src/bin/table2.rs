@@ -16,6 +16,12 @@
 //! `--trace-out <path>` samples ~1% of invocations through the request
 //! tracer and writes the vm-exec stage-latency breakdown JSON there
 //! (relative paths land in `results/`).
+//!
+//! `--profile-out <path>` attaches a cycle-attribution profiler per
+//! policy and writes a JSON array of per-policy cost breakdowns: each
+//! entry carries the enforcement constant, the mean total cycles (which
+//! matches the Cycles column), and the full `(prog, pc)`/helper
+//! attribution report.
 
 use syrup::core::CompileOptions;
 use syrup::ebpf::cycles::CycleModel;
@@ -62,6 +68,7 @@ fn measure(
     prepare: impl Fn(&MapRegistry, &syrup::lang::CompiledPolicy),
     reps: usize,
     tracer: &syrup::trace::Tracer,
+    profiler: &syrup::profile::Profiler,
 ) -> Row {
     let maps = MapRegistry::new();
     let compiled = syrup::lang::compile(source, &opts, &maps).expect("compile");
@@ -76,6 +83,7 @@ fn measure(
     let telemetry = Registry::new();
     vm.attach_telemetry(&telemetry);
     vm.attach_tracer(tracer);
+    vm.attach_profiler(profiler);
     let slot = vm.load_unverified(compiled.program);
     let model = CycleModel::default();
 
@@ -123,6 +131,7 @@ fn measure(
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let trace_out = bench::flag_value(&args, "--trace-out");
+    let profile_out = bench::flag_value(&args, "--profile-out");
     // With `--trace-out` every ~101st invocation is traced (per policy),
     // so the exported breakdown aggregates vm-exec spans from all four.
     let tracer = match trace_out {
@@ -132,6 +141,17 @@ fn main() {
         }),
         None => syrup::trace::Tracer::disabled(),
     };
+    // One profiler per policy: the compiled programs all carry the
+    // source-level name `schedule`, so a shared profiler would merge
+    // their PC buckets.
+    let mk_profiler = || {
+        if profile_out.is_some() {
+            syrup::profile::Profiler::new()
+        } else {
+            syrup::profile::Profiler::disabled()
+        }
+    };
+    let profilers: Vec<syrup::profile::Profiler> = (0..4).map(|_| mk_profiler()).collect();
     let reps = 10_000;
     let rows = vec![
         measure(
@@ -141,6 +161,7 @@ fn main() {
             |_, _| {},
             reps,
             &tracer,
+            &profilers[0],
         ),
         measure(
             "SCAN Avoid",
@@ -158,6 +179,7 @@ fn main() {
             },
             reps,
             &tracer,
+            &profilers[1],
         ),
         measure(
             "SITA",
@@ -168,6 +190,7 @@ fn main() {
             |_, _| {},
             reps,
             &tracer,
+            &profilers[2],
         ),
         measure(
             "Token-based",
@@ -180,6 +203,7 @@ fn main() {
             },
             reps,
             &tracer,
+            &profilers[3],
         ),
     ];
 
@@ -212,5 +236,49 @@ fn main() {
 
     if let Some(out) = trace_out {
         bench::write_breakdown(&out, &tracer.drain());
+    }
+
+    if let Some(out) = profile_out {
+        // Per-policy attribution breakdowns. The mean-total consistency
+        // with the Cycles column is structural: the profiler attributes
+        // every cycle the VM charged, so attributed/runs + enforcement
+        // must equal `cycles_mean` exactly.
+        let model = CycleModel::default();
+        let mut json = String::from("[");
+        for (i, (row, profiler)) in rows.iter().zip(&profilers).enumerate() {
+            let report = profiler.report(None, 10);
+            let mean_total =
+                report.attributed_cycles as f64 / report.runs as f64 + model.enforcement as f64;
+            assert!(
+                (mean_total - row.cycles_mean).abs() < 1e-6,
+                "{}: attribution ({mean_total}) disagrees with Table 2 ({})",
+                row.name,
+                row.cycles_mean
+            );
+            if i > 0 {
+                json.push(',');
+            }
+            json.push_str(&format!(
+                "{{\"policy\":\"{}\",\"enforcement\":{},\"mean_total_cycles\":{mean_total:.1},\
+                 \"report\":{}}}",
+                row.name,
+                model.enforcement,
+                serde::json::to_string(&report).expect("report serializes")
+            ));
+        }
+        json.push(']');
+        let dest = if out.contains('/') {
+            std::path::PathBuf::from(&out)
+        } else {
+            bench::results_dir().join(&out)
+        };
+        match std::fs::write(&dest, json) {
+            Ok(()) => println!(
+                "wrote per-policy cycle attribution ({} policies) to {}",
+                rows.len(),
+                dest.display()
+            ),
+            Err(e) => eprintln!("could not write {}: {e}", dest.display()),
+        }
     }
 }

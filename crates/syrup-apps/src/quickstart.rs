@@ -53,9 +53,22 @@ pub fn run_default(tracer: &syrup_trace::Tracer) -> Quickstart {
 /// Pushes `requests` requests through the pipeline, recording spans for
 /// every input `tracer` samples.
 pub fn run(tracer: &syrup_trace::Tracer, requests: usize) -> Quickstart {
+    run_profiled(tracer, &syrup_profile::Profiler::disabled(), requests)
+}
+
+/// [`run`] with a cycle-attribution profiler attached: the VM charges
+/// every interpreted instruction to a `(prog, pc)` bucket, and the NIC
+/// rings and reuseport sockets contribute one depth sample per request
+/// to the pressure report.
+pub fn run_profiled(
+    tracer: &syrup_trace::Tracer,
+    profiler: &syrup_profile::Profiler,
+    requests: usize,
+) -> Quickstart {
     let mut rng = SimRng::new(7);
     let syrupd = Syrupd::new();
     syrupd.attach_tracer(tracer);
+    syrupd.attach_profiler(profiler);
     let (app, _maps) = syrupd
         .register_app("quickstart", &[PORT])
         .expect("fresh daemon has no port conflicts");
@@ -90,8 +103,10 @@ pub fn run(tracer: &syrup_trace::Tracer, requests: usize) -> Quickstart {
 
     let mut nic: Nic<usize> = Nic::new(THREADS, 64);
     nic.attach_tracer(tracer);
+    nic.attach_profiler(profiler);
     let mut group: ReuseportGroup<usize> = ReuseportGroup::new(THREADS, 64);
     group.attach_tracer(tracer);
+    group.attach_profiler(profiler);
 
     let flows = flow::client_flows(8, PORT, &mut rng);
     let mut free_at = [0u64; THREADS];
@@ -105,6 +120,7 @@ pub fn run(tracer: &syrup_trace::Tracer, requests: usize) -> Quickstart {
         // NIC: steer to an RX queue, sit in the ring until the driver poll.
         let q = nic.select_queue_traced(fl, None, ctx, t0);
         nic.enqueue(q, i);
+        nic.sample_depths(t0);
         let t_poll = t0 + 300;
         tracer.span(ctx, Stage::NicQueue, t0, t_poll);
         let _ = nic.dequeue(q);
@@ -151,6 +167,7 @@ pub fn run(tracer: &syrup_trace::Tracer, requests: usize) -> Quickstart {
             // already closed the timeline inside `deliver_traced`.
             Delivery::Dropped { .. } => continue,
         };
+        group.sample_depths(t_sock);
 
         // Worker thread: one request at a time per socket, FIFO.
         let _ = group.recv(socket);
@@ -231,6 +248,58 @@ mod tests {
         assert_eq!(q.completed, DEFAULT_REQUESTS as u64);
         assert!(q.records.is_empty());
         assert!(q.timelines.is_empty());
+    }
+
+    #[test]
+    fn profiled_run_attributes_all_vm_cycles() {
+        let tracer = syrup_trace::Tracer::disabled();
+        let profiler = syrup_profile::Profiler::new();
+        let q = run_profiled(&tracer, &profiler, DEFAULT_REQUESTS);
+        assert_eq!(q.completed, DEFAULT_REQUESTS as u64);
+
+        // Attribution covers the VM's own telemetry total exactly.
+        let total = q
+            .syrupd
+            .telemetry_snapshot()
+            .histogram("vm/run_cycles")
+            .expect("vm publishes run_cycles")
+            .sum();
+        let report = profiler.report(Some(total), 10);
+        assert_eq!(report.attributed_cycles, total);
+        assert!(report.coverage >= 0.95, "coverage {}", report.coverage);
+        // One VM run per request (only the XDP policy is eBPF).
+        assert_eq!(report.runs, DEFAULT_REQUESTS as u64);
+
+        // Both network components contributed depth samples.
+        let p = profiler.pressure();
+        let comps: Vec<&str> = p.components.iter().map(|c| c.component.as_str()).collect();
+        assert!(
+            comps.contains(&"nic") && comps.contains(&"sock"),
+            "{comps:?}"
+        );
+
+        // The folded flame graph has VM frames with cycle counts.
+        let flame = profiler.flame();
+        assert!(flame.lines().any(|l| l.starts_with("vm;syrupd_dispatch;")));
+    }
+
+    #[test]
+    fn unprofiled_run_matches_profiled_run() {
+        // The profiler must observe, not perturb: decisions and telemetry
+        // are identical with and without it attached.
+        let plain = run(&syrup_trace::Tracer::disabled(), 32);
+        let profiled = run_profiled(
+            &syrup_trace::Tracer::disabled(),
+            &syrup_profile::Profiler::new(),
+            32,
+        );
+        assert_eq!(plain.completed, profiled.completed);
+        let a = plain.syrupd.telemetry_snapshot();
+        let b = profiled.syrupd.telemetry_snapshot();
+        assert_eq!(
+            a.histogram("vm/run_cycles").map(|h| (h.count(), h.sum())),
+            b.histogram("vm/run_cycles").map(|h| (h.count(), h.sum())),
+        );
     }
 
     #[test]

@@ -308,6 +308,16 @@ impl Syrupd {
         self.inner.lock().tracer.clone()
     }
 
+    /// Starts attributing every eBPF invocation's cycles into
+    /// `profiler`, per `(prog, pc)` and per helper, with the root
+    /// dispatcher → policy tail-call chain folded into full stacks.
+    /// Programs deployed before or after the attach are both annotated.
+    /// Affects every clone of this daemon.
+    pub fn attach_profiler(&self, profiler: &syrup_profile::Profiler) {
+        let mut inner = self.inner.lock();
+        inner.vm.attach_profiler(profiler);
+    }
+
     /// Apps with a deployed policy, as `(app, hook, is_native)` rows —
     /// the data behind `syrupctl prog list`.
     pub fn deployed(&self) -> Vec<(AppId, Hook, bool)> {
@@ -691,6 +701,45 @@ mod tests {
         assert_eq!(picks[0], (Some(app), Decision::Executor(1)));
         assert_eq!(picks[3], (Some(app), Decision::Executor(0)));
         assert_eq!(picks[4], (Some(app), Decision::Executor(1)));
+    }
+
+    #[test]
+    fn profiler_attributes_dispatch_chains() {
+        let d = Syrupd::new();
+        let profiler = syrup_profile::Profiler::new();
+        d.attach_profiler(&profiler);
+        let (app, _maps) = d.register_app("rocksdb", &[8080]).unwrap();
+        d.deploy(app, Hook::SocketSelect, rr_source()).unwrap();
+
+        let mut pkt = [0u8; 16];
+        for _ in 0..8 {
+            d.schedule(Hook::SocketSelect, &mut pkt, &meta(8080));
+        }
+
+        // Every cycle the VM charged must land in a concrete (prog, pc)
+        // bucket: attribution covers the telemetry total exactly.
+        let total = d
+            .telemetry_snapshot()
+            .histogram("vm/run_cycles")
+            .expect("vm publishes run_cycles")
+            .sum();
+        let report = profiler.report(Some(total), 16);
+        assert_eq!(report.attributed_cycles, total);
+        assert!((report.coverage - 1.0).abs() < 1e-9);
+        assert_eq!(report.runs, 8);
+
+        // The root dispatcher tail-calls into the app policy, so folded
+        // stacks carry the full chain.
+        let flame = profiler.flame();
+        assert!(
+            flame.lines().any(|l| l.starts_with("vm;syrupd_dispatch;")),
+            "flame should fold dispatch chains: {flame}"
+        );
+        // Hotspots name the dispatcher and are annotated with disasm.
+        assert!(report.hotspots.iter().any(|h| h.prog == "syrupd_dispatch"));
+        assert!(report.hotspots.iter().all(|h| h.insn.is_some()));
+        // The tail_call helper shows up in the helper cost table.
+        assert!(report.helpers.iter().any(|h| h.helper == "tail_call"));
     }
 
     #[test]

@@ -46,6 +46,20 @@ impl HelperId {
         HelperId::GetSmpProcessorId,
     ];
 
+    /// Stable lowercase name (display, profiler attribution keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            HelperId::MapLookupElem => "map_lookup_elem",
+            HelperId::MapUpdateElem => "map_update_elem",
+            HelperId::MapDeleteElem => "map_delete_elem",
+            HelperId::GetPrandomU32 => "get_prandom_u32",
+            HelperId::KtimeGetNs => "ktime_get_ns",
+            HelperId::RedirectMap => "redirect_map",
+            HelperId::TailCall => "tail_call",
+            HelperId::GetSmpProcessorId => "get_smp_processor_id",
+        }
+    }
+
     /// Number of argument registers (`r1`…) the helper consumes.
     pub fn arg_count(self) -> usize {
         match self {
@@ -63,17 +77,7 @@ impl HelperId {
 
 impl fmt::Display for HelperId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let name = match self {
-            HelperId::MapLookupElem => "map_lookup_elem",
-            HelperId::MapUpdateElem => "map_update_elem",
-            HelperId::MapDeleteElem => "map_delete_elem",
-            HelperId::GetPrandomU32 => "get_prandom_u32",
-            HelperId::KtimeGetNs => "ktime_get_ns",
-            HelperId::RedirectMap => "redirect_map",
-            HelperId::TailCall => "tail_call",
-            HelperId::GetSmpProcessorId => "get_smp_processor_id",
-        };
-        f.write_str(name)
+        f.write_str(self.name())
     }
 }
 

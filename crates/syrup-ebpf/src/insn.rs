@@ -365,7 +365,7 @@ impl fmt::Display for Insn {
                 let name = format!("{op:?}").to_lowercase();
                 write!(f, "j{name}{} {lhs}, {rhs}, {off:+}", wtag(w))
             }
-            Insn::Call { helper } => write!(f, "call {helper:?}"),
+            Insn::Call { helper } => write!(f, "call {helper}"),
             Insn::Exit => write!(f, "exit"),
         }
     }

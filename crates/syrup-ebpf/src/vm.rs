@@ -251,6 +251,7 @@ pub struct Vm {
     model: CycleModel,
     telemetry: VmTelemetry,
     tracer: syrup_trace::Tracer,
+    profiler: syrup_profile::Profiler,
 }
 
 impl Vm {
@@ -262,6 +263,7 @@ impl Vm {
             model: CycleModel::default(),
             telemetry: VmTelemetry::default(),
             tracer: syrup_trace::Tracer::disabled(),
+            profiler: syrup_profile::Profiler::disabled(),
         }
     }
 
@@ -275,6 +277,18 @@ impl Vm {
     /// cycles (1 cycle ≙ 1 ns at the simulator's reference clock).
     pub fn attach_tracer(&mut self, tracer: &syrup_trace::Tracer) {
         self.tracer = tracer.clone();
+    }
+
+    /// Starts attributing every run's cycles per `(prog, pc)` and per
+    /// helper into `profiler`, tail-call chains folded into full
+    /// stacks. Already-loaded programs (and any loaded later) have
+    /// their disassembly registered so hotspots can be annotated.
+    pub fn attach_profiler(&mut self, profiler: &syrup_profile::Profiler) {
+        self.profiler = profiler.clone();
+        for prog in &self.progs {
+            self.profiler
+                .register_program(&prog.name, rendered_insns(prog));
+        }
     }
 
     /// The map registry this VM resolves `LoadMapFd` against.
@@ -296,6 +310,10 @@ impl Vm {
     /// Loads a program *without* verification. Only for tests exercising
     /// the interpreter's defense-in-depth checks; `syrupd` never does this.
     pub fn load_unverified(&mut self, prog: Program) -> ProgSlot {
+        if self.profiler.is_enabled() {
+            self.profiler
+                .register_program(&prog.name, rendered_insns(&prog));
+        }
         let slot = ProgSlot(self.progs.len() as u32);
         self.progs.push(prog);
         slot
@@ -367,11 +385,17 @@ impl Vm {
         let mut cycles: u64 = self.model.invoke;
         let mut redirect: Option<(MapId, u32)> = None;
         let mut tail_calls: u32 = 0;
+        // Attribution scope: the fixed invoke cost lands on the entry
+        // (prog, pc 0) bucket, so the attributed sum equals `cycles`
+        // at every point of the run. Flushes on drop (any exit path).
+        let mut prof = self.profiler.vm_enter(&prog.name, self.model.invoke);
 
         loop {
             let insn = prog.insns.get(pc).ok_or(VmError::NoExit)?;
             insns += 1;
-            cycles += self.model.insn_cost(insn);
+            let cost = self.model.insn_cost(insn);
+            cycles += cost;
+            prof.insn(pc, cost);
             if insns > RUNTIME_INSN_LIMIT {
                 return Err(VmError::Runaway);
             }
@@ -483,6 +507,7 @@ impl Vm {
                     }
                 }
                 Insn::Call { helper } => {
+                    prof.helper(helper.name());
                     match self.call_helper(helper, &mut regs, ctx, env, &mut stack)? {
                         HelperOutcome::Ret(v) => {
                             regs[Reg::R0.index()] = v;
@@ -510,6 +535,7 @@ impl Vm {
                                 .get(slot.0 as usize)
                                 .ok_or(VmError::NoSuchProgram)?;
                             pc = 0;
+                            prof.tail_call(&prog.name);
                             // The target was verified assuming only r1/r10;
                             // reestablish them and drop the caller-saved set.
                             regs[Reg::R1.index()] = Val::Ptr {
@@ -838,6 +864,11 @@ const MAP_FD_TAG: u64 = 0xB7 << 56;
 
 fn map_fd_token(map: MapId) -> u64 {
     MAP_FD_TAG | u64::from(map.0)
+}
+
+/// One rendered instruction per pc, for profiler hotspot annotation.
+fn rendered_insns(prog: &Program) -> Vec<String> {
+    prog.insns.iter().map(|insn| insn.to_string()).collect()
 }
 
 fn map_from_token(tok: u64) -> Option<MapId> {
@@ -1515,6 +1546,77 @@ mod tests {
         // Two insns: invoke cost + 2 ALU-class costs, identical per run.
         assert_eq!(cycles.min(), cycles.max());
         assert_eq!(snap.histogram("vm/run_insns").unwrap().min(), 2);
+    }
+
+    #[test]
+    fn profiler_attributes_every_cycle_across_tail_calls() {
+        let registry = Registry::new();
+        let profiler = syrup_profile::Profiler::new();
+        let maps = MapRegistry::new();
+        let prog_array = maps.create(MapDef::prog_array(4));
+        let mut vm = Vm::new(maps);
+        vm.attach_telemetry(&registry);
+        vm.attach_profiler(&profiler);
+
+        let policy = Asm::new()
+            .mov64_imm(Reg::R0, 3)
+            .exit()
+            .build("policy")
+            .unwrap();
+        let policy_slot = vm.load_unverified(policy);
+        vm.maps()
+            .get(prog_array)
+            .unwrap()
+            .set_prog(0, Some(policy_slot))
+            .unwrap();
+        let dispatch = Asm::new()
+            .load_map_fd(Reg::R2, prog_array)
+            .mov64_imm(Reg::R3, 0)
+            .call(HelperId::TailCall)
+            .mov64_imm(Reg::R0, 0)
+            .exit()
+            .build("dispatch")
+            .unwrap();
+        let dispatch_slot = vm.load_unverified(dispatch);
+
+        let mut data = [0u8; 4];
+        for _ in 0..5 {
+            let mut ctx = PacketCtx::new(&mut data);
+            let out = vm
+                .run(dispatch_slot, &mut ctx, &mut RunEnv::default())
+                .unwrap();
+            assert_eq!(out.ret, 3);
+        }
+
+        // Attribution is exact: the per-(prog, pc) sum equals the
+        // telemetry cycle account (the ≥95% acceptance bar, met at 100%).
+        let total = registry
+            .snapshot()
+            .histogram("vm/run_cycles")
+            .unwrap()
+            .sum();
+        let report = profiler.report(Some(total), 16);
+        assert_eq!(report.runs, 5);
+        assert_eq!(report.attributed_cycles, total);
+        assert_eq!(report.coverage, 1.0);
+        // Both chain programs appear; the tail_call helper is tabled.
+        assert!(report.progs.iter().any(|p| p.prog == "dispatch"));
+        assert!(report.progs.iter().any(|p| p.prog == "policy"));
+        let tc = report
+            .helpers
+            .iter()
+            .find(|h| h.helper == "tail_call")
+            .unwrap();
+        assert_eq!(tc.calls, 5);
+        // Hotspots carry the registered disassembly.
+        assert!(report
+            .hotspots
+            .iter()
+            .any(|h| h.insn.as_deref().is_some_and(|i| i.contains("tail_call"))));
+        // The flamegraph folds the chain: the policy frame sits under
+        // the dispatcher.
+        let flame = profiler.flame();
+        assert!(flame.contains("vm;dispatch;policy;pc0-15 "), "{flame}");
     }
 
     #[test]

@@ -95,6 +95,7 @@ pub struct GhostSched {
     pub preemptions: u64,
     telemetry: GhostTelemetry,
     tracer: syrup_trace::Tracer,
+    profiler: syrup_profile::Profiler,
     /// Trace context of the request each thread is serving, set by the
     /// application via [`GhostSched::set_thread_trace`].
     thread_trace: BTreeMap<u32, syrup_trace::TraceCtx>,
@@ -122,8 +123,18 @@ impl GhostSched {
             preemptions: 0,
             telemetry: GhostTelemetry::default(),
             tracer: syrup_trace::Tracer::disabled(),
+            profiler: syrup_profile::Profiler::disabled(),
             thread_trace: BTreeMap::new(),
         }
+    }
+
+    /// Starts feeding the pressure profiler: per-thread time-in-state
+    /// (runnable on wakeup, running at dispatch, blocked on stop),
+    /// scheduling-latency samples (wakeup → agent decision), and
+    /// starvation events when a thread sat runnable past the profiler's
+    /// threshold before being served.
+    pub fn attach_profiler(&mut self, profiler: &syrup_profile::Profiler) {
+        self.profiler = profiler.clone();
     }
 
     /// Starts recording the agent pipeline onto request timelines:
@@ -268,6 +279,18 @@ impl GhostSched {
                 a.start_at.as_nanos(),
                 u64::from(a.core.0),
             );
+            self.profiler.thread_state(
+                u64::from(a.thread.0),
+                syrup_profile::ThreadState::Running,
+                a.start_at.as_nanos(),
+            );
+            if let Some(victim) = a.preempted {
+                self.profiler.thread_state(
+                    u64::from(victim.0),
+                    syrup_profile::ThreadState::Runnable,
+                    a.start_at.as_nanos(),
+                );
+            }
         }
         self.telemetry
             .runnable_depth
@@ -292,12 +315,24 @@ impl ThreadScheduler for GhostSched {
             now.as_nanos(),
             decision_at.as_nanos(),
         );
+        self.profiler.thread_state(
+            u64::from(t.0),
+            syrup_profile::ThreadState::Runnable,
+            now.as_nanos(),
+        );
+        self.profiler
+            .sched_latency(decision_at.since(now).as_nanos());
         self.runnable.push(t);
         self.policy(decision_at)
     }
 
     fn thread_stopped(&mut self, t: ThreadId, core: CoreId, now: Time) -> Vec<Assignment> {
         let decision_at = self.agent_process_time(now);
+        self.profiler.thread_state(
+            u64::from(t.0),
+            syrup_profile::ThreadState::Blocked,
+            now.as_nanos(),
+        );
         if self.running.get(&core) == Some(&t) {
             self.running.remove(&core);
         }
@@ -442,6 +477,36 @@ mod tests {
         assert_eq!(lat.count(), 2);
         // An uncontended message costs exactly delay + agent cost.
         assert_eq!(lat.min(), 1_000 + 600);
+    }
+
+    #[test]
+    fn profiler_tracks_time_in_state_and_starvation() {
+        let profiler = syrup_profile::Profiler::new();
+        profiler.set_starvation_threshold(1_000); // 1 µs, well under agent latency
+        let (mut s, map) = setup(2); // one app core + agent
+        s.attach_profiler(&profiler);
+        map.update_u64(1, class::SCAN).unwrap();
+        map.update_u64(2, class::GET).unwrap();
+
+        // SCAN occupies the core; the GET preempts it; the GET finishes.
+        s.thread_ready(ThreadId(1), Time::ZERO);
+        s.thread_ready(ThreadId(2), Time::from_micros(100));
+        s.thread_stopped(ThreadId(2), CoreId(0), Time::from_micros(200));
+
+        let p = profiler.pressure();
+        // Both threads went through runnable → running; the GET also
+        // blocked at the end.
+        assert_eq!(p.threads.len(), 2);
+        let t2 = p.threads.iter().find(|t| t.tid == 2).unwrap();
+        assert!(t2.runnable_ns > 0, "wakeup → dispatch counts as runnable");
+        assert!(t2.running_ns > 0, "dispatch → stop counts as running");
+        // Dispatch latency (msg delay + agent cost + IPI) exceeds the 1 µs
+        // threshold, so both dispatches flag starvation.
+        assert!(!p.starvation.is_empty());
+        assert!(p.threads.iter().any(|t| t.starved));
+        // One scheduling-latency sample per wakeup message.
+        assert_eq!(p.sched_latency.samples, 2);
+        assert!(p.sched_latency.mean_ns >= 1_600.0);
     }
 
     #[test]

@@ -54,6 +54,7 @@ pub struct Nic<T> {
     flow_rules: HashMap<FiveTuple, u32>,
     telemetry: NicTelemetry,
     tracer: syrup_trace::Tracer,
+    profiler: syrup_profile::Profiler,
 }
 
 impl<T> Nic<T> {
@@ -69,6 +70,21 @@ impl<T> Nic<T> {
             flow_rules: HashMap::new(),
             telemetry: NicTelemetry::default(),
             tracer: syrup_trace::Tracer::disabled(),
+            profiler: syrup_profile::Profiler::disabled(),
+        }
+    }
+
+    /// Starts feeding RX-ring occupancy samples to the pressure profiler
+    /// (component `nic`) via [`Nic::sample_depths`].
+    pub fn attach_profiler(&mut self, profiler: &syrup_profile::Profiler) {
+        self.profiler = profiler.clone();
+    }
+
+    /// Records one occupancy sample per RX queue into the attached
+    /// profiler. A single branch when no profiler is attached.
+    pub fn sample_depths(&self, now_ns: u64) {
+        if self.profiler.is_enabled() {
+            self.profiler.queue_depths("nic", now_ns, &self.depths());
         }
     }
 
@@ -282,6 +298,28 @@ mod tests {
         assert_eq!(snap.counter("nic/q1/enqueued"), 0);
         // Internal tallies agree with the exported counters.
         assert_eq!(nic.ring_drops(), snap.counter("nic/q0/ring_drops"));
+    }
+
+    #[test]
+    fn profiler_samples_queue_imbalance() {
+        let profiler = syrup_profile::Profiler::new();
+        let mut nic: Nic<u64> = Nic::new(4, 64);
+        nic.attach_profiler(&profiler);
+        // Pile everything onto queue 0.
+        for i in 0..12 {
+            nic.enqueue(0, i);
+        }
+        nic.sample_depths(1_000);
+        nic.sample_depths(2_000);
+
+        let p = profiler.pressure();
+        let nic_p = p.components.iter().find(|c| c.component == "nic").unwrap();
+        assert_eq!(nic_p.queues, 4);
+        assert_eq!(nic_p.samples, 2);
+        assert_eq!(nic_p.max_depth, 12);
+        // One hot queue out of four: mean depth 3, hottest mean 12.
+        assert!((nic_p.max_mean_ratio - 4.0).abs() < 1e-9);
+        assert!(nic_p.gini > 0.7);
     }
 
     #[test]

@@ -102,6 +102,7 @@ pub struct ReuseportGroup<T> {
     sockets: Vec<SocketBuf<T>>,
     telemetry: GroupTelemetry,
     tracer: syrup_trace::Tracer,
+    profiler: syrup_profile::Profiler,
 }
 
 impl<T> ReuseportGroup<T> {
@@ -112,6 +113,21 @@ impl<T> ReuseportGroup<T> {
             sockets: (0..n).map(|_| SocketBuf::new(capacity)).collect(),
             telemetry: GroupTelemetry::default(),
             tracer: syrup_trace::Tracer::disabled(),
+            profiler: syrup_profile::Profiler::disabled(),
+        }
+    }
+
+    /// Starts feeding per-socket queue-depth samples to the pressure
+    /// profiler (component `sock`) via [`ReuseportGroup::sample_depths`].
+    pub fn attach_profiler(&mut self, profiler: &syrup_profile::Profiler) {
+        self.profiler = profiler.clone();
+    }
+
+    /// Records one occupancy sample per socket into the attached
+    /// profiler. A single branch when no profiler is attached.
+    pub fn sample_depths(&self, now_ns: u64) {
+        if self.profiler.is_enabled() {
+            self.profiler.queue_depths("sock", now_ns, &self.depths());
         }
     }
 

@@ -1,0 +1,41 @@
+//! Cross-stack cycle-attribution profiling.
+//!
+//! `syrup-telemetry` reports *how much* each layer costs (per-run cycle
+//! histograms); `syrup-trace` reports *where a sampled request's* time
+//! went. This crate answers the remaining question — *where inside a
+//! policy do the cycles go, and which executor is building pressure* —
+//! the introspection a perf-style profiler gives a real deployment:
+//!
+//! * [`Profiler`] — a shared sink (clone = handle) the eBPF interpreter
+//!   reports per-`(prog, pc)` and per-helper cycle attribution into,
+//!   tail-call aware so `prog_array` chains fold into full stacks. The
+//!   NIC / reuseport models feed it per-queue depth samples and ghOSt
+//!   feeds per-thread time-in-state and scheduling-latency samples.
+//! * [`ProfileReport`] — hotspot table (top PCs annotated with their
+//!   disassembled instruction), per-program and per-helper breakdowns,
+//!   and the attribution coverage against a total cycle account.
+//! * Collapsed-stack flamegraph export ([`Profiler::flame`]) — folded
+//!   `layer;prog;pc-range;helper count` lines loadable in inferno or
+//!   speedscope.
+//! * [`PressureReport`] — queue imbalance (max/mean ratio, Gini
+//!   coefficient) per component plus executor starvation flags.
+//! * [`SloMonitor`] — sliding-window percentile rules over
+//!   `syrup-telemetry` histogram snapshots emitting structured
+//!   [`BurnEvent`]s.
+//!
+//! Cost contract: like telemetry and tracing, every sample site on a
+//! disabled profiler ([`Profiler::disabled`]) is a single branch —
+//! enforced by `cargo bench -p bench --bench profile` (≤5ns budget).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pressure;
+mod profiler;
+mod slo;
+
+pub use pressure::{
+    LatencySummary, PressureReport, QueuePressure, StarvationEvent, ThreadPressure,
+};
+pub use profiler::{HelperCost, Hotspot, ProfileReport, Profiler, ProgCycles, ThreadState, VmSpan};
+pub use slo::{BurnEvent, SloMonitor, SloRule, SloStatus};

@@ -1,0 +1,664 @@
+//! The profiler sink and the cycle-attribution report.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Serialize, SerializeStruct, Serializer};
+
+use crate::pressure::{self, QueueSeries, ThreadAgg};
+use crate::PressureReport;
+
+/// PCs are folded into ranges of this many instructions in flamegraph
+/// frames, so long unrolled bodies (SCAN Avoid) stay readable.
+pub(crate) const PC_RANGE: u32 = 16;
+
+/// Default starvation threshold: an executor runnable-but-unserved for
+/// longer than this (virtual ns) is flagged in the pressure report.
+const DEFAULT_STARVATION_NS: u64 = 1_000_000;
+
+/// Scheduler state of a profiled thread, for time-in-state accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadState {
+    /// Ready to run, waiting for a core.
+    Runnable,
+    /// On a core.
+    Running,
+    /// Off the runqueue (sleeping / waiting for work).
+    Blocked,
+}
+
+impl ThreadState {
+    /// Stable lowercase name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ThreadState::Runnable => "runnable",
+            ThreadState::Running => "running",
+            ThreadState::Blocked => "blocked",
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct ProfState {
+    /// Completed VM invocations flushed into the sink.
+    pub(crate) runs: u64,
+    /// Cycles attributed per `(prog, pc)`.
+    pub(crate) pc_cycles: BTreeMap<(String, u32), u64>,
+    /// Per-helper `(calls, cycles)`.
+    pub(crate) helpers: BTreeMap<&'static str, (u64, u64)>,
+    /// Folded flamegraph frames (`vm;prog;…;pcN-M[;helper]`) → cycles.
+    pub(crate) folded: BTreeMap<String, u64>,
+    /// Rendered instruction text per program, indexed by pc.
+    pub(crate) disasm: BTreeMap<String, Vec<String>>,
+    /// Per-component queue-depth series.
+    pub(crate) queues: BTreeMap<String, QueueSeries>,
+    /// Per-thread time-in-state accounting.
+    pub(crate) threads: BTreeMap<u64, ThreadAgg>,
+    /// Scheduling-latency samples: `(count, sum, max)`.
+    pub(crate) sched_latency: (u64, u64, u64),
+    /// Starvation events (runnable beyond the threshold).
+    pub(crate) starvation: Vec<crate::StarvationEvent>,
+    /// Runnable-interval length that counts as starvation.
+    pub(crate) starvation_threshold_ns: u64,
+}
+
+#[derive(Debug)]
+pub(crate) struct Inner {
+    pub(crate) state: Mutex<ProfState>,
+}
+
+/// The cross-stack profiler sink. Cloning is cheap and shares state
+/// (handle semantics, like `Registry` and `Tracer`); a
+/// [`Profiler::disabled`] handle makes every sample site a single
+/// branch.
+#[derive(Debug, Clone, Default)]
+pub struct Profiler {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Profiler {
+    /// An enabled profiler with the default starvation threshold.
+    pub fn new() -> Self {
+        let state = ProfState {
+            starvation_threshold_ns: DEFAULT_STARVATION_NS,
+            ..ProfState::default()
+        };
+        Profiler {
+            inner: Some(Arc::new(Inner {
+                state: Mutex::new(state),
+            })),
+        }
+    }
+
+    /// A disabled profiler: every operation is a no-op branch.
+    pub fn disabled() -> Self {
+        Profiler { inner: None }
+    }
+
+    /// Whether samples are being collected.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Registers a program's rendered instructions so hotspots can be
+    /// annotated with their disassembly. Idempotent per name.
+    pub fn register_program(&self, name: &str, insns: Vec<String>) {
+        let Some(inner) = &self.inner else { return };
+        inner.state.lock().disasm.insert(name.to_string(), insns);
+    }
+
+    /// Opens a per-invocation recording scope rooted at `prog`. The
+    /// fixed invocation cost is attributed to the entry `(prog, pc 0)`
+    /// bucket so the attributed sum matches the VM's cycle account
+    /// exactly. The scope flushes into the sink when dropped.
+    #[inline]
+    pub fn vm_enter(&self, prog: &str, invoke_cycles: u64) -> VmSpan {
+        match &self.inner {
+            None => VmSpan { rec: None },
+            Some(inner) => VmSpan::open(inner.clone(), prog, invoke_cycles),
+        }
+    }
+
+    /// Records one per-queue depth snapshot for `component` (e.g.
+    /// `"nic"`, `"sock"`). Series with differing lengths grow to the
+    /// widest snapshot seen.
+    #[inline]
+    pub fn queue_depths(&self, component: &str, now_ns: u64, depths: &[usize]) {
+        let Some(inner) = &self.inner else { return };
+        Self::queue_depths_slow(inner, component, now_ns, depths);
+    }
+
+    #[cold]
+    fn queue_depths_slow(inner: &Inner, component: &str, now_ns: u64, depths: &[usize]) {
+        let mut st = inner.state.lock();
+        let series = st.queues.entry(component.to_string()).or_default();
+        series.push(now_ns, depths);
+    }
+
+    /// Records a thread's transition into `state` at `now_ns`,
+    /// accumulating the elapsed interval into the previous state's
+    /// bucket. A runnable→running transition longer than the starvation
+    /// threshold emits a [`crate::StarvationEvent`].
+    #[inline]
+    pub fn thread_state(&self, tid: u64, state: ThreadState, now_ns: u64) {
+        let Some(inner) = &self.inner else { return };
+        Self::thread_state_slow(inner, tid, state, now_ns);
+    }
+
+    #[cold]
+    fn thread_state_slow(inner: &Inner, tid: u64, state: ThreadState, now_ns: u64) {
+        let mut st = inner.state.lock();
+        let threshold = st.starvation_threshold_ns;
+        let agg = st
+            .threads
+            .entry(tid)
+            .or_insert_with(|| ThreadAgg::new(state, now_ns));
+        if let Some(runnable_ns) = agg.transition(state, now_ns, threshold) {
+            st.starvation.push(crate::StarvationEvent {
+                tid,
+                runnable_ns,
+                at_ns: now_ns,
+            });
+        }
+    }
+
+    /// Records one scheduling-latency sample (decision commit → thread
+    /// placed), in virtual ns.
+    #[inline]
+    pub fn sched_latency(&self, ns: u64) {
+        let Some(inner) = &self.inner else { return };
+        Self::sched_latency_slow(inner, ns);
+    }
+
+    #[cold]
+    fn sched_latency_slow(inner: &Inner, ns: u64) {
+        let mut st = inner.state.lock();
+        st.sched_latency.0 += 1;
+        st.sched_latency.1 += ns;
+        st.sched_latency.2 = st.sched_latency.2.max(ns);
+    }
+
+    /// Overrides the runnable-interval length flagged as starvation.
+    pub fn set_starvation_threshold(&self, ns: u64) {
+        if let Some(inner) = &self.inner {
+            inner.state.lock().starvation_threshold_ns = ns;
+        }
+    }
+
+    /// Builds the cycle-attribution report. `total_cycles` is the
+    /// ground-truth account to compute coverage against (typically the
+    /// `vm/run_cycles` histogram sum); `None` uses the attributed sum
+    /// itself. `top_n` bounds the hotspot table.
+    pub fn report(&self, total_cycles: Option<u64>, top_n: usize) -> ProfileReport {
+        let Some(inner) = &self.inner else {
+            return ProfileReport::default();
+        };
+        let st = inner.state.lock();
+        let attributed: u64 = st.pc_cycles.values().sum();
+        let total = total_cycles.unwrap_or(attributed);
+        let coverage = if total == 0 {
+            0.0
+        } else {
+            attributed as f64 / total as f64
+        };
+
+        let mut per_prog: BTreeMap<&str, u64> = BTreeMap::new();
+        for ((prog, _), cycles) in &st.pc_cycles {
+            *per_prog.entry(prog.as_str()).or_default() += cycles;
+        }
+        let mut progs: Vec<ProgCycles> = per_prog
+            .into_iter()
+            .map(|(prog, cycles)| ProgCycles {
+                prog: prog.to_string(),
+                cycles,
+                share: if attributed == 0 {
+                    0.0
+                } else {
+                    cycles as f64 / attributed as f64
+                },
+            })
+            .collect();
+        progs.sort_by(|a, b| b.cycles.cmp(&a.cycles).then(a.prog.cmp(&b.prog)));
+
+        let mut hotspots: Vec<Hotspot> = st
+            .pc_cycles
+            .iter()
+            .map(|((prog, pc), cycles)| Hotspot {
+                prog: prog.clone(),
+                pc: *pc,
+                cycles: *cycles,
+                insn: st
+                    .disasm
+                    .get(prog)
+                    .and_then(|lines| lines.get(*pc as usize))
+                    .cloned(),
+            })
+            .collect();
+        hotspots.sort_by(|a, b| {
+            b.cycles
+                .cmp(&a.cycles)
+                .then(a.prog.cmp(&b.prog))
+                .then(a.pc.cmp(&b.pc))
+        });
+        hotspots.truncate(top_n);
+
+        let mut helpers: Vec<HelperCost> = st
+            .helpers
+            .iter()
+            .map(|(name, (calls, cycles))| HelperCost {
+                helper: name.to_string(),
+                calls: *calls,
+                cycles: *cycles,
+            })
+            .collect();
+        helpers.sort_by(|a, b| b.cycles.cmp(&a.cycles).then(a.helper.cmp(&b.helper)));
+
+        ProfileReport {
+            runs: st.runs,
+            total_cycles: total,
+            attributed_cycles: attributed,
+            coverage,
+            progs,
+            hotspots,
+            helpers,
+        }
+    }
+
+    /// Renders the collapsed-stack flamegraph: one
+    /// `vm;prog[;prog…];pcN-M[;helper] cycles` line per folded frame,
+    /// loadable by inferno / speedscope / flamegraph.pl.
+    pub fn flame(&self) -> String {
+        let Some(inner) = &self.inner else {
+            return String::new();
+        };
+        let st = inner.state.lock();
+        let mut out = String::new();
+        for (frame, cycles) in &st.folded {
+            out.push_str(frame);
+            out.push(' ');
+            out.push_str(&cycles.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Builds the executor-pressure report (queue imbalance, thread
+    /// time-in-state, scheduling latency, starvation flags).
+    pub fn pressure(&self) -> PressureReport {
+        let Some(inner) = &self.inner else {
+            return PressureReport::default();
+        };
+        pressure::build_report(&inner.state.lock())
+    }
+}
+
+/// One recorded `(pc, cycles, helper)` sample inside a frame.
+#[derive(Debug)]
+struct Sample {
+    pc: u32,
+    cycles: u64,
+    helper: Option<&'static str>,
+}
+
+/// One program frame of a tail-call chain.
+#[derive(Debug)]
+struct FrameRec {
+    prog: String,
+    samples: Vec<Sample>,
+}
+
+#[derive(Debug)]
+struct VmRec {
+    inner: Arc<Inner>,
+    frames: Vec<FrameRec>,
+}
+
+/// A per-invocation recording scope handed out by
+/// [`Profiler::vm_enter`]. All methods are a single branch when the
+/// profiler is disabled; the scope flushes its samples on drop.
+#[derive(Debug)]
+pub struct VmSpan {
+    rec: Option<Box<VmRec>>,
+}
+
+impl VmSpan {
+    #[cold]
+    fn open(inner: Arc<Inner>, prog: &str, invoke_cycles: u64) -> VmSpan {
+        VmSpan {
+            rec: Some(Box::new(VmRec {
+                inner,
+                frames: vec![FrameRec {
+                    prog: prog.to_string(),
+                    samples: vec![Sample {
+                        pc: 0,
+                        cycles: invoke_cycles,
+                        helper: None,
+                    }],
+                }],
+            })),
+        }
+    }
+
+    /// Attributes `cycles` to the instruction at `pc` of the current
+    /// chain frame.
+    #[inline]
+    pub fn insn(&mut self, pc: usize, cycles: u64) {
+        let Some(rec) = self.rec.as_deref_mut() else {
+            return;
+        };
+        if let Some(frame) = rec.frames.last_mut() {
+            frame.samples.push(Sample {
+                pc: pc as u32,
+                cycles,
+                helper: None,
+            });
+        }
+    }
+
+    /// Tags the most recent sample as a call to `helper`, so its cycles
+    /// additionally land in the per-helper table and the flamegraph
+    /// frame gains a helper leaf.
+    #[inline]
+    pub fn helper(&mut self, helper: &'static str) {
+        let Some(rec) = self.rec.as_deref_mut() else {
+            return;
+        };
+        if let Some(sample) = rec.frames.last_mut().and_then(|f| f.samples.last_mut()) {
+            sample.helper = Some(helper);
+        }
+    }
+
+    /// Pushes a new chain frame: a successful tail call into `prog`.
+    #[inline]
+    pub fn tail_call(&mut self, prog: &str) {
+        let Some(rec) = self.rec.as_deref_mut() else {
+            return;
+        };
+        rec.frames.push(FrameRec {
+            prog: prog.to_string(),
+            samples: Vec::new(),
+        });
+    }
+}
+
+impl Drop for VmSpan {
+    fn drop(&mut self) {
+        if let Some(rec) = self.rec.take() {
+            flush(&rec);
+        }
+    }
+}
+
+#[cold]
+fn flush(rec: &VmRec) {
+    let mut st = rec.inner.state.lock();
+    st.runs += 1;
+    let mut chain = String::from("vm");
+    for frame in &rec.frames {
+        chain.push(';');
+        chain.push_str(&frame.prog);
+        // Fold repeated pcs (loops) locally before touching the maps,
+        // so the per-run cost is bounded by *distinct* pcs.
+        let mut per_pc: BTreeMap<(u32, Option<&'static str>), (u64, u64)> = BTreeMap::new();
+        for s in &frame.samples {
+            let e = per_pc.entry((s.pc, s.helper)).or_default();
+            e.0 += s.cycles;
+            e.1 += 1;
+        }
+        for ((pc, helper), (cycles, hits)) in per_pc {
+            *st.pc_cycles.entry((frame.prog.clone(), pc)).or_default() += cycles;
+            let lo = pc - pc % PC_RANGE;
+            let hi = lo + PC_RANGE - 1;
+            let key = match helper {
+                Some(h) => {
+                    let e = st.helpers.entry(h).or_default();
+                    e.0 += hits;
+                    e.1 += cycles;
+                    format!("{chain};pc{lo}-{hi};{h}")
+                }
+                None => format!("{chain};pc{lo}-{hi}"),
+            };
+            *st.folded.entry(key).or_default() += cycles;
+        }
+    }
+}
+
+/// Cycles attributed to one program of the chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgCycles {
+    /// Program name.
+    pub prog: String,
+    /// Cycles attributed to its instructions.
+    pub cycles: u64,
+    /// Fraction of all attributed cycles.
+    pub share: f64,
+}
+
+impl Serialize for ProgCycles {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("ProgCycles", 3)?;
+        s.serialize_field("prog", &self.prog)?;
+        s.serialize_field("cycles", &self.cycles)?;
+        s.serialize_field("share", &self.share)?;
+        s.end()
+    }
+}
+
+/// One hotspot row: a `(prog, pc)` bucket with its attributed cycles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hotspot {
+    /// Program name.
+    pub prog: String,
+    /// Instruction index.
+    pub pc: u32,
+    /// Cycles attributed to this pc.
+    pub cycles: u64,
+    /// Rendered instruction, when the program's disassembly was
+    /// registered.
+    pub insn: Option<String>,
+}
+
+impl Serialize for Hotspot {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("Hotspot", 4)?;
+        s.serialize_field("prog", &self.prog)?;
+        s.serialize_field("pc", &u64::from(self.pc))?;
+        s.serialize_field("cycles", &self.cycles)?;
+        s.serialize_field("insn", &self.insn)?;
+        s.end()
+    }
+}
+
+/// Per-helper call counts and cycles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HelperCost {
+    /// Helper name (`map_lookup_elem`, …).
+    pub helper: String,
+    /// Executions attributed to this helper.
+    pub calls: u64,
+    /// Cycles spent in the helper.
+    pub cycles: u64,
+}
+
+impl Serialize for HelperCost {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("HelperCost", 3)?;
+        s.serialize_field("helper", &self.helper)?;
+        s.serialize_field("calls", &self.calls)?;
+        s.serialize_field("cycles", &self.cycles)?;
+        s.end()
+    }
+}
+
+/// The cycle-attribution report: where the VM's cycles went.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProfileReport {
+    /// VM invocations flushed into the sink.
+    pub runs: u64,
+    /// Ground-truth total cycles (the `vm/run_cycles` sum when known).
+    pub total_cycles: u64,
+    /// Cycles attributed to concrete `(prog, pc)` buckets.
+    pub attributed_cycles: u64,
+    /// `attributed / total` — the acceptance bar is ≥ 0.95.
+    pub coverage: f64,
+    /// Per-program attribution, hottest first.
+    pub progs: Vec<ProgCycles>,
+    /// Top-N `(prog, pc)` buckets, hottest first.
+    pub hotspots: Vec<Hotspot>,
+    /// Per-helper attribution, hottest first.
+    pub helpers: Vec<HelperCost>,
+}
+
+impl Serialize for ProfileReport {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("ProfileReport", 7)?;
+        s.serialize_field("runs", &self.runs)?;
+        s.serialize_field("total_cycles", &self.total_cycles)?;
+        s.serialize_field("attributed_cycles", &self.attributed_cycles)?;
+        s.serialize_field("coverage", &self.coverage)?;
+        s.serialize_field("progs", &self.progs)?;
+        s.serialize_field("hotspots", &self.hotspots)?;
+        s.serialize_field("helpers", &self.helpers)?;
+        s.end()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_once(p: &Profiler) {
+        let mut span = p.vm_enter("dispatch", 25);
+        span.insn(0, 1);
+        span.insn(1, 45);
+        span.helper("tail_call");
+        span.tail_call("rr");
+        span.insn(0, 1);
+        span.insn(1, 45);
+        span.helper("map_lookup_elem");
+        span.insn(2, 1);
+    }
+
+    #[test]
+    fn disabled_profiler_is_empty() {
+        let p = Profiler::disabled();
+        run_once(&p);
+        p.queue_depths("nic", 0, &[1, 2]);
+        p.thread_state(1, ThreadState::Runnable, 0);
+        p.sched_latency(10);
+        assert!(!p.is_enabled());
+        assert_eq!(p.report(None, 10), ProfileReport::default());
+        assert_eq!(p.flame(), "");
+    }
+
+    #[test]
+    fn attribution_covers_every_cycle() {
+        let p = Profiler::new();
+        run_once(&p);
+        // 25 (invoke, pc0) + 1 + 45 in dispatch, 1 + 45 + 1 in rr.
+        let report = p.report(None, 10);
+        assert_eq!(report.runs, 1);
+        assert_eq!(report.attributed_cycles, 25 + 1 + 45 + 1 + 45 + 1);
+        assert_eq!(report.coverage, 1.0);
+        assert_eq!(report.progs.len(), 2);
+        assert_eq!(report.progs[0].prog, "dispatch"); // 71 > 47
+        let shares: f64 = report.progs.iter().map(|p| p.share).sum();
+        assert!((shares - 1.0).abs() < 1e-9);
+        // Helper table: one tail_call, one map_lookup_elem.
+        assert_eq!(report.helpers.len(), 2);
+        assert!(report
+            .helpers
+            .iter()
+            .any(|h| h.helper == "tail_call" && h.calls == 1 && h.cycles == 45));
+    }
+
+    #[test]
+    fn coverage_uses_supplied_total() {
+        let p = Profiler::new();
+        run_once(&p);
+        let report = p.report(Some(236), 10);
+        assert_eq!(report.total_cycles, 236);
+        assert!((report.coverage - 118.0 / 236.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tail_calls_fold_into_full_chains() {
+        let p = Profiler::new();
+        run_once(&p);
+        let flame = p.flame();
+        // The invoke cost folds into the root frame; the tail-called
+        // policy's frames carry the full chain prefix.
+        assert!(flame.contains("vm;dispatch;pc0-15 "), "{flame}");
+        assert!(flame.contains("vm;dispatch;pc0-15;tail_call 45"), "{flame}");
+        assert!(
+            flame.contains("vm;dispatch;rr;pc0-15;map_lookup_elem 45"),
+            "{flame}"
+        );
+        // Every line is `frames count` with a numeric suffix.
+        for line in flame.lines() {
+            let (frames, count) = line.rsplit_once(' ').expect("folded line");
+            assert!(frames.contains(';'), "{line}");
+            count.parse::<u64>().expect("numeric suffix");
+        }
+        // Folded cycles account for the whole run.
+        let folded_total: u64 = flame
+            .lines()
+            .map(|l| l.rsplit_once(' ').unwrap().1.parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(folded_total, p.report(None, 1).attributed_cycles);
+    }
+
+    #[test]
+    fn hotspots_are_annotated_and_ranked() {
+        let p = Profiler::new();
+        p.register_program(
+            "dispatch",
+            vec!["r0 = 0".into(), "call tail_call".into(), "exit".into()],
+        );
+        run_once(&p);
+        let report = p.report(None, 2);
+        assert_eq!(report.hotspots.len(), 2);
+        // pc1 of each prog carries the helper cost (45); dispatch pc0
+        // carries invoke (25) + 1.
+        assert_eq!(report.hotspots[0].cycles, 45);
+        let annotated = report
+            .hotspots
+            .iter()
+            .find(|h| h.prog == "dispatch" && h.pc == 1)
+            .expect("dispatch pc1 in top-2");
+        assert_eq!(annotated.insn.as_deref(), Some("call tail_call"));
+    }
+
+    #[test]
+    fn loops_fold_per_distinct_pc() {
+        let p = Profiler::new();
+        let mut span = p.vm_enter("looper", 0);
+        for _ in 0..100 {
+            span.insn(3, 2);
+        }
+        drop(span);
+        let report = p.report(None, 10);
+        assert_eq!(report.attributed_cycles, 200);
+        let hot = report
+            .hotspots
+            .iter()
+            .find(|h| h.prog == "looper" && h.pc == 3)
+            .expect("looped pc");
+        assert_eq!(hot.cycles, 200);
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let p = Profiler::new();
+        run_once(&p);
+        let json = serde::json::to_string(&p.report(None, 5)).unwrap();
+        let value = serde::json::from_str(&json).expect("report parses");
+        assert_eq!(value.get("runs").and_then(|v| v.as_u64()), Some(1));
+        assert!(value.get("coverage").and_then(|v| v.as_f64()).unwrap() > 0.99);
+        let hotspots = value.get("hotspots").and_then(|v| v.as_array()).unwrap();
+        assert!(!hotspots.is_empty());
+        assert!(hotspots[0].get("prog").and_then(|v| v.as_str()).is_some());
+    }
+}

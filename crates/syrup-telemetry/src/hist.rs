@@ -241,6 +241,11 @@ impl HistogramSnapshot {
         self.quantile(0.99)
     }
 
+    /// Convenience: the 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
     /// Accumulates `other` into `self`. Counts add exactly; min/max widen.
     pub fn merge(&mut self, other: &HistogramSnapshot) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
@@ -262,13 +267,14 @@ impl HistogramSnapshot {
 
 impl Serialize for HistogramSnapshot {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        let mut s = serializer.serialize_struct("HistogramSnapshot", 7)?;
+        let mut s = serializer.serialize_struct("HistogramSnapshot", 8)?;
         s.serialize_field("count", &self.count)?;
         s.serialize_field("sum", &self.sum)?;
         s.serialize_field("min", &self.min())?;
         s.serialize_field("max", &self.max())?;
         s.serialize_field("mean", &self.mean())?;
         s.serialize_field("p99", &self.p99())?;
+        s.serialize_field("p999", &self.p999())?;
         // Sparse bucket encoding: [log2_bucket_index, count] pairs.
         let sparse: Vec<[u64; 2]> = self
             .buckets

@@ -340,19 +340,21 @@ impl Snapshot {
             }
             let _ = writeln!(
                 out,
-                "{:<36} {:>9} {:>11} {:>9} {:>9} {:>10}",
-                "histogram", "count", "mean", "p50", "p99", "max"
+                "{:<36} {:>9} {:>11} {:>9} {:>9} {:>9} {:>9} {:>10}",
+                "histogram", "count", "mean", "min", "p50", "p99", "p999", "max"
             );
-            let _ = writeln!(out, "{}", "-".repeat(89));
+            let _ = writeln!(out, "{}", "-".repeat(109));
             for (name, h) in &self.histograms {
                 let _ = writeln!(
                     out,
-                    "{:<36} {:>9} {:>11.1} {:>9} {:>9} {:>10}",
+                    "{:<36} {:>9} {:>11.1} {:>9} {:>9} {:>9} {:>9} {:>10}",
                     name,
                     h.count(),
                     h.mean(),
+                    h.min(),
                     h.p50(),
                     h.p99(),
+                    h.p999(),
                     h.max()
                 );
             }

@@ -88,6 +88,18 @@ proptest! {
     }
 
     #[test]
+    fn percentile_chain_is_ordered(
+        xs in prop::collection::vec(any::<u64>(), 1..128),
+    ) {
+        // The exported summary chain: min ≤ p50 ≤ p99 ≤ p999 ≤ max.
+        let h = hist_of(&xs);
+        prop_assert!(h.min() <= h.p50());
+        prop_assert!(h.p50() <= h.p99());
+        prop_assert!(h.p99() <= h.p999());
+        prop_assert!(h.p999() <= h.max());
+    }
+
+    #[test]
     fn quantiles_are_monotone_in_q(
         xs in prop::collection::vec(0u64..1_000_000, 1..128),
         q1 in 0.0f64..=1.0,

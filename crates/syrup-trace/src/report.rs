@@ -61,6 +61,13 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
     }
+    // A non-finite or out-of-range p degrades to the nearest endpoint
+    // rather than indexing with garbage.
+    let p = if p.is_finite() {
+        p.clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
     let rank = ((sorted.len() as f64) * p).ceil() as usize;
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
@@ -122,6 +129,14 @@ impl StageBreakdown {
             total,
             stages,
         }
+    }
+
+    /// Stats for one stage, if any complete span was recorded at it.
+    /// Stages that never completed a span (zero samples) are absent from
+    /// [`StageBreakdown::stages`] rather than present with garbage
+    /// percentiles, so querying them returns `None`.
+    pub fn stage(&self, stage: Stage) -> Option<&StageStats> {
+        self.stages.iter().find(|s| s.stage == stage)
     }
 
     /// Renders the breakdown as an aligned text table (the body of
@@ -264,5 +279,59 @@ mod tests {
         assert_eq!(bd.traces, 0);
         assert!(bd.total.is_none());
         assert!(bd.stages.is_empty());
+        // The empty report still renders and serializes to the stable
+        // schema (zeros for end-to-end percentiles, empty stage list).
+        let table = bd.render_table();
+        assert!(table.contains("traces: 0"));
+        let value = serde::json::from_str(&serde::json::to_string(&bd).unwrap()).unwrap();
+        assert_eq!(value.get("total_p50_ns").and_then(|v| v.as_u64()), Some(0));
+        assert!(value
+            .get("stages")
+            .and_then(|v| v.as_array())
+            .is_some_and(|s| s.is_empty()));
+    }
+
+    #[test]
+    fn zero_sample_timelines_yield_a_well_defined_empty_report() {
+        // Timelines that never completed a span: an ingress instant with
+        // no closing `end`, the shape an aborted or still-in-flight
+        // request leaves behind. Percentile queries must not panic or
+        // invent values.
+        let records = vec![SpanRecord {
+            trace_id: 9,
+            stage: Stage::Ingress,
+            start_ns: 100,
+            end_ns: 100,
+            kind: SpanKind::Instant,
+            verdict: 0,
+            cycles: 0,
+            arg: 0,
+        }];
+        let timelines = reconstruct(&records);
+        assert_eq!(timelines.len(), 1);
+        let bd = StageBreakdown::from_timelines(&timelines);
+        assert_eq!(bd.traces, 1);
+        assert!(bd.total.is_none(), "unclosed trace has no end-to-end time");
+        assert!(bd.stages.is_empty(), "no complete spans, no stage rows");
+        // Querying a stage with zero samples is None, not a zeroed row.
+        assert!(bd.stage(Stage::Run).is_none());
+        assert!(!bd.render_table().is_empty());
+    }
+
+    #[test]
+    fn stage_query_distinguishes_sampled_from_unsampled() {
+        let records = records_for(1, 50);
+        let bd = StageBreakdown::from_timelines(&reconstruct(&records));
+        assert!(bd.stage(Stage::Run).is_some());
+        assert!(bd.stage(Stage::NicQueue).is_none());
+    }
+
+    #[test]
+    fn percentile_degrades_gracefully_on_bad_p() {
+        let sorted = [10u64, 20, 30];
+        assert_eq!(percentile(&sorted, f64::NAN), 10);
+        assert_eq!(percentile(&sorted, -1.0), 10);
+        assert_eq!(percentile(&sorted, 2.0), 30);
+        assert_eq!(percentile(&[], 0.5), 0);
     }
 }

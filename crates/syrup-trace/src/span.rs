@@ -199,4 +199,66 @@ mod tests {
         let r = span(1, Stage::Run, 50, 20);
         assert_eq!(r.duration_ns(), 0);
     }
+
+    #[test]
+    fn chrome_export_round_trips_through_the_vendored_parser() {
+        // A two-request trace touching several layers, with timestamps
+        // deliberately emitted out of track order across requests but in
+        // order within each request's track.
+        let records = vec![
+            span(1, Stage::NicQueue, 1_000, 1_300),
+            span(2, Stage::NicQueue, 3_000, 3_300),
+            span(1, Stage::SocketSelect, 1_400, 1_600),
+            span(2, Stage::SocketSelect, 3_400, 3_600),
+            span(1, Stage::Run, 1_700, 4_000),
+            SpanRecord {
+                kind: SpanKind::Instant,
+                ..span(1, Stage::End, 4_000, 4_000)
+            },
+        ];
+        let json = chrome_trace_json(&records);
+        let value = serde::json::from_str(&json).expect("export parses");
+        let events = value
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .expect("traceEvents array");
+        assert_eq!(events.len(), LAYERS.len() + records.len());
+
+        // The metadata events name every layer track exactly once.
+        let mut track_names = Vec::new();
+        for ev in events {
+            if ev.get("name").and_then(|n| n.as_str()) == Some("process_name") {
+                let name = ev
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(|n| n.as_str())
+                    .expect("metadata names the track");
+                track_names.push(name.to_string());
+            }
+        }
+        assert_eq!(track_names, LAYERS.to_vec());
+
+        // Within each (pid, tid) track, `ts` is monotonically
+        // non-decreasing — Perfetto renders tracks independently, but
+        // each request's own lane must read left to right.
+        let mut per_track: std::collections::BTreeMap<(u64, u64), f64> =
+            std::collections::BTreeMap::new();
+        let mut data_events = 0;
+        for ev in events {
+            let Some(ts) = ev.get("ts").and_then(|t| t.as_f64()) else {
+                continue; // metadata has no ts
+            };
+            data_events += 1;
+            let pid = ev.get("pid").and_then(|p| p.as_u64()).expect("pid");
+            let tid = ev.get("tid").and_then(|t| t.as_u64()).expect("tid");
+            if let Some(&prev) = per_track.get(&(pid, tid)) {
+                assert!(
+                    ts >= prev,
+                    "track ({pid},{tid}) went backwards: {prev} -> {ts}"
+                );
+            }
+            per_track.insert((pid, tid), ts);
+        }
+        assert_eq!(data_events, records.len());
+    }
 }

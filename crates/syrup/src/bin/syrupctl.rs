@@ -29,6 +29,18 @@
 //! * `trace export <PATH>` — shorthand for `trace record --export PATH`.
 //! * `trace validate <PATH>` — check an exported file parses and holds at
 //!   least one complete multi-hook trace (the CI gate).
+//! * `profile record [--requests N] [--flame-out PATH]` — run the
+//!   scenario with the cycle-attribution profiler attached, print an
+//!   attribution summary, optionally write a collapsed-stack flame graph
+//!   (inferno/speedscope format).
+//! * `profile report [--requests N] [--top N] [--json]` — per-program,
+//!   per-PC (disassembly-annotated), and per-helper cycle attribution
+//!   against the VM's own `vm/run_cycles` total.
+//! * `profile flame [--requests N] [--out PATH]` — just the folded
+//!   flame-graph lines (stdout or PATH).
+//! * `profile pressure [--requests N] [--json]` — executor pressure:
+//!   per-component queue imbalance (max/mean, Gini), thread time-in-state,
+//!   scheduling latency, starvation events, and SLO burn status.
 //!
 //! Exit status is nonzero on compile/verify failures, unknown maps, or a
 //! failed validation, so the tool slots into CI pipelines.
@@ -40,6 +52,7 @@ use syrup::core::{CompileOptions, Hook};
 use syrup::ebpf::maps::{MapKind, MapRegistry};
 use syrup::ebpf::{assemble, verify};
 use syrup::lang::count_loc;
+use syrup::profile::{Profiler, SloMonitor, SloRule};
 use syrup::trace::{chrome_trace_json, StageBreakdown, TraceConfig, Tracer};
 
 fn main() -> ExitCode {
@@ -70,6 +83,13 @@ fn main() -> ExitCode {
             Some("validate") => cmd_trace_validate(&args[2..]),
             _ => usage(),
         },
+        Some("profile") => match args.get(1).map(String::as_str) {
+            Some("record") => cmd_profile_record(&args[2..]),
+            Some("report") => cmd_profile_report(&args[2..]),
+            Some("flame") => cmd_profile_flame(&args[2..]),
+            Some("pressure") => cmd_profile_pressure(&args[2..]),
+            _ => usage(),
+        },
         _ => usage(),
     }
 }
@@ -93,7 +113,11 @@ fn usage() -> ExitCode {
          \x20 trace record [--scenario quickstart] [--requests N] [--sample N] [--export PATH]\n\
          \x20 trace report [--requests N] [--json]\n\
          \x20 trace export PATH\n\
-         \x20 trace validate PATH"
+         \x20 trace validate PATH\n\
+         \x20 profile record [--requests N] [--flame-out PATH]\n\
+         \x20 profile report [--requests N] [--top N] [--json]\n\
+         \x20 profile flame [--requests N] [--out PATH]\n\
+         \x20 profile pressure [--requests N] [--json]"
     );
     ExitCode::FAILURE
 }
@@ -545,6 +569,211 @@ fn cmd_trace_report(args: &[String]) -> ExitCode {
         }
     } else {
         print!("{}", breakdown.render_table());
+    }
+    ExitCode::SUCCESS
+}
+
+/// Runs the quickstart scenario with the cycle-attribution profiler
+/// attached (tracing off — the profile subcommands study cycles, not
+/// timelines).
+fn profiled_run(args: &[String]) -> Result<(quickstart::Quickstart, Profiler), String> {
+    let requests = match flag_value(args, "--requests") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| format!("--requests `{v}` is not a number"))?,
+        None => quickstart::DEFAULT_REQUESTS,
+    };
+    let profiler = Profiler::new();
+    let q = quickstart::run_profiled(&Tracer::disabled(), &profiler, requests);
+    Ok((q, profiler))
+}
+
+/// Ground truth for attribution coverage: the cycle total the VM itself
+/// published into `vm/run_cycles`.
+fn vm_total(q: &quickstart::Quickstart) -> Option<u64> {
+    q.syrupd
+        .telemetry_snapshot()
+        .histogram("vm/run_cycles")
+        .map(|h| h.sum())
+}
+
+fn cmd_profile_record(args: &[String]) -> ExitCode {
+    let (q, profiler) = match profiled_run(args) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = profiler.report(vm_total(&q), 10);
+    println!(
+        "profiled {} requests: {} VM runs, {} cycles attributed ({:.1}% of vm/run_cycles)",
+        q.completed,
+        report.runs,
+        report.attributed_cycles,
+        report.coverage * 100.0
+    );
+    if let Some(path) = flag_value(args, "--flame-out") {
+        let flame = profiler.flame();
+        if let Err(e) = std::fs::write(path, &flame) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "wrote {} folded stacks to {path} (inferno flamegraph / speedscope format)",
+            flame.lines().count()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_profile_report(args: &[String]) -> ExitCode {
+    let (q, profiler) = match profiled_run(args) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let top = match flag_value(args, "--top") {
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("--top `{v}` is not a number");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => 10,
+    };
+    let report = profiler.report(vm_total(&q), top);
+    if has_flag(args, "--json") {
+        match serde::json::to_string(&report) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("serialization failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+    println!(
+        "{} VM runs, {} of {} cycles attributed ({:.1}% coverage)\n",
+        report.runs,
+        report.attributed_cycles,
+        report.total_cycles,
+        report.coverage * 100.0
+    );
+    println!("{:<24} {:>12} {:>8}", "program", "cycles", "share");
+    for p in &report.progs {
+        println!("{:<24} {:>12} {:>7.1}%", p.prog, p.cycles, p.share * 100.0);
+    }
+    println!(
+        "\n{:<24} {:>5} {:>12}  insn",
+        "hotspot (program)", "pc", "cycles"
+    );
+    for h in &report.hotspots {
+        println!(
+            "{:<24} {:>5} {:>12}  {}",
+            h.prog,
+            h.pc,
+            h.cycles,
+            h.insn.as_deref().unwrap_or("-")
+        );
+    }
+    println!("\n{:<16} {:>8} {:>12}", "helper", "calls", "cycles");
+    for h in &report.helpers {
+        println!("{:<16} {:>8} {:>12}", h.helper, h.calls, h.cycles);
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_profile_flame(args: &[String]) -> ExitCode {
+    let (_q, profiler) = match profiled_run(args) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let flame = profiler.flame();
+    match flag_value(args, "--out") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &flame) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {} folded stacks to {path}", flame.lines().count());
+        }
+        None => print!("{flame}"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_profile_pressure(args: &[String]) -> ExitCode {
+    let (q, profiler) = match profiled_run(args) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let pressure = profiler.pressure();
+    // A standing SLO over the VM's cycle budget: quickstart policies are
+    // tiny, so a 10k-cycle p99 only burns when something regresses badly.
+    let mut monitor = SloMonitor::new().with_rule(SloRule::new("vm/run_cycles", 0.99, 10_000));
+    let now_ns = 1_000 + q.completed * 2_000;
+    let burns = monitor.observe(now_ns, &q.syrupd.telemetry_snapshot());
+    let statuses = monitor.statuses();
+    if has_flag(args, "--json") {
+        let (Ok(p), Ok(s), Ok(b)) = (
+            serde::json::to_string(&pressure),
+            serde::json::to_string(&statuses),
+            serde::json::to_string(&burns),
+        ) else {
+            eprintln!("serialization failed");
+            return ExitCode::FAILURE;
+        };
+        println!("{{\"pressure\":{p},\"slo\":{{\"statuses\":{s},\"burns\":{b}}}}}");
+        return ExitCode::SUCCESS;
+    }
+    println!(
+        "{:<10} {:>6} {:>8} {:>9} {:>9} {:>6}",
+        "component", "queues", "samples", "max_depth", "max/mean", "gini"
+    );
+    for c in &pressure.components {
+        println!(
+            "{:<10} {:>6} {:>8} {:>9} {:>9.2} {:>6.3}",
+            c.component, c.queues, c.samples, c.max_depth, c.max_mean_ratio, c.gini
+        );
+    }
+    if !pressure.threads.is_empty() {
+        println!(
+            "\n{:<6} {:>12} {:>12} {:>12} {:>8}",
+            "tid", "runnable_ns", "running_ns", "blocked_ns", "starved"
+        );
+        for t in &pressure.threads {
+            println!(
+                "{:<6} {:>12} {:>12} {:>12} {:>8}",
+                t.tid, t.runnable_ns, t.running_ns, t.blocked_ns, t.starved
+            );
+        }
+    }
+    println!(
+        "\nscheduling latency: {} samples, mean {:.0} ns, max {} ns; {} starvation events",
+        pressure.sched_latency.samples,
+        pressure.sched_latency.mean_ns,
+        pressure.sched_latency.max_ns,
+        pressure.starvation.len()
+    );
+    for s in &statuses {
+        println!(
+            "slo {} p{:.0}: value {} vs threshold {} — {}",
+            s.metric,
+            s.quantile * 100.0,
+            s.value.map_or_else(|| "-".to_string(), |v| v.to_string()),
+            s.threshold,
+            if s.burning { "BURNING" } else { "ok" }
+        );
     }
     ExitCode::SUCCESS
 }

@@ -20,6 +20,9 @@
 //! * [`sim`] — the deterministic discrete-event engine.
 //! * [`telemetry`] — cross-stack observability: named counters/gauges,
 //!   log2 cycle histograms, and a bounded decision-trace ring buffer.
+//! * [`profile`] — the cycle-attribution profiler: per-`(prog, pc)` and
+//!   per-helper hotspots, folded flame graphs, executor pressure, and
+//!   SLO burn monitoring.
 //!
 //! # Quickstart
 //!
@@ -68,6 +71,10 @@ pub use syrup_lang as lang;
 pub use syrup_net as net;
 /// The paper's policies (re-export of `syrup-policies`).
 pub use syrup_policies as policies;
+/// Cross-stack cycle-attribution profiler: PC/helper hotspots, folded
+/// flame graphs, executor pressure, SLO burn monitoring (re-export of
+/// `syrup-profile`).
+pub use syrup_profile as profile;
 /// The discrete-event engine (re-export of `syrup-sim`).
 pub use syrup_sim as sim;
 /// The storage backend (re-export of `syrup-storage`, paper §6.1).

@@ -251,6 +251,120 @@ fn trace_report_json_schema_is_stable() {
 }
 
 #[test]
+fn profile_record_writes_folded_flame_output() {
+    let flame_path = tmp_path("flame.folded");
+    let summary = stdout_of(&[
+        "profile",
+        "record",
+        "--requests",
+        "32",
+        "--flame-out",
+        flame_path.to_str().unwrap(),
+    ]);
+    assert!(summary.contains("100.0% of vm/run_cycles"), "{summary}");
+
+    // Collapsed-stack format: `frame;frame;... count` per line.
+    let flame = std::fs::read_to_string(&flame_path).unwrap();
+    assert!(!flame.trim().is_empty());
+    for line in flame.lines() {
+        let (stack, count) = line.rsplit_once(' ').expect("space-separated count");
+        assert!(stack.contains(';'), "multi-frame stack: {line}");
+        assert!(stack.starts_with("vm;"), "vm layer root: {line}");
+        count.parse::<u64>().expect("numeric suffix");
+    }
+    std::fs::remove_file(&flame_path).ok();
+
+    // `profile flame` prints the same folded lines to stdout.
+    let direct = stdout_of(&["profile", "flame", "--requests", "32"]);
+    assert_eq!(direct.lines().count(), flame.lines().count());
+}
+
+#[test]
+fn profile_report_json_schema_is_stable() {
+    let v = json_of(&["profile", "report", "--json", "--top", "5"]);
+    assert!(v
+        .get("runs")
+        .and_then(|r| r.as_u64())
+        .is_some_and(|n| n > 0));
+    let total = v.get("total_cycles").and_then(|t| t.as_u64()).unwrap();
+    let attributed = v.get("attributed_cycles").and_then(|a| a.as_u64()).unwrap();
+    assert_eq!(attributed, total, "every VM cycle lands in a PC bucket");
+    assert!(v
+        .get("coverage")
+        .and_then(|c| c.as_f64())
+        .is_some_and(|c| c >= 0.95));
+    let hotspots = v.get("hotspots").and_then(|h| h.as_array()).unwrap();
+    assert!(!hotspots.is_empty() && hotspots.len() <= 5);
+    for h in hotspots {
+        assert!(h.get("prog").and_then(|p| p.as_str()).is_some());
+        assert!(h.get("pc").and_then(|p| p.as_u64()).is_some());
+        assert!(h
+            .get("cycles")
+            .and_then(|c| c.as_u64())
+            .is_some_and(|c| c > 0));
+        assert!(
+            h.get("insn").and_then(|i| i.as_str()).is_some(),
+            "annotated"
+        );
+    }
+    let helpers = v.get("helpers").and_then(|h| h.as_array()).unwrap();
+    assert!(helpers
+        .iter()
+        .any(|h| h.get("helper").and_then(|n| n.as_str()) == Some("tail_call")));
+    // The table form renders too.
+    let table = stdout_of(&["profile", "report"]);
+    assert!(
+        table.contains("coverage") && table.contains("helper"),
+        "{table}"
+    );
+}
+
+#[test]
+fn profile_pressure_json_reports_components_and_slo() {
+    let v = json_of(&["profile", "pressure", "--json"]);
+    let components = v
+        .get("pressure")
+        .and_then(|p| p.get("components"))
+        .and_then(|c| c.as_array())
+        .expect("components array");
+    let names: Vec<&str> = components
+        .iter()
+        .filter_map(|c| c.get("component").and_then(|n| n.as_str()))
+        .collect();
+    assert!(
+        names.contains(&"nic") && names.contains(&"sock"),
+        "{names:?}"
+    );
+    for c in components {
+        assert!(c.get("gini").and_then(|g| g.as_f64()).is_some());
+        assert!(c.get("max_mean_ratio").and_then(|g| g.as_f64()).is_some());
+        assert!(c
+            .get("samples")
+            .and_then(|s| s.as_u64())
+            .is_some_and(|s| s > 0));
+    }
+    let statuses = v
+        .get("slo")
+        .and_then(|s| s.get("statuses"))
+        .and_then(|s| s.as_array())
+        .expect("slo statuses");
+    assert_eq!(
+        statuses[0].get("metric").and_then(|m| m.as_str()),
+        Some("vm/run_cycles")
+    );
+    // The quickstart's tiny policies stay well under the cycle SLO.
+    assert_eq!(
+        statuses[0].get("burning").and_then(|b| b.as_bool()),
+        Some(false)
+    );
+    assert!(v
+        .get("slo")
+        .and_then(|s| s.get("burns"))
+        .and_then(|b| b.as_array())
+        .is_some_and(|b| b.is_empty()));
+}
+
+#[test]
 fn trace_record_respects_requests_and_sampling_flags() {
     let out = stdout_of(&["trace", "record", "--requests", "32", "--sample", "8"]);
     // 32 ingresses sampled 1-in-8 → exactly 4 traces.
