@@ -16,7 +16,7 @@
 
 use syrup_core::{AppId, CompileOptions, Hook, HookMeta, PolicySource, Syrupd};
 use syrup_net::socket::{Delivery, ReuseportGroup};
-use syrup_net::{flow, AppHeader, Frame, Nic};
+use syrup_net::{flow, AppHeader, Frame, Nic, QueueKind};
 use syrup_policies::RoundRobinPolicy;
 use syrup_sim::SimRng;
 use syrup_trace::Stage;
@@ -43,6 +43,11 @@ pub struct Quickstart {
     pub records: Vec<syrup_trace::SpanRecord>,
     /// The records grouped into per-request timelines.
     pub timelines: Vec<syrup_trace::Timeline>,
+    /// The NIC, rings intact — `syrupctl queue list` reads occupancy and
+    /// drop counters from it after the run.
+    pub nic: Nic<usize>,
+    /// The reuseport group (FIFO by default, PIFO in the ranked variant).
+    pub group: ReuseportGroup<usize>,
 }
 
 /// Runs the scenario with [`DEFAULT_REQUESTS`] requests.
@@ -64,6 +69,25 @@ pub fn run_profiled(
     tracer: &syrup_trace::Tracer,
     profiler: &syrup_profile::Profiler,
     requests: usize,
+) -> Quickstart {
+    run_scenario(tracer, profiler, requests, false)
+}
+
+/// The rank-extension variant: the socket-select policy is compiled C
+/// returning an `(executor, rank)` pair, ranks are opted in for the hook,
+/// and the reuseport sockets are PIFO-backed so the most urgent service
+/// class is served first. Everything else matches [`run`] exactly.
+pub fn run_ranked(tracer: &syrup_trace::Tracer, requests: usize) -> Quickstart {
+    run_scenario(tracer, &syrup_profile::Profiler::disabled(), requests, true)
+}
+
+/// The fully-parameterised scenario: [`run_profiled`] when `ranked` is
+/// false, [`run_ranked`] with a profiler attached when true.
+pub fn run_scenario(
+    tracer: &syrup_trace::Tracer,
+    profiler: &syrup_profile::Profiler,
+    requests: usize,
+    ranked: bool,
 ) -> Quickstart {
     let mut rng = SimRng::new(7);
     let syrupd = Syrupd::new();
@@ -93,18 +117,39 @@ pub fn run_profiled(
             PolicySource::Native(Box::new(RoundRobinPolicy::new(THREADS as u32))),
         )
         .expect("cpu-redirect policy deploys");
-    syrupd
-        .deploy(
-            app,
-            Hook::SocketSelect,
-            PolicySource::Native(Box::new(RoundRobinPolicy::new(THREADS as u32))),
-        )
-        .expect("socket policy deploys");
+    if ranked {
+        // The rank path end to end: a C policy returning `(q, rank)`, the
+        // per-hook opt-in, and PIFO sockets that honour the rank.
+        syrupd
+            .deploy(
+                app,
+                Hook::SocketSelect,
+                PolicySource::C {
+                    source: syrup_policies::c_sources::RANKED_SRPT.to_string(),
+                    options: CompileOptions::new().define("NUM_THREADS", THREADS as i64),
+                },
+            )
+            .expect("ranked socket policy deploys");
+        syrupd.enable_ranks(app, Hook::SocketSelect);
+    } else {
+        syrupd
+            .deploy(
+                app,
+                Hook::SocketSelect,
+                PolicySource::Native(Box::new(RoundRobinPolicy::new(THREADS as u32))),
+            )
+            .expect("socket policy deploys");
+    }
 
     let mut nic: Nic<usize> = Nic::new(THREADS, 64);
     nic.attach_tracer(tracer);
     nic.attach_profiler(profiler);
-    let mut group: ReuseportGroup<usize> = ReuseportGroup::new(THREADS, 64);
+    let sock_kind = if ranked {
+        QueueKind::Pifo
+    } else {
+        QueueKind::Fifo
+    };
+    let mut group: ReuseportGroup<usize> = ReuseportGroup::new_with(THREADS, 64, sock_kind);
     group.attach_tracer(tracer);
     group.attach_profiler(profiler);
 
@@ -160,8 +205,10 @@ pub fn run_profiled(
             now_ns: t_sock,
             ..meta
         };
-        let (_, decision) = syrupd.schedule(Hook::SocketSelect, &mut pkt, &meta);
-        let socket = match group.deliver_traced(i, fl.flow_hash(), decision, ctx, t_sock) {
+        // `schedule_verdict` forces the rank to 0 unless the hook opted
+        // in, so the FIFO scenario is unchanged by asking for it.
+        let (_, verdict) = syrupd.schedule_verdict(Hook::SocketSelect, &mut pkt, &meta);
+        let socket = match group.deliver_verdict_traced(i, fl.flow_hash(), verdict, ctx, t_sock) {
             Delivery::Enqueued(s) => s,
             // Round robin never drops, but keep the path honest: a drop
             // already closed the timeline inside `deliver_traced`.
@@ -188,6 +235,8 @@ pub fn run_profiled(
         completed,
         records,
         timelines,
+        nic,
+        group,
     }
 }
 
@@ -300,6 +349,45 @@ mod tests {
             a.histogram("vm/run_cycles").map(|h| (h.count(), h.sum())),
             b.histogram("vm/run_cycles").map(|h| (h.count(), h.sum())),
         );
+    }
+
+    #[test]
+    fn ranked_run_uses_pifo_sockets_and_completes() {
+        let tracer = syrup_trace::Tracer::disabled();
+        let q = run_ranked(&tracer, DEFAULT_REQUESTS);
+        assert_eq!(q.completed, DEFAULT_REQUESTS as u64);
+        assert_eq!(q.group.kind(), QueueKind::Pifo);
+        assert_eq!(q.nic.kind(), QueueKind::Fifo);
+        assert!(q.syrupd.ranks_enabled(q.app, Hook::SocketSelect));
+        // The socket-select policy is now eBPF too (two VM programs).
+        let rows = q.syrupd.deployed();
+        let (_, _, native) = rows
+            .iter()
+            .find(|(_, h, _)| *h == Hook::SocketSelect)
+            .expect("socket-select deployed");
+        assert!(!native);
+    }
+
+    #[test]
+    fn ranked_profiled_run_samples_sock_rank_bands() {
+        let tracer = syrup_trace::Tracer::disabled();
+        let profiler = syrup_profile::Profiler::new();
+        let q = run_scenario(&tracer, &profiler, DEFAULT_REQUESTS, true);
+        assert_eq!(q.completed, DEFAULT_REQUESTS as u64);
+        let p = profiler.pressure();
+        let sock_bands = p
+            .rank_bands
+            .iter()
+            .find(|b| b.component == "sock")
+            .expect("ranked sockets report per-band occupancy");
+        assert!(sock_bands.samples > 0);
+        // Ranks 0/100/200/300 spread the four service classes over the
+        // first three bands; the >4095 band stays empty.
+        assert!(sock_bands.mean_depths.iter().take(3).any(|&d| d > 0.0));
+        // The unranked scenario must not grow a band series.
+        let plain = syrup_profile::Profiler::new();
+        let _ = run_profiled(&tracer, &plain, DEFAULT_REQUESTS);
+        assert!(plain.pressure().rank_bands.is_empty());
     }
 
     #[test]

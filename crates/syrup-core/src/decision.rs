@@ -48,6 +48,44 @@ impl Decision {
     }
 }
 
+/// A ranked scheduling verdict: where to steer the input *and* where
+/// within the target queue it belongs.
+///
+/// Rank-returning policies encode this in the full 64-bit return value
+/// (`syrup_ebpf::ret::with_rank`): executor/sentinel in the low 32 bits,
+/// rank in the high 32. Hooks that have not opted into ranks keep using
+/// [`Decision::from_ret`], which truncates to `u32` exactly as before —
+/// the encoding is invisible to them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Verdict {
+    /// Steering outcome (executor index / pass / drop).
+    pub decision: Decision,
+    /// Position within the chosen executor's queue; lower dequeues first.
+    /// A policy that returns a bare index gets rank 0 (head-most), which
+    /// degenerates to FIFO order among such items.
+    pub rank: u32,
+}
+
+impl Verdict {
+    /// Decodes a raw `schedule()` return value including its rank word.
+    pub fn from_ret(value: u64) -> Verdict {
+        Verdict {
+            decision: Decision::from_ret(value),
+            rank: ret::rank_of(value),
+        }
+    }
+
+    /// A rank-0 verdict wrapping a plain decision.
+    pub fn unranked(decision: Decision) -> Verdict {
+        Verdict { decision, rank: 0 }
+    }
+
+    /// Encodes the verdict back into the wire value.
+    pub fn to_ret(self) -> u64 {
+        ret::with_rank(self.decision.to_ret(), self.rank)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -76,6 +114,24 @@ mod tests {
         // schedule() returns uint32_t; the VM hands us a u64.
         assert_eq!(Decision::from_ret(0x1_0000_0005), Decision::Executor(5));
         assert_eq!(Decision::from_ret(0xFFFF_FFFF_FFFF_FFFF), Decision::Pass);
+    }
+
+    #[test]
+    fn verdict_decodes_rank_and_decision_independently() {
+        let v = Verdict::from_ret(ret::with_rank(5, 700));
+        assert_eq!(v.decision, Decision::Executor(5));
+        assert_eq!(v.rank, 700);
+        assert_eq!(Verdict::from_ret(v.to_ret()), v);
+        // Sentinels still decode from the low word whatever the rank says.
+        assert_eq!(
+            Verdict::from_ret(ret::with_rank(ret::PASS, 9)).decision,
+            Decision::Pass
+        );
+        // A bare u32 return is a rank-0 verdict.
+        assert_eq!(
+            Verdict::from_ret(3),
+            Verdict::unranked(Decision::Executor(3))
+        );
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod map_api;
 pub mod policy;
 pub mod syrupd;
 
-pub use decision::Decision;
+pub use decision::{Decision, Verdict};
 pub use hook::{Hook, HookMeta};
 pub use map_api::{AppId, MapPermError, SyrupMaps};
 pub use policy::{EbpfPolicy, PacketPolicy, PolicySource};

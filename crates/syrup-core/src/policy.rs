@@ -16,7 +16,7 @@ use syrup_ebpf::maps::ProgSlot;
 use syrup_ebpf::vm::{PacketCtx, RunEnv, Vm};
 use syrup_ebpf::{Program, VmError};
 
-use crate::decision::Decision;
+use crate::decision::{Decision, Verdict};
 use crate::hook::HookMeta;
 
 /// A scheduling policy over packet-like inputs.
@@ -27,6 +27,15 @@ use crate::hook::HookMeta;
 pub trait PacketPolicy: Send {
     /// Matches the input with an executor.
     fn schedule(&mut self, pkt: &mut [u8], meta: &HookMeta) -> Decision;
+
+    /// Matches the input with an executor *and* a rank within its queue.
+    ///
+    /// The default wraps [`PacketPolicy::schedule`] at rank 0, so every
+    /// existing policy is automatically a valid (FIFO-ordered) ranked
+    /// policy; rank-aware native policies override this instead.
+    fn schedule_verdict(&mut self, pkt: &mut [u8], meta: &HookMeta) -> Verdict {
+        Verdict::unranked(self.schedule(pkt, meta))
+    }
 
     /// Diagnostic name.
     fn name(&self) -> &str {
@@ -134,6 +143,10 @@ impl EbpfPolicy {
 
 impl PacketPolicy for EbpfPolicy {
     fn schedule(&mut self, pkt: &mut [u8], meta: &HookMeta) -> Decision {
+        self.schedule_verdict(pkt, meta).decision
+    }
+
+    fn schedule_verdict(&mut self, pkt: &mut [u8], meta: &HookMeta) -> Verdict {
         self.env.now_ns = meta.now_ns;
         self.env.cpu_id = meta.cpu;
         let mut ctx = PacketCtx::new(pkt);
@@ -150,17 +163,21 @@ impl PacketPolicy for EbpfPolicy {
                 self.cycles += out.cycles;
                 if let Some((_, idx)) = out.redirect {
                     // XDP redirect decisions carry the executor in the
-                    // redirect target rather than the return value.
-                    return Decision::Executor(idx);
+                    // redirect target rather than the return value; the
+                    // rank still travels in the return word.
+                    return Verdict {
+                        decision: Decision::Executor(idx),
+                        rank: syrup_ebpf::ret::rank_of(out.ret),
+                    };
                 }
-                Decision::from_ret(out.ret)
+                Verdict::from_ret(out.ret)
             }
             Err(e) => {
                 // A trapping policy only hurts its own application: the
                 // input falls back to the default policy (§3.2's
                 // reliability argument).
                 self.last_error = Some(e);
-                Decision::Pass
+                Verdict::unranked(Decision::Pass)
             }
         }
     }

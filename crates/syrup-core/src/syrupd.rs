@@ -32,7 +32,9 @@ use syrup_telemetry::{
     CounterHandle, DecisionEvent, Executor, HistogramHandle, Registry, Snapshot,
 };
 
-use crate::decision::Decision;
+use std::collections::HashSet;
+
+use crate::decision::{Decision, Verdict};
 use crate::hook::{Hook, HookMeta};
 use crate::map_api::{AppId, SyrupMaps};
 use crate::policy::{PacketPolicy, PolicySource};
@@ -199,6 +201,10 @@ struct Inner {
     vm: Vm,
     apps: HashMap<AppId, AppInfo>,
     hooks: HashMap<Hook, HookState>,
+    /// `(app, hook)` pairs that opted into rank decoding. Everything else
+    /// keeps the classic u32 truncation, so FIFO scenarios are
+    /// bit-identical whether or not a policy happens to set high bits.
+    rank_optin: HashSet<(AppId, Hook)>,
     next_app: u32,
     tracer: syrup_trace::Tracer,
 }
@@ -249,6 +255,7 @@ impl Syrupd {
                 vm,
                 apps: HashMap::new(),
                 hooks: HashMap::new(),
+                rank_optin: HashSet::new(),
                 next_app: 1,
                 tracer: syrup_trace::Tracer::disabled(),
             })),
@@ -333,6 +340,25 @@ impl Syrupd {
             .collect();
         rows.sort_by_key(|(app, hook, _)| (app.0, *hook));
         rows
+    }
+
+    /// Opts `(app, hook)` into rank decoding: [`Syrupd::schedule_verdict`]
+    /// starts honouring the high 32 bits of the policy's return value as a
+    /// queue rank. Without the opt-in, ranks are forced to 0 and behaviour
+    /// is bit-identical to the classic u32 contract. Idempotent; may be
+    /// called before or after `deploy`.
+    pub fn enable_ranks(&self, app: AppId, hook: Hook) {
+        self.inner.lock().rank_optin.insert((app, hook));
+    }
+
+    /// Reverts [`Syrupd::enable_ranks`] for `(app, hook)`.
+    pub fn disable_ranks(&self, app: AppId, hook: Hook) {
+        self.inner.lock().rank_optin.remove(&(app, hook));
+    }
+
+    /// Whether `(app, hook)` opted into rank decoding.
+    pub fn ranks_enabled(&self, app: AppId, hook: Hook) -> bool {
+        self.inner.lock().rank_optin.contains(&(app, hook))
     }
 
     /// Registers an application with the ports it owns. Returns the app id
@@ -494,16 +520,50 @@ impl Syrupd {
         pkt: &mut [u8],
         meta: &HookMeta,
     ) -> (Option<AppId>, Decision) {
+        let (app, verdict) = self.schedule_impl(hook, pkt, meta);
+        (app, verdict.decision)
+    }
+
+    /// [`Syrupd::schedule`] for rank-aware substrates: additionally
+    /// returns the policy's queue rank.
+    ///
+    /// The rank is only honoured for `(app, hook)` pairs that called
+    /// [`Syrupd::enable_ranks`]; otherwise it is forced to 0 so legacy
+    /// policies whose arithmetic happens to leave high bits set cannot
+    /// change queue order by accident.
+    pub fn schedule_verdict(
+        &self,
+        hook: Hook,
+        pkt: &mut [u8],
+        meta: &HookMeta,
+    ) -> (Option<AppId>, Verdict) {
+        let (app, mut verdict) = self.schedule_impl(hook, pkt, meta);
+        let ranked = match app {
+            Some(app) => self.inner.lock().rank_optin.contains(&(app, hook)),
+            None => false,
+        };
+        if !ranked {
+            verdict.rank = 0;
+        }
+        (app, verdict)
+    }
+
+    fn schedule_impl(
+        &self,
+        hook: Hook,
+        pkt: &mut [u8],
+        meta: &HookMeta,
+    ) -> (Option<AppId>, Verdict) {
         self.dispatches.inc();
         let mut inner = self.inner.lock();
         let Some(hs) = inner.hooks.get(&hook) else {
             self.unmatched.inc();
-            return (None, Decision::Pass);
+            return (None, Verdict::unranked(Decision::Pass));
         };
         let Some(&app) = hs.port_owner.get(&meta.dst_port) else {
             // No policy deployed for this port: default system behaviour.
             self.unmatched.inc();
-            return (None, Decision::Pass);
+            return (None, Verdict::unranked(Decision::Pass));
         };
         let tracer = inner.tracer.clone();
         let hook_stage = syrup_trace::Stage::for_hook(hook.name());
@@ -511,25 +571,25 @@ impl Syrupd {
         if is_native {
             let hs = inner.hooks.get_mut(&hook).expect("exists");
             let Some(Deployed::Native(policy, metrics)) = hs.policies.get_mut(&app) else {
-                return (Some(app), Decision::Pass);
+                return (Some(app), Verdict::unranked(Decision::Pass));
             };
-            let decision = policy.schedule(pkt, meta);
-            metrics.record(&self.telemetry, meta, decision, Executor::Native, 0);
+            let verdict = policy.schedule_verdict(pkt, meta);
+            metrics.record(&self.telemetry, meta, verdict.decision, Executor::Native, 0);
             tracer.policy_span(
                 meta.trace,
                 hook_stage,
                 meta.now_ns,
                 meta.now_ns,
-                decision.to_ret() as i64,
+                verdict.decision.to_ret() as i64,
                 0,
             );
-            return (Some(app), decision);
+            return (Some(app), verdict);
         }
 
         // eBPF path: run the root dispatcher, which tail-calls the policy.
         let root_slot = hs.root_slot;
         let Some(Deployed::Ebpf { .. }) = hs.policies.get(&app) else {
-            return (Some(app), Decision::Pass);
+            return (Some(app), Verdict::unranked(Decision::Pass));
         };
         let mut env = match inner
             .hooks
@@ -551,7 +611,7 @@ impl Syrupd {
         ];
         let outcome = inner.vm.run(root_slot, &mut ctx, &mut env);
         // Persist env + record per-policy telemetry.
-        let mut decision = Decision::Pass;
+        let mut verdict = Verdict::unranked(Decision::Pass);
         if let Some(Deployed::Ebpf {
             env: stored,
             metrics,
@@ -566,17 +626,26 @@ impl Syrupd {
                 Ok(out) => {
                     metrics.insns.record(out.insns);
                     metrics.cycles.record(out.cycles);
-                    decision = match out.redirect {
-                        Some((_, idx)) => Decision::Executor(idx),
-                        None => Decision::from_ret(out.ret),
+                    verdict = match out.redirect {
+                        Some((_, idx)) => Verdict {
+                            decision: Decision::Executor(idx),
+                            rank: ret::rank_of(out.ret),
+                        },
+                        None => Verdict::from_ret(out.ret),
                     };
-                    metrics.record(&self.telemetry, meta, decision, Executor::Ebpf, out.cycles);
+                    metrics.record(
+                        &self.telemetry,
+                        meta,
+                        verdict.decision,
+                        Executor::Ebpf,
+                        out.cycles,
+                    );
                 }
                 // A trapping policy affects only its own traffic (§3.2):
                 // its input PASSes to the default policy.
                 Err(_) => {
                     metrics.traps.inc();
-                    metrics.record(&self.telemetry, meta, decision, Executor::Ebpf, 0);
+                    metrics.record(&self.telemetry, meta, verdict.decision, Executor::Ebpf, 0);
                 }
             }
         }
@@ -586,10 +655,10 @@ impl Syrupd {
             hook_stage,
             meta.now_ns,
             meta.now_ns + cycles,
-            decision.to_ret() as i64,
+            verdict.decision.to_ret() as i64,
             cycles,
         );
-        (Some(app), decision)
+        (Some(app), verdict)
     }
 
     /// Mean (instructions, cycles) per invocation for an eBPF policy
@@ -740,6 +809,73 @@ mod tests {
         assert!(report.hotspots.iter().all(|h| h.insn.is_some()));
         // The tail_call helper shows up in the helper cost table.
         assert!(report.helpers.iter().any(|h| h.helper == "tail_call"));
+    }
+
+    #[test]
+    fn ranks_require_the_per_hook_optin() {
+        let d = Syrupd::new();
+        let (app, _) = d.register_app("srpt", &[8080]).unwrap();
+        // A bytecode policy returning executor 2 at rank 77 via the
+        // (rank << 32) | q encoding.
+        let prog = syrup_ebpf::Asm::new()
+            .load_imm64(Reg::R0, ret::with_rank(2, 77) as i64)
+            .exit()
+            .build("ranked")
+            .unwrap();
+        d.deploy(app, Hook::SocketSelect, PolicySource::Bytecode(prog))
+            .unwrap();
+        let mut pkt = [0u8; 8];
+
+        // Classic entry point and the verdict path without opt-in both
+        // see the legacy u32 contract.
+        assert_eq!(
+            d.schedule(Hook::SocketSelect, &mut pkt, &meta(8080)),
+            (Some(app), Decision::Executor(2))
+        );
+        assert!(!d.ranks_enabled(app, Hook::SocketSelect));
+        let (_, v) = d.schedule_verdict(Hook::SocketSelect, &mut pkt, &meta(8080));
+        assert_eq!(v, Verdict::unranked(Decision::Executor(2)));
+
+        // After the opt-in the high word becomes the rank.
+        d.enable_ranks(app, Hook::SocketSelect);
+        assert!(d.ranks_enabled(app, Hook::SocketSelect));
+        let (owner, v) = d.schedule_verdict(Hook::SocketSelect, &mut pkt, &meta(8080));
+        assert_eq!(owner, Some(app));
+        assert_eq!(v.decision, Decision::Executor(2));
+        assert_eq!(v.rank, 77);
+
+        d.disable_ranks(app, Hook::SocketSelect);
+        let (_, v) = d.schedule_verdict(Hook::SocketSelect, &mut pkt, &meta(8080));
+        assert_eq!(v.rank, 0);
+    }
+
+    #[test]
+    fn native_policies_can_return_ranked_verdicts() {
+        struct Ranked;
+        impl crate::policy::PacketPolicy for Ranked {
+            fn schedule(&mut self, pkt: &mut [u8], meta: &HookMeta) -> Decision {
+                self.schedule_verdict(pkt, meta).decision
+            }
+            fn schedule_verdict(&mut self, _pkt: &mut [u8], m: &HookMeta) -> Verdict {
+                Verdict {
+                    decision: Decision::Executor(1),
+                    rank: m.rx_queue + 10,
+                }
+            }
+        }
+        let d = Syrupd::new();
+        let (app, _) = d.register_app("native-ranked", &[9000]).unwrap();
+        d.deploy(
+            app,
+            Hook::SocketSelect,
+            PolicySource::Native(Box::new(Ranked)),
+        )
+        .unwrap();
+        d.enable_ranks(app, Hook::SocketSelect);
+        let mut pkt = [0u8; 4];
+        let (_, v) = d.schedule_verdict(Hook::SocketSelect, &mut pkt, &meta(9000));
+        assert_eq!(v.rank, 10);
+        assert_eq!(v.decision, Decision::Executor(1));
     }
 
     #[test]

@@ -85,13 +85,65 @@ impl Program {
     }
 }
 
-/// Scheduling decision sentinels shared with `syrup-core`.
+/// Scheduling decision sentinels and the ranked-verdict encoding shared
+/// with `syrup-core`.
 ///
 /// A Syrup `schedule` function returns a `u32`: an index into the executor
-/// map, or one of these two reserved values (§3.3).
+/// map, or one of these two reserved values (§3.3). Rank-returning
+/// policies (`return (q, rank);` in the language) extend this without
+/// breaking it: the VM hands back a full `u64` whose low 32 bits are the
+/// classic executor/sentinel word and whose high 32 bits carry the rank.
+/// FIFO hooks keep truncating to `u32` (so legacy decoding is
+/// bit-identical — high bits were always ignored there), and only hooks
+/// that opted into rank decoding read the upper half.
 pub mod ret {
     /// Use the system's default policy for this input.
     pub const PASS: u64 = u32::MAX as u64;
     /// Drop the input.
     pub const DROP: u64 = (u32::MAX - 1) as u64;
+
+    /// Encodes a ranked verdict: `rank` in the high 32 bits, the
+    /// executor/sentinel word in the low 32.
+    #[inline]
+    pub fn with_rank(executor: u64, rank: u32) -> u64 {
+        (u64::from(rank) << 32) | (executor & 0xFFFF_FFFF)
+    }
+
+    /// The executor/sentinel word of a raw return value (what FIFO hooks
+    /// decode).
+    #[inline]
+    pub fn executor_of(value: u64) -> u32 {
+        value as u32
+    }
+
+    /// The rank of a raw return value. For a policy that returned a bare
+    /// executor index this is 0 — the lowest (most urgent) rank — so
+    /// rank-agnostic programs behave as FIFO even on a ranked hook.
+    #[inline]
+    pub fn rank_of(value: u64) -> u32 {
+        (value >> 32) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ret;
+
+    #[test]
+    fn rank_encoding_round_trips() {
+        let v = ret::with_rank(7, 1234);
+        assert_eq!(ret::executor_of(v), 7);
+        assert_eq!(ret::rank_of(v), 1234);
+        // Sentinels survive in the low word.
+        assert_eq!(
+            ret::executor_of(ret::with_rank(ret::PASS, 9)) as u64,
+            ret::PASS
+        );
+    }
+
+    #[test]
+    fn bare_returns_decode_as_rank_zero() {
+        assert_eq!(ret::rank_of(5), 0);
+        assert_eq!(ret::rank_of(ret::DROP), 0);
+    }
 }

@@ -96,9 +96,22 @@ impl LGen<'_> {
         for _ in 0..2 + self.rng.below(4) {
             self.stmt(1, 0);
         }
-        let ret = self.expr(0);
+        let ret = self.ret_expr();
         self.line(1, &format!("return {ret};"));
         self.line(0, "}");
+    }
+
+    /// A return payload: usually a scalar executor choice, sometimes an
+    /// `(executor, rank)` pair so codegen's rank encoding (`rank << 32 |
+    /// executor`) is differentially tested against the interpreter.
+    fn ret_expr(&mut self) -> String {
+        if self.rng.chance(25) {
+            let q = self.expr(1);
+            let rank = self.expr(1);
+            format!("({q}, {rank})")
+        } else {
+            self.expr(0)
+        }
     }
 
     fn stmt(&mut self, indent: usize, depth: u32) {
@@ -157,7 +170,7 @@ impl LGen<'_> {
                 let ret = if self.rng.chance(40) {
                     self.rng.pick(&["PASS", "DROP"]).to_string()
                 } else {
-                    self.expr(0)
+                    self.ret_expr()
                 };
                 self.line(indent, &format!("return {ret};"));
             }
@@ -319,6 +332,35 @@ mod tests {
         assert!(
             verified >= 30,
             "only {verified}/120 random sources verified"
+        );
+    }
+
+    #[test]
+    fn ranked_returns_appear_and_survive_the_pipeline() {
+        let mut ranked_verified = 0;
+        for seed in 0..200u64 {
+            let mut rng = Prng::new(seed * 6007 + 11);
+            let source = generate(&mut rng);
+            // A tuple return is the only place a comma appears inside a
+            // `return` line (expressions have no comma operator).
+            let has_tuple = source
+                .lines()
+                .any(|l| l.trim_start().starts_with("return (") && l.contains(", "));
+            if !has_tuple {
+                continue;
+            }
+            let maps = MapRegistry::new();
+            let opts = syrup_lang::CompileOptions::new();
+            if let Ok(policy) = syrup_lang::compile(&source, &opts, &maps) {
+                if syrup_ebpf::verify(&policy.program, &maps).is_ok() {
+                    ranked_verified += 1;
+                }
+            }
+        }
+        assert!(
+            ranked_verified >= 10,
+            "only {ranked_verified} rank-returning sources made it through \
+             compile+verify — the rank grammar drifted"
         );
     }
 

@@ -28,6 +28,13 @@
 //!
 //! Failures auto-shrink ([`shrink`]) to a minimal instruction sequence and
 //! print the reproducing seed.
+//!
+//! The rank extension adds a fourth oracle ([`sched_oracle`]): random
+//! push/pop scripts against the `syrup-sched` queues, checking exact PIFO
+//! order against a reference model and the Eiffel bucket queue against its
+//! documented approximation bound. Policy sources also probabilistically
+//! `return (executor, rank)` pairs, so the differential oracle covers the
+//! rank ABI's `rank << 32 | executor` encoding.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,6 +42,7 @@
 pub mod gen;
 pub mod langgen;
 pub mod mutate;
+pub mod sched_oracle;
 pub mod shrink;
 
 use std::fmt;

@@ -24,6 +24,7 @@ fn parse_u64(text: &str) -> Result<u64, String> {
 
 fn main() -> ExitCode {
     let mut iters: u64 = 2000;
+    let mut sched_scripts: u64 = 200;
     let mut seed: u64 = 0xC0FFEE;
     let mut cfg = VerifierConfig::default();
 
@@ -43,12 +44,18 @@ fn main() -> ExitCode {
             "--seed" => take_value(&mut i)
                 .and_then(|v| parse_u64(&v))
                 .map(|v| seed = v),
+            "--sched-scripts" => take_value(&mut i)
+                .and_then(|v| parse_u64(&v))
+                .map(|v| sched_scripts = v),
             "--inject-bounds-bug" => {
                 cfg.assume_packet_in_bounds = true;
                 Ok(())
             }
             "--help" | "-h" => {
-                println!("usage: syrup-fuzz [--iters N] [--seed 0xHEX] [--inject-bounds-bug]");
+                println!(
+                    "usage: syrup-fuzz [--iters N] [--seed 0xHEX] [--sched-scripts N] \
+                     [--inject-bounds-bug]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => Err(format!("unknown argument: {other}")),
@@ -63,14 +70,16 @@ fn main() -> ExitCode {
     println!("syrup-fuzz: {iters} iterations, seed 0x{seed:X}");
     let report = syrup_fuzz::run_fuzz_with_config(iters, seed, &cfg);
     println!("{report}");
-    match report.failure {
-        None => {
-            println!("no oracle violations");
-            ExitCode::SUCCESS
-        }
-        Some(failure) => {
-            eprintln!("{failure}");
-            ExitCode::FAILURE
-        }
+    if let Some(failure) = report.failure {
+        eprintln!("{failure}");
+        return ExitCode::FAILURE;
     }
+    let sched = syrup_fuzz::sched_oracle::run_sched_fuzz(sched_scripts, seed);
+    println!("{sched}");
+    if let Some(failure) = sched.failure {
+        eprintln!("{failure}");
+        return ExitCode::FAILURE;
+    }
+    println!("no oracle violations");
+    ExitCode::SUCCESS
 }

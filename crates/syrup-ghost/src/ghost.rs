@@ -87,6 +87,10 @@ pub struct GhostSched {
     /// nondeterministic.
     running: BTreeMap<CoreId, ThreadId>,
     runnable: Vec<ThreadId>,
+    /// Thread → rank Map for the opt-in rank-ordered run queue
+    /// ([`GhostSched::enable_ranked_runqueue`]). `None` keeps the classic
+    /// class-priority policy bit-for-bit.
+    rank_map: Option<MapRef>,
     /// When the agent finishes its current message backlog.
     agent_busy_until: Time,
     /// Total messages processed (diagnostics).
@@ -118,6 +122,7 @@ impl GhostSched {
             class_map,
             running: BTreeMap::new(),
             runnable: Vec::new(),
+            rank_map: None,
             agent_busy_until: Time::ZERO,
             messages: 0,
             preemptions: 0,
@@ -184,6 +189,33 @@ impl GhostSched {
             .unwrap_or(class::UNKNOWN)
     }
 
+    /// Switches the agent to the rank-ordered run queue: the policy
+    /// orders runnable threads by the rank the application writes into
+    /// `rank_map` (key = thread id; lowest rank dispatches first, thread
+    /// id breaks ties), and a runnable thread whose rank is strictly
+    /// lower than a running thread's preempts it. Threads without a map
+    /// entry rank [`u32::MAX`] (scheduled last, never preempting) — use a
+    /// hash-backed map for that behaviour; an array map zero-fills, which
+    /// makes unmapped threads most urgent instead.
+    pub fn enable_ranked_runqueue(&mut self, rank_map: MapRef) {
+        self.rank_map = Some(rank_map);
+    }
+
+    /// Whether the rank-ordered run queue is active.
+    pub fn is_ranked(&self) -> bool {
+        self.rank_map.is_some()
+    }
+
+    fn rank_of(&self, t: ThreadId) -> u32 {
+        let Some(map) = &self.rank_map else {
+            return u32::MAX;
+        };
+        map.lookup_u64(t.0)
+            .ok()
+            .flatten()
+            .map_or(u32::MAX, |r| r.min(u64::from(u32::MAX)) as u32)
+    }
+
     /// Models the agent serialization: a message arriving now is handled
     /// after the queue drains, costing one loop iteration.
     fn agent_process_time(&mut self, now: Time) -> Time {
@@ -199,9 +231,52 @@ impl GhostSched {
         done
     }
 
-    /// The policy: match runnable threads to cores, GETs first, preempting
-    /// SCANs when a GET would otherwise wait.
+    /// Runs the deployed policy and performs the shared bookkeeping
+    /// (dispatch traces, thread-state samples, queue-depth gauge).
     fn policy(&mut self, decision_at: Time) -> Vec<Assignment> {
+        let out = if self.rank_map.is_some() {
+            self.policy_ranked(decision_at)
+        } else {
+            self.policy_classes(decision_at)
+        };
+        for a in &out {
+            self.tracer.span_arg(
+                self.trace_of(a.thread),
+                syrup_trace::Stage::GhostDispatch,
+                decision_at.as_nanos(),
+                a.start_at.as_nanos(),
+                u64::from(a.core.0),
+            );
+            self.profiler.thread_state(
+                u64::from(a.thread.0),
+                syrup_profile::ThreadState::Running,
+                a.start_at.as_nanos(),
+            );
+            if let Some(victim) = a.preempted {
+                self.profiler.thread_state(
+                    u64::from(victim.0),
+                    syrup_profile::ThreadState::Runnable,
+                    a.start_at.as_nanos(),
+                );
+            }
+        }
+        if self.rank_map.is_some() && self.profiler.is_enabled() {
+            let mut bands = [0usize; syrup_sched::NUM_RANK_BANDS];
+            for &t in &self.runnable {
+                bands[syrup_sched::rank_band(self.rank_of(t))] += 1;
+            }
+            self.profiler
+                .queue_rank_bands("ghost", decision_at.as_nanos(), &bands);
+        }
+        self.telemetry
+            .runnable_depth
+            .set(self.runnable.len() as i64);
+        out
+    }
+
+    /// The paper's §5.3 policy: match runnable threads to cores, GETs
+    /// first, preempting SCANs when a GET would otherwise wait.
+    fn policy_classes(&mut self, decision_at: Time) -> Vec<Assignment> {
         let mut out = Vec::new();
         // Highest priority first: GETs, then unknown, then SCANs.
         let mut keyed: Vec<(u8, ThreadId)> = self
@@ -271,30 +346,72 @@ impl GhostSched {
                 preempted: Some(victim),
             });
         }
-        for a in &out {
-            self.tracer.span_arg(
-                self.trace_of(a.thread),
-                syrup_trace::Stage::GhostDispatch,
-                decision_at.as_nanos(),
-                a.start_at.as_nanos(),
-                u64::from(a.core.0),
-            );
-            self.profiler.thread_state(
-                u64::from(a.thread.0),
-                syrup_profile::ThreadState::Running,
-                a.start_at.as_nanos(),
-            );
-            if let Some(victim) = a.preempted {
-                self.profiler.thread_state(
-                    u64::from(victim.0),
-                    syrup_profile::ThreadState::Runnable,
-                    a.start_at.as_nanos(),
-                );
-            }
+        out
+    }
+
+    /// The rank-ordered policy: drain the runnable pool through a PIFO
+    /// (lowest rank first, FIFO ties), fill idle cores in that order,
+    /// then preempt the highest-ranked running thread whenever a
+    /// strictly lower-ranked thread waits.
+    fn policy_ranked(&mut self, decision_at: Time) -> Vec<Assignment> {
+        let mut out = Vec::new();
+        let mut pifo = syrup_sched::Pifo::unbounded();
+        for &t in &self.runnable {
+            pifo.push(t, self.rank_of(t));
         }
-        self.telemetry
-            .runnable_depth
-            .set(self.runnable.len() as i64);
+        self.runnable.clear();
+        while let Some((t, _)) = pifo.pop_entry() {
+            self.runnable.push(t);
+        }
+        // Fill idle cores, most urgent first.
+        while let Some(&idle) = self
+            .app_cores
+            .iter()
+            .find(|c| !self.running.contains_key(c))
+        {
+            if self.runnable.is_empty() {
+                break;
+            }
+            let t = self.runnable.remove(0);
+            self.running.insert(idle, t);
+            out.push(Assignment {
+                core: idle,
+                thread: t,
+                start_at: decision_at + self.params.ctx_switch,
+                preempted: None,
+            });
+        }
+        // Preempt while the most urgent waiter outranks the least urgent
+        // running thread.
+        while let Some(&cand) = self.runnable.first() {
+            let Some((&core, &victim)) = self
+                .running
+                .iter()
+                .max_by_key(|(&core, &t)| (self.rank_of(t), core.0))
+            else {
+                break;
+            };
+            if self.rank_of(cand) >= self.rank_of(victim) {
+                break;
+            }
+            self.runnable.remove(0);
+            self.running.insert(core, cand);
+            self.runnable.push(victim);
+            self.preemptions += 1;
+            self.telemetry.preemptions.inc();
+            self.tracer.instant(
+                self.trace_of(victim),
+                syrup_trace::Stage::GhostPreempt,
+                decision_at.as_nanos(),
+                u64::from(core.0),
+            );
+            out.push(Assignment {
+                core,
+                thread: cand,
+                start_at: decision_at + self.params.ipi,
+                preempted: Some(victim),
+            });
+        }
         out
     }
 }
@@ -507,6 +624,79 @@ mod tests {
         // One scheduling-latency sample per wakeup message.
         assert_eq!(p.sched_latency.samples, 2);
         assert!(p.sched_latency.mean_ns >= 1_600.0);
+    }
+
+    fn setup_ranked(n_cores: u32) -> (GhostSched, MapRef) {
+        let reg = MapRegistry::new();
+        let class = reg.get(reg.create(MapDef::u64_array(64))).unwrap();
+        // Hash-backed so absent threads read as "no rank" (an array map
+        // would zero-fill, making every unmapped thread most urgent).
+        let ranks = reg.get(reg.create(MapDef::u64_hash(64))).unwrap();
+        let mut sched = GhostSched::new(
+            (0..n_cores).map(CoreId).collect(),
+            class,
+            GhostParams::default(),
+        );
+        sched.enable_ranked_runqueue(ranks.clone());
+        (sched, ranks)
+    }
+
+    #[test]
+    fn ranked_runqueue_dispatches_lowest_rank_first() {
+        let (mut s, ranks) = setup_ranked(2); // one app core + agent
+        ranks.update_u64(1, 40).unwrap();
+        ranks.update_u64(2, 7).unwrap();
+        ranks.update_u64(3, 20).unwrap();
+        assert!(s.is_ranked());
+        // All three wake before any core frees; the single core goes to
+        // the first arrival, then frees for the most urgent waiter.
+        let a = s.thread_ready(ThreadId(1), Time::ZERO);
+        assert_eq!(a[0].thread, ThreadId(1));
+        // 7 outranks the running 40: immediate preemption.
+        let b = s.thread_ready(ThreadId(2), Time::from_micros(10));
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0].thread, ThreadId(2));
+        assert_eq!(b[0].preempted, Some(ThreadId(1)));
+        // 20 does not outrank the running 7.
+        assert!(s
+            .thread_ready(ThreadId(3), Time::from_micros(20))
+            .is_empty());
+        // When 7 finishes, 20 dispatches ahead of 40.
+        let c = s.thread_stopped(ThreadId(2), CoreId(0), Time::from_micros(50));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].thread, ThreadId(3));
+    }
+
+    #[test]
+    fn unmapped_threads_rank_last_and_never_preempt() {
+        let (mut s, ranks) = setup_ranked(2);
+        ranks.update_u64(1, 1_000).unwrap();
+        s.thread_ready(ThreadId(1), Time::ZERO);
+        // Thread 2 has no rank entry: u32::MAX, so no preemption.
+        let b = s.thread_ready(ThreadId(2), Time::from_micros(10));
+        assert!(b.is_empty());
+        assert_eq!(s.preemptions, 0);
+    }
+
+    #[test]
+    fn ranked_runqueue_feeds_band_pressure() {
+        let profiler = syrup_profile::Profiler::new();
+        let (mut s, ranks) = setup_ranked(2);
+        s.attach_profiler(&profiler);
+        ranks.update_u64(1, 5).unwrap();
+        ranks.update_u64(2, 5_000).unwrap();
+        ranks.update_u64(3, 30).unwrap();
+        s.thread_ready(ThreadId(1), Time::ZERO); // dispatches
+        s.thread_ready(ThreadId(2), Time::ZERO); // waits, band 3
+        s.thread_ready(ThreadId(3), Time::ZERO); // waits, band 1
+        let p = profiler.pressure();
+        let ghost = p
+            .rank_bands
+            .iter()
+            .find(|b| b.component == "ghost")
+            .expect("ranked runqueue samples bands");
+        assert_eq!(ghost.max_depth, 1);
+        assert!(ghost.samples >= 3);
     }
 
     #[test]

@@ -244,12 +244,16 @@ pub enum Stmt {
         /// Source line.
         line: usize,
     },
-    /// `return expr;`.
+    /// `return expr;` or the ranked form `return (expr, rank);`.
     Return {
         /// Source line.
         line: usize,
-        /// Return value.
+        /// Return value (executor index or PASS/DROP sentinel).
         value: Expr,
+        /// Queue rank for the ranked form: encoded into the high 32 bits
+        /// of the return value (`(rank << 32) | value`). `None` for the
+        /// classic scalar return, whose value is truncated to `uint32_t`.
+        rank: Option<Expr>,
     },
     /// An expression evaluated for effect (helper calls, atomics).
     ExprStmt {

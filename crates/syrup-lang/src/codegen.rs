@@ -91,6 +91,9 @@ struct Cg<'a> {
     key_slot: i16,
     /// Reserved slot for values passed by address to `map_update`.
     val_slot: i16,
+    /// Reserved slot spilling the rank across the value evaluation in
+    /// ranked returns (`return (q, rank);`).
+    rank_slot: i16,
     /// Stack of (break_label, continue_label) for unrolled loops.
     loops: Vec<(String, String)>,
     ptr_regs_used: usize,
@@ -133,6 +136,7 @@ pub fn generate(
         frame: 0,
         key_slot: 0,
         val_slot: 0,
+        rank_slot: 0,
         loops: Vec::new(),
         ptr_regs_used: 0,
     };
@@ -140,6 +144,7 @@ pub fn generate(
     // Reserved temp slots.
     cg.key_slot = cg.alloc_slot();
     cg.val_slot = cg.alloc_slot();
+    cg.rank_slot = cg.alloc_slot();
 
     // Compile-time constants: PASS/DROP/NULL plus experiment defines.
     cg.bindings
@@ -353,10 +358,39 @@ impl Cg<'_> {
                 self.with_asm(|a| a.jmp(&cont_l));
                 Ok(())
             }
-            Stmt::Return { line, value } => {
-                self.scalar_expr(*line, value, Reg::R0, 1)?;
-                // Truncate to the uint32_t return type.
-                self.with_asm(|a| a.alu32(AluOp::Mov, Reg::R0, Operand::Reg(Reg::R0)).exit());
+            Stmt::Return { line, value, rank } => {
+                match rank {
+                    None => {
+                        self.scalar_expr(*line, value, Reg::R0, 1)?;
+                        // Truncate to the uint32_t return type.
+                        self.with_asm(|a| {
+                            a.alu32(AluOp::Mov, Reg::R0, Operand::Reg(Reg::R0)).exit()
+                        });
+                    }
+                    Some(rank) => {
+                        // `return (q, rank);` encodes (rank << 32) | q.
+                        // Both halves are truncated to uint32_t first; the
+                        // rank is spilled across the value evaluation
+                        // (helpers clobber R1-R5, the stack survives).
+                        let rank_slot = self.rank_slot;
+                        self.scalar_expr(*line, rank, Reg::R0, 1)?;
+                        self.with_asm(|a| {
+                            a.alu32(AluOp::Mov, Reg::R0, Operand::Reg(Reg::R0)).stx_dw(
+                                Reg::R10,
+                                rank_slot,
+                                Reg::R0,
+                            )
+                        });
+                        self.scalar_expr(*line, value, Reg::R0, 1)?;
+                        self.with_asm(|a| {
+                            a.alu32(AluOp::Mov, Reg::R0, Operand::Reg(Reg::R0))
+                                .ldx_dw(Reg::R1, Reg::R10, rank_slot)
+                                .lsh64_imm(Reg::R1, 32)
+                                .alu64(AluOp::Or, Reg::R0, Operand::Reg(Reg::R1))
+                                .exit()
+                        });
+                    }
+                }
                 Ok(())
             }
             Stmt::ExprStmt { line, expr } => {
@@ -1521,6 +1555,62 @@ mod tests {
             CompileOptions::new(),
         );
         assert_eq!(run(&vm, slot, &mut [0u8; 16]), 7);
+    }
+
+    #[test]
+    fn ranked_return_encodes_rank_in_high_bits() {
+        let (vm, slot, _) = build(
+            "uint32_t schedule(void *pkt_start, void *pkt_end) { return (3, 42); }",
+            CompileOptions::new(),
+        );
+        let ret = run(&vm, slot, &mut [0u8; 16]);
+        assert_eq!(ret, (42u64 << 32) | 3);
+        assert_eq!(syrup_ebpf::ret::executor_of(ret), 3);
+        assert_eq!(syrup_ebpf::ret::rank_of(ret), 42);
+    }
+
+    #[test]
+    fn ranked_return_truncates_both_halves_to_u32() {
+        // q and rank are uint32_t like the classic return value: 64-bit
+        // expressions truncate before encoding.
+        let src = "
+            uint32_t schedule(void *pkt_start, void *pkt_end) {
+                uint64_t big = 4294967296 + 5;   /* 2^32 + 5 */
+                return (big, big + 1);
+            }";
+        let (vm, slot, _) = build(src, CompileOptions::new());
+        let ret = run(&vm, slot, &mut [0u8; 16]);
+        assert_eq!(syrup_ebpf::ret::executor_of(ret), 5);
+        assert_eq!(syrup_ebpf::ret::rank_of(ret), 6);
+    }
+
+    #[test]
+    fn ranked_return_survives_helper_calls_in_value() {
+        // The rank is spilled to the stack across the value evaluation;
+        // a map-helper call in the value expression must not clobber it.
+        let src = "
+            SYRUP_MAP(counts, ARRAY, 4);
+            uint32_t schedule(void *pkt_start, void *pkt_end) {
+                uint32_t zero = 0;
+                uint64_t *c = syr_map_lookup_elem(&counts, &zero);
+                if (!c)
+                    return PASS;
+                *c += 1;
+                return (*c % 4, 1000 + *c);
+            }";
+        let (vm, slot, _) = build(src, CompileOptions::new());
+        let ret = run(&vm, slot, &mut [0u8; 16]);
+        assert_eq!(syrup_ebpf::ret::executor_of(ret), 1);
+        assert_eq!(syrup_ebpf::ret::rank_of(ret), 1001);
+    }
+
+    #[test]
+    fn parenthesized_plain_return_still_works() {
+        let (vm, slot, _) = build(
+            "uint32_t schedule(void *pkt_start, void *pkt_end) { return (4) + 1; }",
+            CompileOptions::new(),
+        );
+        assert_eq!(run(&vm, slot, &mut [0u8; 16]), 5);
     }
 
     #[test]

@@ -369,11 +369,24 @@ impl Run<'_> {
             }
             Stmt::Break { .. } => Ok(Flow::Break),
             Stmt::Continue { .. } => Ok(Flow::Continue),
-            Stmt::Return { line, value } => {
-                let v = self.eval_scalar(*line, value)?;
-                // Truncate to the uint32_t return type, like codegen's
-                // `alu32 mov r0, r0`.
-                Ok(Flow::Return(v & 0xFFFF_FFFF))
+            Stmt::Return { line, value, rank } => {
+                match rank {
+                    None => {
+                        let v = self.eval_scalar(*line, value)?;
+                        // Truncate to the uint32_t return type, like
+                        // codegen's `alu32 mov r0, r0`.
+                        Ok(Flow::Return(v & 0xFFFF_FFFF))
+                    }
+                    Some(rank) => {
+                        // Ranked return: evaluate the rank first (codegen
+                        // does, and evaluation order is observable through
+                        // map helpers), truncate both halves, and encode
+                        // (rank << 32) | q.
+                        let r = self.eval_scalar(*line, rank)? & 0xFFFF_FFFF;
+                        let q = self.eval_scalar(*line, value)? & 0xFFFF_FFFF;
+                        Ok(Flow::Return((r << 32) | q))
+                    }
+                }
             }
             Stmt::ExprStmt { line, expr } => {
                 match &expr.kind {
@@ -1157,6 +1170,30 @@ mod tests {
 
     fn packets_with_type(n: usize, mk: impl Fn(usize) -> Vec<u8>) -> Vec<Vec<u8>> {
         (0..n).map(mk).collect()
+    }
+
+    #[test]
+    fn ranked_returns_match_vm() {
+        // The (q, rank) encoding is part of the differential contract:
+        // both sides must produce the identical full-width u64.
+        let src = "\
+uint32_t idx = 0;
+uint32_t schedule(void *pkt_start, void *pkt_end) {
+    if (pkt_end - pkt_start < 8)
+        return (PASS, 0);
+    uint32_t svc = *(uint32_t *)(pkt_start + 0);
+    idx++;
+    return (idx % NUM_THREADS, svc);
+}
+";
+        let opts = CompileOptions::new().define("NUM_THREADS", 4);
+        let pkts = packets_with_type(10, |i| {
+            let mut p = vec![0u8; 16];
+            p[0] = (i * 37 % 251) as u8;
+            p[1] = (i % 3) as u8;
+            p
+        });
+        assert_differential(src, &opts, &pkts);
     }
 
     #[test]

@@ -298,9 +298,34 @@ impl Parser {
         match self.peek().clone() {
             Tok::Ident(w) if w == "return" => {
                 self.bump();
+                // Ranked form: `return (q, rank);`. Try it whenever the
+                // value starts with `(`; backtrack to a plain expression
+                // when no comma follows (e.g. `return (a) + b;`).
+                if *self.peek() == Tok::LParen {
+                    let save = self.pos;
+                    self.bump();
+                    match self.expr() {
+                        Ok(value) if *self.peek() == Tok::Comma => {
+                            self.bump();
+                            let rank = self.expr()?;
+                            self.expect(Tok::RParen, "`)`")?;
+                            self.expect(Tok::Semi, "`;`")?;
+                            return Ok(Stmt::Return {
+                                line,
+                                value,
+                                rank: Some(rank),
+                            });
+                        }
+                        _ => self.pos = save,
+                    }
+                }
                 let value = self.expr()?;
                 self.expect(Tok::Semi, "`;`")?;
-                Ok(Stmt::Return { line, value })
+                Ok(Stmt::Return {
+                    line,
+                    value,
+                    rank: None,
+                })
             }
             Tok::Ident(w) if w == "break" => {
                 self.bump();
@@ -812,6 +837,46 @@ mod tests {
         assert_eq!(f.name, "schedule");
         assert_eq!(f.params, vec!["pkt_start", "pkt_end"]);
         assert_eq!(f.body.len(), 2);
+    }
+
+    #[test]
+    fn parses_ranked_return() {
+        let unit = parse_src(
+            "uint32_t schedule(void *a, void *b) {
+                 return (1 + 2, a - b);
+             }",
+        );
+        let f = unit.function.unwrap();
+        match &f.body[0] {
+            Stmt::Return {
+                rank: Some(rank),
+                value,
+                ..
+            } => {
+                assert!(matches!(value.kind, ExprKind::Binary(BinOp::Add, _, _)));
+                assert!(matches!(rank.kind, ExprKind::Binary(BinOp::Sub, _, _)));
+            }
+            other => panic!("expected ranked return, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parenthesized_return_is_not_ranked() {
+        // `return (x);` and `return (x) + 1;` keep their classic meaning.
+        let unit = parse_src(
+            "uint32_t schedule(void *a, void *b) {
+                 return (4) + 1;
+             }",
+        );
+        let f = unit.function.unwrap();
+        match &f.body[0] {
+            Stmt::Return {
+                rank: None, value, ..
+            } => {
+                assert!(matches!(value.kind, ExprKind::Binary(BinOp::Add, _, _)));
+            }
+            other => panic!("expected plain return, got {other:?}"),
+        }
     }
 
     #[test]

@@ -45,5 +45,9 @@ pub use late_binding::{FifoPick, InputPick, KeyPick, LateBindingGroup};
 pub use nic::Nic;
 pub use packet::{AppHeader, Frame, RequestClass};
 pub use rss::Toeplitz;
-pub use socket::{ReuseportGroup, SocketBuf};
+pub use socket::{Delivery, ReuseportGroup, SocketBuf};
 pub use stack::StackCosts;
+
+// Queue disciplines are part of this crate's construction API
+// (`Nic::new_with`, `ReuseportGroup::new_with`), so re-export the kind.
+pub use syrup_sched::QueueKind;

@@ -12,6 +12,7 @@
 
 use std::collections::HashMap;
 
+use syrup_sched::QueueKind;
 use syrup_telemetry::{CounterHandle, Registry};
 
 use crate::flow::FiveTuple;
@@ -58,12 +59,22 @@ pub struct Nic<T> {
 }
 
 impl<T> Nic<T> {
-    /// Creates a NIC with `num_queues` RX queues of `ring_size` descriptors
-    /// each. Queue `q`'s interrupt initially targets core `q`.
+    /// Creates a NIC with `num_queues` FIFO RX queues of `ring_size`
+    /// descriptors each. Queue `q`'s interrupt initially targets core `q`.
     pub fn new(num_queues: usize, ring_size: usize) -> Self {
+        Self::new_with(num_queues, ring_size, QueueKind::Fifo)
+    }
+
+    /// Creates a NIC whose RX rings use an explicit queue discipline.
+    /// Ranked rings model NIC-offloaded PIFO scheduling ("Programmable
+    /// Packet Scheduling at Line Rate"): [`Nic::enqueue_ranked`] places a
+    /// frame by rank and [`Nic::dequeue`] drains lowest-rank-first.
+    pub fn new_with(num_queues: usize, ring_size: usize, kind: QueueKind) -> Self {
         assert!(num_queues > 0, "a NIC has at least one queue");
         Nic {
-            queues: (0..num_queues).map(|_| SocketBuf::new(ring_size)).collect(),
+            queues: (0..num_queues)
+                .map(|_| SocketBuf::new_with(kind, ring_size))
+                .collect(),
             irq_affinity: (0..num_queues as u32).collect(),
             toeplitz: Toeplitz::default(),
             steering: Steering::Rss,
@@ -81,11 +92,21 @@ impl<T> Nic<T> {
     }
 
     /// Records one occupancy sample per RX queue into the attached
-    /// profiler. A single branch when no profiler is attached.
+    /// profiler, plus a rank-band occupancy sample when the rings are
+    /// ranked. A single branch when no profiler is attached.
     pub fn sample_depths(&self, now_ns: u64) {
         if self.profiler.is_enabled() {
             self.profiler.queue_depths("nic", now_ns, &self.depths());
+            if self.kind().is_ranked() {
+                self.profiler
+                    .queue_rank_bands("nic", now_ns, &self.rank_band_depths());
+            }
         }
+    }
+
+    /// The queue discipline the RX rings use.
+    pub fn kind(&self) -> QueueKind {
+        self.queues[0].kind()
     }
 
     /// Starts recording a `nic-steer` instant (arg = chosen queue) per
@@ -192,10 +213,17 @@ impl<T> Nic<T> {
         q
     }
 
-    /// Enqueues a frame descriptor on `queue`; `false` means the ring was
-    /// full and the frame was dropped on the wire.
+    /// Enqueues a frame descriptor on `queue` at rank 0; `false` means the
+    /// ring was full and the frame was dropped on the wire.
     pub fn enqueue(&mut self, queue: u32, frame: T) -> bool {
-        let ok = self.queues[queue as usize].push(frame);
+        self.enqueue_ranked(queue, frame, 0)
+    }
+
+    /// Enqueues a frame descriptor on `queue` at `rank` (ignored by FIFO
+    /// rings); `false` means the ring was full and the frame was dropped
+    /// on the wire.
+    pub fn enqueue_ranked(&mut self, queue: u32, frame: T, rank: u32) -> bool {
+        let ok = self.queues[queue as usize].push_ranked(frame, rank);
         if let Some(c) = self.telemetry.q_enqueued.get(queue as usize) {
             if ok {
                 c.inc();
@@ -211,6 +239,11 @@ impl<T> Nic<T> {
         self.queues[queue as usize].pop()
     }
 
+    /// Immutable access to one RX ring's buffer (occupancy introspection).
+    pub fn queue(&self, queue: usize) -> Option<&SocketBuf<T>> {
+        self.queues.get(queue)
+    }
+
     /// Ring occupancy per queue.
     pub fn depths(&self) -> Vec<usize> {
         self.queues.iter().map(|q| q.len()).collect()
@@ -219,6 +252,17 @@ impl<T> Nic<T> {
     /// Frames dropped at full rings.
     pub fn ring_drops(&self) -> u64 {
         self.queues.iter().map(|q| q.dropped).sum()
+    }
+
+    /// Occupancy per rank band, summed across the RX rings.
+    pub fn rank_band_depths(&self) -> [usize; syrup_sched::NUM_RANK_BANDS] {
+        let mut bands = [0; syrup_sched::NUM_RANK_BANDS];
+        for q in &self.queues {
+            for (total, d) in bands.iter_mut().zip(q.band_depths()) {
+                *total += d;
+            }
+        }
+        bands
     }
 }
 
@@ -320,6 +364,35 @@ mod tests {
         // One hot queue out of four: mean depth 3, hottest mean 12.
         assert!((nic_p.max_mean_ratio - 4.0).abs() < 1e-9);
         assert!(nic_p.gini > 0.7);
+    }
+
+    #[test]
+    fn ranked_rings_dequeue_by_rank_and_feed_band_pressure() {
+        let profiler = syrup_profile::Profiler::new();
+        let mut nic: Nic<u64> = Nic::new_with(1, 8, QueueKind::Pifo);
+        nic.attach_profiler(&profiler);
+        assert!(nic.kind().is_ranked());
+        assert!(nic.enqueue_ranked(0, 100, 900));
+        assert!(nic.enqueue_ranked(0, 101, 2));
+        assert!(nic.enqueue_ranked(0, 102, 40));
+        nic.sample_depths(1_000);
+        assert_eq!(nic.dequeue(0), Some(101));
+        assert_eq!(nic.dequeue(0), Some(102));
+        assert_eq!(nic.dequeue(0), Some(100));
+        let p = profiler.pressure();
+        let bands = p.rank_bands.iter().find(|b| b.component == "nic").unwrap();
+        // Ranks 2 / 40 / 900 land in bands 0 / 1 / 2.
+        assert_eq!(bands.mean_depths, vec![1.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn fifo_rings_never_sample_rank_bands() {
+        let profiler = syrup_profile::Profiler::new();
+        let mut nic: Nic<u64> = Nic::new(2, 8);
+        nic.attach_profiler(&profiler);
+        nic.enqueue(0, 1);
+        nic.sample_depths(500);
+        assert!(profiler.pressure().rank_bands.is_empty());
     }
 
     #[test]

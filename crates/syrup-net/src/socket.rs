@@ -10,20 +10,26 @@
 //! hash; a deployed Syrup socket-select policy overrides the choice
 //! (§4.2's Socket Select hook), with `PASS` falling back to the hash and
 //! `DROP` discarding the datagram.
+//!
+//! Buffers are FIFO by default and byte-identical to the pre-`syrup-sched`
+//! behaviour. Constructing with a ranked [`QueueKind`] (PIFO or bucket
+//! queue) makes `recvmsg` dequeue in rank order; ranks arrive via
+//! [`ReuseportGroup::deliver_verdict`], which carries the policy's full
+//! [`Verdict`] instead of just its low-word [`Decision`].
 
-use std::collections::VecDeque;
-
-use syrup_core::Decision;
+use syrup_core::{Decision, Verdict};
+use syrup_sched::{ExecQueue, QueueKind, NUM_RANK_BANDS};
 use syrup_telemetry::{CounterHandle, Registry};
 
 /// Default receive-queue capacity in datagrams, approximating Linux's
 /// default `net.core.rmem_default` divided by our datagram size.
 pub const DEFAULT_CAPACITY: usize = 256;
 
-/// One socket's bounded receive FIFO.
+/// One socket's bounded receive queue: FIFO by default, rank-ordered when
+/// built over a ranked [`QueueKind`].
 #[derive(Debug, Clone)]
 pub struct SocketBuf<T> {
-    queue: VecDeque<T>,
+    queue: ExecQueue<T>,
     capacity: usize,
     /// Datagrams dropped because the buffer was full.
     pub dropped: u64,
@@ -32,30 +38,48 @@ pub struct SocketBuf<T> {
 }
 
 impl<T> SocketBuf<T> {
-    /// Creates a buffer holding up to `capacity` items.
+    /// Creates a FIFO buffer holding up to `capacity` items.
     pub fn new(capacity: usize) -> Self {
+        Self::new_with(QueueKind::Fifo, capacity)
+    }
+
+    /// Creates a buffer with an explicit queue discipline.
+    pub fn new_with(kind: QueueKind, capacity: usize) -> Self {
         SocketBuf {
-            queue: VecDeque::new(),
+            queue: ExecQueue::new(kind),
             capacity,
             dropped: 0,
             enqueued: 0,
         }
     }
 
-    /// Enqueues an item; returns `false` (and counts a drop) when full.
+    /// The queue discipline this buffer was built with.
+    pub fn kind(&self) -> QueueKind {
+        self.queue.kind()
+    }
+
+    /// Enqueues an item at rank 0; returns `false` (and counts a drop)
+    /// when full.
     pub fn push(&mut self, item: T) -> bool {
+        self.push_ranked(item, 0)
+    }
+
+    /// Enqueues an item at `rank` (ignored by FIFO buffers); returns
+    /// `false` (and counts a drop) when full.
+    pub fn push_ranked(&mut self, item: T, rank: u32) -> bool {
         if self.queue.len() >= self.capacity {
             self.dropped += 1;
             return false;
         }
         self.enqueued += 1;
-        self.queue.push_back(item);
+        self.queue.push(item, rank);
         true
     }
 
-    /// Dequeues the oldest item (`recvmsg`).
+    /// Dequeues the head item: oldest for FIFO (`recvmsg`), lowest rank
+    /// for ranked disciplines.
     pub fn pop(&mut self) -> Option<T> {
-        self.queue.pop_front()
+        self.queue.pop()
     }
 
     /// Current queue depth.
@@ -70,7 +94,17 @@ impl<T> SocketBuf<T> {
 
     /// Peeks at the head without removing it (late-binding support).
     pub fn peek(&self) -> Option<&T> {
-        self.queue.front()
+        self.queue.peek()
+    }
+
+    /// The head item's rank (0 for FIFO buffers).
+    pub fn peek_rank(&self) -> Option<u32> {
+        self.queue.peek_rank()
+    }
+
+    /// Occupancy per rank band (see [`syrup_sched::rank_band`]).
+    pub fn band_depths(&self) -> [usize; NUM_RANK_BANDS] {
+        self.queue.band_depths()
     }
 }
 
@@ -106,15 +140,29 @@ pub struct ReuseportGroup<T> {
 }
 
 impl<T> ReuseportGroup<T> {
-    /// Creates `n` sockets, each with `capacity` datagram slots.
+    /// Creates `n` FIFO sockets, each with `capacity` datagram slots.
     pub fn new(n: usize, capacity: usize) -> Self {
+        Self::new_with(n, capacity, QueueKind::Fifo)
+    }
+
+    /// Creates `n` sockets with an explicit queue discipline. With a
+    /// ranked kind, [`ReuseportGroup::deliver_verdict`] orders each
+    /// socket's `recv` by the policy's rank.
+    pub fn new_with(n: usize, capacity: usize, kind: QueueKind) -> Self {
         assert!(n > 0, "a reuseport group needs at least one socket");
         ReuseportGroup {
-            sockets: (0..n).map(|_| SocketBuf::new(capacity)).collect(),
+            sockets: (0..n)
+                .map(|_| SocketBuf::new_with(kind, capacity))
+                .collect(),
             telemetry: GroupTelemetry::default(),
             tracer: syrup_trace::Tracer::disabled(),
             profiler: syrup_profile::Profiler::disabled(),
         }
+    }
+
+    /// The queue discipline the group's sockets use.
+    pub fn kind(&self) -> QueueKind {
+        self.sockets[0].kind()
     }
 
     /// Starts feeding per-socket queue-depth samples to the pressure
@@ -124,10 +172,15 @@ impl<T> ReuseportGroup<T> {
     }
 
     /// Records one occupancy sample per socket into the attached
-    /// profiler. A single branch when no profiler is attached.
+    /// profiler, plus a rank-band occupancy sample when the sockets are
+    /// ranked. A single branch when no profiler is attached.
     pub fn sample_depths(&self, now_ns: u64) {
         if self.profiler.is_enabled() {
             self.profiler.queue_depths("sock", now_ns, &self.depths());
+            if self.kind().is_ranked() {
+                self.profiler
+                    .queue_rank_bands("sock", now_ns, &self.rank_band_depths());
+            }
         }
     }
 
@@ -165,8 +218,17 @@ impl<T> ReuseportGroup<T> {
     }
 
     /// Delivers a datagram according to a policy decision (or the hash
-    /// default on [`Decision::Pass`]).
+    /// default on [`Decision::Pass`]), at rank 0.
     pub fn deliver(&mut self, item: T, flow_hash: u32, decision: Decision) -> Delivery {
+        self.deliver_verdict(item, flow_hash, Verdict::unranked(decision))
+    }
+
+    /// Delivers a datagram according to a full policy verdict: the
+    /// decision picks the socket exactly like [`ReuseportGroup::deliver`],
+    /// and the rank picks the position within a ranked socket (FIFO
+    /// sockets ignore it, so this is byte-identical to `deliver` there).
+    pub fn deliver_verdict(&mut self, item: T, flow_hash: u32, verdict: Verdict) -> Delivery {
+        let Verdict { decision, rank } = verdict;
         let index = match decision {
             Decision::Executor(i) => {
                 // An out-of-range executor index falls back to the default
@@ -184,7 +246,7 @@ impl<T> ReuseportGroup<T> {
                 return Delivery::Dropped { buffer_full: false };
             }
         };
-        if self.sockets[index].push(item) {
+        if self.sockets[index].push_ranked(item, rank) {
             self.telemetry.delivered.inc();
             Delivery::Enqueued(index)
         } else {
@@ -205,7 +267,20 @@ impl<T> ReuseportGroup<T> {
         ctx: syrup_trace::TraceCtx,
         now_ns: u64,
     ) -> Delivery {
-        let outcome = self.deliver(item, flow_hash, decision);
+        self.deliver_verdict_traced(item, flow_hash, Verdict::unranked(decision), ctx, now_ns)
+    }
+
+    /// [`ReuseportGroup::deliver_verdict`] for a traced datagram (same
+    /// trace records as [`ReuseportGroup::deliver_traced`]).
+    pub fn deliver_verdict_traced(
+        &mut self,
+        item: T,
+        flow_hash: u32,
+        verdict: Verdict,
+        ctx: syrup_trace::TraceCtx,
+        now_ns: u64,
+    ) -> Delivery {
+        let outcome = self.deliver_verdict(item, flow_hash, verdict);
         match outcome {
             Delivery::Enqueued(socket) => {
                 self.tracer
@@ -238,6 +313,17 @@ impl<T> ReuseportGroup<T> {
     /// Queue depth per socket (for load-imbalance assertions).
     pub fn depths(&self) -> Vec<usize> {
         self.sockets.iter().map(|s| s.len()).collect()
+    }
+
+    /// Occupancy per rank band, summed across the group's sockets.
+    pub fn rank_band_depths(&self) -> [usize; NUM_RANK_BANDS] {
+        let mut bands = [0; NUM_RANK_BANDS];
+        for s in &self.sockets {
+            for (total, d) in bands.iter_mut().zip(s.band_depths()) {
+                *total += d;
+            }
+        }
+        bands
     }
 }
 
@@ -308,6 +394,61 @@ mod tests {
         assert_eq!(snap.counter("sock8080/delivered"), 1);
         assert_eq!(snap.counter("sock8080/policy_drops"), 1);
         assert_eq!(snap.counter("sock8080/buffer_drops"), 1);
+    }
+
+    #[test]
+    fn ranked_sockets_recv_in_rank_order() {
+        let mut group: ReuseportGroup<u32> = ReuseportGroup::new_with(2, 8, QueueKind::Pifo);
+        assert!(group.kind().is_ranked());
+        for (item, rank) in [(10, 30), (11, 5), (12, 5), (13, 1)] {
+            let v = Verdict {
+                decision: Decision::Executor(0),
+                rank,
+            };
+            assert_eq!(group.deliver_verdict(item, 0, v), Delivery::Enqueued(0));
+        }
+        // Lowest rank first; FIFO between the two rank-5 datagrams.
+        assert_eq!(group.recv(0), Some(13));
+        assert_eq!(group.recv(0), Some(11));
+        assert_eq!(group.recv(0), Some(12));
+        assert_eq!(group.recv(0), Some(10));
+    }
+
+    #[test]
+    fn fifo_sockets_ignore_verdict_ranks() {
+        let mut group: ReuseportGroup<u32> = ReuseportGroup::new(1, 8);
+        for (item, rank) in [(1, 99), (2, 0), (3, 42)] {
+            let v = Verdict {
+                decision: Decision::Executor(0),
+                rank,
+            };
+            group.deliver_verdict(item, 0, v);
+        }
+        assert_eq!(group.recv(0), Some(1));
+        assert_eq!(group.recv(0), Some(2));
+        assert_eq!(group.recv(0), Some(3));
+    }
+
+    #[test]
+    fn group_aggregates_rank_bands() {
+        let mut group: ReuseportGroup<u32> = ReuseportGroup::new_with(2, 8, QueueKind::Pifo);
+        group.deliver_verdict(
+            1,
+            0,
+            Verdict {
+                decision: Decision::Executor(0),
+                rank: 3,
+            },
+        );
+        group.deliver_verdict(
+            2,
+            0,
+            Verdict {
+                decision: Decision::Executor(1),
+                rank: 500,
+            },
+        );
+        assert_eq!(group.rank_band_depths(), [1, 0, 1, 0]);
     }
 
     #[test]

@@ -118,6 +118,24 @@ uint32_t schedule(void *pkt_start, void *pkt_end) {
 }
 ";
 
+/// §6's rank extension: spread requests round-robin but tag each with a
+/// rank derived from its service class (carried in the key-hash field of
+/// the benchmark header). A rank-aware executor — a PIFO-backed reuseport
+/// group — then serves the most urgent class first, giving SRPT-style
+/// order without changing the executor choice. On a FIFO executor, or
+/// without [`syrup_core::Syrupd::enable_ranks`], the rank half of the
+/// return is ignored and this behaves exactly like round robin.
+pub const RANKED_SRPT: &str = "\
+uint32_t idx = 0;
+uint32_t schedule(void *pkt_start, void *pkt_end) {
+    if (pkt_end - pkt_start < 28)
+        return PASS;
+    uint64_t hash = *(uint64_t *)(pkt_start + 20);
+    idx++;
+    return (idx % NUM_THREADS, (hash % 4) * 100);
+}
+";
+
 /// One known-good policy with the options it needs to compile.
 #[derive(Debug, Clone)]
 pub struct CorpusEntry {
@@ -171,6 +189,11 @@ pub fn corpus() -> Vec<CorpusEntry> {
             source: RFS,
             opts: CompileOptions::new(),
         },
+        CorpusEntry {
+            name: "ranked_srpt",
+            source: RANKED_SRPT,
+            opts: CompileOptions::new().define("NUM_THREADS", 6),
+        },
     ]
 }
 
@@ -208,6 +231,7 @@ mod tests {
         compiles_and_verifies(TOKEN_BASED, CompileOptions::new().define("NUM_THREADS", 6));
         compiles_and_verifies(MICA_HOME, CompileOptions::new());
         compiles_and_verifies(RFS, CompileOptions::new());
+        compiles_and_verifies(RANKED_SRPT, CompileOptions::new().define("NUM_THREADS", 6));
     }
 
     #[test]

@@ -108,6 +108,32 @@ impl Serialize for QueuePressure {
     }
 }
 
+/// Rank-band occupancy for one ranked component: who is waiting, by
+/// priority. A fat low band (band 0 = most urgent) with a starved tail
+/// band is the signature of priority inversion pressure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankBandPressure {
+    /// Component name.
+    pub component: String,
+    /// Band snapshots recorded.
+    pub samples: u64,
+    /// Mean occupancy per band over the series.
+    pub mean_depths: Vec<f64>,
+    /// Largest instantaneous occupancy seen in any band.
+    pub max_depth: u64,
+}
+
+impl Serialize for RankBandPressure {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("RankBandPressure", 4)?;
+        s.serialize_field("component", &self.component)?;
+        s.serialize_field("samples", &self.samples)?;
+        s.serialize_field("mean_depths", &self.mean_depths)?;
+        s.serialize_field("max_depth", &self.max_depth)?;
+        s.end()
+    }
+}
+
 /// One thread's time-in-state totals.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ThreadPressure {
@@ -183,6 +209,9 @@ impl Serialize for LatencySummary {
 pub struct PressureReport {
     /// Per-component queue imbalance, in component-name order.
     pub components: Vec<QueuePressure>,
+    /// Per-component rank-band occupancy (ranked executors only; empty
+    /// when every executor is FIFO), in component-name order.
+    pub rank_bands: Vec<RankBandPressure>,
     /// Per-thread time-in-state, in tid order.
     pub threads: Vec<ThreadPressure>,
     /// Scheduling-latency summary.
@@ -193,8 +222,9 @@ pub struct PressureReport {
 
 impl Serialize for PressureReport {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        let mut s = serializer.serialize_struct("PressureReport", 4)?;
+        let mut s = serializer.serialize_struct("PressureReport", 5)?;
         s.serialize_field("components", &self.components)?;
+        s.serialize_field("rank_bands", &self.rank_bands)?;
         s.serialize_field("threads", &self.threads)?;
         s.serialize_field("sched_latency", &self.sched_latency)?;
         s.serialize_field("starvation", &self.starvation)?;
@@ -259,6 +289,30 @@ pub(crate) fn build_report(st: &ProfState) -> PressureReport {
         })
         .collect();
 
+    let rank_bands = st
+        .rank_bands
+        .iter()
+        .map(|(component, series)| {
+            let mean_depths: Vec<f64> = series
+                .sum
+                .iter()
+                .map(|&s| {
+                    if series.samples == 0 {
+                        0.0
+                    } else {
+                        s as f64 / series.samples as f64
+                    }
+                })
+                .collect();
+            RankBandPressure {
+                component: component.clone(),
+                samples: series.samples,
+                max_depth: series.max.iter().copied().max().unwrap_or(0),
+                mean_depths,
+            }
+        })
+        .collect();
+
     let threads = st
         .threads
         .iter()
@@ -274,6 +328,7 @@ pub(crate) fn build_report(st: &ProfState) -> PressureReport {
     let (count, sum, max) = st.sched_latency;
     PressureReport {
         components,
+        rank_bands,
         threads,
         sched_latency: LatencySummary {
             samples: count,
@@ -357,6 +412,24 @@ mod tests {
     }
 
     #[test]
+    fn rank_band_occupancy_is_reported() {
+        let p = Profiler::new();
+        p.queue_rank_bands("sock", 0, &[4, 2, 0, 0]);
+        p.queue_rank_bands("sock", 100, &[0, 2, 2, 0]);
+        let report = p.pressure();
+        assert_eq!(report.rank_bands.len(), 1);
+        let bands = &report.rank_bands[0];
+        assert_eq!(bands.component, "sock");
+        assert_eq!(bands.samples, 2);
+        assert_eq!(bands.mean_depths, vec![2.0, 2.0, 1.0, 0.0]);
+        assert_eq!(bands.max_depth, 4);
+        // FIFO-only runs never sample bands: the section stays empty.
+        let fifo_only = Profiler::new();
+        fifo_only.queue_depths("nic", 0, &[1]);
+        assert!(fifo_only.pressure().rank_bands.is_empty());
+    }
+
+    #[test]
     fn pressure_report_serializes_to_json() {
         let p = Profiler::new();
         p.queue_depths("nic", 0, &[3, 1]);
@@ -369,5 +442,6 @@ mod tests {
             Some("nic")
         );
         assert!(value.get("sched_latency").is_some());
+        assert!(value.get("rank_bands").and_then(|v| v.as_array()).is_some());
     }
 }

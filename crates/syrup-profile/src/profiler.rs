@@ -53,6 +53,9 @@ pub(crate) struct ProfState {
     pub(crate) disasm: BTreeMap<String, Vec<String>>,
     /// Per-component queue-depth series.
     pub(crate) queues: BTreeMap<String, QueueSeries>,
+    /// Per-component rank-band occupancy series (ranked executors only;
+    /// one slot per band of `syrup-sched`'s fixed band partition).
+    pub(crate) rank_bands: BTreeMap<String, QueueSeries>,
     /// Per-thread time-in-state accounting.
     pub(crate) threads: BTreeMap<u64, ThreadAgg>,
     /// Scheduling-latency samples: `(count, sum, max)`.
@@ -135,6 +138,23 @@ impl Profiler {
         let mut st = inner.state.lock();
         let series = st.queues.entry(component.to_string()).or_default();
         series.push(now_ns, depths);
+    }
+
+    /// Records one rank-band occupancy snapshot for `component`: how many
+    /// queued items currently sit in each rank band of a ranked executor
+    /// (PIFO / bucket queue). Band semantics come from
+    /// `syrup_sched::rank_band`; FIFO executors never call this.
+    #[inline]
+    pub fn queue_rank_bands(&self, component: &str, now_ns: u64, bands: &[usize]) {
+        let Some(inner) = &self.inner else { return };
+        Self::queue_rank_bands_slow(inner, component, now_ns, bands);
+    }
+
+    #[cold]
+    fn queue_rank_bands_slow(inner: &Inner, component: &str, now_ns: u64, bands: &[usize]) {
+        let mut st = inner.state.lock();
+        let series = st.rank_bands.entry(component.to_string()).or_default();
+        series.push(now_ns, bands);
     }
 
     /// Records a thread's transition into `state` at `now_ns`,

@@ -14,9 +14,18 @@
 //! report on the live daemon state afterwards, standing in for attaching
 //! to a long-running `syrupd`:
 //!
-//! * `prog list [--json]` — deployed policies per hook (app, backend).
-//! * `prog stats [--json]` — per-policy mean instructions/cycles per
-//!   invocation (Table 2 instrumentation).
+//! Most introspection subcommands also take `--ranked`, which warms the
+//! rank-extension variant of the scenario instead: the socket-select
+//! policy is compiled C returning `(executor, rank)` pairs and the
+//! reuseport sockets are PIFO-backed (see `crates/syrup-sched`).
+//!
+//! * `prog list [--json] [--ranked]` — deployed policies per hook (app,
+//!   backend, whether `(executor, rank)` verdicts are honoured).
+//! * `prog stats [--json] [--ranked]` — per-policy mean
+//!   instructions/cycles per invocation (Table 2 instrumentation).
+//! * `queue list [--json] [--ranked]` — per-queue occupancy for the NIC
+//!   rings and reuseport sockets: discipline, depth, enqueue/drop
+//!   counters, and per-rank-band depths.
 //! * `map dump [--json]` — every pinned map with its definition.
 //! * `map get <path> <key>` — one value from a pinned map.
 //! * `metrics [--json]` — the full telemetry snapshot (counters, gauges,
@@ -38,9 +47,10 @@
 //!   against the VM's own `vm/run_cycles` total.
 //! * `profile flame [--requests N] [--out PATH]` — just the folded
 //!   flame-graph lines (stdout or PATH).
-//! * `profile pressure [--requests N] [--json]` — executor pressure:
-//!   per-component queue imbalance (max/mean, Gini), thread time-in-state,
-//!   scheduling latency, starvation events, and SLO burn status.
+//! * `profile pressure [--requests N] [--json] [--ranked]` — executor
+//!   pressure: per-component queue imbalance (max/mean, Gini), per-rank-band
+//!   occupancy (ranked queues only), thread time-in-state, scheduling
+//!   latency, starvation events, and SLO burn status.
 //!
 //! Exit status is nonzero on compile/verify failures, unknown maps, or a
 //! failed validation, so the tool slots into CI pipelines.
@@ -65,6 +75,10 @@ fn main() -> ExitCode {
         Some("prog") => match args.get(1).map(String::as_str) {
             Some("list") => cmd_prog_list(&args[2..]),
             Some("stats") => cmd_prog_stats(&args[2..]),
+            _ => usage(),
+        },
+        Some("queue") => match args.get(1).map(String::as_str) {
+            Some("list") => cmd_queue_list(&args[2..]),
             _ => usage(),
         },
         Some("map") => match args.get(1).map(String::as_str) {
@@ -104,9 +118,11 @@ fn usage() -> ExitCode {
          \x20 hooks\n\
          \x20 demo\n\
          \n\
-         introspection (quickstart scenario):\n\
-         \x20 prog list [--json]\n\
-         \x20 prog stats [--json]\n\
+         introspection (quickstart scenario; --ranked warms the\n\
+         rank-extension variant):\n\
+         \x20 prog list [--json] [--ranked]\n\
+         \x20 prog stats [--json] [--ranked]\n\
+         \x20 queue list [--json] [--ranked]\n\
          \x20 map dump [--json]\n\
          \x20 map get PATH KEY\n\
          \x20 metrics [--json]\n\
@@ -117,7 +133,7 @@ fn usage() -> ExitCode {
          \x20 profile record [--requests N] [--flame-out PATH]\n\
          \x20 profile report [--requests N] [--top N] [--json]\n\
          \x20 profile flame [--requests N] [--out PATH]\n\
-         \x20 profile pressure [--requests N] [--json]"
+         \x20 profile pressure [--requests N] [--json] [--ranked]"
     );
     ExitCode::FAILURE
 }
@@ -283,13 +299,19 @@ fn cmd_demo() -> ExitCode {
 }
 
 /// Runs the quickstart scenario untraced so the introspection commands
-/// have a populated daemon to report on.
-fn warm_quickstart() -> quickstart::Quickstart {
-    quickstart::run_default(&Tracer::disabled())
+/// have a populated daemon to report on. `--ranked` warms the
+/// rank-extension variant instead (PIFO sockets, `(q, rank)` policy).
+fn warm_quickstart(args: &[String]) -> quickstart::Quickstart {
+    let tracer = Tracer::disabled();
+    if has_flag(args, "--ranked") {
+        quickstart::run_ranked(&tracer, quickstart::DEFAULT_REQUESTS)
+    } else {
+        quickstart::run_default(&tracer)
+    }
 }
 
 fn cmd_prog_list(args: &[String]) -> ExitCode {
-    let q = warm_quickstart();
+    let q = warm_quickstart(args);
     let rows = q.syrupd.deployed();
     if has_flag(args, "--json") {
         let mut out = String::from("[");
@@ -298,22 +320,108 @@ fn cmd_prog_list(args: &[String]) -> ExitCode {
                 out.push(',');
             }
             out.push_str(&format!(
-                "{{\"app\":{},\"hook\":\"{}\",\"backend\":\"{}\"}}",
+                "{{\"app\":{},\"hook\":\"{}\",\"backend\":\"{}\",\"ranked\":{}}}",
                 app.0,
                 hook.name(),
-                if *native { "native" } else { "ebpf" }
+                if *native { "native" } else { "ebpf" },
+                q.syrupd.ranks_enabled(*app, *hook)
             ));
         }
         out.push(']');
         println!("{out}");
     } else {
-        println!("{:<6} {:<18} backend", "app", "hook");
+        println!("{:<6} {:<18} {:<8} ranked", "app", "hook", "backend");
         for (app, hook, native) in &rows {
             println!(
-                "{:<6} {:<18} {}",
+                "{:<6} {:<18} {:<8} {}",
                 app.0,
                 hook.name(),
-                if *native { "native" } else { "ebpf" }
+                if *native { "native" } else { "ebpf" },
+                if q.syrupd.ranks_enabled(*app, *hook) {
+                    "yes"
+                } else {
+                    "no"
+                }
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// One row per NIC ring and reuseport socket: queue discipline, live
+/// occupancy, enqueue/drop counters, and per-rank-band depths.
+fn cmd_queue_list(args: &[String]) -> ExitCode {
+    let q = warm_quickstart(args);
+    let json = has_flag(args, "--json");
+    struct Row {
+        component: &'static str,
+        index: usize,
+        kind: &'static str,
+        depth: usize,
+        enqueued: u64,
+        dropped: u64,
+        bands: [usize; syrup::sched::NUM_RANK_BANDS],
+    }
+    let mut rows = Vec::new();
+    for i in 0..q.nic.num_queues() {
+        let Some(buf) = q.nic.queue(i) else { continue };
+        rows.push(Row {
+            component: "nic",
+            index: i,
+            kind: q.nic.kind().as_str(),
+            depth: buf.len(),
+            enqueued: buf.enqueued,
+            dropped: buf.dropped,
+            bands: buf.band_depths(),
+        });
+    }
+    for i in 0..quickstart::THREADS {
+        let Some(buf) = q.group.socket(i) else {
+            continue;
+        };
+        rows.push(Row {
+            component: "sock",
+            index: i,
+            kind: q.group.kind().as_str(),
+            depth: buf.len(),
+            enqueued: buf.enqueued,
+            dropped: buf.dropped,
+            bands: buf.band_depths(),
+        });
+    }
+    if json {
+        let mut out = String::from("[");
+        for (i, r) in rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"component\":\"{}\",\"index\":{},\"kind\":\"{}\",\
+                 \"depth\":{},\"enqueued\":{},\"dropped\":{},\
+                 \"bands\":[{},{},{},{}]}}",
+                r.component,
+                r.index,
+                r.kind,
+                r.depth,
+                r.enqueued,
+                r.dropped,
+                r.bands[0],
+                r.bands[1],
+                r.bands[2],
+                r.bands[3]
+            ));
+        }
+        out.push(']');
+        println!("{out}");
+    } else {
+        println!(
+            "{:<10} {:>5} {:<8} {:>6} {:>9} {:>8}  bands",
+            "component", "index", "kind", "depth", "enqueued", "dropped"
+        );
+        for r in &rows {
+            println!(
+                "{:<10} {:>5} {:<8} {:>6} {:>9} {:>8}  {:?}",
+                r.component, r.index, r.kind, r.depth, r.enqueued, r.dropped, r.bands
             );
         }
     }
@@ -321,7 +429,7 @@ fn cmd_prog_list(args: &[String]) -> ExitCode {
 }
 
 fn cmd_prog_stats(args: &[String]) -> ExitCode {
-    let q = warm_quickstart();
+    let q = warm_quickstart(args);
     let rows = q.syrupd.deployed();
     let json = has_flag(args, "--json");
     let mut out = String::from("[");
@@ -389,7 +497,7 @@ fn map_kind_str(kind: MapKind) -> &'static str {
 }
 
 fn cmd_map_dump(args: &[String]) -> ExitCode {
-    let q = warm_quickstart();
+    let q = warm_quickstart(args);
     let registry = q.syrupd.registry();
     let pins = registry.pins();
     if has_flag(args, "--json") {
@@ -450,7 +558,7 @@ fn cmd_map_get(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let q = warm_quickstart();
+    let q = warm_quickstart(args);
     let Some(map) = q.syrupd.registry().open(path) else {
         eprintln!("no map pinned at `{path}` (try `syrupctl map dump`)");
         return ExitCode::FAILURE;
@@ -472,7 +580,7 @@ fn cmd_map_get(args: &[String]) -> ExitCode {
 }
 
 fn cmd_metrics(args: &[String]) -> ExitCode {
-    let q = warm_quickstart();
+    let q = warm_quickstart(args);
     let snapshot = q.syrupd.telemetry_snapshot();
     if has_flag(args, "--json") {
         println!("{}", snapshot.to_json());
@@ -584,7 +692,12 @@ fn profiled_run(args: &[String]) -> Result<(quickstart::Quickstart, Profiler), S
         None => quickstart::DEFAULT_REQUESTS,
     };
     let profiler = Profiler::new();
-    let q = quickstart::run_profiled(&Tracer::disabled(), &profiler, requests);
+    let q = quickstart::run_scenario(
+        &Tracer::disabled(),
+        &profiler,
+        requests,
+        has_flag(args, "--ranked"),
+    );
     Ok((q, profiler))
 }
 
@@ -745,6 +858,22 @@ fn cmd_profile_pressure(args: &[String]) -> ExitCode {
             "{:<10} {:>6} {:>8} {:>9} {:>9.2} {:>6.3}",
             c.component, c.queues, c.samples, c.max_depth, c.max_mean_ratio, c.gini
         );
+    }
+    if !pressure.rank_bands.is_empty() {
+        println!(
+            "\n{:<10} {:>8} {:>9}  mean depth per rank band",
+            "component", "samples", "max_depth"
+        );
+        for b in &pressure.rank_bands {
+            let means: Vec<String> = b.mean_depths.iter().map(|d| format!("{d:.2}")).collect();
+            println!(
+                "{:<10} {:>8} {:>9}  [{}]",
+                b.component,
+                b.samples,
+                b.max_depth,
+                means.join(", ")
+            );
+        }
     }
     if !pressure.threads.is_empty() {
         println!(

@@ -14,6 +14,8 @@
 //! * [`policies`] — the paper's Figure 5 policies (C and native forms).
 //! * [`net`] — the network-path substrate (packets, Toeplitz RSS, NIC,
 //!   `SO_REUSEPORT` sockets, cost model).
+//! * [`sched`] — rank-based programmable queues: exact PIFO, Eiffel-style
+//!   bucket queues, and the `ExecQueue` discipline used by the executors.
 //! * [`ghost`] — thread scheduling (CFS-like baseline, ghOSt-like agent).
 //! * [`apps`] — application models and the Figure 2/6/7/8/9 experiment
 //!   worlds.
@@ -75,6 +77,9 @@ pub use syrup_policies as policies;
 /// flame graphs, executor pressure, SLO burn monitoring (re-export of
 /// `syrup-profile`).
 pub use syrup_profile as profile;
+/// Rank-based programmable queues: PIFO, Eiffel bucket queues, and the
+/// executor queue discipline (re-export of `syrup-sched`).
+pub use syrup_sched as sched;
 /// The discrete-event engine (re-export of `syrup-sim`).
 pub use syrup_sim as sim;
 /// The storage backend (re-export of `syrup-storage`, paper §6.1).

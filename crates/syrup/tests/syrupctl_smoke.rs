@@ -118,6 +118,67 @@ fn prog_list_json_schema_is_stable() {
 }
 
 #[test]
+fn prog_list_surfaces_rank_capable_hooks() {
+    // Default scenario: every hook reports ranked=false.
+    let v = json_of(&["prog", "list", "--json"]);
+    for row in v.as_array().unwrap() {
+        assert_eq!(row.get("ranked").and_then(|r| r.as_bool()), Some(false));
+    }
+    // The ranked variant opts socket-select in and compiles it to eBPF.
+    let v = json_of(&["prog", "list", "--json", "--ranked"]);
+    let rows = v.as_array().unwrap();
+    assert_eq!(rows.len(), 3);
+    let sock = rows
+        .iter()
+        .find(|r| r.get("hook").and_then(|h| h.as_str()) == Some("socket-select"))
+        .expect("socket-select deployed");
+    assert_eq!(sock.get("ranked").and_then(|r| r.as_bool()), Some(true));
+    assert_eq!(sock.get("backend").and_then(|b| b.as_str()), Some("ebpf"));
+    for r in rows {
+        if r.get("hook").and_then(|h| h.as_str()) != Some("socket-select") {
+            assert_eq!(r.get("ranked").and_then(|b| b.as_bool()), Some(false));
+        }
+    }
+}
+
+#[test]
+fn queue_list_json_schema_is_stable() {
+    let v = json_of(&["queue", "list", "--json"]);
+    let rows = v.as_array().expect("array of queues");
+    // Four NIC rings + four reuseport sockets.
+    assert_eq!(rows.len(), 8);
+    for row in rows {
+        let component = row.get("component").and_then(|c| c.as_str()).unwrap();
+        assert!(component == "nic" || component == "sock", "{component}");
+        assert!(row.get("index").and_then(|i| i.as_u64()).is_some());
+        assert_eq!(row.get("kind").and_then(|k| k.as_str()), Some("fifo"));
+        for field in ["depth", "enqueued", "dropped"] {
+            assert!(row.get(field).and_then(|f| f.as_u64()).is_some(), "{field}");
+        }
+        let bands = row.get("bands").and_then(|b| b.as_array()).unwrap();
+        assert_eq!(bands.len(), 4);
+    }
+    // All 64 requests flowed through the sockets.
+    let sock_enqueued: u64 = rows
+        .iter()
+        .filter(|r| r.get("component").and_then(|c| c.as_str()) == Some("sock"))
+        .filter_map(|r| r.get("enqueued").and_then(|e| e.as_u64()))
+        .sum();
+    assert_eq!(sock_enqueued, 64);
+
+    // The ranked variant swaps the sockets to PIFO, rings stay FIFO.
+    let v = json_of(&["queue", "list", "--json", "--ranked"]);
+    for row in v.as_array().unwrap() {
+        let component = row.get("component").and_then(|c| c.as_str()).unwrap();
+        let want = if component == "sock" { "pifo" } else { "fifo" };
+        assert_eq!(row.get("kind").and_then(|k| k.as_str()), Some(want));
+    }
+    // The table form renders both components.
+    let table = stdout_of(&["queue", "list", "--ranked"]);
+    assert!(table.contains("nic") && table.contains("pifo"), "{table}");
+}
+
+#[test]
 fn prog_stats_json_reports_ebpf_costs_and_null_for_native() {
     let v = json_of(&["prog", "stats", "--json"]);
     let rows = v.as_array().expect("array of stats");
@@ -362,6 +423,41 @@ fn profile_pressure_json_reports_components_and_slo() {
         .and_then(|s| s.get("burns"))
         .and_then(|b| b.as_array())
         .is_some_and(|b| b.is_empty()));
+}
+
+#[test]
+fn profile_pressure_ranked_reports_rank_band_occupancy() {
+    // Unranked: the rank_bands key exists and stays empty.
+    let v = json_of(&["profile", "pressure", "--json"]);
+    assert!(v
+        .get("pressure")
+        .and_then(|p| p.get("rank_bands"))
+        .and_then(|b| b.as_array())
+        .is_some_and(|b| b.is_empty()));
+
+    // Ranked: the PIFO sockets contribute a per-band series.
+    let v = json_of(&["profile", "pressure", "--json", "--ranked"]);
+    let bands = v
+        .get("pressure")
+        .and_then(|p| p.get("rank_bands"))
+        .and_then(|b| b.as_array())
+        .expect("rank_bands array");
+    let sock = bands
+        .iter()
+        .find(|b| b.get("component").and_then(|c| c.as_str()) == Some("sock"))
+        .expect("sock band series");
+    assert!(sock
+        .get("samples")
+        .and_then(|s| s.as_u64())
+        .is_some_and(|s| s > 0));
+    let means = sock
+        .get("mean_depths")
+        .and_then(|m| m.as_array())
+        .expect("mean_depths");
+    assert!(means.iter().any(|d| d.as_f64().is_some_and(|d| d > 0.0)));
+    // The table form renders the band section.
+    let table = stdout_of(&["profile", "pressure", "--ranked"]);
+    assert!(table.contains("mean depth per rank band"), "{table}");
 }
 
 #[test]

@@ -7,6 +7,7 @@ use syrup::ebpf::maps::{MapDef, MapRegistry, UpdateFlag};
 use syrup::ebpf::vm::{PacketCtx, RunEnv, Vm};
 use syrup::ebpf::{verify, Asm, Reg};
 use syrup::net::{FiveTuple, Toeplitz};
+use syrup::sched::{BucketQueue, Pifo};
 use syrup::sim::stats::LatencySummary;
 use syrup::sim::{EventQueue, Time};
 
@@ -171,5 +172,75 @@ proptest! {
             let result = vm.run(slot, &mut ctx, &mut RunEnv::default());
             prop_assert!(result.is_ok(), "verified program trapped: {:?}", result);
         }
+    }
+}
+
+proptest! {
+    /// The exact PIFO agrees with a stable sort-by-rank reference under
+    /// arbitrary interleavings of pushes and pops: non-decreasing rank
+    /// out, FIFO within equal ranks.
+    #[test]
+    fn pifo_matches_stable_sort_reference(
+        ops in prop::collection::vec((0u8..3, 0u32..50), 1..300),
+    ) {
+        let mut pifo: Pifo<usize> = Pifo::unbounded();
+        let mut model: Vec<(u32, usize)> = Vec::new();
+        let mut next = 0usize;
+        for (op, rank) in ops {
+            if op < 2 || model.is_empty() {
+                pifo.push(next, rank);
+                model.push((rank, next));
+                next += 1;
+            } else {
+                let at = model
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(i, (r, _))| (*r, *i))
+                    .map(|(i, _)| i)
+                    .unwrap();
+                let (want_rank, want_item) = model.remove(at);
+                prop_assert_eq!(pifo.pop_entry(), Some((want_item, want_rank)));
+            }
+        }
+        // Drain: item ids increase with push order, so a stable order is
+        // exactly the sort by (rank, id).
+        model.sort_unstable_by_key(|&(r, id)| (r, id));
+        for (want_rank, want_item) in model {
+            prop_assert_eq!(pifo.pop_entry(), Some((want_item, want_rank)));
+        }
+        prop_assert!(pifo.is_empty());
+    }
+
+    /// Eiffel's documented approximation bound against the exact PIFO:
+    /// while every queued rank stays inside the horizon, each bucket-queue
+    /// dequeue is within one bucket width of the true minimum (the rank
+    /// the PIFO pops at the same step).
+    #[test]
+    fn bucket_queue_inversion_stays_below_granularity(
+        ranks in prop::collection::vec(0u32..256, 1..200),
+        granularity in 1u32..16,
+        pops_interleaved in any::<bool>(),
+    ) {
+        // Horizon covers the whole rank domain, so nothing ever clamps.
+        let num_buckets = 256usize.div_ceil(granularity as usize) + 1;
+        let mut bucket: BucketQueue<usize> = BucketQueue::unbounded(num_buckets, granularity);
+        let mut pifo: Pifo<usize> = Pifo::unbounded();
+        let check = |bucket: &mut BucketQueue<usize>, pifo: &mut Pifo<usize>| {
+            let (_, exact_min) = pifo.pop_entry().unwrap();
+            let (_, got) = bucket.pop_entry().unwrap();
+            // Strict form of "rank(a) + g <= rank(b) => a first".
+            got < exact_min + granularity
+        };
+        for (i, &rank) in ranks.iter().enumerate() {
+            bucket.push(i, rank);
+            pifo.push(i, rank);
+            if pops_interleaved && i % 3 == 2 {
+                prop_assert!(check(&mut bucket, &mut pifo));
+            }
+        }
+        while !pifo.is_empty() {
+            prop_assert!(check(&mut bucket, &mut pifo));
+        }
+        prop_assert!(bucket.is_empty());
     }
 }
