@@ -11,7 +11,7 @@ use std::hint::black_box;
 use syrup::core::{CompileOptions, Hook, HookMeta, PolicySource, Syrupd};
 use syrup::ebpf::maps::MapRegistry;
 use syrup::ebpf::verify;
-use syrup::ebpf::vm::{PacketCtx, RunEnv, Vm};
+use syrup::ebpf::vm::{Backend, PacketCtx, RunEnv, Vm};
 use syrup::net::{AppHeader, FiveTuple, Frame, RequestClass, Toeplitz};
 use syrup::policies::c_sources;
 
@@ -64,28 +64,33 @@ fn bench_vm_policies(c: &mut Criterion) {
         ),
     ];
     for (name, source, opts) in cases {
-        let maps = MapRegistry::new();
-        let compiled = syrup::lang::compile(source, &opts, &maps).unwrap();
-        verify(&compiled.program, &maps).unwrap();
-        // Seed maps so the hot path (not the miss path) is measured.
-        for id in compiled.created_maps.values() {
-            if let Some(m) = maps.get(*id) {
-                for k in 0..6u32 {
-                    let _ = m.update_u64(k, 1_000_000);
+        // Each backend gets its own identically-seeded world so the two
+        // series are directly comparable (same hot paths, same map state).
+        for backend in [Backend::Interp, Backend::Fast] {
+            let maps = MapRegistry::new();
+            let compiled = syrup::lang::compile(source, &opts, &maps).unwrap();
+            verify(&compiled.program, &maps).unwrap();
+            // Seed maps so the hot path (not the miss path) is measured.
+            for id in compiled.created_maps.values() {
+                if let Some(m) = maps.get(*id) {
+                    for k in 0..6u32 {
+                        let _ = m.update_u64(k, 1_000_000);
+                    }
                 }
             }
+            let mut vm = Vm::new(maps);
+            vm.set_backend(backend);
+            let slot = vm.load_unverified(compiled.program);
+            let pkt = datagram(RequestClass::Get);
+            let mut env = RunEnv::default();
+            group.bench_function(&format!("{name}_{backend}"), |b| {
+                b.iter(|| {
+                    let mut p = pkt.clone();
+                    let mut ctx = PacketCtx::new(&mut p);
+                    black_box(vm.run(slot, &mut ctx, &mut env).unwrap().ret)
+                })
+            });
         }
-        let mut vm = Vm::new(maps);
-        let slot = vm.load_unverified(compiled.program);
-        let pkt = datagram(RequestClass::Get);
-        let mut env = RunEnv::default();
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let mut p = pkt.clone();
-                let mut ctx = PacketCtx::new(&mut p);
-                black_box(vm.run(slot, &mut ctx, &mut env).unwrap().ret)
-            })
-        });
     }
     group.finish();
 }

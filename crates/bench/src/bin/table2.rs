@@ -22,12 +22,18 @@
 //! entry carries the enforcement constant, the mean total cycles (which
 //! matches the Cycles column), and the full `(prog, pc)`/helper
 //! attribution report.
+//!
+//! `--backend interp|fast` (or the `SYRUP_BACKEND` env var; the flag
+//! wins) selects the execution engine. Modelled cycles are engine-
+//! independent by contract, so CI runs this harness under both backends
+//! and asserts the CSVs (`--out <path>`, default `results/table2.csv`)
+//! are byte-identical.
 
 use syrup::core::CompileOptions;
 use syrup::ebpf::cycles::CycleModel;
 use syrup::ebpf::maps::MapRegistry;
 use syrup::ebpf::verify;
-use syrup::ebpf::vm::{PacketCtx, RunEnv, Vm};
+use syrup::ebpf::vm::{Backend, PacketCtx, RunEnv, Vm};
 use syrup::net::{AppHeader, FiveTuple, Frame, RequestClass};
 use syrup::policies::c_sources;
 use syrup::telemetry::Registry;
@@ -61,6 +67,7 @@ fn datagram(class: RequestClass, user: u32) -> Vec<u8> {
     .to_vec()
 }
 
+#[allow(clippy::too_many_arguments)]
 fn measure(
     name: &'static str,
     source: &str,
@@ -69,6 +76,7 @@ fn measure(
     reps: usize,
     tracer: &syrup::trace::Tracer,
     profiler: &syrup::profile::Profiler,
+    backend: Backend,
 ) -> Row {
     let maps = MapRegistry::new();
     let compiled = syrup::lang::compile(source, &opts, &maps).expect("compile");
@@ -77,6 +85,7 @@ fn measure(
     let loc = compiled.source_loc;
     let static_insns = compiled.program.len();
     let mut vm = Vm::new(maps);
+    vm.set_backend(backend);
     // The VM publishes per-run cycle/instruction histograms; this harness
     // only reads the snapshot at the end — the paper's methodology of
     // instrumenting the runtime rather than the experiment loop.
@@ -132,6 +141,12 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let trace_out = bench::flag_value(&args, "--trace-out");
     let profile_out = bench::flag_value(&args, "--profile-out");
+    let csv_out = bench::flag_value(&args, "--out");
+    let backend = bench::flag_value(&args, "--backend")
+        .or_else(|| std::env::var("SYRUP_BACKEND").ok())
+        .map(|name| name.parse::<Backend>().expect("valid backend name"))
+        .unwrap_or_default();
+    println!("# execution backend: {backend}");
     // With `--trace-out` every ~101st invocation is traced (per policy),
     // so the exported breakdown aggregates vm-exec spans from all four.
     let tracer = match trace_out {
@@ -162,6 +177,7 @@ fn main() {
             reps,
             &tracer,
             &profilers[0],
+            backend,
         ),
         measure(
             "SCAN Avoid",
@@ -180,6 +196,7 @@ fn main() {
             reps,
             &tracer,
             &profilers[1],
+            backend,
         ),
         measure(
             "SITA",
@@ -191,6 +208,7 @@ fn main() {
             reps,
             &tracer,
             &profilers[2],
+            backend,
         ),
         measure(
             "Token-based",
@@ -204,6 +222,7 @@ fn main() {
             reps,
             &tracer,
             &profilers[3],
+            backend,
         ),
     ];
 
@@ -229,7 +248,11 @@ fn main() {
             r.name, r.loc, r.static_insns, r.executed_insns, r.cycles_mean, r.cycles_stdev
         ));
     }
-    let path = bench::results_dir().join("table2.csv");
+    let path = match csv_out {
+        Some(out) if out.contains('/') => std::path::PathBuf::from(out),
+        Some(out) => bench::results_dir().join(out),
+        None => bench::results_dir().join("table2.csv"),
+    };
     if std::fs::write(&path, csv).is_ok() {
         println!("wrote {}", path.display());
     }

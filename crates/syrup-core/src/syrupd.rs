@@ -25,7 +25,7 @@ use parking_lot::Mutex;
 
 use syrup_ebpf::asm::Asm;
 use syrup_ebpf::maps::{MapDef, MapRef, MapRegistry, ProgSlot};
-use syrup_ebpf::vm::{PacketCtx, RunEnv, Vm};
+use syrup_ebpf::vm::{Backend, PacketCtx, RunEnv, Vm};
 use syrup_ebpf::{ret, HelperId, Reg, VerifierError};
 use syrup_lang::LangError;
 use syrup_telemetry::{
@@ -250,6 +250,15 @@ impl Syrupd {
         let registry = MapRegistry::new();
         let mut vm = Vm::new(registry.clone());
         vm.attach_telemetry(&telemetry);
+        // `SYRUP_BACKEND=fast` (or `interp`) selects the execution engine
+        // for every daemon in the process — how the experiment harnesses
+        // and CI flip backends without threading a flag through every
+        // entry point. Unknown values keep the default.
+        if let Ok(name) = std::env::var("SYRUP_BACKEND") {
+            if let Ok(backend) = name.parse::<Backend>() {
+                vm.set_backend(backend);
+            }
+        }
         Syrupd {
             inner: Arc::new(Mutex::new(Inner {
                 vm,
@@ -323,6 +332,18 @@ impl Syrupd {
     pub fn attach_profiler(&self, profiler: &syrup_profile::Profiler) {
         let mut inner = self.inner.lock();
         inner.vm.attach_profiler(profiler);
+    }
+
+    /// Selects the eBPF execution engine for every deployed policy.
+    /// Takes effect on the next invocation; both engines share maps and
+    /// program slots, so switching mid-run is safe.
+    pub fn set_backend(&self, backend: Backend) {
+        self.inner.lock().vm.set_backend(backend);
+    }
+
+    /// The eBPF execution engine policies currently run under.
+    pub fn backend(&self) -> Backend {
+        self.inner.lock().vm.backend()
     }
 
     /// Apps with a deployed policy, as `(app, hook, is_native)` rows —

@@ -32,6 +32,8 @@
 pub mod asm;
 pub mod asm_text;
 pub mod cycles;
+pub mod decode;
+pub(crate) mod fast;
 pub mod helpers;
 pub mod insn;
 pub mod maps;
@@ -40,11 +42,12 @@ pub mod vm;
 
 pub use asm::Asm;
 pub use asm_text::assemble;
+pub use decode::{decode, DecodedProg};
 pub use helpers::HelperId;
 pub use insn::{AluOp, CmpOp, Insn, MemSize, Operand, Reg, Width};
 pub use maps::{MapDef, MapId, MapKind, MapRef, MapRegistry};
 pub use verifier::{verify, verify_with_config, VerifierConfig, VerifierError};
-pub use vm::{PacketCtx, Vm, VmError, VmOutcome};
+pub use vm::{Backend, PacketCtx, Vm, VmError, VmOutcome};
 
 /// A loaded, verified program: instructions plus a human-readable name.
 #[derive(Debug, Clone)]

@@ -23,6 +23,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
@@ -103,6 +104,10 @@ pub enum UpdateFlag {
     Exist,
 }
 
+/// Sorted `(key bytes, value bytes)` snapshot of a whole map, as
+/// returned by [`MapRef::entries`].
+pub type MapEntries = Vec<(Vec<u8>, Vec<u8>)>;
+
 /// Errors from map operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MapError {
@@ -158,9 +163,8 @@ impl std::error::Error for MapError {}
 
 #[derive(Debug)]
 enum Storage {
-    Array {
-        data: Vec<u8>,
-    },
+    /// Marker only: array data lives lock-free in [`MapInner::array`].
+    Array,
     Hash {
         index: HashMap<Vec<u8>, usize>,
         slots: Vec<Option<(Vec<u8>, Vec<u8>)>>, // (key, value)
@@ -169,6 +173,164 @@ enum Storage {
     ProgArray {
         progs: Vec<Option<ProgSlot>>,
     },
+}
+
+/// Array-map value bytes as relaxed atomic words, so program loads,
+/// stores, and fetch-adds never take the storage lock — arrays are the
+/// hot map shape on every per-packet policy path. Each slot is padded to
+/// whole words; sub-word accesses merge via CAS, so concurrent writers
+/// of neighboring bytes in one word cannot tear each other. Accesses
+/// that straddle a word boundary are atomic per word only (the kernel
+/// makes no stronger promise for unaligned map-value atomics either).
+#[derive(Debug)]
+struct ArrayStore {
+    words: Vec<AtomicU64>,
+    words_per_slot: usize,
+}
+
+/// Bit mask covering the low `n` bytes (`n <= 8`).
+fn byte_mask(n: usize) -> u64 {
+    if n >= 8 {
+        u64::MAX
+    } else {
+        (1u64 << (n * 8)) - 1
+    }
+}
+
+impl ArrayStore {
+    fn new(def: &MapDef) -> Self {
+        let words_per_slot = (def.value_size as usize).div_ceil(8);
+        let total = def.max_entries as usize * words_per_slot;
+        let mut words = Vec::with_capacity(total);
+        words.resize_with(total, || AtomicU64::new(0));
+        ArrayStore {
+            words,
+            words_per_slot,
+        }
+    }
+
+    /// Reads `size` (≤ 8) bytes at byte offset `off` within `slot`,
+    /// zero-extended, little-endian. Bounds are the caller's problem.
+    fn read(&self, slot: u32, off: usize, size: usize) -> u64 {
+        let wi = slot as usize * self.words_per_slot + off / 8;
+        let sub = off % 8;
+        let lo = self.words[wi].load(Ordering::Relaxed) >> (sub * 8);
+        let have = 8 - sub;
+        let v = if size > have {
+            lo | (self.words[wi + 1].load(Ordering::Relaxed) << (have * 8))
+        } else {
+            lo
+        };
+        v & byte_mask(size)
+    }
+
+    /// Merges `bits` (pre-shifted) into the word at `wi` under `mask`.
+    fn merge(&self, wi: usize, mask: u64, bits: u64) {
+        let mut cur = self.words[wi].load(Ordering::Relaxed);
+        loop {
+            let next = (cur & !mask) | bits;
+            match self.words[wi].compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Writes the low `size` bytes of `val` at `off` within `slot`.
+    fn write(&self, slot: u32, off: usize, size: usize, val: u64) {
+        let wi = slot as usize * self.words_per_slot + off / 8;
+        let sub = off % 8;
+        if size == 8 && sub == 0 {
+            self.words[wi].store(val, Ordering::Relaxed);
+            return;
+        }
+        let have = 8 - sub;
+        if size <= have {
+            self.merge(
+                wi,
+                byte_mask(size) << (sub * 8),
+                (val & byte_mask(size)) << (sub * 8),
+            );
+        } else {
+            self.merge(
+                wi,
+                byte_mask(have) << (sub * 8),
+                (val & byte_mask(have)) << (sub * 8),
+            );
+            let rest = size - have;
+            self.merge(
+                wi + 1,
+                byte_mask(rest),
+                (val >> (have * 8)) & byte_mask(rest),
+            );
+        }
+    }
+
+    /// Atomically adds to the 4- or 8-byte cell at `off`, returning the
+    /// previous contents. Word-aligned cells use a single atomic op; a
+    /// cell that straddles words falls back to per-word merges.
+    fn fetch_add(&self, slot: u32, off: usize, size: usize, val: u64) -> u64 {
+        let sub = off % 8;
+        if size == 8 && sub == 0 {
+            let wi = slot as usize * self.words_per_slot + off / 8;
+            return self.words[wi].fetch_add(val, Ordering::Relaxed);
+        }
+        if size == 4 && sub <= 4 {
+            let wi = slot as usize * self.words_per_slot + off / 8;
+            let shift = sub * 8;
+            let mask = byte_mask(4) << shift;
+            let mut cur = self.words[wi].load(Ordering::Relaxed);
+            loop {
+                let old = (cur >> shift) & byte_mask(4);
+                let new = (old as u32).wrapping_add(val as u32) as u64;
+                let next = (cur & !mask) | (new << shift);
+                match self.words[wi].compare_exchange_weak(
+                    cur,
+                    next,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => return old,
+                    Err(seen) => cur = seen,
+                }
+            }
+        }
+        let old = self.read(slot, off, size);
+        let new = if size == 4 {
+            (old as u32).wrapping_add(val as u32) as u64
+        } else {
+            old.wrapping_add(val)
+        };
+        self.write(slot, off, size, new);
+        old
+    }
+
+    /// Copies a slot's value bytes out.
+    fn copy_out(&self, slot: u32, value_size: usize) -> Vec<u8> {
+        let base = slot as usize * self.words_per_slot;
+        let mut out = vec![0u8; value_size];
+        for (i, chunk) in out.chunks_mut(8).enumerate() {
+            let w = self.words[base + i].load(Ordering::Relaxed).to_le_bytes();
+            chunk.copy_from_slice(&w[..chunk.len()]);
+        }
+        out
+    }
+
+    /// Replaces a slot's value bytes (padding in the tail word is zeroed;
+    /// it is unobservable).
+    fn copy_in(&self, slot: u32, bytes: &[u8]) {
+        let base = slot as usize * self.words_per_slot;
+        for (i, chunk) in bytes.chunks(8).enumerate() {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.words[base + i].store(u64::from_le_bytes(buf), Ordering::Relaxed);
+        }
+    }
 }
 
 /// A shared handle to one map.
@@ -180,6 +342,8 @@ pub struct MapRef {
 struct MapInner {
     id: MapId,
     def: MapDef,
+    /// `Some` exactly when `def.kind == MapKind::Array`.
+    array: Option<ArrayStore>,
     storage: Mutex<Storage>,
 }
 
@@ -194,10 +358,12 @@ impl fmt::Debug for MapRef {
 
 impl MapRef {
     fn new(id: MapId, def: MapDef) -> Self {
+        let mut array = None;
         let storage = match def.kind {
-            MapKind::Array => Storage::Array {
-                data: vec![0u8; (def.max_entries as usize) * (def.value_size as usize)],
-            },
+            MapKind::Array => {
+                array = Some(ArrayStore::new(&def));
+                Storage::Array
+            }
             MapKind::Hash => Storage::Hash {
                 index: HashMap::new(),
                 slots: Vec::new(),
@@ -211,6 +377,7 @@ impl MapRef {
             inner: Arc::new(MapInner {
                 id,
                 def,
+                array,
                 storage: Mutex::new(storage),
             }),
         }
@@ -239,13 +406,14 @@ impl MapRef {
     /// Copies out the value for `key` (userspace `bpf_map_lookup_elem`).
     pub fn lookup(&self, key: &[u8]) -> Result<Option<Vec<u8>>, MapError> {
         self.check_key(key)?;
+        if let Some(array) = &self.inner.array {
+            let idx = array_index(key, self.inner.def.max_entries)?;
+            let vs = self.inner.def.value_size as usize;
+            return Ok(Some(array.copy_out(idx as u32, vs)));
+        }
         let storage = self.inner.storage.lock();
         match &*storage {
-            Storage::Array { data } => {
-                let idx = array_index(key, self.inner.def.max_entries)?;
-                let vs = self.inner.def.value_size as usize;
-                Ok(Some(data[idx * vs..(idx + 1) * vs].to_vec()))
-            }
+            Storage::Array => unreachable!("array handled above"),
             Storage::Hash { index, slots, .. } => Ok(index
                 .get(key)
                 .and_then(|&slot| slots[slot].as_ref())
@@ -266,6 +434,33 @@ impl MapRef {
         }))
     }
 
+    /// Snapshots every present entry as sorted `(key, value)` pairs, for
+    /// whole-map state comparison (the backend-diff oracle). Array maps
+    /// yield every index under its `u32` little-endian key; prog-arrays
+    /// hold programs, not data.
+    pub fn entries(&self) -> Result<MapEntries, MapError> {
+        if let Some(array) = &self.inner.array {
+            let vs = self.inner.def.value_size as usize;
+            return Ok((0..self.inner.def.max_entries)
+                .map(|i| (i.to_le_bytes().to_vec(), array.copy_out(i, vs)))
+                .collect());
+        }
+        let storage = self.inner.storage.lock();
+        match &*storage {
+            Storage::Array => unreachable!("array handled above"),
+            Storage::Hash { slots, .. } => {
+                let mut out: Vec<_> = slots
+                    .iter()
+                    .flatten()
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect();
+                out.sort();
+                Ok(out)
+            }
+            Storage::ProgArray { .. } => Err(MapError::WrongKind),
+        }
+    }
+
     /// Writes the value for `key` (userspace `bpf_map_update_elem`).
     pub fn update(&self, key: &[u8], value: &[u8], flag: UpdateFlag) -> Result<(), MapError> {
         self.check_key(key)?;
@@ -275,18 +470,18 @@ impl MapRef {
                 got: value.len(),
             });
         }
+        if let Some(array) = &self.inner.array {
+            if flag == UpdateFlag::NoExist {
+                // Array elements always exist.
+                return Err(MapError::FlagConflict);
+            }
+            let idx = array_index(key, self.inner.def.max_entries)?;
+            array.copy_in(idx as u32, value);
+            return Ok(());
+        }
         let mut storage = self.inner.storage.lock();
         match &mut *storage {
-            Storage::Array { data } => {
-                if flag == UpdateFlag::NoExist {
-                    // Array elements always exist.
-                    return Err(MapError::FlagConflict);
-                }
-                let idx = array_index(key, self.inner.def.max_entries)?;
-                let vs = self.inner.def.value_size as usize;
-                data[idx * vs..(idx + 1) * vs].copy_from_slice(value);
-                Ok(())
-            }
+            Storage::Array => unreachable!("array handled above"),
             Storage::Hash { index, slots, free } => {
                 let exists = index.contains_key(key);
                 match flag {
@@ -330,7 +525,7 @@ impl MapRef {
         self.check_key(key)?;
         let mut storage = self.inner.storage.lock();
         match &mut *storage {
-            Storage::Array { .. } => Err(MapError::WrongKind),
+            Storage::Array => Err(MapError::WrongKind),
             Storage::Hash { index, slots, free } => match index.remove(key) {
                 Some(slot) => {
                     slots[slot] = None;
@@ -347,18 +542,38 @@ impl MapRef {
     /// access (the pointer `bpf_map_lookup_elem` returns in kernel code).
     pub fn slot_for_key(&self, key: &[u8]) -> Result<Option<u32>, MapError> {
         self.check_key(key)?;
+        // Array slots are a pure function of the immutable def — no need
+        // to take the storage lock on the hottest lookup path.
+        if self.inner.def.kind == MapKind::Array {
+            return match array_index(key, self.inner.def.max_entries) {
+                Ok(idx) => Ok(Some(idx as u32)),
+                // Out-of-range array lookups return NULL in the kernel.
+                Err(_) => Ok(None),
+            };
+        }
         let storage = self.inner.storage.lock();
         match &*storage {
-            Storage::Array { .. } => {
-                match array_index(key, self.inner.def.max_entries) {
-                    Ok(idx) => Ok(Some(idx as u32)),
-                    // Out-of-range array lookups return NULL in the kernel.
-                    Err(_) => Ok(None),
-                }
-            }
+            Storage::Array => unreachable!("array handled above"),
             Storage::Hash { index, .. } => Ok(index.get(key).map(|&s| s as u32)),
             Storage::ProgArray { .. } => Err(MapError::WrongKind),
         }
+    }
+
+    /// Bounds-checks an array slot access, returning the byte offset and
+    /// size as `usize` (array values are dense, so `off + size` within
+    /// `value_size` is the whole check).
+    #[inline(always)]
+    fn check_array_access(
+        &self,
+        slot: u32,
+        off: u32,
+        size: u32,
+    ) -> Result<(usize, usize), MapError> {
+        let (off, size) = (off as usize, size as usize);
+        if slot >= self.inner.def.max_entries || off + size > self.inner.def.value_size as usize {
+            return Err(MapError::BadSlotAccess);
+        }
+        Ok((off, size))
     }
 
     fn with_value_bytes<R>(
@@ -367,15 +582,8 @@ impl MapRef {
         f: impl FnOnce(&mut [u8]) -> R,
     ) -> Result<R, MapError> {
         let mut storage = self.inner.storage.lock();
-        let vs = self.inner.def.value_size as usize;
         match &mut *storage {
-            Storage::Array { data } => {
-                let idx = slot as usize;
-                if idx >= self.inner.def.max_entries as usize {
-                    return Err(MapError::BadSlotAccess);
-                }
-                Ok(f(&mut data[idx * vs..(idx + 1) * vs]))
-            }
+            Storage::Array => unreachable!("array accesses bypass the lock"),
             Storage::Hash { slots, .. } => match slots.get_mut(slot as usize) {
                 Some(Some((_, v))) => Ok(f(v)),
                 // The slot was deleted after the program obtained the
@@ -389,6 +597,10 @@ impl MapRef {
     /// Reads `size` bytes at `off` within the value at `slot`,
     /// zero-extended to `u64` (little-endian, as on x86).
     pub fn read_value(&self, slot: u32, off: u32, size: u32) -> Result<u64, MapError> {
+        if let Some(array) = &self.inner.array {
+            let (off, size) = self.check_array_access(slot, off, size)?;
+            return Ok(array.read(slot, off, size));
+        }
         self.with_value_bytes(slot, |bytes| {
             let (off, size) = (off as usize, size as usize);
             if off + size > bytes.len() {
@@ -403,6 +615,11 @@ impl MapRef {
     /// Writes the low `size` bytes of `val` at `off` within the value at
     /// `slot`.
     pub fn write_value(&self, slot: u32, off: u32, size: u32, val: u64) -> Result<(), MapError> {
+        if let Some(array) = &self.inner.array {
+            let (off, size) = self.check_array_access(slot, off, size)?;
+            array.write(slot, off, size, val);
+            return Ok(());
+        }
         self.with_value_bytes(slot, |bytes| {
             let (off, size) = (off as usize, size as usize);
             if off + size > bytes.len() {
@@ -425,6 +642,10 @@ impl MapRef {
     ) -> Result<u64, MapError> {
         if size != 4 && size != 8 {
             return Err(MapError::BadSlotAccess);
+        }
+        if let Some(array) = &self.inner.array {
+            let (off, size) = self.check_array_access(slot, off, size)?;
+            return Ok(array.fetch_add(slot, off, size, val));
         }
         self.with_value_bytes(slot, |bytes| {
             let (off, size) = (off as usize, size as usize);
@@ -472,9 +693,7 @@ impl MapRef {
     pub fn len(&self) -> usize {
         let storage = self.inner.storage.lock();
         match &*storage {
-            Storage::Array { .. } | Storage::ProgArray { .. } => {
-                self.inner.def.max_entries as usize
-            }
+            Storage::Array | Storage::ProgArray { .. } => self.inner.def.max_entries as usize,
             Storage::Hash { index, .. } => index.len(),
         }
     }

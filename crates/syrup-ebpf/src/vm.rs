@@ -18,6 +18,7 @@
 use std::fmt;
 
 use crate::cycles::CycleModel;
+use crate::decode::DecodedProg;
 use crate::helpers::HelperId;
 use crate::insn::{AluOp, CmpOp, Insn, MemSize, Operand, Reg, Width};
 use crate::maps::{MapError, MapId, MapKind, MapRegistry, ProgSlot, UpdateFlag};
@@ -136,7 +137,7 @@ impl From<MapError> for VmError {
 
 /// Pointer provenance for a value held in a register.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Region {
+pub(crate) enum Region {
     Stack,
     Packet,
     Ctx,
@@ -145,10 +146,49 @@ enum Region {
 
 /// A runtime value: a 64-bit scalar or a pointer with provenance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Val {
+pub(crate) enum Val {
     Uninit,
     Scalar(u64),
     Ptr { region: Region, off: i64 },
+}
+
+/// Which execution engine [`Vm::run`] dispatches to.
+///
+/// Both engines implement the same observable contract — verdicts, map
+/// state, helper effects, tail-call semantics, trap kinds, and modelled
+/// cycle totals are identical; only wall-clock execution speed differs.
+/// The interpreter is the semantic oracle; the fast engine executes the
+/// pre-decoded stream produced by [`crate::decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// The defensive interpreter over the original instruction stream.
+    #[default]
+    Interp,
+    /// Direct dispatch over the pre-decoded instruction stream.
+    Fast,
+}
+
+impl std::str::FromStr for Backend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "interp" | "interpreter" => Ok(Backend::Interp),
+            "fast" => Ok(Backend::Fast),
+            other => Err(format!(
+                "unknown backend: {other} (expected `interp` or `fast`)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Backend::Interp => write!(f, "interp"),
+            Backend::Fast => write!(f, "fast"),
+        }
+    }
 }
 
 /// The result of a successful program invocation.
@@ -228,17 +268,31 @@ pub struct VmTelemetry {
     cycles: HistogramHandle,
     /// Instructions executed per successful run.
     insns: HistogramHandle,
+    /// Successful invocations executed by the interpreter.
+    runs_interp: CounterHandle,
+    /// Successful invocations executed by the fast engine.
+    runs_fast: CounterHandle,
+    /// Modelled cycles accumulated by interpreter runs.
+    cycles_interp: CounterHandle,
+    /// Modelled cycles accumulated by fast-engine runs.
+    cycles_fast: CounterHandle,
 }
 
 impl VmTelemetry {
     /// Registers the VM's instruments (`vm/runs`, `vm/traps`,
-    /// `vm/run_cycles`, `vm/run_insns`) in `registry`.
+    /// `vm/run_cycles`, `vm/run_insns`, and the per-backend
+    /// `vm/runs_interp`, `vm/runs_fast`, `vm/cycles_interp`,
+    /// `vm/cycles_fast`) in `registry`.
     pub fn attached(registry: &Registry) -> Self {
         VmTelemetry {
             runs: registry.counter("vm/runs"),
             traps: registry.counter("vm/traps"),
             cycles: registry.histogram("vm/run_cycles"),
             insns: registry.histogram("vm/run_insns"),
+            runs_interp: registry.counter("vm/runs_interp"),
+            runs_fast: registry.counter("vm/runs_fast"),
+            cycles_interp: registry.counter("vm/cycles_interp"),
+            cycles_fast: registry.counter("vm/cycles_fast"),
         }
     }
 }
@@ -246,12 +300,16 @@ impl VmTelemetry {
 /// The virtual machine: loaded programs plus the shared map registry.
 #[derive(Debug, Clone)]
 pub struct Vm {
-    maps: MapRegistry,
+    pub(crate) maps: MapRegistry,
     progs: Vec<Program>,
+    /// Pre-decoded twin of `progs`, index-aligned with it; what the fast
+    /// engine executes.
+    pub(crate) decoded: Vec<DecodedProg>,
     model: CycleModel,
+    backend: Backend,
     telemetry: VmTelemetry,
     tracer: syrup_trace::Tracer,
-    profiler: syrup_profile::Profiler,
+    pub(crate) profiler: syrup_profile::Profiler,
 }
 
 impl Vm {
@@ -260,11 +318,23 @@ impl Vm {
         Vm {
             maps,
             progs: Vec::new(),
+            decoded: Vec::new(),
             model: CycleModel::default(),
+            backend: Backend::default(),
             telemetry: VmTelemetry::default(),
             tracer: syrup_trace::Tracer::disabled(),
             profiler: syrup_profile::Profiler::disabled(),
         }
+    }
+
+    /// Selects which execution engine [`Vm::run`] uses.
+    pub fn set_backend(&mut self, backend: Backend) {
+        self.backend = backend;
+    }
+
+    /// The execution engine [`Vm::run`] currently dispatches to.
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// Starts recording per-run statistics into `registry`.
@@ -297,8 +367,15 @@ impl Vm {
     }
 
     /// Replaces the cycle model (used by Table 2 sensitivity runs).
+    /// Re-decodes every loaded program so the fast engine's cost tables
+    /// track the new model.
     pub fn set_cycle_model(&mut self, model: CycleModel) {
         self.model = model;
+        self.decoded = self
+            .progs
+            .iter()
+            .map(|p| crate::decode::decode(p, &self.model, &self.maps))
+            .collect();
     }
 
     /// Verifies and loads a program, returning its slot.
@@ -315,8 +392,15 @@ impl Vm {
                 .register_program(&prog.name, rendered_insns(&prog));
         }
         let slot = ProgSlot(self.progs.len() as u32);
+        self.decoded
+            .push(crate::decode::decode(&prog, &self.model, &self.maps));
         self.progs.push(prog);
         slot
+    }
+
+    /// Returns the pre-decoded form of the program in `slot`, if any.
+    pub fn decoded(&self, slot: ProgSlot) -> Option<&DecodedProg> {
+        self.decoded.get(slot.0 as usize)
     }
 
     /// Returns the loaded program in `slot`, if any.
@@ -331,12 +415,25 @@ impl Vm {
         ctx: &mut PacketCtx<'_>,
         env: &mut RunEnv,
     ) -> Result<VmOutcome, VmError> {
-        let result = self.run_inner(slot, ctx, env);
+        let result = match self.backend {
+            Backend::Interp => self.run_inner(slot, ctx, env),
+            Backend::Fast => crate::fast::run(self, slot, ctx, env),
+        };
         match &result {
             Ok(out) => {
                 self.telemetry.runs.inc();
                 self.telemetry.cycles.record(out.cycles);
                 self.telemetry.insns.record(out.insns);
+                match self.backend {
+                    Backend::Interp => {
+                        self.telemetry.runs_interp.inc();
+                        self.telemetry.cycles_interp.add(out.cycles);
+                    }
+                    Backend::Fast => {
+                        self.telemetry.runs_fast.inc();
+                        self.telemetry.cycles_fast.add(out.cycles);
+                    }
+                }
                 self.tracer.policy_span(
                     env.trace,
                     syrup_trace::Stage::VmExec,
@@ -851,7 +948,7 @@ impl Vm {
     }
 }
 
-enum HelperOutcome {
+pub(crate) enum HelperOutcome {
     Ret(Val),
     Redirect(MapId, u32, u64),
     TailCall(ProgSlot),
@@ -862,7 +959,7 @@ enum HelperOutcome {
 // verified programs; the tag is defense for unverified test programs.
 const MAP_FD_TAG: u64 = 0xB7 << 56;
 
-fn map_fd_token(map: MapId) -> u64 {
+pub(crate) fn map_fd_token(map: MapId) -> u64 {
     MAP_FD_TAG | u64::from(map.0)
 }
 
@@ -871,7 +968,7 @@ fn rendered_insns(prog: &Program) -> Vec<String> {
     prog.insns.iter().map(|insn| insn.to_string()).collect()
 }
 
-fn map_from_token(tok: u64) -> Option<MapId> {
+pub(crate) fn map_from_token(tok: u64) -> Option<MapId> {
     if tok & 0xFF00_0000_0000_0000 == MAP_FD_TAG {
         Some(MapId((tok & 0xFFFF_FFFF) as u32))
     } else {
@@ -879,14 +976,14 @@ fn map_from_token(tok: u64) -> Option<MapId> {
     }
 }
 
-fn read_reg(regs: &[Val; 11], r: Reg) -> Result<Val, VmError> {
+pub(crate) fn read_reg(regs: &[Val; 11], r: Reg) -> Result<Val, VmError> {
     match regs[r.index()] {
         Val::Uninit => Err(VmError::UninitRegister(r)),
         v => Ok(v),
     }
 }
 
-fn scalar(v: Val) -> Result<u64, VmError> {
+pub(crate) fn scalar(v: Val) -> Result<u64, VmError> {
     match v {
         Val::Scalar(s) => Ok(s),
         Val::Ptr { .. } => Err(VmError::TypeMismatch),
@@ -902,7 +999,7 @@ fn jump_target(pc_after: usize, off: i16, len: usize) -> Result<usize, VmError> 
     Ok(target as usize)
 }
 
-fn slice_region<'a>(
+pub(crate) fn slice_region<'a>(
     buf: &'a mut [u8],
     off: i64,
     nbytes: u64,
@@ -918,7 +1015,7 @@ fn slice_region<'a>(
     Ok(&mut buf[off as usize..off as usize + nbytes as usize])
 }
 
-fn slice_region_ref<'a>(
+pub(crate) fn slice_region_ref<'a>(
     buf: &'a [u8],
     off: i64,
     nbytes: u64,
@@ -934,13 +1031,13 @@ fn slice_region_ref<'a>(
     Ok(&buf[off as usize..off as usize + nbytes as usize])
 }
 
-fn read_le(bytes: &[u8]) -> u64 {
+pub(crate) fn read_le(bytes: &[u8]) -> u64 {
     let mut buf = [0u8; 8];
     buf[..bytes.len()].copy_from_slice(bytes);
     u64::from_le_bytes(buf)
 }
 
-fn alu(w: Width, op: AluOp, lhs: Val, rhs: Val) -> Result<Val, VmError> {
+pub(crate) fn alu(w: Width, op: AluOp, lhs: Val, rhs: Val) -> Result<Val, VmError> {
     if op == AluOp::Mov {
         return match (w, rhs) {
             (Width::W64, v) => Ok(v),
@@ -996,7 +1093,7 @@ fn alu(w: Width, op: AluOp, lhs: Val, rhs: Val) -> Result<Val, VmError> {
 }
 
 #[allow(clippy::manual_checked_ops)] // Kernel div/mod-by-zero semantics, stated explicitly.
-fn alu64(op: AluOp, a: u64, b: u64) -> u64 {
+pub(crate) fn alu64(op: AluOp, a: u64, b: u64) -> u64 {
     match op {
         AluOp::Add => a.wrapping_add(b),
         AluOp::Sub => a.wrapping_sub(b),
@@ -1026,7 +1123,7 @@ fn alu64(op: AluOp, a: u64, b: u64) -> u64 {
 }
 
 #[allow(clippy::manual_checked_ops)] // Kernel div/mod-by-zero semantics, stated explicitly.
-fn alu32(op: AluOp, a: u32, b: u32) -> u32 {
+pub(crate) fn alu32(op: AluOp, a: u32, b: u32) -> u32 {
     match op {
         AluOp::Add => a.wrapping_add(b),
         AluOp::Sub => a.wrapping_sub(b),
@@ -1055,7 +1152,7 @@ fn alu32(op: AluOp, a: u32, b: u32) -> u32 {
     }
 }
 
-fn compare(op: CmpOp, w: Width, lhs: Val, rhs: Val) -> Result<bool, VmError> {
+pub(crate) fn compare(op: CmpOp, w: Width, lhs: Val, rhs: Val) -> Result<bool, VmError> {
     // Pointer comparisons: same-region (the packet-bounds idiom), or a
     // null check against the literal 0.
     match (lhs, rhs) {
@@ -1088,7 +1185,7 @@ fn compare(op: CmpOp, w: Width, lhs: Val, rhs: Val) -> Result<bool, VmError> {
     Ok(cmp_u64(op, w, scalar(lhs)?, scalar(rhs)?))
 }
 
-fn cmp_u64(op: CmpOp, w: Width, a: u64, b: u64) -> bool {
+pub(crate) fn cmp_u64(op: CmpOp, w: Width, a: u64, b: u64) -> bool {
     let (a, b) = match w {
         Width::W64 => (a, b),
         Width::W32 => (a & 0xFFFF_FFFF, b & 0xFFFF_FFFF),

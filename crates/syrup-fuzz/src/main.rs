@@ -25,6 +25,7 @@ fn parse_u64(text: &str) -> Result<u64, String> {
 fn main() -> ExitCode {
     let mut iters: u64 = 2000;
     let mut sched_scripts: u64 = 200;
+    let mut backend_diff: u64 = 0;
     let mut seed: u64 = 0xC0FFEE;
     let mut cfg = VerifierConfig::default();
 
@@ -47,6 +48,9 @@ fn main() -> ExitCode {
             "--sched-scripts" => take_value(&mut i)
                 .and_then(|v| parse_u64(&v))
                 .map(|v| sched_scripts = v),
+            "--backend-diff" => take_value(&mut i)
+                .and_then(|v| parse_u64(&v))
+                .map(|v| backend_diff = v),
             "--inject-bounds-bug" => {
                 cfg.assume_packet_in_bounds = true;
                 Ok(())
@@ -54,7 +58,7 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "usage: syrup-fuzz [--iters N] [--seed 0xHEX] [--sched-scripts N] \
-                     [--inject-bounds-bug]"
+                     [--backend-diff N] [--inject-bounds-bug]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -79,6 +83,15 @@ fn main() -> ExitCode {
     if let Some(failure) = sched.failure {
         eprintln!("{failure}");
         return ExitCode::FAILURE;
+    }
+    if backend_diff > 0 {
+        println!("backend-diff: {backend_diff} iterations, seed 0x{seed:X}");
+        let diff = syrup_fuzz::backend_diff::run_backend_diff(backend_diff, seed);
+        println!("{diff}");
+        if let Some(divergence) = diff.divergence {
+            eprintln!("{divergence}");
+            return ExitCode::FAILURE;
+        }
     }
     println!("no oracle violations");
     ExitCode::SUCCESS

@@ -19,10 +19,17 @@
 //! policy is compiled C returning `(executor, rank)` pairs and the
 //! reuseport sockets are PIFO-backed (see `crates/syrup-sched`).
 //!
+//! The global `--backend interp|fast` flag selects the eBPF execution
+//! engine (exported as `SYRUP_BACKEND` before the scenario constructs
+//! its daemon), so any introspection run can be repeated on the fast
+//! backend; see `DESIGN.md` §10.
+//!
 //! * `prog list [--json] [--ranked]` — deployed policies per hook (app,
-//!   backend, whether `(executor, rank)` verdicts are honoured).
-//! * `prog stats [--json] [--ranked]` — per-policy mean
-//!   instructions/cycles per invocation (Table 2 instrumentation).
+//!   backend, the VM engine executing eBPF rows, whether
+//!   `(executor, rank)` verdicts are honoured).
+//! * `prog stats [--json] [--ranked]` — active engine, per-backend VM
+//!   run/cycle totals, and per-policy mean instructions/cycles per
+//!   invocation (Table 2 instrumentation).
 //! * `queue list [--json] [--ranked]` — per-queue occupancy for the NIC
 //!   rings and reuseport sockets: discipline, depth, enqueue/drop
 //!   counters, and per-rank-band depths.
@@ -67,6 +74,17 @@ use syrup::trace::{chrome_trace_json, StageBreakdown, TraceConfig, Tracer};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Global `--backend interp|fast` override: exported as SYRUP_BACKEND
+    // before any subcommand constructs its daemon, so every scenario
+    // (quickstart, trace, profile) picks the requested engine up in
+    // `Syrupd::with_telemetry`. The flag wins over an inherited env var.
+    if let Some(name) = flag_value(&args, "--backend") {
+        if name.parse::<syrup::ebpf::vm::Backend>().is_err() {
+            eprintln!("syrupctl: unknown backend `{name}` (expected `interp` or `fast`)");
+            return ExitCode::FAILURE;
+        }
+        std::env::set_var("SYRUP_BACKEND", name);
+    }
     match args.first().map(String::as_str) {
         Some("compile") => cmd_compile(&args[1..]),
         Some("verify-asm") => cmd_verify_asm(&args[1..]),
@@ -119,7 +137,8 @@ fn usage() -> ExitCode {
          \x20 demo\n\
          \n\
          introspection (quickstart scenario; --ranked warms the\n\
-         rank-extension variant):\n\
+         rank-extension variant; --backend interp|fast selects the\n\
+         eBPF execution engine for any subcommand):\n\
          \x20 prog list [--json] [--ranked]\n\
          \x20 prog stats [--json] [--ranked]\n\
          \x20 queue list [--json] [--ranked]\n\
@@ -313,30 +332,43 @@ fn warm_quickstart(args: &[String]) -> quickstart::Quickstart {
 fn cmd_prog_list(args: &[String]) -> ExitCode {
     let q = warm_quickstart(args);
     let rows = q.syrupd.deployed();
+    // Which VM engine executes eBPF-backed rows; native rows bypass the
+    // VM entirely, so they report no engine.
+    let engine = q.syrupd.backend().to_string();
     if has_flag(args, "--json") {
         let mut out = String::from("[");
         for (i, (app, hook, native)) in rows.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
+            let engine_json = if *native {
+                "null".to_string()
+            } else {
+                format!("\"{engine}\"")
+            };
             out.push_str(&format!(
-                "{{\"app\":{},\"hook\":\"{}\",\"backend\":\"{}\",\"ranked\":{}}}",
+                "{{\"app\":{},\"hook\":\"{}\",\"backend\":\"{}\",\"engine\":{},\"ranked\":{}}}",
                 app.0,
                 hook.name(),
                 if *native { "native" } else { "ebpf" },
+                engine_json,
                 q.syrupd.ranks_enabled(*app, *hook)
             ));
         }
         out.push(']');
         println!("{out}");
     } else {
-        println!("{:<6} {:<18} {:<8} ranked", "app", "hook", "backend");
+        println!(
+            "{:<6} {:<18} {:<8} {:<8} ranked",
+            "app", "hook", "backend", "engine"
+        );
         for (app, hook, native) in &rows {
             println!(
-                "{:<6} {:<18} {:<8} {}",
+                "{:<6} {:<18} {:<8} {:<8} {}",
                 app.0,
                 hook.name(),
                 if *native { "native" } else { "ebpf" },
+                if *native { "-" } else { engine.as_str() },
                 if q.syrupd.ranks_enabled(*app, *hook) {
                     "yes"
                 } else {
@@ -432,49 +464,73 @@ fn cmd_prog_stats(args: &[String]) -> ExitCode {
     let q = warm_quickstart(args);
     let rows = q.syrupd.deployed();
     let json = has_flag(args, "--json");
-    let mut out = String::from("[");
+    let engine = q.syrupd.backend().to_string();
+    // Per-engine invocation and modelled-cycle totals; the VM splits its
+    // run/cycle counters by backend, so a scenario run entirely on one
+    // engine reports zero on the other.
+    let snap = q.syrupd.telemetry_snapshot();
+    let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    let (runs_interp, runs_fast) = (counter("vm/runs_interp"), counter("vm/runs_fast"));
+    let (cycles_interp, cycles_fast) = (counter("vm/cycles_interp"), counter("vm/cycles_fast"));
+    let mut out = format!(
+        "{{\"engine\":\"{engine}\",\"runs_interp\":{runs_interp},\"runs_fast\":{runs_fast},\
+         \"cycles_interp\":{cycles_interp},\"cycles_fast\":{cycles_fast},\"programs\":["
+    );
     if !json {
         println!(
-            "{:<6} {:<18} {:<8} {:>12} {:>12}",
-            "app", "hook", "backend", "insns/invoc", "cycles/invoc"
+            "engine: {engine}  runs: interp={runs_interp} fast={runs_fast}  \
+             cycles: interp={cycles_interp} fast={cycles_fast}"
+        );
+        println!(
+            "{:<6} {:<18} {:<8} {:<8} {:>12} {:>12}",
+            "app", "hook", "backend", "engine", "insns/invoc", "cycles/invoc"
         );
     }
     for (i, (app, hook, native)) in rows.iter().enumerate() {
         let stats = q.syrupd.policy_stats(*app, *hook);
+        let engine_json = if *native {
+            "null".to_string()
+        } else {
+            format!("\"{engine}\"")
+        };
         if json {
             if i > 0 {
                 out.push(',');
             }
             match stats {
                 Some((insns, cycles)) => out.push_str(&format!(
-                    "{{\"app\":{},\"hook\":\"{}\",\"backend\":\"ebpf\",\
+                    "{{\"app\":{},\"hook\":\"{}\",\"backend\":\"ebpf\",\"engine\":{},\
                      \"insns_per_invocation\":{insns:.1},\"cycles_per_invocation\":{cycles:.1}}}",
                     app.0,
-                    hook.name()
+                    hook.name(),
+                    engine_json
                 )),
                 None => out.push_str(&format!(
-                    "{{\"app\":{},\"hook\":\"{}\",\"backend\":\"{}\",\
+                    "{{\"app\":{},\"hook\":\"{}\",\"backend\":\"{}\",\"engine\":{},\
                      \"insns_per_invocation\":null,\"cycles_per_invocation\":null}}",
                     app.0,
                     hook.name(),
-                    if *native { "native" } else { "ebpf" }
+                    if *native { "native" } else { "ebpf" },
+                    engine_json
                 )),
             }
         } else {
             match stats {
                 Some((insns, cycles)) => println!(
-                    "{:<6} {:<18} {:<8} {:>12.1} {:>12.1}",
+                    "{:<6} {:<18} {:<8} {:<8} {:>12.1} {:>12.1}",
                     app.0,
                     hook.name(),
                     "ebpf",
+                    engine,
                     insns,
                     cycles
                 ),
                 None => println!(
-                    "{:<6} {:<18} {:<8} {:>12} {:>12}",
+                    "{:<6} {:<18} {:<8} {:<8} {:>12} {:>12}",
                     app.0,
                     hook.name(),
                     if *native { "native" } else { "ebpf" },
+                    if *native { "-" } else { engine.as_str() },
                     "-",
                     "-"
                 ),
@@ -482,7 +538,7 @@ fn cmd_prog_stats(args: &[String]) -> ExitCode {
         }
     }
     if json {
-        out.push(']');
+        out.push_str("]}");
         println!("{out}");
     }
     ExitCode::SUCCESS

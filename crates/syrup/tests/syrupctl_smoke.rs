@@ -181,7 +181,10 @@ fn queue_list_json_schema_is_stable() {
 #[test]
 fn prog_stats_json_reports_ebpf_costs_and_null_for_native() {
     let v = json_of(&["prog", "stats", "--json"]);
-    let rows = v.as_array().expect("array of stats");
+    let rows = v
+        .get("programs")
+        .and_then(|p| p.as_array())
+        .expect("programs array");
     assert_eq!(rows.len(), 3);
     for row in rows {
         let backend = row.get("backend").and_then(|b| b.as_str()).unwrap();
@@ -195,6 +198,92 @@ fn prog_stats_json_reports_ebpf_costs_and_null_for_native() {
             assert!(cycles.as_f64().is_none(), "native cycles must be null");
         }
     }
+    // The envelope reports the active engine and per-backend totals.
+    assert!(v.get("engine").and_then(|e| e.as_str()).is_some());
+    for field in ["runs_interp", "runs_fast", "cycles_interp", "cycles_fast"] {
+        assert!(v.get(field).and_then(|f| f.as_u64()).is_some(), "{field}");
+    }
+}
+
+/// Like `json_of`, but with `SYRUP_BACKEND` scrubbed from the child
+/// environment so the `--backend` flag (not an inherited variable)
+/// decides which engine the scenario runs on.
+fn json_of_clean_env(args: &[&str]) -> serde::json::Value {
+    let out = Command::new(env!("CARGO_BIN_EXE_syrupctl"))
+        .args(args)
+        .env_remove("SYRUP_BACKEND")
+        .output()
+        .expect("syrupctl spawns");
+    assert!(
+        out.status.success(),
+        "`syrupctl {}` failed: {}",
+        args.join(" "),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).expect("utf8 stdout");
+    serde::json::from_str(&text).unwrap_or_else(|e| {
+        panic!(
+            "`syrupctl {}` emitted bad JSON ({e}): {text}",
+            args.join(" ")
+        )
+    })
+}
+
+#[test]
+fn prog_list_reports_engine_per_row_and_honors_backend_flag() {
+    // Default engine: eBPF rows run on the interpreter; native rows
+    // bypass the VM and report no engine.
+    let v = json_of_clean_env(&["prog", "list", "--json"]);
+    for row in v.as_array().unwrap() {
+        let backend = row.get("backend").and_then(|b| b.as_str()).unwrap();
+        let engine = row.get("engine").expect("engine key present");
+        if backend == "ebpf" {
+            assert_eq!(engine.as_str(), Some("interp"));
+        } else {
+            assert!(
+                matches!(engine, serde::json::Value::Null),
+                "native rows have no engine: {row:?}"
+            );
+        }
+    }
+    // `--backend fast` flips every eBPF row to the fast engine.
+    let v = json_of_clean_env(&["prog", "list", "--json", "--backend", "fast"]);
+    for row in v.as_array().unwrap() {
+        if row.get("backend").and_then(|b| b.as_str()) == Some("ebpf") {
+            assert_eq!(row.get("engine").and_then(|e| e.as_str()), Some("fast"));
+        }
+    }
+}
+
+#[test]
+fn prog_stats_per_backend_counters_follow_the_selected_engine() {
+    let v = json_of_clean_env(&["prog", "stats", "--json"]);
+    assert_eq!(v.get("engine").and_then(|e| e.as_str()), Some("interp"));
+    let runs = |v: &serde::json::Value, k: &str| v.get(k).and_then(|f| f.as_u64()).unwrap();
+    assert!(runs(&v, "runs_interp") > 0, "interp ran the scenario");
+    assert_eq!(runs(&v, "runs_fast"), 0);
+    assert!(runs(&v, "cycles_interp") > 0);
+    assert_eq!(runs(&v, "cycles_fast"), 0);
+
+    let f = json_of_clean_env(&["prog", "stats", "--json", "--backend", "fast"]);
+    assert_eq!(f.get("engine").and_then(|e| e.as_str()), Some("fast"));
+    assert!(runs(&f, "runs_fast") > 0, "fast ran the scenario");
+    assert_eq!(runs(&f, "runs_interp"), 0);
+    assert!(runs(&f, "cycles_fast") > 0);
+    assert_eq!(runs(&f, "cycles_interp"), 0);
+
+    // Both engines model identical per-invocation costs, so the
+    // scenario-wide cycle totals agree exactly across backends.
+    assert_eq!(runs(&v, "cycles_interp"), runs(&f, "cycles_fast"));
+    assert_eq!(runs(&v, "runs_interp"), runs(&f, "runs_fast"));
+}
+
+#[test]
+fn unknown_backend_is_rejected_before_running_anything() {
+    let out = syrupctl(&["prog", "list", "--backend", "warp"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown backend"), "{err}");
 }
 
 #[test]

@@ -1,0 +1,59 @@
+//! The same example smoke coverage as `examples_smoke.rs`, but with the
+//! fast pre-decoded execution backend selected via `SYRUP_BACKEND`. Every
+//! example must run to completion under either engine; this binary is
+//! separate from the interpreter smoke so the env var cannot race between
+//! test binaries (within this binary every test sets the same value, so
+//! concurrent setters are benign).
+
+#[path = "../../examples/quickstart.rs"]
+mod quickstart;
+
+#[path = "../../examples/multi_tenant_qos.rs"]
+mod multi_tenant_qos;
+
+#[path = "../../examples/cross_layer_kv.rs"]
+mod cross_layer_kv;
+
+#[path = "../../examples/custom_policy_ebpf.rs"]
+mod custom_policy_ebpf;
+
+#[path = "../../examples/storage_qos.rs"]
+mod storage_qos;
+
+#[path = "../../examples/stream_scheduling.rs"]
+mod stream_scheduling;
+
+fn with_fast_backend(run: impl FnOnce()) {
+    std::env::set_var("SYRUP_BACKEND", "fast");
+    run();
+}
+
+#[test]
+fn quickstart_runs_fast() {
+    with_fast_backend(quickstart::main);
+}
+
+#[test]
+fn multi_tenant_qos_runs_fast() {
+    with_fast_backend(multi_tenant_qos::main);
+}
+
+#[test]
+fn cross_layer_kv_runs_fast() {
+    with_fast_backend(cross_layer_kv::main);
+}
+
+#[test]
+fn custom_policy_ebpf_runs_fast() {
+    with_fast_backend(custom_policy_ebpf::main);
+}
+
+#[test]
+fn storage_qos_runs_fast() {
+    with_fast_backend(storage_qos::main);
+}
+
+#[test]
+fn stream_scheduling_runs_fast() {
+    with_fast_backend(stream_scheduling::main);
+}
