@@ -161,14 +161,36 @@ fn main() -> std::process::ExitCode {
         "policy", "interp ns", "fast ns", "speedup"
     );
     let mut log_sum = 0.0;
-    for (name, source, opts) in &cases {
+    let mut policies_json = String::from("[");
+    for (i, (name, source, opts)) in cases.iter().enumerate() {
         let (interp, fast) = time_pair(source, opts, reps);
         let speedup = interp / fast;
         log_sum += speedup.ln();
         println!("{name:<14} {interp:>12.1} {fast:>12.1} {speedup:>8.2}x");
+        if i > 0 {
+            policies_json.push(',');
+        }
+        policies_json.push_str(&format!(
+            "{{\"policy\":\"{name}\",\"interp_ns\":{interp:.1},\"fast_ns\":{fast:.1},\
+             \"speedup\":{speedup:.3}}}"
+        ));
     }
+    policies_json.push(']');
     let geomean = (log_sum / cases.len() as f64).exp();
     println!("geomean speedup: {geomean:.2}x (required: {min_speedup:.2}x)");
+
+    // Same trajectory file as table2: the wall-clock half of the story
+    // (per-policy engine timings) lands beside the modelled-cycle half.
+    bench::append_bench_record(
+        "BENCH_table2.json",
+        &format!(
+            "{{\"bench\":\"backend_guard\",\"unix_ts\":{},\"reps\":{reps},\
+             \"min_speedup\":{min_speedup},\"geomean_speedup\":{geomean:.3},\
+             \"debug_build\":{},\"policies\":{policies_json}}}",
+            bench::unix_ts(),
+            cfg!(debug_assertions)
+        ),
+    );
 
     if cfg!(debug_assertions) {
         println!("debug build — reporting only, not gating");

@@ -257,6 +257,30 @@ fn main() {
         println!("wrote {}", path.display());
     }
 
+    // Machine-readable trajectory: every run appends one record to
+    // results/BENCH_table2.json, so per-policy cost drift is visible
+    // across commits without diffing CSVs by hand.
+    let mut rows_json = String::from("[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            rows_json.push(',');
+        }
+        rows_json.push_str(&format!(
+            "{{\"policy\":\"{}\",\"loc\":{},\"static_insns\":{},\"exec_insns\":{:.1},\
+             \"cycles_mean\":{:.1},\"cycles_stdev\":{:.1}}}",
+            r.name, r.loc, r.static_insns, r.executed_insns, r.cycles_mean, r.cycles_stdev
+        ));
+    }
+    rows_json.push(']');
+    bench::append_bench_record(
+        "BENCH_table2.json",
+        &format!(
+            "{{\"bench\":\"table2\",\"unix_ts\":{},\"backend\":\"{backend}\",\
+             \"reps\":{reps},\"rows\":{rows_json}}}",
+            bench::unix_ts()
+        ),
+    );
+
     if let Some(out) = trace_out {
         bench::write_breakdown(&out, &tracer.drain());
     }

@@ -79,6 +79,56 @@ pub fn write_breakdown(path: &str, records: &[syrup::trace::SpanRecord]) {
     }
 }
 
+/// Seconds since the Unix epoch, stamped into bench-trajectory records.
+pub fn unix_ts() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// Appends one machine-readable run record (a JSON object) to a
+/// JSON-array trajectory file, creating `[record]` when the file is
+/// missing. Relative paths land in `results/`. The file stays a valid
+/// JSON array after every append: the helper re-parses the combined
+/// text and panics on corruption rather than letting a malformed
+/// trajectory accumulate, and a file that is not an array is restarted
+/// fresh (with a warning) instead of being destroyed silently.
+pub fn append_bench_record(file: &str, record_json: &str) {
+    let dest = if file.contains('/') {
+        PathBuf::from(file)
+    } else {
+        results_dir().join(file)
+    };
+    let existing = fs::read_to_string(&dest).unwrap_or_default();
+    let trimmed = existing.trim();
+    let combined = match trimmed.strip_suffix(']') {
+        Some(body) if trimmed.starts_with('[') => {
+            if body.trim_end().ends_with('[') {
+                format!("[{record_json}]")
+            } else {
+                format!("{body},{record_json}]")
+            }
+        }
+        _ if trimmed.is_empty() => format!("[{record_json}]"),
+        _ => {
+            eprintln!(
+                "{} is not a JSON array; starting a fresh trajectory",
+                dest.display()
+            );
+            format!("[{record_json}]")
+        }
+    };
+    let n = serde::json::from_str(&combined)
+        .expect("bench trajectory stays valid JSON")
+        .as_array()
+        .map_or(0, Vec::len);
+    match fs::write(&dest, &combined) {
+        Ok(()) => println!("appended run record to {} ({n} records)", dest.display()),
+        Err(e) => eprintln!("could not write {}: {e}", dest.display()),
+    }
+}
+
 /// Prints the sweep as a table and writes `results/<name>.csv`.
 pub fn emit(name: &str, sweep: &Sweep) {
     println!("{}", sweep.to_table());
@@ -127,5 +177,22 @@ mod tests {
     fn results_dir_is_creatable() {
         let dir = results_dir();
         assert!(dir.exists());
+    }
+
+    #[test]
+    fn append_bench_record_grows_a_valid_json_array() {
+        let dir = std::env::temp_dir().join(format!("syrup-bench-append-{}", std::process::id()));
+        let _ = fs::create_dir_all(&dir);
+        let path = dir.join("trajectory.json");
+        let path_str = path.to_str().unwrap();
+        let _ = fs::remove_file(&path);
+        append_bench_record(path_str, "{\"bench\":\"t\",\"run\":1}");
+        append_bench_record(path_str, "{\"bench\":\"t\",\"run\":2}");
+        let text = fs::read_to_string(&path).unwrap();
+        let value = serde::json::from_str(&text).expect("trajectory parses");
+        let records = value.as_array().expect("trajectory is an array");
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1].get("run").and_then(|v| v.as_u64()), Some(2));
+        let _ = fs::remove_file(&path);
     }
 }

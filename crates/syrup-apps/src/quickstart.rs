@@ -89,10 +89,39 @@ pub fn run_scenario(
     requests: usize,
     ranked: bool,
 ) -> Quickstart {
+    run_observed(
+        tracer,
+        profiler,
+        &syrup_blackbox::Recorder::disabled(),
+        requests,
+        ranked,
+        &mut |_, _, _| {},
+    )
+}
+
+/// [`run_scenario`] with a flight recorder wired through every layer and
+/// a per-request observer.
+///
+/// The recorder is attached to `syrupd` (dispatch verdicts and VM
+/// events), the NIC rings, and the reuseport sockets — the latter two
+/// with a depth threshold of 1 so every enqueue/dequeue pair emits a
+/// crossing, giving the postmortem visibility into queue motion even
+/// when nothing drops. `observe` runs after each completed request with
+/// `(completed, now_ns, &syrupd)`; `syrupctl watch` uses it to render
+/// live telemetry deltas between requests.
+pub fn run_observed(
+    tracer: &syrup_trace::Tracer,
+    profiler: &syrup_profile::Profiler,
+    recorder: &syrup_blackbox::Recorder,
+    requests: usize,
+    ranked: bool,
+    observe: &mut dyn FnMut(u64, u64, &Syrupd),
+) -> Quickstart {
     let mut rng = SimRng::new(7);
     let syrupd = Syrupd::new();
     syrupd.attach_tracer(tracer);
     syrupd.attach_profiler(profiler);
+    syrupd.attach_blackbox(recorder);
     let (app, _maps) = syrupd
         .register_app("quickstart", &[PORT])
         .expect("fresh daemon has no port conflicts");
@@ -144,6 +173,7 @@ pub fn run_scenario(
     let mut nic: Nic<usize> = Nic::new(THREADS, 64);
     nic.attach_tracer(tracer);
     nic.attach_profiler(profiler);
+    nic.attach_blackbox(recorder, 1);
     let sock_kind = if ranked {
         QueueKind::Pifo
     } else {
@@ -152,6 +182,7 @@ pub fn run_scenario(
     let mut group: ReuseportGroup<usize> = ReuseportGroup::new_with(THREADS, 64, sock_kind);
     group.attach_tracer(tracer);
     group.attach_profiler(profiler);
+    group.attach_blackbox(recorder, 1);
 
     let flows = flow::client_flows(8, PORT, &mut rng);
     let mut free_at = [0u64; THREADS];
@@ -225,6 +256,7 @@ pub fn run_scenario(
         free_at[socket] = start + service;
         tracer.finish(ctx, start + service);
         completed += 1;
+        observe(completed, start + service, &syrupd);
     }
 
     let records = tracer.peek();
@@ -388,6 +420,63 @@ mod tests {
         let plain = syrup_profile::Profiler::new();
         let _ = run_profiled(&tracer, &plain, DEFAULT_REQUESTS);
         assert!(plain.pressure().rank_bands.is_empty());
+    }
+
+    #[test]
+    fn observed_run_feeds_three_stack_layers_into_the_recorder() {
+        use syrup_blackbox::{EventKind, Layer, Recorder};
+        let tracer = syrup_trace::Tracer::disabled();
+        let rec = Recorder::new();
+        let mut calls = 0u64;
+        let q = run_observed(
+            &tracer,
+            &syrup_profile::Profiler::disabled(),
+            &rec,
+            16,
+            false,
+            &mut |completed, now_ns, _d| {
+                calls += 1;
+                assert_eq!(completed, calls);
+                assert!(now_ns > 0);
+            },
+        );
+        assert_eq!(q.completed, 16);
+        assert_eq!(calls, 16);
+        // Three dispatches per request, every one with the packed
+        // `(rank << 32) | executor` return word.
+        let dispatches = rec.events(Layer::Syrupd);
+        assert_eq!(dispatches.len(), 3 * 16);
+        assert!(dispatches.iter().all(|e| e.kind == EventKind::Dispatch));
+        // Depth threshold 1 turns every enqueue/dequeue into a crossing.
+        assert!(!rec.events(Layer::Nic).is_empty());
+        assert!(!rec.events(Layer::Sock).is_empty());
+    }
+
+    #[test]
+    fn disabled_recorder_leaves_the_run_untouched() {
+        let tracer = syrup_trace::Tracer::disabled();
+        let plain = run(&tracer, 32);
+        let rec = syrup_blackbox::Recorder::disabled();
+        let observed = run_observed(
+            &tracer,
+            &syrup_profile::Profiler::disabled(),
+            &rec,
+            32,
+            false,
+            &mut |_, _, _| {},
+        );
+        assert_eq!(plain.completed, observed.completed);
+        assert_eq!(
+            plain.syrupd.telemetry_snapshot(),
+            observed.syrupd.telemetry_snapshot()
+        );
+        for layer in [
+            syrup_blackbox::Layer::Syrupd,
+            syrup_blackbox::Layer::Nic,
+            syrup_blackbox::Layer::Sock,
+        ] {
+            assert!(rec.events(layer).is_empty());
+        }
     }
 
     #[test]

@@ -61,6 +61,19 @@ impl Hook {
         matches!(self, Hook::XdpOffload)
     }
 
+    /// This hook's position in [`Hook::ALL`] (stack order, NIC first) —
+    /// the compact hook id used in flight-recorder events.
+    pub fn index(self) -> usize {
+        match self {
+            Hook::XdpOffload => 0,
+            Hook::XdpDrv => 1,
+            Hook::XdpSkb => 2,
+            Hook::CpuRedirect => 3,
+            Hook::SocketSelect => 4,
+            Hook::ThreadScheduler => 5,
+        }
+    }
+
     /// Stable short name, used in metric names and decision traces.
     pub fn name(self) -> &'static str {
         match self {
@@ -70,6 +83,18 @@ impl Hook {
             Hook::XdpSkb => "xdp-skb",
             Hook::XdpDrv => "xdp-drv",
             Hook::XdpOffload => "xdp-offload",
+        }
+    }
+}
+
+#[cfg(test)]
+mod hook_tests {
+    use super::*;
+
+    #[test]
+    fn index_matches_position_in_all() {
+        for (i, hook) in Hook::ALL.iter().enumerate() {
+            assert_eq!(hook.index(), i, "{hook}");
         }
     }
 }

@@ -207,6 +207,7 @@ struct Inner {
     rank_optin: HashSet<(AppId, Hook)>,
     next_app: u32,
     tracer: syrup_trace::Tracer,
+    recorder: syrup_blackbox::Recorder,
 }
 
 /// The daemon. Cloning shares the instance (it is "a long-running daemon"
@@ -267,6 +268,7 @@ impl Syrupd {
                 rank_optin: HashSet::new(),
                 next_app: 1,
                 tracer: syrup_trace::Tracer::disabled(),
+                recorder: syrup_blackbox::Recorder::disabled(),
             })),
             registry,
             deploys: telemetry.counter("syrupd/deploys"),
@@ -322,6 +324,17 @@ impl Syrupd {
     /// unless [`Syrupd::attach_tracer`] was called).
     pub fn tracer(&self) -> syrup_trace::Tracer {
         self.inner.lock().tracer.clone()
+    }
+
+    /// Streams flight-recorder events from every layer the daemon owns:
+    /// one dispatch event per policy verdict (carrying the full
+    /// `(rank << 32) | executor` return and the modelled cycle cost), plus
+    /// the VM's trap and tail-call-cap events from whichever execution
+    /// engine is active. Affects every clone of this daemon.
+    pub fn attach_blackbox(&self, recorder: &syrup_blackbox::Recorder) {
+        let mut inner = self.inner.lock();
+        inner.vm.attach_blackbox(recorder);
+        inner.recorder = recorder.clone();
     }
 
     /// Starts attributing every eBPF invocation's cycles into
@@ -587,6 +600,7 @@ impl Syrupd {
             return (None, Verdict::unranked(Decision::Pass));
         };
         let tracer = inner.tracer.clone();
+        let recorder = inner.recorder.clone();
         let hook_stage = syrup_trace::Stage::for_hook(hook.name());
         let is_native = matches!(hs.policies.get(&app), Some(Deployed::Native(..)));
         if is_native {
@@ -596,6 +610,13 @@ impl Syrupd {
             };
             let verdict = policy.schedule_verdict(pkt, meta);
             metrics.record(&self.telemetry, meta, verdict.decision, Executor::Native, 0);
+            recorder.dispatch(
+                meta.now_ns,
+                app.0 as u16,
+                hook.index() as u16,
+                verdict.to_ret(),
+                0,
+            );
             tracer.policy_span(
                 meta.trace,
                 hook_stage,
@@ -671,6 +692,13 @@ impl Syrupd {
             }
         }
         let cycles = outcome.as_ref().map(|o| o.cycles).unwrap_or(0);
+        recorder.dispatch(
+            meta.now_ns,
+            app.0 as u16,
+            hook.index() as u16,
+            verdict.to_ret(),
+            cycles,
+        );
         tracer.policy_span(
             meta.trace,
             hook_stage,
@@ -897,6 +925,73 @@ mod tests {
         let (_, v) = d.schedule_verdict(Hook::SocketSelect, &mut pkt, &meta(9000));
         assert_eq!(v.rank, 10);
         assert_eq!(v.decision, Decision::Executor(1));
+    }
+
+    #[test]
+    fn blackbox_records_dispatch_verdicts_from_both_executors() {
+        use syrup_blackbox::{EventKind, Layer, Recorder};
+        let d = Syrupd::new();
+        let rec = Recorder::new();
+        d.attach_blackbox(&rec);
+
+        // eBPF policy returning executor 2 at rank 77.
+        let (app, _) = d.register_app("ranked", &[8080]).unwrap();
+        let prog = syrup_ebpf::Asm::new()
+            .load_imm64(Reg::R0, ret::with_rank(2, 77) as i64)
+            .exit()
+            .build("ranked")
+            .unwrap();
+        d.deploy(app, Hook::SocketSelect, PolicySource::Bytecode(prog))
+            .unwrap();
+        d.enable_ranks(app, Hook::SocketSelect);
+
+        // Native policy on another port.
+        struct Fixed;
+        impl crate::policy::PacketPolicy for Fixed {
+            fn schedule(&mut self, _pkt: &mut [u8], _m: &HookMeta) -> Decision {
+                Decision::Executor(3)
+            }
+        }
+        let (napp, _) = d.register_app("native", &[9000]).unwrap();
+        d.deploy(
+            napp,
+            Hook::SocketSelect,
+            PolicySource::Native(Box::new(Fixed)),
+        )
+        .unwrap();
+
+        let mut pkt = [0u8; 8];
+        let m = HookMeta {
+            now_ns: 4_000,
+            ..meta(8080)
+        };
+        d.schedule_verdict(Hook::SocketSelect, &mut pkt, &m);
+        d.schedule_verdict(
+            Hook::SocketSelect,
+            &mut pkt,
+            &HookMeta {
+                now_ns: 5_000,
+                ..meta(9000)
+            },
+        );
+        // Unmatched ports never dispatch, so they record nothing.
+        d.schedule(Hook::SocketSelect, &mut pkt, &meta(9999));
+
+        let events = rec.events(Layer::Syrupd);
+        assert_eq!(events.len(), 2);
+        let e = &events[0];
+        assert_eq!(e.kind, EventKind::Dispatch);
+        assert_eq!(e.at_ns, 4_000);
+        assert_eq!(u32::from(e.id), app.0);
+        assert_eq!(e.aux, Hook::SocketSelect.index() as u32);
+        // Full (rank << 32) | executor encoding survives into the event.
+        assert_eq!(e.w0 >> 32, 77);
+        assert_eq!(e.w0 & 0xffff_ffff, 2);
+        assert!(e.w1 > 0, "eBPF dispatches carry their cycle cost");
+        let n = &events[1];
+        assert_eq!(u32::from(n.id), napp.0);
+        assert_eq!(n.w0 & 0xffff_ffff, 3);
+        assert_eq!(n.w1, 0, "native dispatches are free in the cycle model");
     }
 
     #[test]

@@ -127,6 +127,29 @@ impl fmt::Display for VmError {
     }
 }
 
+impl VmError {
+    /// Stable numeric trap class for compact event encodings (the
+    /// flight recorder's `aux` word). Does not carry the variant payload;
+    /// pair with [`std::fmt::Display`] for the rendered detail.
+    pub fn code(&self) -> u32 {
+        match self {
+            VmError::UninitRegister(_) => 1,
+            VmError::BadPointerArith => 2,
+            VmError::OutOfBounds { .. } => 3,
+            VmError::NotAPointer => 4,
+            VmError::ReadOnly => 5,
+            VmError::TypeMismatch => 6,
+            VmError::Map(_) => 7,
+            VmError::BadHelperArg(_) => 8,
+            VmError::Runaway => 9,
+            VmError::PcOutOfRange => 10,
+            VmError::NoExit => 11,
+            VmError::NoSuchProgram => 12,
+            VmError::BadEndianWidth => 13,
+        }
+    }
+}
+
 impl std::error::Error for VmError {}
 
 impl From<MapError> for VmError {
@@ -310,6 +333,7 @@ pub struct Vm {
     telemetry: VmTelemetry,
     tracer: syrup_trace::Tracer,
     pub(crate) profiler: syrup_profile::Profiler,
+    recorder: syrup_blackbox::Recorder,
 }
 
 impl Vm {
@@ -324,6 +348,7 @@ impl Vm {
             telemetry: VmTelemetry::default(),
             tracer: syrup_trace::Tracer::disabled(),
             profiler: syrup_profile::Profiler::disabled(),
+            recorder: syrup_blackbox::Recorder::disabled(),
         }
     }
 
@@ -359,6 +384,15 @@ impl Vm {
             self.profiler
                 .register_program(&prog.name, rendered_insns(prog));
         }
+    }
+
+    /// Streams VM traps and tail-call-cap hits into the flight recorder.
+    /// Covers both engines — [`Vm::run`] records after dispatching to
+    /// whichever backend executed, so interpreter and fast-engine events
+    /// are indistinguishable except for the backend id they carry
+    /// (0 interp, 1 fast).
+    pub fn attach_blackbox(&mut self, recorder: &syrup_blackbox::Recorder) {
+        self.recorder = recorder.clone();
     }
 
     /// The map registry this VM resolves `LoadMapFd` against.
@@ -442,11 +476,21 @@ impl Vm {
                     out.ret as i64,
                     out.cycles,
                 );
+                if out.tail_calls >= MAX_TAIL_CALLS {
+                    self.recorder.vm_tail_cap(
+                        env.now_ns,
+                        self.backend as u16,
+                        out.tail_calls,
+                        out.ret,
+                    );
+                }
             }
-            Err(_) => {
+            Err(e) => {
                 self.telemetry.traps.inc();
                 self.tracer
                     .instant(env.trace, syrup_trace::Stage::VmExec, env.now_ns, 0);
+                self.recorder
+                    .vm_trap(env.now_ns, self.backend as u16, e.code(), &e.to_string());
             }
         }
         result
@@ -1612,6 +1656,84 @@ mod tests {
         let out = vm.run(slot, &mut ctx, &mut RunEnv::default()).unwrap();
         assert_eq!(out.ret, 9);
         assert_eq!(out.tail_calls, MAX_TAIL_CALLS);
+    }
+
+    #[test]
+    fn blackbox_records_traps_and_tail_caps_from_both_backends() {
+        use syrup_blackbox::{EventKind, Layer, Recorder, TriggerCause};
+        for backend in [Backend::Interp, Backend::Fast] {
+            let rec = Recorder::new();
+            rec.arm(TriggerCause::VmTrap, false);
+            let maps = MapRegistry::new();
+            let prog_array = maps.create(MapDef::prog_array(1));
+            let mut vm = Vm::new(maps);
+            vm.set_backend(backend);
+            vm.attach_blackbox(&rec);
+            // Self-tail-calling program: exhausts the cap, then returns 9.
+            let capped = Asm::new()
+                .load_map_fd(Reg::R2, prog_array)
+                .mov64_imm(Reg::R3, 0)
+                .call(HelperId::TailCall)
+                .mov64_imm(Reg::R0, 9)
+                .exit()
+                .build("self")
+                .unwrap();
+            let slot = vm.load_unverified(capped);
+            vm.maps()
+                .get(prog_array)
+                .unwrap()
+                .set_prog(0, Some(slot))
+                .unwrap();
+            let mut data = [0u8; 4];
+            let mut ctx = PacketCtx::new(&mut data);
+            let env = &mut RunEnv {
+                now_ns: 5_000,
+                ..RunEnv::default()
+            };
+            vm.run(slot, &mut ctx, env).unwrap();
+            // Uninit-register trap.
+            let bad = Asm::new()
+                .mov64_reg(Reg::R0, Reg::R5)
+                .exit()
+                .build("bad")
+                .unwrap();
+            let bad_slot = vm.load_unverified(bad);
+            let mut ctx = PacketCtx::new(&mut data);
+            let err = vm.run(bad_slot, &mut ctx, env).unwrap_err();
+            let events = rec.events(Layer::Vm);
+            assert_eq!(events.len(), 2, "{backend:?}");
+            assert_eq!(events[0].kind, EventKind::VmTailCap);
+            assert_eq!(events[0].aux, MAX_TAIL_CALLS);
+            assert_eq!(events[0].w0, 9);
+            assert_eq!(events[1].kind, EventKind::VmTrap);
+            assert_eq!(events[1].aux, err.code());
+            assert_eq!(events[1].at_ns, 5_000);
+            // Both events carry the backend that executed.
+            for e in &events {
+                assert_eq!(e.id, backend as u16, "{backend:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn vm_trap_trigger_freezes_the_recorder() {
+        use syrup_blackbox::{Recorder, TriggerCause};
+        let rec = Recorder::new();
+        let mut vm = vm();
+        vm.attach_blackbox(&rec);
+        let bad = Asm::new()
+            .mov64_reg(Reg::R0, Reg::R5)
+            .exit()
+            .build("bad")
+            .unwrap();
+        let slot = vm.load_unverified(bad);
+        let mut data = [0u8; 4];
+        let mut ctx = PacketCtx::new(&mut data);
+        vm.run(slot, &mut ctx, &mut RunEnv::default()).unwrap_err();
+        assert!(rec.frozen());
+        let trig = rec.trigger().unwrap();
+        assert_eq!(trig.cause, TriggerCause::VmTrap);
+        assert!(trig.detail.contains("uninitialized"));
     }
 
     #[test]

@@ -100,6 +100,7 @@ pub struct GhostSched {
     telemetry: GhostTelemetry,
     tracer: syrup_trace::Tracer,
     profiler: syrup_profile::Profiler,
+    recorder: syrup_blackbox::Recorder,
     /// Trace context of the request each thread is serving, set by the
     /// application via [`GhostSched::set_thread_trace`].
     thread_trace: BTreeMap<u32, syrup_trace::TraceCtx>,
@@ -129,6 +130,7 @@ impl GhostSched {
             telemetry: GhostTelemetry::default(),
             tracer: syrup_trace::Tracer::disabled(),
             profiler: syrup_profile::Profiler::disabled(),
+            recorder: syrup_blackbox::Recorder::disabled(),
             thread_trace: BTreeMap::new(),
         }
     }
@@ -140,6 +142,14 @@ impl GhostSched {
     /// threshold before being served.
     pub fn attach_profiler(&mut self, profiler: &syrup_profile::Profiler) {
         self.profiler = profiler.clone();
+    }
+
+    /// Streams thread state changes into the flight recorder
+    /// ([`syrup_blackbox::Layer::Ghost`]; state 0 runnable, 1 running,
+    /// 2 blocked), mirroring the transitions the pressure profiler
+    /// aggregates.
+    pub fn attach_blackbox(&mut self, recorder: &syrup_blackbox::Recorder) {
+        self.recorder = recorder.clone();
     }
 
     /// Starts recording the agent pipeline onto request timelines:
@@ -252,12 +262,16 @@ impl GhostSched {
                 syrup_profile::ThreadState::Running,
                 a.start_at.as_nanos(),
             );
+            self.recorder
+                .thread_state(a.start_at.as_nanos(), u64::from(a.thread.0), 1);
             if let Some(victim) = a.preempted {
                 self.profiler.thread_state(
                     u64::from(victim.0),
                     syrup_profile::ThreadState::Runnable,
                     a.start_at.as_nanos(),
                 );
+                self.recorder
+                    .thread_state(a.start_at.as_nanos(), u64::from(victim.0), 0);
             }
         }
         if self.rank_map.is_some() && self.profiler.is_enabled() {
@@ -437,6 +451,8 @@ impl ThreadScheduler for GhostSched {
             syrup_profile::ThreadState::Runnable,
             now.as_nanos(),
         );
+        self.recorder
+            .thread_state(now.as_nanos(), u64::from(t.0), 0);
         self.profiler
             .sched_latency(decision_at.since(now).as_nanos());
         self.runnable.push(t);
@@ -450,6 +466,8 @@ impl ThreadScheduler for GhostSched {
             syrup_profile::ThreadState::Blocked,
             now.as_nanos(),
         );
+        self.recorder
+            .thread_state(now.as_nanos(), u64::from(t.0), 2);
         if self.running.get(&core) == Some(&t) {
             self.running.remove(&core);
         }
@@ -624,6 +642,32 @@ mod tests {
         // One scheduling-latency sample per wakeup message.
         assert_eq!(p.sched_latency.samples, 2);
         assert!(p.sched_latency.mean_ns >= 1_600.0);
+    }
+
+    #[test]
+    fn blackbox_records_thread_state_changes() {
+        use syrup_blackbox::{EventKind, Layer, Recorder};
+        let rec = Recorder::new();
+        let (mut s, map) = setup(2); // one app core + agent
+        s.attach_blackbox(&rec);
+        map.update_u64(1, class::SCAN).unwrap();
+        map.update_u64(2, class::GET).unwrap();
+
+        // SCAN occupies the core; the GET preempts it; the GET finishes.
+        s.thread_ready(ThreadId(1), Time::ZERO);
+        s.thread_ready(ThreadId(2), Time::from_micros(100));
+        s.thread_stopped(ThreadId(2), CoreId(0), Time::from_micros(200));
+
+        let events = rec.events(Layer::Ghost);
+        assert!(events.iter().all(|e| e.kind == EventKind::ThreadState));
+        // Thread 1: runnable, running, runnable (preempted by the GET),
+        // running again once the GET stops and the core frees.
+        let t1: Vec<u32> = events.iter().filter(|e| e.w0 == 1).map(|e| e.aux).collect();
+        assert_eq!(t1, vec![0, 1, 0, 1]);
+        // Thread 2: runnable, running (preempting), blocked.
+        let t2: Vec<u32> = events.iter().filter(|e| e.w0 == 2).map(|e| e.aux).collect();
+        assert_eq!(t2, vec![0, 1, 2]);
+        assert!(events.iter().any(|e| e.at_ns >= 200_000));
     }
 
     fn setup_ranked(n_cores: u32) -> (GhostSched, MapRef) {

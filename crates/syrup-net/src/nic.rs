@@ -115,6 +115,20 @@ impl<T> Nic<T> {
         self.tracer = tracer.clone();
     }
 
+    /// Streams per-ring wire drops and depth-threshold crossings into the
+    /// flight recorder on [`syrup_blackbox::Layer::Nic`], one queue id per
+    /// RX queue (`depth_threshold` 0 disables depth events).
+    pub fn attach_blackbox(&mut self, recorder: &syrup_blackbox::Recorder, depth_threshold: usize) {
+        for (i, q) in self.queues.iter_mut().enumerate() {
+            q.attach_blackbox(
+                recorder,
+                syrup_blackbox::Layer::Nic,
+                i as u16,
+                depth_threshold,
+            );
+        }
+    }
+
     /// Publishes per-queue enqueue/drop and steering-mode counters under
     /// `nic/` in `registry` (`nic/q<i>/enqueued`, `nic/q<i>/ring_drops`,
     /// `nic/steer_{rss,flow_rule,offload}`).
@@ -393,6 +407,22 @@ mod tests {
         nic.enqueue(0, 1);
         nic.sample_depths(500);
         assert!(profiler.pressure().rank_bands.is_empty());
+    }
+
+    #[test]
+    fn blackbox_records_wire_drops_per_ring() {
+        use syrup_blackbox::{EventKind, Layer, Recorder};
+        let rec = Recorder::new();
+        let mut nic: Nic<u64> = Nic::new(2, 1);
+        nic.attach_blackbox(&rec, 1);
+        assert!(nic.enqueue(1, 10)); // depth 1 == threshold: rising edge
+        assert!(!nic.enqueue(1, 11)); // ring full: wire drop
+        let events = rec.events(Layer::Nic);
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, EventKind::DepthUp);
+        assert_eq!(events[1].kind, EventKind::EnqueueDrop);
+        assert_eq!(events[1].id, 1, "queue id names the RX ring");
+        assert!(rec.events(Layer::Sock).is_empty());
     }
 
     #[test]

@@ -35,6 +35,11 @@ pub struct SocketBuf<T> {
     pub dropped: u64,
     /// Datagrams ever enqueued.
     pub enqueued: u64,
+    recorder: syrup_blackbox::Recorder,
+    bb_layer: syrup_blackbox::Layer,
+    bb_queue: u16,
+    /// Depth at which crossing events fire (0 = no depth events).
+    depth_threshold: usize,
 }
 
 impl<T> SocketBuf<T> {
@@ -50,12 +55,35 @@ impl<T> SocketBuf<T> {
             capacity,
             dropped: 0,
             enqueued: 0,
+            recorder: syrup_blackbox::Recorder::disabled(),
+            bb_layer: syrup_blackbox::Layer::Sock,
+            bb_queue: 0,
+            depth_threshold: 0,
         }
     }
 
     /// The queue discipline this buffer was built with.
     pub fn kind(&self) -> QueueKind {
         self.queue.kind()
+    }
+
+    /// Streams this buffer's full-queue drops and depth-threshold
+    /// crossings into the flight recorder. `layer` says which stack layer
+    /// the buffer plays ([`syrup_blackbox::Layer::Nic`] for RX rings,
+    /// [`syrup_blackbox::Layer::Sock`] for sockets), `queue` identifies it
+    /// within the layer, and a depth of `depth_threshold` (0 disables
+    /// depth events) fires rising/falling crossing events.
+    pub fn attach_blackbox(
+        &mut self,
+        recorder: &syrup_blackbox::Recorder,
+        layer: syrup_blackbox::Layer,
+        queue: u16,
+        depth_threshold: usize,
+    ) {
+        self.recorder = recorder.clone();
+        self.bb_layer = layer;
+        self.bb_queue = queue;
+        self.depth_threshold = depth_threshold;
     }
 
     /// Enqueues an item at rank 0; returns `false` (and counts a drop)
@@ -69,17 +97,44 @@ impl<T> SocketBuf<T> {
     pub fn push_ranked(&mut self, item: T, rank: u32) -> bool {
         if self.queue.len() >= self.capacity {
             self.dropped += 1;
+            self.recorder
+                .enqueue_drop(self.bb_layer, self.bb_queue, rank, self.queue.len() as u64);
             return false;
         }
         self.enqueued += 1;
         self.queue.push(item, rank);
+        if self.recorder.is_enabled() {
+            let depth = self.queue.len();
+            if self.depth_threshold > 0 && depth == self.depth_threshold {
+                self.recorder.depth_cross(
+                    self.bb_layer,
+                    self.bb_queue,
+                    true,
+                    depth as u64,
+                    self.depth_threshold as u64,
+                );
+            }
+        }
         true
     }
 
     /// Dequeues the head item: oldest for FIFO (`recvmsg`), lowest rank
     /// for ranked disciplines.
     pub fn pop(&mut self) -> Option<T> {
-        self.queue.pop()
+        let item = self.queue.pop();
+        if item.is_some() && self.recorder.is_enabled() {
+            let depth = self.queue.len();
+            if self.depth_threshold > 0 && depth + 1 == self.depth_threshold {
+                self.recorder.depth_cross(
+                    self.bb_layer,
+                    self.bb_queue,
+                    false,
+                    depth as u64,
+                    self.depth_threshold as u64,
+                );
+            }
+        }
+        item
     }
 
     /// Current queue depth.
@@ -188,6 +243,21 @@ impl<T> ReuseportGroup<T> {
     /// (policy `DROP` or full buffer) via [`ReuseportGroup::deliver_traced`].
     pub fn attach_tracer(&mut self, tracer: &syrup_trace::Tracer) {
         self.tracer = tracer.clone();
+    }
+
+    /// Streams per-socket full-buffer drops and depth-threshold crossings
+    /// into the flight recorder on [`syrup_blackbox::Layer::Sock`], one
+    /// queue id per socket index (`depth_threshold` 0 disables depth
+    /// events).
+    pub fn attach_blackbox(&mut self, recorder: &syrup_blackbox::Recorder, depth_threshold: usize) {
+        for (i, s) in self.sockets.iter_mut().enumerate() {
+            s.attach_blackbox(
+                recorder,
+                syrup_blackbox::Layer::Sock,
+                i as u16,
+                depth_threshold,
+            );
+        }
     }
 
     /// Publishes delivery counters under `<prefix>/` in `registry`
@@ -449,6 +519,34 @@ mod tests {
             },
         );
         assert_eq!(group.rank_band_depths(), [1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn blackbox_records_drops_and_depth_crossings() {
+        use syrup_blackbox::{EventKind, Layer, Recorder};
+        let rec = Recorder::new();
+        rec.set_now(70);
+        let mut group: ReuseportGroup<u32> = ReuseportGroup::new(2, 2);
+        group.attach_blackbox(&rec, 2);
+        // Socket 1 fills: depth 2 crosses the threshold, the third
+        // datagram drops on the full buffer.
+        for item in [1, 2, 3] {
+            group.deliver(item, 1, Decision::Pass);
+        }
+        let events = rec.events(Layer::Sock);
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, EventKind::DepthUp);
+        assert_eq!((events[0].id, events[0].w0, events[0].w1), (1, 2, 2));
+        assert_eq!(events[1].kind, EventKind::EnqueueDrop);
+        assert_eq!((events[1].id, events[1].w0), (1, 2));
+        assert_eq!(events[1].at_ns, 70, "queue events take the recorder clock");
+        // Draining back under the threshold fires the falling edge once.
+        group.recv(1);
+        group.recv(1);
+        let events = rec.events(Layer::Sock);
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[2].kind, EventKind::DepthDown);
+        assert_eq!((events[2].id, events[2].w0, events[2].w1), (1, 1, 2));
     }
 
     #[test]

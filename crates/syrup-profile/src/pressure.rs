@@ -412,6 +412,29 @@ mod tests {
     }
 
     #[test]
+    fn starvation_flags_mirror_into_the_flight_recorder() {
+        use crate::ThreadState::{Runnable, Running};
+        use syrup_blackbox::{EventKind, Layer, Recorder, TriggerCause};
+        let p = Profiler::new();
+        p.set_starvation_threshold(1_000);
+        let rec = Recorder::new();
+        p.attach_blackbox(&rec);
+        // Fast dispatch: no flag, recorder untouched.
+        p.thread_state(1, Runnable, 0);
+        p.thread_state(1, Running, 500);
+        assert!(rec.events(Layer::Ghost).is_empty());
+        // Starved dispatch: event recorded, starvation trigger fires.
+        p.thread_state(2, Runnable, 0);
+        p.thread_state(2, Running, 5_000);
+        let events = rec.events(Layer::Ghost);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, EventKind::Starvation);
+        assert_eq!(events[0].w0, 2);
+        assert_eq!(events[0].w1, 5_000);
+        assert_eq!(rec.trigger().unwrap().cause, TriggerCause::Starvation);
+    }
+
+    #[test]
     fn rank_band_occupancy_is_reported() {
         let p = Profiler::new();
         p.queue_rank_bands("sock", 0, &[4, 2, 0, 0]);

@@ -64,6 +64,8 @@ pub(crate) struct ProfState {
     pub(crate) starvation: Vec<crate::StarvationEvent>,
     /// Runnable-interval length that counts as starvation.
     pub(crate) starvation_threshold_ns: u64,
+    /// Flight recorder mirror for starvation flags (disabled by default).
+    pub(crate) recorder: syrup_blackbox::Recorder,
 }
 
 #[derive(Debug)]
@@ -181,6 +183,7 @@ impl Profiler {
                 runnable_ns,
                 at_ns: now_ns,
             });
+            st.recorder.starvation(now_ns, tid, runnable_ns);
         }
     }
 
@@ -204,6 +207,14 @@ impl Profiler {
     pub fn set_starvation_threshold(&self, ns: u64) {
         if let Some(inner) = &self.inner {
             inner.state.lock().starvation_threshold_ns = ns;
+        }
+    }
+
+    /// Mirrors starvation flags into the flight recorder, arming its
+    /// [`syrup_blackbox::TriggerCause::Starvation`] trigger path.
+    pub fn attach_blackbox(&self, recorder: &syrup_blackbox::Recorder) {
+        if let Some(inner) = &self.inner {
+            inner.state.lock().recorder = recorder.clone();
         }
     }
 

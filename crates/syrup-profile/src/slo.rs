@@ -4,7 +4,8 @@
 use std::collections::VecDeque;
 
 use serde::{Serialize, SerializeStruct, Serializer};
-use syrup_telemetry::Snapshot;
+use syrup_blackbox::Recorder;
+use syrup_telemetry::{CounterHandle, GaugeHandle, Registry, Snapshot};
 
 /// A threshold rule over one histogram's quantile.
 #[derive(Debug, Clone, PartialEq)]
@@ -117,6 +118,9 @@ impl Serialize for SloStatus {
 #[derive(Debug, Default)]
 pub struct SloMonitor {
     rules: Vec<RuleState>,
+    burns_total: CounterHandle,
+    rules_burning: GaugeHandle,
+    recorder: Recorder,
 }
 
 impl SloMonitor {
@@ -140,13 +144,27 @@ impl SloMonitor {
         });
     }
 
+    /// Exports burn accounting into `registry`: `slo/burns_total`
+    /// (burn events emitted) and `slo/rules_burning` (rules currently
+    /// over threshold).
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.burns_total = registry.counter("slo/burns_total");
+        self.rules_burning = registry.gauge("slo/rules_burning");
+    }
+
+    /// Streams burn events into the flight recorder (rule index =
+    /// position in rule-registration order).
+    pub fn attach_blackbox(&mut self, recorder: &Recorder) {
+        self.recorder = recorder.clone();
+    }
+
     /// Observes `snapshot` at `now_ns`: evaluates every rule's quantile,
     /// advances its sliding window, and returns the burn events this
     /// observation produced. Metrics missing from the snapshot (or with
     /// no samples yet) are skipped without resetting their windows.
     pub fn observe(&mut self, now_ns: u64, snapshot: &Snapshot) -> Vec<BurnEvent> {
         let mut burns = Vec::new();
-        for rs in &mut self.rules {
+        for (idx, rs) in self.rules.iter_mut().enumerate() {
             let Some(hist) = snapshot.histogram(&rs.rule.metric) else {
                 continue;
             };
@@ -160,6 +178,18 @@ impl SloMonitor {
             }
             if value > rs.rule.threshold {
                 rs.consecutive += 1;
+                if self.recorder.is_enabled() {
+                    self.recorder.slo_burn(
+                        now_ns,
+                        idx as u16,
+                        value,
+                        rs.rule.threshold,
+                        &format!(
+                            "{} q{} = {value} > {}",
+                            rs.rule.metric, rs.rule.quantile, rs.rule.threshold
+                        ),
+                    );
+                }
                 burns.push(BurnEvent {
                     metric: rs.rule.metric.clone(),
                     quantile: rs.rule.quantile,
@@ -173,6 +203,9 @@ impl SloMonitor {
                 rs.consecutive = 0;
             }
         }
+        self.burns_total.add(burns.len() as u64);
+        self.rules_burning
+            .set(self.rules.iter().filter(|rs| rs.consecutive > 0).count() as i64);
         burns
     }
 
@@ -256,6 +289,47 @@ mod tests {
         let burns = mon.observe(0, &snapshot_with("other", &[10]));
         assert!(burns.is_empty());
         assert_eq!(mon.statuses()[0].value, None);
+    }
+
+    #[test]
+    fn burns_flow_into_telemetry_counters() {
+        let registry = Registry::new();
+        let mut mon = SloMonitor::new().with_rule(SloRule::new("m", 0.99, 100));
+        mon.attach_telemetry(&registry);
+        mon.observe(1, &snapshot_with("m", &[50]));
+        assert_eq!(registry.snapshot().counter("slo/burns_total"), 0);
+        assert_eq!(registry.snapshot().gauge("slo/rules_burning"), 0);
+        mon.observe(2, &snapshot_with("m", &[5_000]));
+        mon.observe(3, &snapshot_with("m", &[5_000]));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("slo/burns_total"), 2);
+        assert_eq!(snap.gauge("slo/rules_burning"), 1);
+        // Recovery clears the gauge but the counter stays.
+        mon.observe(4, &snapshot_with("m", &[50]));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("slo/burns_total"), 2);
+        assert_eq!(snap.gauge("slo/rules_burning"), 0);
+    }
+
+    #[test]
+    fn burns_flow_into_the_flight_recorder() {
+        use syrup_blackbox::{EventKind, Layer, Recorder};
+        let rec = Recorder::new();
+        let mut mon = SloMonitor::new()
+            .with_rule(SloRule::new("quiet", 0.5, u64::MAX))
+            .with_rule(SloRule::new("m", 0.99, 100));
+        mon.attach_blackbox(&rec);
+        mon.observe(7_000, &snapshot_with("m", &[5_000]));
+        let events = rec.events(Layer::Slo);
+        assert_eq!(events.len(), 1);
+        let e = &events[0];
+        assert_eq!(e.kind, EventKind::SloBurn);
+        assert_eq!(e.at_ns, 7_000);
+        assert_eq!(e.id, 1, "rule index follows registration order");
+        assert_eq!(e.w0, 5_000);
+        assert_eq!(e.w1, 100);
+        // An armed recorder freezes on the burn.
+        assert!(rec.frozen());
     }
 
     #[test]

@@ -263,6 +263,26 @@ impl HistogramSnapshot {
         a.merge(b);
         a
     }
+
+    /// The samples recorded between `earlier` and `self`, where both are
+    /// snapshots of the *same* histogram taken at two points in time
+    /// (`earlier` first). Defined so that `earlier.merge(&delta)`
+    /// reproduces `self` exactly: buckets/count subtract (they only
+    /// grow), sum/sumsq subtract wrapping (they wrap the same way they
+    /// accumulated), and min/max carry the later values (a histogram's
+    /// min only ever decreases and its max only ever increases, and
+    /// `merge` takes min/max — so the later extremes survive the
+    /// round trip).
+    pub fn delta_since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].saturating_sub(earlier.buckets[i])),
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.wrapping_sub(earlier.sum),
+            sumsq: self.sumsq.wrapping_sub(earlier.sumsq),
+            min_raw: self.min_raw,
+            max_raw: self.max_raw,
+        }
+    }
 }
 
 impl Serialize for HistogramSnapshot {
@@ -390,6 +410,34 @@ mod tests {
 
         let merged = HistogramSnapshot::merged(HistogramSnapshot::empty(), &before);
         assert_eq!(merged, before);
+    }
+
+    #[test]
+    fn delta_applied_to_earlier_reproduces_later() {
+        let h = Histogram::new();
+        for v in [100u64, 7, 9000] {
+            h.record(v);
+        }
+        let earlier = h.snapshot();
+        for v in [3u64, 50_000, 12] {
+            h.record(v);
+        }
+        let later = h.snapshot();
+        let delta = later.delta_since(&earlier);
+        assert_eq!(delta.count(), 3);
+        assert_eq!(delta.sum(), 3 + 50_000 + 12);
+        let replayed = HistogramSnapshot::merged(earlier.clone(), &delta);
+        assert_eq!(replayed, later);
+        // Degenerate deltas stay merge-correct.
+        assert_eq!(
+            HistogramSnapshot::merged(later.clone(), &later.delta_since(&later)),
+            later
+        );
+        let from_empty = later.delta_since(&HistogramSnapshot::empty());
+        assert_eq!(
+            HistogramSnapshot::merged(HistogramSnapshot::empty(), &from_empty),
+            later
+        );
     }
 
     #[test]

@@ -27,5 +27,7 @@ mod ring;
 
 pub use counter::{Counter, Gauge, ShardedCounter};
 pub use hist::{Histogram, HistogramSnapshot, HIST_BUCKETS};
-pub use registry::{CounterHandle, GaugeHandle, HistogramHandle, Registry, Snapshot};
+pub use registry::{
+    CounterHandle, GaugeHandle, HistogramHandle, Registry, Snapshot, SnapshotDelta,
+};
 pub use ring::{DecisionEvent, DecisionRing, Executor};

@@ -379,6 +379,116 @@ impl Snapshot {
     pub fn to_json(&self) -> String {
         serde::json::to_string(self).expect("JSON emission into a String cannot fail")
     }
+
+    /// What changed since `earlier`, where both snapshots came from the
+    /// *same* registry (`earlier` taken first). The delta is compact —
+    /// only changed instruments appear — and invertible:
+    /// [`SnapshotDelta::apply`] on `earlier` reproduces `self` exactly.
+    /// Counter diffs are unsigned (registry counters are monotone);
+    /// gauge diffs are signed.
+    pub fn delta(&self, earlier: &Snapshot) -> SnapshotDelta {
+        let counters = self
+            .counters
+            .iter()
+            .filter_map(|(name, &v)| {
+                let diff = v.saturating_sub(earlier.counter(name));
+                (diff != 0).then(|| (name.clone(), diff))
+            })
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .filter_map(|(name, &v)| {
+                let diff = v - earlier.gauge(name);
+                (diff != 0).then(|| (name.clone(), diff))
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .filter_map(|(name, h)| {
+                let base = earlier.histogram(name);
+                if base == Some(h) {
+                    return None;
+                }
+                let delta = match base {
+                    Some(base) => h.delta_since(base),
+                    None => h.clone(),
+                };
+                Some((name.clone(), delta))
+            })
+            .collect();
+        SnapshotDelta {
+            counters,
+            gauges,
+            histograms,
+            trace_buffered: self.trace_buffered as i64 - earlier.trace_buffered as i64,
+            trace_dropped: self.trace_dropped.saturating_sub(earlier.trace_dropped),
+        }
+    }
+}
+
+/// The change between two [`Snapshot`]s of one registry, as produced by
+/// [`Snapshot::delta`]. Used by `syrupctl watch` to stream compact
+/// periodic frames instead of full snapshots.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SnapshotDelta {
+    /// Counter increments by name (only counters that moved).
+    pub counters: BTreeMap<String, u64>,
+    /// Signed gauge changes by name (only gauges that moved).
+    pub gauges: BTreeMap<String, i64>,
+    /// Per-histogram sample deltas (only histograms that changed; a
+    /// histogram absent from `earlier` appears whole).
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Signed change in buffered decision events.
+    pub trace_buffered: i64,
+    /// Decision events newly lost to ring overflow.
+    pub trace_dropped: u64,
+}
+
+impl SnapshotDelta {
+    /// Whether nothing changed between the two snapshots.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.trace_buffered == 0
+            && self.trace_dropped == 0
+    }
+
+    /// Replays the delta onto the snapshot it was computed against,
+    /// reproducing the later snapshot exactly.
+    pub fn apply(&self, earlier: &Snapshot) -> Snapshot {
+        let mut later = earlier.clone();
+        for (name, diff) in &self.counters {
+            *later.counters.entry(name.clone()).or_insert(0) += diff;
+        }
+        for (name, diff) in &self.gauges {
+            *later.gauges.entry(name.clone()).or_insert(0) += diff;
+        }
+        for (name, delta) in &self.histograms {
+            later
+                .histograms
+                .entry(name.clone())
+                .or_insert_with(HistogramSnapshot::empty)
+                .merge(delta);
+        }
+        later.trace_buffered = (later.trace_buffered as i64 + self.trace_buffered) as u64;
+        later.trace_dropped += self.trace_dropped;
+        later
+    }
+}
+
+impl Serialize for SnapshotDelta {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("SnapshotDelta", 5)?;
+        s.serialize_field("counters", &self.counters)?;
+        s.serialize_field("gauges", &self.gauges)?;
+        s.serialize_field("histograms", &self.histograms)?;
+        s.serialize_field("trace_buffered", &self.trace_buffered)?;
+        s.serialize_field("trace_dropped", &self.trace_dropped)?;
+        s.end()
+    }
 }
 
 impl Serialize for Snapshot {

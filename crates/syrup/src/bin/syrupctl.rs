@@ -65,11 +65,13 @@
 use std::process::ExitCode;
 
 use syrup::apps::quickstart;
+use syrup::blackbox::{Layer, Recorder};
 use syrup::core::{CompileOptions, Hook};
 use syrup::ebpf::maps::{MapKind, MapRegistry};
 use syrup::ebpf::{assemble, verify};
 use syrup::lang::count_loc;
 use syrup::profile::{Profiler, SloMonitor, SloRule};
+use syrup::telemetry::Snapshot;
 use syrup::trace::{chrome_trace_json, StageBreakdown, TraceConfig, Tracer};
 
 fn main() -> ExitCode {
@@ -122,6 +124,14 @@ fn main() -> ExitCode {
             Some("pressure") => cmd_profile_pressure(&args[2..]),
             _ => usage(),
         },
+        Some("blackbox") => match args.get(1).map(String::as_str) {
+            Some("record") => cmd_blackbox_record(&args[2..]),
+            Some("dump") => cmd_blackbox_dump(&args[2..]),
+            Some("report") => cmd_blackbox_report(&args[2..]),
+            Some("validate") => cmd_blackbox_validate(&args[2..]),
+            _ => usage(),
+        },
+        Some("watch") => cmd_watch(&args[1..]),
         _ => usage(),
     }
 }
@@ -152,7 +162,14 @@ fn usage() -> ExitCode {
          \x20 profile record [--requests N] [--flame-out PATH]\n\
          \x20 profile report [--requests N] [--top N] [--json]\n\
          \x20 profile flame [--requests N] [--out PATH]\n\
-         \x20 profile pressure [--requests N] [--json] [--ranked]"
+         \x20 profile pressure [--requests N] [--json] [--ranked]\n\
+         \n\
+         flight recorder:\n\
+         \x20 blackbox record [--requests N] [--ranked] [--inject-burn] [--trigger-manual] [--out PATH]\n\
+         \x20 blackbox dump [--requests N] [--ranked] [--json]\n\
+         \x20 blackbox report PATH\n\
+         \x20 blackbox validate PATH [--min-layers N]\n\
+         \x20 watch [--requests N] [--interval K] [--ranked] [--json]"
     );
     ExitCode::FAILURE
 }
@@ -1039,5 +1056,456 @@ fn cmd_trace_validate(args: &[String]) -> ExitCode {
         events.len(),
         traces.len()
     );
+    ExitCode::SUCCESS
+}
+
+/// Everything a flight-recorded quickstart run produces: the scenario
+/// artifacts plus the recorder, profiler, and the telemetry snapshot
+/// taken the moment the rings froze (final snapshot when no trigger
+/// fired).
+struct RecordedRun {
+    q: quickstart::Quickstart,
+    recorder: Recorder,
+    profiler: Profiler,
+    at_freeze: Snapshot,
+}
+
+/// Runs the quickstart with the flight recorder attached at every layer
+/// (tracer and profiler too — the postmortem bundle wants all three
+/// pillars). `--inject-burn` arms a deliberately-impossible SLO (one
+/// cycle of p99 VM budget) and evaluates it mid-run, so the burn trigger
+/// freezes the rings with a healthy pre-trigger window on both sides.
+/// `--trigger-manual` pulls the handle directly at the halfway mark.
+fn recorded_run(args: &[String]) -> Result<RecordedRun, String> {
+    let requests = match flag_value(args, "--requests") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| format!("--requests `{v}` is not a number"))?,
+        None => quickstart::DEFAULT_REQUESTS,
+    };
+    let inject = has_flag(args, "--inject-burn");
+    let manual = has_flag(args, "--trigger-manual");
+    let recorder = Recorder::new();
+    let profiler = Profiler::new();
+    profiler.attach_blackbox(&recorder);
+    let tracer = Tracer::new();
+    let mut monitor = SloMonitor::new().with_rule(SloRule::new("vm/run_cycles", 0.99, 1));
+    monitor.attach_blackbox(&recorder);
+    // Evaluate the injected SLO only once half the requests are through,
+    // so the frozen window holds events from every layer.
+    let fire_at = (requests as u64 / 2).max(1);
+    let mut at_freeze: Option<Snapshot> = None;
+    let rec = recorder.clone();
+    let q = quickstart::run_observed(
+        &tracer,
+        &profiler,
+        &recorder,
+        requests,
+        has_flag(args, "--ranked"),
+        &mut |completed, now_ns, d| {
+            if !rec.frozen() && completed >= fire_at {
+                if inject {
+                    let _ = monitor.observe(now_ns, &d.telemetry_snapshot());
+                } else if manual {
+                    rec.trigger_manual("syrupctl blackbox record --trigger-manual");
+                }
+            }
+            if rec.frozen() && at_freeze.is_none() {
+                at_freeze = Some(d.telemetry_snapshot());
+            }
+        },
+    );
+    let at_freeze = at_freeze.unwrap_or_else(|| q.syrupd.telemetry_snapshot());
+    Ok(RecordedRun {
+        q,
+        recorder,
+        profiler,
+        at_freeze,
+    })
+}
+
+fn cmd_blackbox_record(args: &[String]) -> ExitCode {
+    let run = match recorded_run(args) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let wanted_trigger = has_flag(args, "--inject-burn") || has_flag(args, "--trigger-manual");
+    let pm = run.recorder.capture();
+    if wanted_trigger && pm.trigger.is_none() {
+        eprintln!("a trigger was requested but the rings never froze");
+        return ExitCode::FAILURE;
+    }
+    // The bundle's telemetry view is the pre-trigger delta: everything
+    // the counters accumulated from scenario start up to the freeze, so
+    // it correlates with the retained event window.
+    let delta = run.at_freeze.delta(&Snapshot::default());
+    let (Ok(pm_json), Ok(delta_json), Ok(flame_json)) = (
+        serde::json::to_string(&pm),
+        serde::json::to_string(&delta),
+        serde::json::to_string(&run.profiler.flame()),
+    ) else {
+        eprintln!("serialization failed");
+        return ExitCode::FAILURE;
+    };
+    let trace_json = chrome_trace_json(&run.q.records);
+    let bundle = format!(
+        "{{\"schema\":\"syrup-blackbox-bundle/1\",\"completed\":{},\
+         \"postmortem\":{pm_json},\"snapshot_delta\":{delta_json},\
+         \"trace\":{trace_json},\"flame\":{flame_json}}}",
+        run.q.completed
+    );
+    let trigger_line = match &pm.trigger {
+        Some(t) => format!("{} at {} ns ({})", t.cause.as_str(), t.at_ns, t.detail),
+        None => "none (live capture)".to_string(),
+    };
+    println!(
+        "captured {} events across layers [{}], {} overwritten; trigger: {trigger_line}",
+        pm.total_events(),
+        pm.layer_names().join(", "),
+        pm.total_dropped()
+    );
+    match flag_value(args, "--out") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &bundle) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "wrote {} bytes of postmortem bundle to {path}",
+                bundle.len()
+            );
+        }
+        None => println!("{bundle}"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_blackbox_dump(args: &[String]) -> ExitCode {
+    let run = match recorded_run(args) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let pm = run.recorder.capture();
+    if has_flag(args, "--json") {
+        match serde::json::to_string(&pm) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("serialization failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+    println!(
+        "{:<8} {:>10} {:<12} {:>6} {:>10} {:>20} {:>20}",
+        "layer", "at_ns", "kind", "id", "aux", "w0", "w1"
+    );
+    for dump in &pm.layers {
+        for e in &dump.events {
+            println!(
+                "{:<8} {:>10} {:<12} {:>6} {:>10} {:>20} {:>20}",
+                dump.layer.as_str(),
+                e.at_ns,
+                e.kind.as_str(),
+                e.id,
+                e.aux,
+                e.w0,
+                e.w1
+            );
+        }
+        if dump.dropped > 0 {
+            println!(
+                "{:<8} ({} older events overwritten)",
+                dump.layer.as_str(),
+                dump.dropped
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_blackbox_report(args: &[String]) -> ExitCode {
+    let Some(path) = args.first().filter(|a| !a.starts_with('-')) else {
+        eprintln!("usage: syrupctl blackbox report PATH");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let value = match serde::json::from_str(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{path} is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(pm) = value.get("postmortem") else {
+        eprintln!("{path}: no `postmortem` object (is this a blackbox bundle?)");
+        return ExitCode::FAILURE;
+    };
+    match pm.get("trigger").filter(|t| !t.is_null()) {
+        Some(t) => println!(
+            "trigger : {} at {} ns — {}",
+            t.get("cause").and_then(|v| v.as_str()).unwrap_or("?"),
+            t.get("at_ns").and_then(|v| v.as_u64()).unwrap_or(0),
+            t.get("detail").and_then(|v| v.as_str()).unwrap_or("")
+        ),
+        None => println!("trigger : none (live capture)"),
+    }
+    println!(
+        "events  : {} retained, {} overwritten",
+        pm.get("total_events").and_then(|v| v.as_u64()).unwrap_or(0),
+        pm.get("total_dropped")
+            .and_then(|v| v.as_u64())
+            .unwrap_or(0)
+    );
+    if let Some(layers) = pm.get("layers").and_then(|v| v.as_array()) {
+        println!("{:<8} {:>8} {:>10}  window", "layer", "events", "dropped");
+        for l in layers {
+            let events = l.get("events").and_then(|v| v.as_array());
+            let n = events.map_or(0, |e| e.len());
+            if n == 0 {
+                continue;
+            }
+            let window = events
+                .and_then(|e| {
+                    let first = e.first()?.get("at_ns")?.as_u64()?;
+                    let last = e.last()?.get("at_ns")?.as_u64()?;
+                    Some(format!("[{first}, {last}] ns"))
+                })
+                .unwrap_or_default();
+            println!(
+                "{:<8} {:>8} {:>10}  {window}",
+                l.get("layer").and_then(|v| v.as_str()).unwrap_or("?"),
+                n,
+                l.get("dropped").and_then(|v| v.as_u64()).unwrap_or(0)
+            );
+        }
+    }
+    if let Some(counters) = value
+        .get("snapshot_delta")
+        .and_then(|d| d.get("counters"))
+        .and_then(|c| c.as_object())
+    {
+        println!("\npre-trigger telemetry delta (top counters):");
+        let mut rows: Vec<(&String, u64)> = counters
+            .iter()
+            .filter_map(|(k, v)| v.as_u64().map(|n| (k, n)))
+            .collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        for (name, n) in rows.iter().take(10) {
+            println!("  {name:<28} +{n}");
+        }
+    }
+    if let Some(trace) = value
+        .get("trace")
+        .and_then(|t| t.get("traceEvents"))
+        .and_then(|e| e.as_array())
+    {
+        println!("\ntrace   : {} Chrome-trace events bundled", trace.len());
+    }
+    if let Some(flame) = value.get("flame").and_then(|f| f.as_str()) {
+        println!("flame   : {} folded stacks bundled", flame.lines().count());
+    }
+    ExitCode::SUCCESS
+}
+
+/// The CI gate for postmortem bundles: the file must parse, hold a
+/// structurally-sound postmortem (every layer dump present, events
+/// carrying timestamps and kinds), a snapshot delta, and — with
+/// `--min-layers N` — retained events from at least N distinct layers.
+fn cmd_blackbox_validate(args: &[String]) -> ExitCode {
+    let Some(path) = args.first().filter(|a| !a.starts_with('-')) else {
+        eprintln!("usage: syrupctl blackbox validate PATH [--min-layers N]");
+        return ExitCode::FAILURE;
+    };
+    let min_layers = match flag_value(args, "--min-layers") {
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("--min-layers `{v}` is not a number");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => 1,
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let value = match serde::json::from_str(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{path} is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(pm) = value.get("postmortem") else {
+        eprintln!("{path}: no `postmortem` object");
+        return ExitCode::FAILURE;
+    };
+    let Some(layers) = pm.get("layers").and_then(|v| v.as_array()) else {
+        eprintln!("{path}: postmortem has no `layers` array");
+        return ExitCode::FAILURE;
+    };
+    const LAYER_NAMES: [&str; 7] = ["syrupd", "vm", "nic", "sock", "sched", "ghost", "slo"];
+    if layers.len() != LAYER_NAMES.len() {
+        eprintln!(
+            "{path}: expected {} layer dumps, found {}",
+            LAYER_NAMES.len(),
+            layers.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    let mut populated = 0usize;
+    let mut total_events = 0usize;
+    for (i, l) in layers.iter().enumerate() {
+        let name = l.get("layer").and_then(|v| v.as_str());
+        if name != Some(LAYER_NAMES[i]) {
+            eprintln!(
+                "{path}: layer {i} is `{}`, expected `{}`",
+                name.unwrap_or("?"),
+                LAYER_NAMES[i]
+            );
+            return ExitCode::FAILURE;
+        }
+        let Some(events) = l.get("events").and_then(|v| v.as_array()) else {
+            eprintln!("{path}: layer `{}` has no `events` array", LAYER_NAMES[i]);
+            return ExitCode::FAILURE;
+        };
+        for e in events {
+            if e.get("at_ns").and_then(|v| v.as_u64()).is_none()
+                || e.get("kind").and_then(|v| v.as_str()).is_none()
+            {
+                eprintln!(
+                    "{path}: layer `{}` holds a malformed event (want at_ns + kind)",
+                    LAYER_NAMES[i]
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        if !events.is_empty() {
+            populated += 1;
+        }
+        total_events += events.len();
+    }
+    if populated < min_layers {
+        eprintln!("{path}: events from only {populated} layers, wanted >= {min_layers}");
+        return ExitCode::FAILURE;
+    }
+    if let Some(t) = pm.get("trigger").filter(|t| !t.is_null()) {
+        let cause = t.get("cause").and_then(|v| v.as_str());
+        if !matches!(
+            cause,
+            Some("slo-burn" | "vm-trap" | "starvation" | "manual")
+        ) {
+            eprintln!("{path}: unknown trigger cause {cause:?}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if value
+        .get("snapshot_delta")
+        .and_then(|d| d.get("counters"))
+        .is_none()
+    {
+        eprintln!("{path}: no `snapshot_delta.counters` object");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "{path}: OK — {total_events} events from {populated} layers, trigger {}",
+        pm.get("trigger")
+            .filter(|t| !t.is_null())
+            .and_then(|t| t.get("cause"))
+            .and_then(|v| v.as_str())
+            .unwrap_or("none")
+    );
+    ExitCode::SUCCESS
+}
+
+/// A live `top`-style view of the running scenario: every `--interval`
+/// completed requests, one frame showing what moved since the previous
+/// frame, computed as a delta between consecutive telemetry snapshots.
+fn cmd_watch(args: &[String]) -> ExitCode {
+    let requests = match flag_value(args, "--requests") {
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("--requests `{v}` is not a number");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => quickstart::DEFAULT_REQUESTS,
+    };
+    let interval = match flag_value(args, "--interval") {
+        Some(v) => match v.parse::<u64>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("--interval `{v}` is not a positive number");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => 16,
+    };
+    let json = has_flag(args, "--json");
+    let recorder = Recorder::new();
+    let mut prev = Snapshot::default();
+    let mut frame = 0u64;
+    let rec = recorder.clone();
+    let q = quickstart::run_observed(
+        &Tracer::disabled(),
+        &Profiler::disabled(),
+        &recorder,
+        requests,
+        has_flag(args, "--ranked"),
+        &mut |completed, now_ns, d| {
+            if completed % interval != 0 && completed != requests as u64 {
+                return;
+            }
+            frame += 1;
+            let snap = d.telemetry_snapshot();
+            let delta = snap.delta(&prev);
+            if json {
+                if let Ok(delta_json) = serde::json::to_string(&delta) {
+                    println!(
+                        "{{\"frame\":{frame},\"completed\":{completed},\
+                         \"now_ns\":{now_ns},\"delta\":{delta_json}}}"
+                    );
+                }
+            } else {
+                println!("frame {frame}  completed {completed}/{requests}  now {now_ns} ns");
+                let mut rows: Vec<(&String, u64)> =
+                    delta.counters.iter().map(|(k, &v)| (k, v)).collect();
+                rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+                for (name, n) in rows.iter().take(8) {
+                    println!("  {name:<28} +{n}");
+                }
+                for (name, g) in &delta.gauges {
+                    println!("  {name:<28} {g:+}");
+                }
+                println!();
+            }
+            prev = snap;
+        },
+    );
+    if !json {
+        let events: usize = Layer::ALL.iter().map(|&l| rec.events(l).len()).sum();
+        println!(
+            "watched {} requests over {frame} frames; flight recorder retained {events} events",
+            q.completed
+        );
+    }
     ExitCode::SUCCESS
 }

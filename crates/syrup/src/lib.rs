@@ -25,6 +25,8 @@
 //! * [`profile`] — the cycle-attribution profiler: per-`(prog, pc)` and
 //!   per-helper hotspots, folded flame graphs, executor pressure, and
 //!   SLO burn monitoring.
+//! * [`blackbox`] — the always-on flight recorder: bounded per-layer
+//!   event rings, trigger engine, and postmortem bundles.
 //!
 //! # Quickstart
 //!
@@ -61,6 +63,9 @@
 
 /// Application models and experiment worlds (re-export of `syrup-apps`).
 pub use syrup_apps as apps;
+/// Always-on flight recorder: per-layer event rings, trigger engine,
+/// postmortem bundles (re-export of `syrup-blackbox`).
+pub use syrup_blackbox as blackbox;
 /// The Syrup framework (re-export of `syrup-core`).
 pub use syrup_core as core;
 /// The software eBPF substrate (re-export of `syrup-ebpf`).

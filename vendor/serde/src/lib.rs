@@ -474,6 +474,19 @@ pub mod json {
                 _ => None,
             }
         }
+
+        /// The key/value map, if this is an object.
+        pub fn as_object(&self) -> Option<&std::collections::BTreeMap<String, Value>> {
+            match self {
+                Value::Object(map) => Some(map),
+                _ => None,
+            }
+        }
+
+        /// Whether this is JSON `null`.
+        pub fn is_null(&self) -> bool {
+            matches!(self, Value::Null)
+        }
     }
 
     /// A JSON parse error with a byte offset.
