@@ -29,7 +29,7 @@ use syrup_net::socket::{Delivery, ReuseportGroup};
 use syrup_net::{flow, AppHeader, Frame, RequestClass, StackCosts};
 use syrup_policies::{ScanAvoidPolicy, VanillaPolicy};
 use syrup_sim::{
-    ArrivalGen, Duration, EventQueue, LatencyRecorder, LatencySummary, RequestMix, SimRng, Time,
+    ArrivalGen, Duration, LatencyRecorder, LatencySummary, RequestMix, ShardedQueue, SimRng, Time,
 };
 
 use crate::rocksdb::RocksDbModel;
@@ -78,6 +78,11 @@ pub struct MtConfig {
     pub measure: Duration,
     /// RNG seed.
     pub seed: u64,
+    /// Event-queue shards. The run is sequential either way — this
+    /// partitions the timer wheels behind the [`ShardedQueue`] facade,
+    /// whose pop order is identical for any value here (the
+    /// `deterministic_under_seed` suites pin that at {1, 2, 8}).
+    pub shards: usize,
     /// Request tracer (disabled by default). An enabled tracer records
     /// stack-RX, socket-select, socket-residency, and run spans per
     /// sampled request, plus ghOSt enqueue/dispatch/preempt spans when
@@ -109,6 +114,7 @@ impl MtConfig {
             warmup: Duration::from_millis(100),
             measure: Duration::from_millis(800),
             seed,
+            shards: 1,
             tracer: syrup_trace::Tracer::disabled(),
         }
     }
@@ -262,7 +268,7 @@ pub fn run(cfg: &MtConfig) -> MtResult {
     let mut world = MtWorld {
         cfg,
         rng,
-        queue: EventQueue::new(),
+        queue: ShardedQueue::new(cfg.shards),
         syrupd,
         group,
         class_map,
@@ -288,7 +294,7 @@ pub fn run(cfg: &MtConfig) -> MtResult {
 struct MtWorld<'c> {
     cfg: &'c MtConfig,
     rng: SimRng,
-    queue: EventQueue<Ev>,
+    queue: ShardedQueue<Ev>,
     syrupd: Syrupd,
     group: ReuseportGroup<Req>,
     class_map: MapRef,
@@ -317,7 +323,11 @@ impl MtWorld<'_> {
         // CFS needs periodic per-core slice ticks.
         if let Some(slice) = self.sched.as_dyn().timeslice() {
             for core in self.sched.as_dyn().app_cores() {
-                self.queue.push(Time::ZERO + slice, Ev::SliceTick { core });
+                self.queue.push_keyed(
+                    Time::ZERO + slice,
+                    u64::from(core.0),
+                    Ev::SliceTick { core },
+                );
             }
         }
 
@@ -340,7 +350,11 @@ impl MtWorld<'_> {
                             .as_dyn()
                             .timeslice()
                             .expect("tick only scheduled for sliced scheds");
-                        self.queue.push(now + slice, Ev::SliceTick { core });
+                        self.queue.push_keyed(
+                            now + slice,
+                            u64::from(core.0),
+                            Ev::SliceTick { core },
+                        );
                     }
                 }
             }
@@ -387,7 +401,8 @@ impl MtWorld<'_> {
             measured: now >= Time::ZERO + self.cfg.warmup,
             trace,
         };
-        self.queue.push(deliver_at, Ev::Deliver(req));
+        self.queue
+            .push_keyed(deliver_at, u64::from(req.flow_hash), Ev::Deliver(req));
     }
 
     fn on_deliver(&mut self, now: Time, req: Req) {
@@ -456,8 +471,9 @@ impl MtWorld<'_> {
             }
             let thread = a.thread.0 as usize;
             self.token[thread] += 1;
-            self.queue.push(
+            self.queue.push_keyed(
                 a.start_at,
+                thread as u64,
                 Ev::ThreadStart {
                     thread,
                     core: a.core,
@@ -527,8 +543,11 @@ impl MtWorld<'_> {
         }
         let inflight = self.current[thread].as_mut().expect("set above");
         inflight.started = Some(now);
-        self.queue
-            .push(now + inflight.remaining, Ev::Complete { thread, token });
+        self.queue.push_keyed(
+            now + inflight.remaining,
+            thread as u64,
+            Ev::Complete { thread, token },
+        );
     }
 
     fn on_complete(&mut self, now: Time, thread: usize, token: u64) {
@@ -578,8 +597,9 @@ impl MtWorld<'_> {
                 started: Some(now),
             });
             let remaining = self.cfg.per_request_overhead + req.service;
-            self.queue.push(
+            self.queue.push_keyed(
                 now + remaining,
+                thread as u64,
                 Ev::Complete {
                     thread,
                     token: new_token,

@@ -18,7 +18,7 @@ use syrup_core::{AppId, CompileOptions, Hook, HookMeta, PolicySource, Syrupd};
 use syrup_net::socket::{Delivery, ReuseportGroup};
 use syrup_net::{flow, AppHeader, Frame, Nic, QueueKind};
 use syrup_policies::RoundRobinPolicy;
-use syrup_sim::SimRng;
+use syrup_sim::{ShardedQueue, SimRng, Time};
 use syrup_trace::Stage;
 
 /// The UDP port the quickstart application owns.
@@ -117,6 +117,44 @@ pub fn run_observed(
     ranked: bool,
     observe: &mut dyn FnMut(u64, u64, &Syrupd),
 ) -> Quickstart {
+    run_driven(tracer, profiler, recorder, requests, ranked, 1, observe)
+}
+
+/// [`run`] with the ingress schedule spread over `shards` timer wheels.
+///
+/// The scenario itself is byte-identical for every shard count: requests
+/// are keyed by flow hash into a [`ShardedQueue`], and the merge pops
+/// them back in `(time, seq)` order — ingress instants are strictly
+/// increasing, so the replay order (and with it every policy decision,
+/// span, and telemetry counter the scenario emits) cannot depend on the
+/// routing. What sharding *adds* is the `sim/wheel_*` telemetry the
+/// queue publishes into the daemon's registry, which is how `syrupctl
+/// metrics --shards N` surfaces wheel drift and clamp accounting.
+pub fn run_sharded(tracer: &syrup_trace::Tracer, requests: usize, shards: usize) -> Quickstart {
+    run_driven(
+        tracer,
+        &syrup_profile::Profiler::disabled(),
+        &syrup_blackbox::Recorder::disabled(),
+        requests,
+        false,
+        shards,
+        &mut |_, _, _| {},
+    )
+}
+
+/// The most general entry point: [`run_observed`] with the ingress
+/// schedule driven through a [`ShardedQueue`] of `shards` timer wheels
+/// (see [`run_sharded`] for why the result is shard-count invariant).
+#[allow(clippy::too_many_arguments)]
+pub fn run_driven(
+    tracer: &syrup_trace::Tracer,
+    profiler: &syrup_profile::Profiler,
+    recorder: &syrup_blackbox::Recorder,
+    requests: usize,
+    ranked: bool,
+    shards: usize,
+    observe: &mut dyn FnMut(u64, u64, &Syrupd),
+) -> Quickstart {
     let mut rng = SimRng::new(7);
     let syrupd = Syrupd::new();
     syrupd.attach_tracer(tracer);
@@ -188,8 +226,21 @@ pub fn run_observed(
     let mut free_at = [0u64; THREADS];
     let mut completed = 0u64;
 
+    // The ingress schedule lives in the simulation core's sharded timer
+    // wheel rather than a counter: each request is keyed by its flow hash
+    // and popped back in global `(time, seq)` order. Attaching the queue
+    // to the daemon's registry is what puts `sim/wheel_*` (pushes,
+    // cascades, clamp count, drift gauge) into `syrupctl metrics`.
+    let mut ingress: ShardedQueue<usize> = ShardedQueue::new(shards);
+    ingress.attach_telemetry(syrupd.telemetry(), "sim");
     for i in 0..requests {
+        let fl = &flows[i % flows.len()];
         let t0 = 1_000 + (i as u64) * 2_000;
+        ingress.push_keyed(Time::from_nanos(t0), u64::from(fl.flow_hash()), i);
+    }
+
+    while let Some((at, i)) = ingress.pop() {
+        let t0 = at.as_nanos();
         let ctx = tracer.ingress(t0);
         let fl = &flows[i % flows.len()];
 
@@ -476,6 +527,37 @@ mod tests {
             syrup_blackbox::Layer::Sock,
         ] {
             assert!(rec.events(layer).is_empty());
+        }
+    }
+
+    #[test]
+    fn sharded_run_is_shard_count_invariant() {
+        // One wheel or eight, the replay is the same scenario: ingress
+        // instants are strictly increasing, so the sharded merge cannot
+        // reorder anything. Spans, completions, and daemon telemetry
+        // must match byte for byte; only wheel-internal motion counters
+        // (cascades, instantaneous depth) are allowed to depend on how
+        // entries were spread across wheels.
+        let strip_layout = |q: &Quickstart| {
+            let mut s = q.syrupd.telemetry_snapshot();
+            s.counters.remove("sim/wheel_cascades");
+            s.gauges.remove("sim/wheel_depth");
+            s
+        };
+        let tracer = syrup_trace::Tracer::new();
+        let base = run_sharded(&tracer, DEFAULT_REQUESTS, 1);
+        for shards in [2usize, 8] {
+            let tracer = syrup_trace::Tracer::new();
+            let q = run_sharded(&tracer, DEFAULT_REQUESTS, shards);
+            assert_eq!(q.completed, base.completed, "shards={shards}");
+            assert_eq!(q.records, base.records, "shards={shards}");
+            assert_eq!(strip_layout(&q), strip_layout(&base), "shards={shards}");
+            // The wheel metrics the run added are visible in the daemon
+            // registry — that is what `syrupctl metrics` renders.
+            let snap = q.syrupd.telemetry_snapshot();
+            assert_eq!(snap.counter("sim/wheel_pushes"), DEFAULT_REQUESTS as u64);
+            assert_eq!(snap.counter("sim/wheel_clamped"), 0);
+            assert_eq!(snap.gauge("sim/wheel_drift_ns"), 0);
         }
     }
 

@@ -20,13 +20,19 @@
 
 pub mod queue;
 pub mod rng;
+pub mod scale;
+pub mod shard;
 pub mod stats;
 pub mod sweep;
 pub mod time;
+pub mod wheel;
 pub mod workload;
 
-pub use queue::EventQueue;
+pub use queue::{EventQueue, HeapQueue, SimQueue};
 pub use rng::SimRng;
+pub use scale::{ScaleCfg, ScaleEngine, ScaleResult};
+pub use shard::ShardedQueue;
 pub use stats::{LatencyRecorder, LatencySummary, RunStats};
 pub use time::{Duration, Time};
+pub use wheel::{PastPush, TimerWheel};
 pub use workload::{ArrivalGen, RequestMix, ServiceDist};

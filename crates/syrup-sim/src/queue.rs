@@ -4,14 +4,85 @@
 //! with deterministic FIFO tie-breaking: two events scheduled for the same
 //! instant pop in the order they were pushed. Determinism matters — every
 //! experiment in the benchmark harness must be exactly reproducible from its
-//! seed, so iteration order may never depend on heap internals.
+//! seed, so iteration order may never depend on container internals.
+//!
+//! # The ordering contract
+//!
+//! Both implementations in this module honour one pinned contract:
+//!
+//! 1. **Time order.** `pop` emits events in non-decreasing `Time`.
+//! 2. **FIFO within a timestamp.** Events with equal `Time` pop in push
+//!    order, enforced by a monotonically increasing push sequence
+//!    number. Equivalently: pops are sorted by `(time, seq)`.
+//! 3. **Monotonic clock.** `now()` is the timestamp of the last popped
+//!    event and never goes backwards.
+//! 4. **Past-push policy.** Scheduling before `now()` is a logic error
+//!    in the calling world. [`EventQueue::push`] *saturates*: the event
+//!    is clamped to fire at `now()` (never silently reordered before
+//!    already-popped events), and the clamp is accounted — see
+//!    [`EventQueue::clamp_stats`]. [`EventQueue::try_push`] is the
+//!    strict variant that rejects the event instead.
+//!
+//! # Two implementations
+//!
+//! * [`EventQueue`] — the production queue, backed by the hierarchical
+//!   timer wheel in [`crate::wheel`]: O(1) amortised push/pop regardless
+//!   of pending-event count, which is what lets the scale harness hold
+//!   10⁶+ concurrent flows (`results/BENCH_scale.json`).
+//! * [`HeapQueue`] — the original `BinaryHeap` implementation, kept as
+//!   the *reference*: O(log n) but trivially correct. The differential
+//!   proptest `wheel_matches_heap_reference` (in `tests/`) drives both
+//!   with random push/pop interleavings and asserts identical pop
+//!   sequences, and `bench --bench wheel` uses it as the perf baseline.
 
 use core::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::time::Time;
+use crate::wheel::{PastPush, TimerWheel, WheelStats};
 
-/// A deterministic time-ordered event queue.
+/// Minimal queue interface shared by [`EventQueue`] and [`HeapQueue`] so
+/// harnesses (the sharded engine, the scale load generator, the wheel
+/// bench) can run the same world over either implementation.
+pub trait SimQueue<E> {
+    /// Creates an empty queue with the clock at [`Time::ZERO`].
+    fn new_empty() -> Self;
+    /// Schedules `event` at absolute time `at` (saturating past-push
+    /// policy).
+    fn push(&mut self, at: Time, event: E);
+    /// Pops the earliest event, advancing the clock.
+    fn pop(&mut self) -> Option<(Time, E)>;
+    /// Timestamp of the next event without popping it.
+    fn peek_time(&mut self) -> Option<Time>;
+    /// Pops the earliest event only if it fires strictly before `bound`.
+    /// One call instead of a peek/pop pair — this is the inner-loop
+    /// operation of the windowed engine in [`crate::shard`].
+    fn pop_if_before(&mut self, bound: Time) -> Option<(Time, E)> {
+        if self.peek_time()? < bound {
+            self.pop()
+        } else {
+            None
+        }
+    }
+    /// Borrows the next event's payload without popping (and without
+    /// advancing the clock). The windowed engine uses this to let worlds
+    /// prefetch the state the *next* handler will touch while the current
+    /// one runs. Queues that cannot cheaply peek may return `None`.
+    fn peek_next(&mut self) -> Option<&E> {
+        None
+    }
+    /// Number of pending events.
+    fn len(&self) -> usize;
+    /// Whether no events are pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// The current simulation time.
+    fn now(&self) -> Time;
+}
+
+/// A deterministic time-ordered event queue (see the module docs for the
+/// full ordering contract).
 ///
 /// `E` is the experiment-specific event payload; worlds typically define an
 /// enum and dispatch on it:
@@ -28,28 +99,150 @@ use crate::time::Time;
 /// let (t, ev) = q.pop().unwrap();
 /// assert_eq!((t, ev), (Time::from_micros(1), Ev::PacketArrival));
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    wheel: TimerWheel<E>,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`Time::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            wheel: TimerWheel::new(),
+        }
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    ///
+    /// Scheduling in the past is a logic error in the calling world; the
+    /// queue clamps such events to fire "now" rather than corrupting the
+    /// clock, which keeps long sims debuggable (the event still happens and
+    /// ordering stays monotonic). Every clamp is accounted — the count and
+    /// the absorbed drift are readable via [`Self::clamp_stats`] and
+    /// surface as the `*/wheel_clamped` counter and `*/wheel_drift_ns`
+    /// gauge when telemetry is attached. Use [`Self::try_push`] to reject
+    /// past events instead.
+    pub fn push(&mut self, at: Time, event: E) {
+        self.wheel.push(at, event);
+    }
+
+    /// Strict push: returns `Err(PastPush)` when `at` is before
+    /// [`Self::now`] instead of applying the saturating clamp.
+    pub fn try_push(&mut self, at: Time, event: E) -> Result<(), PastPush> {
+        self.wheel.try_push(at, event)
+    }
+
+    /// Pops the earliest event, advancing the simulation clock to its time.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        self.wheel.pop()
+    }
+
+    /// The current simulation time: the timestamp of the last popped event.
+    pub fn now(&self) -> Time {
+        self.wheel.now()
+    }
+
+    /// The timestamp of the next event, if any, without popping it.
+    ///
+    /// Peeking may advance the wheel's internal dispatch frontier but
+    /// never [`Self::now`], and a later `push` aimed earlier than the
+    /// peeked event still pops first.
+    pub fn peek_time(&mut self) -> Option<Time> {
+        self.wheel.peek_time()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.wheel.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.wheel.is_empty()
+    }
+
+    /// Past-push clamp accounting: `(clamped_count, total_drift_ns,
+    /// max_drift_ns)` absorbed by the saturating policy so far.
+    pub fn clamp_stats(&self) -> (u64, u64, u64) {
+        let s = self.wheel.stats();
+        (s.clamped, s.drift_total_ns, s.drift_max_ns)
+    }
+
+    /// The backing wheel's full statistics (cascades, overflow pushes,
+    /// high-water depth, ...).
+    pub fn wheel_stats(&self) -> WheelStats {
+        self.wheel.stats()
+    }
+
+    /// Publishes the backing wheel's instrumentation into `registry`
+    /// under `{prefix}/wheel_*`. Disabled-cost is a single branch per
+    /// site until attached.
+    pub fn attach_telemetry(&mut self, registry: &syrup_telemetry::Registry, prefix: &str) {
+        self.wheel.attach_telemetry(registry, prefix);
+    }
+}
+
+impl<E> SimQueue<E> for EventQueue<E> {
+    fn new_empty() -> Self {
+        Self::new()
+    }
+    fn push(&mut self, at: Time, event: E) {
+        EventQueue::push(self, at, event);
+    }
+    fn pop(&mut self) -> Option<(Time, E)> {
+        EventQueue::pop(self)
+    }
+    fn peek_time(&mut self) -> Option<Time> {
+        EventQueue::peek_time(self)
+    }
+    fn pop_if_before(&mut self, bound: Time) -> Option<(Time, E)> {
+        self.wheel.pop_if_before(bound)
+    }
+    fn peek_next(&mut self) -> Option<&E> {
+        self.wheel.peek_entry().map(|(_, e)| e)
+    }
+    fn len(&self) -> usize {
+        EventQueue::len(self)
+    }
+    fn now(&self) -> Time {
+        EventQueue::now(self)
+    }
+}
+
+/// The original `BinaryHeap`-backed queue, kept as the ordering
+/// reference and perf baseline for [`EventQueue`]'s timer wheel.
+///
+/// Same contract as [`EventQueue`] (time order, FIFO-within-timestamp
+/// via push sequence numbers, monotonic clock, saturating past-push with
+/// clamp accounting), O(log n) per operation. Do not use in new worlds;
+/// it exists so correctness (differential proptest) and performance
+/// (`bench --bench wheel`, the `scale` harness baseline) stay measurable
+/// against a trivially-correct implementation.
+#[derive(Debug)]
+pub struct HeapQueue<E> {
+    heap: BinaryHeap<HeapEntry<E>>,
     next_seq: u64,
     now: Time,
+    clamped: u64,
+    drift_total_ns: u64,
+    drift_max_ns: u64,
 }
 
 #[derive(Debug)]
-struct Entry<E> {
+struct HeapEntry<E> {
     time: Time,
     seq: u64,
     event: E,
 }
 
-impl<E> PartialEq for Entry<E> {
+impl<E> PartialEq for HeapEntry<E> {
     fn eq(&self, other: &Self) -> bool {
         self.time == other.time && self.seq == other.seq
     }
 }
-impl<E> Eq for Entry<E> {}
+impl<E> Eq for HeapEntry<E> {}
 
-impl<E> Ord for Entry<E> {
+impl<E> Ord for HeapEntry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // `BinaryHeap` is a max-heap; invert so the earliest time (and the
         // lowest sequence number within a time) pops first.
@@ -59,43 +252,59 @@ impl<E> Ord for Entry<E> {
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
-impl<E> PartialOrd for Entry<E> {
+impl<E> PartialOrd for HeapEntry<E> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E> Default for HeapQueue<E> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<E> EventQueue<E> {
+impl<E> HeapQueue<E> {
     /// Creates an empty queue with the clock at [`Time::ZERO`].
     pub fn new() -> Self {
-        EventQueue {
+        HeapQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
             now: Time::ZERO,
+            clamped: 0,
+            drift_total_ns: 0,
+            drift_max_ns: 0,
         }
     }
 
-    /// Schedules `event` to fire at absolute time `at`.
-    ///
-    /// Scheduling in the past is a logic error in the calling world; the
-    /// queue clamps such events to fire "now" rather than corrupting the
-    /// clock, which keeps long sims debuggable (the event still happens and
-    /// ordering stays monotonic).
+    /// Schedules `event` at absolute time `at` (saturating past-push
+    /// policy, accounted like [`EventQueue::push`]).
     pub fn push(&mut self, at: Time, event: E) {
-        let at = at.max(self.now);
+        let at = if at < self.now {
+            let drift = self.now.as_nanos() - at.as_nanos();
+            self.clamped += 1;
+            self.drift_total_ns = self.drift_total_ns.saturating_add(drift);
+            self.drift_max_ns = self.drift_max_ns.max(drift);
+            self.now
+        } else {
+            at
+        };
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry {
+        self.heap.push(HeapEntry {
             time: at,
             seq,
             event,
         });
+    }
+
+    /// Strict push: rejects events aimed before [`Self::now`].
+    pub fn try_push(&mut self, at: Time, event: E) -> Result<(), PastPush> {
+        if at < self.now {
+            return Err(PastPush { now: self.now, at });
+        }
+        self.push(at, event);
+        Ok(())
     }
 
     /// Pops the earliest event, advancing the simulation clock to its time.
@@ -124,6 +333,36 @@ impl<E> EventQueue<E> {
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// Past-push clamp accounting: `(clamped_count, total_drift_ns,
+    /// max_drift_ns)`.
+    pub fn clamp_stats(&self) -> (u64, u64, u64) {
+        (self.clamped, self.drift_total_ns, self.drift_max_ns)
+    }
+}
+
+impl<E> SimQueue<E> for HeapQueue<E> {
+    fn new_empty() -> Self {
+        Self::new()
+    }
+    fn push(&mut self, at: Time, event: E) {
+        HeapQueue::push(self, at, event);
+    }
+    fn pop(&mut self) -> Option<(Time, E)> {
+        HeapQueue::pop(self)
+    }
+    fn peek_time(&mut self) -> Option<Time> {
+        HeapQueue::peek_time(self)
+    }
+    fn peek_next(&mut self) -> Option<&E> {
+        self.heap.peek().map(|e| &e.event)
+    }
+    fn len(&self) -> usize {
+        HeapQueue::len(self)
+    }
+    fn now(&self) -> Time {
+        HeapQueue::now(self)
     }
 }
 
@@ -154,6 +393,43 @@ mod tests {
     }
 
     #[test]
+    fn ties_break_fifo_in_reference_heap() {
+        // The pinned contract the wheel must match: push order wins
+        // within a timestamp because `seq` increases monotonically.
+        let mut q = HeapQueue::new();
+        let t = Time::from_micros(5);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fifo_survives_interleaved_timestamps() {
+        // Pushes alternate between two timestamps; within each timestamp
+        // the pop order must equal the push order on both
+        // implementations.
+        let mut wheel = EventQueue::new();
+        let mut heap = HeapQueue::new();
+        let (ta, tb) = (Time::from_micros(3), Time::from_micros(7));
+        for i in 0..50u32 {
+            let t = if i % 2 == 0 { ta } else { tb };
+            wheel.push(t, i);
+            heap.push(t, i);
+        }
+        let wheel_order: Vec<_> = std::iter::from_fn(|| wheel.pop()).collect();
+        let heap_order: Vec<_> = std::iter::from_fn(|| heap.pop()).collect();
+        assert_eq!(wheel_order, heap_order);
+        let evens: Vec<_> = wheel_order
+            .iter()
+            .filter(|(t, _)| *t == ta)
+            .map(|&(_, e)| e)
+            .collect();
+        assert_eq!(evens, (0..50).step_by(2).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn clock_advances_monotonically() {
         let mut q = EventQueue::new();
         q.push(Time::from_micros(10), ());
@@ -177,6 +453,43 @@ mod tests {
         let (t, e) = q.pop().unwrap();
         assert_eq!(e, "early");
         assert_eq!(t, Time::from_micros(100));
+    }
+
+    #[test]
+    fn past_push_is_accounted_not_silent() {
+        // Regression for the silent-clamp bug: the saturating policy is
+        // kept, but every clamp now shows up in the accounting.
+        let mut q = EventQueue::new();
+        q.push(Time::from_micros(100), 0);
+        q.pop();
+        assert_eq!(q.clamp_stats(), (0, 0, 0));
+        q.push(Time::from_micros(40), 1); // 60us in the past
+        q.push(Time::from_micros(90), 2); // 10us in the past
+        let (clamped, total, max) = q.clamp_stats();
+        assert_eq!(clamped, 2);
+        assert_eq!(total, 70_000);
+        assert_eq!(max, 60_000);
+        // Both fire at the clamped time, FIFO order preserved.
+        assert_eq!(q.pop().unwrap(), (Time::from_micros(100), 1));
+        assert_eq!(q.pop().unwrap(), (Time::from_micros(100), 2));
+    }
+
+    #[test]
+    fn try_push_rejects_instead_of_clamping() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_micros(10), 0);
+        q.pop();
+        let err = q.try_push(Time::from_micros(9), 1).unwrap_err();
+        assert_eq!(err.now, Time::from_micros(10));
+        assert_eq!(err.at, Time::from_micros(9));
+        assert_eq!(q.clamp_stats().0, 0);
+        assert!(q.is_empty(), "rejected event must not be queued");
+        // The same holds for the reference heap.
+        let mut h = HeapQueue::new();
+        h.push(Time::from_micros(10), 0);
+        h.pop();
+        assert!(h.try_push(Time::from_micros(9), 1).is_err());
+        assert!(h.try_push(Time::from_micros(10), 2).is_ok());
     }
 
     #[test]
@@ -208,5 +521,41 @@ mod tests {
         assert_eq!(seen[0], (0, 0));
         assert_eq!(seen[1], (1, 1));
         assert_eq!(seen[2], (1, 100));
+    }
+
+    #[test]
+    fn wheel_and_heap_agree_on_a_structured_interleaving() {
+        // Cheap deterministic differential check (the full random-
+        // interleaving proptest lives in tests/): mixed near/far/same-
+        // tick pushes with interleaved pops.
+        let mut wheel = EventQueue::new();
+        let mut heap = HeapQueue::new();
+        let push = |w: &mut EventQueue<u64>, h: &mut HeapQueue<u64>, ns: u64, id: u64| {
+            w.push(Time::from_nanos(ns), id);
+            h.push(Time::from_nanos(ns), id);
+        };
+        let mut id = 0;
+        for round in 0..50u64 {
+            for ns in [
+                round * 17,
+                round * 4_096,
+                round * 262_144,
+                round * 1_000_000,
+                5_000_000 - round,
+                round * 17, // duplicate timestamp: FIFO tiebreak
+            ] {
+                push(&mut wheel, &mut heap, ns, id);
+                id += 1;
+            }
+            assert_eq!(wheel.pop(), heap.pop());
+        }
+        loop {
+            let (a, b) = (wheel.pop(), heap.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        assert_eq!(wheel.now(), heap.now());
     }
 }

@@ -1,0 +1,98 @@
+//! Differential property test: the hierarchical timer wheel behind
+//! [`EventQueue`] must reproduce the reference [`HeapQueue`]'s pop
+//! sequence exactly — same times, same FIFO tie-breaks, same clock —
+//! under arbitrary push/pop/peek interleavings.
+
+use proptest::prelude::*;
+use syrup_sim::{EventQueue, HeapQueue, Time};
+
+/// One scripted operation against both queues.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Push at `now + delta_ns` (possibly far future → overflow heap).
+    Push { delta_ns: u64 },
+    /// Push at an absolute time, possibly before `now` (clamp path).
+    PushAbs { at_ns: u64 },
+    /// Pop up to `n` events.
+    Pop { n: u8 },
+    /// Peek (advances the wheel's internal frontier but not `now`).
+    Peek,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0u8..8, 0u64..u64::MAX).prop_map(|(kind, raw)| match kind {
+        // Dense near-future pushes: sub-tick collisions and FIFO ties.
+        0 | 1 => Op::Push {
+            delta_ns: raw % 200,
+        },
+        // Mid-range: exercises levels 1-3 and cascading.
+        2 | 3 => Op::Push {
+            delta_ns: raw % 50_000_000,
+        },
+        // Far range: top level, rotation wrap, overflow heap
+        // (the wheel spans ~68.7s; 200s deltas overflow it).
+        4 => Op::Push {
+            delta_ns: raw % 200_000_000_000,
+        },
+        // Absolute pushes, sometimes in the past (saturating clamp).
+        5 => Op::PushAbs {
+            at_ns: raw % 5_000_000,
+        },
+        6 => Op::Pop {
+            n: (raw % 5 + 1) as u8,
+        },
+        _ => Op::Peek,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn wheel_matches_heap_reference(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let mut wheel = EventQueue::new();
+        let mut heap = HeapQueue::new();
+        let mut id = 0u64;
+        for op in &ops {
+            match *op {
+                Op::Push { delta_ns } => {
+                    let at = wheel.now() + syrup_sim::Duration::from_nanos(delta_ns);
+                    wheel.push(at, id);
+                    heap.push(at, id);
+                    id += 1;
+                }
+                Op::PushAbs { at_ns } => {
+                    let at = Time::from_nanos(at_ns);
+                    wheel.push(at, id);
+                    heap.push(at, id);
+                    id += 1;
+                }
+                Op::Pop { n } => {
+                    for _ in 0..n {
+                        let (w, h) = (wheel.pop(), heap.pop());
+                        prop_assert_eq!(w, h, "pop diverged");
+                        if w.is_none() {
+                            break;
+                        }
+                    }
+                }
+                Op::Peek => {
+                    // peek_time must agree and must not perturb later pops.
+                    prop_assert_eq!(wheel.peek_time(), heap.peek_time());
+                }
+            }
+            prop_assert_eq!(wheel.len(), heap.len());
+            prop_assert_eq!(wheel.now(), heap.now());
+        }
+        // Drain both completely; every remaining event must match.
+        loop {
+            let (w, h) = (wheel.pop(), heap.pop());
+            prop_assert_eq!(w, h, "drain diverged");
+            if w.is_none() {
+                break;
+            }
+        }
+        prop_assert_eq!(wheel.now(), heap.now());
+        prop_assert_eq!(wheel.clamp_stats(), heap.clamp_stats());
+    }
+}

@@ -35,8 +35,10 @@
 //!   counters, and per-rank-band depths.
 //! * `map dump [--json]` — every pinned map with its definition.
 //! * `map get <path> <key>` — one value from a pinned map.
-//! * `metrics [--json]` — the full telemetry snapshot (counters, gauges,
-//!   histogram percentiles).
+//! * `metrics [--json] [--shards N]` — the full telemetry snapshot
+//!   (counters, gauges, histogram percentiles); `--shards N` replays the
+//!   warm-up through N timer wheels so the `sim/wheel_*` rows (pushes,
+//!   cascades, clamp count, drift gauge) reflect a sharded schedule.
 //! * `trace record [--requests N] [--sample N] [--export PATH]` — trace
 //!   the scenario, print a summary, optionally write Chrome-trace/Perfetto
 //!   JSON (load it at <https://ui.perfetto.dev>).
@@ -154,7 +156,7 @@ fn usage() -> ExitCode {
          \x20 queue list [--json] [--ranked]\n\
          \x20 map dump [--json]\n\
          \x20 map get PATH KEY\n\
-         \x20 metrics [--json]\n\
+         \x20 metrics [--json] [--shards N]\n\
          \x20 trace record [--scenario quickstart] [--requests N] [--sample N] [--export PATH]\n\
          \x20 trace report [--requests N] [--json]\n\
          \x20 trace export PATH\n\
@@ -336,13 +338,20 @@ fn cmd_demo() -> ExitCode {
 
 /// Runs the quickstart scenario untraced so the introspection commands
 /// have a populated daemon to report on. `--ranked` warms the
-/// rank-extension variant instead (PIFO sockets, `(q, rank)` policy).
+/// rank-extension variant instead (PIFO sockets, `(q, rank)` policy);
+/// `--shards N` spreads the ingress schedule over N timer wheels (the
+/// scenario result is shard-count invariant — see
+/// `quickstart::run_sharded` — but the per-wheel `sim/wheel_*` metrics,
+/// including the drift gauge, reflect the sharded replay).
 fn warm_quickstart(args: &[String]) -> quickstart::Quickstart {
     let tracer = Tracer::disabled();
+    let shards = flag_value(args, "--shards")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(1);
     if has_flag(args, "--ranked") {
         quickstart::run_ranked(&tracer, quickstart::DEFAULT_REQUESTS)
     } else {
-        quickstart::run_default(&tracer)
+        quickstart::run_sharded(&tracer, quickstart::DEFAULT_REQUESTS, shards)
     }
 }
 
