@@ -24,6 +24,7 @@
 //!   smoke-test with `SYRUP_SCALE=0.2` while the default setting runs the
 //!   paper-fidelity sweep.
 
+use syrup::scope::{ingest_windows, Scope};
 use syrup::sim::scale::{ScaleCfg, ScaleEngine, ScaleResult};
 
 /// Resident-set size of this process in MiB (0 when `/proc` is absent).
@@ -46,6 +47,9 @@ fn rss_mb() -> f64 {
 fn cfg_for(flows: u64, shards: usize, seed: u64) -> ScaleCfg {
     let mut cfg = ScaleCfg::new(flows, shards, seed);
     cfg.measure = bench::scaled(cfg.measure);
+    // Per-window samples feed the shard-level record fields (barrier
+    // wait, imbalance); simulation results are identical either way.
+    cfg.record_windows = true;
     cfg
 }
 
@@ -53,9 +57,19 @@ fn record(point: &ScaleResult, cfg: &ScaleCfg, engine: ScaleEngine) {
     let eps = point.events_per_sec();
     let wall_ms = point.wall.as_secs_f64() * 1e3;
     let p99_us = point.stats.latency.p99().as_secs_f64() * 1e6;
+    // Shard-level window summaries (aggregates only — a disabled Scope
+    // skips series storage). Single-shard runs report no imbalance.
+    let windows = ingest_windows(&Scope::disabled(), &point.per_shard_windows);
+    let barrier_json = windows
+        .barrier_wait_ns_per_shard
+        .iter()
+        .map(u64::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
     println!(
         "{:>6} engine={:<5} shards={} flows={:>8}  events={:>10}  {:>11.0} ev/s  \
-         wall={:>8.1}ms  dispatch p50={}ns p99={}ns  sim p99={:.1}µs  rss={:.0}MiB",
+         wall={:>8.1}ms  dispatch p50={}ns p99={}ns  sim p99={:.1}µs  rss={:.0}MiB  \
+         stall={:.1}%  imbalance={:.2}",
         "",
         engine.name(),
         cfg.shards,
@@ -67,6 +81,8 @@ fn record(point: &ScaleResult, cfg: &ScaleCfg, engine: ScaleEngine) {
         point.dispatch_p99_ns(),
         p99_us,
         rss_mb(),
+        windows.barrier_stall_pct,
+        windows.peak_max_mean,
     );
     bench::append_bench_record(
         "BENCH_scale.json",
@@ -74,7 +90,10 @@ fn record(point: &ScaleResult, cfg: &ScaleCfg, engine: ScaleEngine) {
             "{{\"bench\":\"scale\",\"unix_ts\":{},\"engine\":\"{}\",\"shards\":{},\
              \"flows\":{},\"seed\":{},\"events\":{},\"events_per_sec\":{eps:.0},\
              \"wall_ms\":{wall_ms:.2},\"p50_dispatch_ns\":{},\"p99_dispatch_ns\":{},\
-             \"rss_mb\":{:.1},\"offered\":{},\"completed\":{},\"p99_latency_us\":{p99_us:.2}}}",
+             \"rss_mb\":{:.1},\"offered\":{},\"completed\":{},\"p99_latency_us\":{p99_us:.2},\
+             \"windows\":{},\"barrier_wait_ns_per_shard\":[{barrier_json}],\
+             \"barrier_stall_pct\":{:.3},\"imbalance_max_mean\":{:.4},\
+             \"imbalance_gini\":{:.6}}}",
             bench::unix_ts(),
             engine.name(),
             cfg.shards,
@@ -86,6 +105,10 @@ fn record(point: &ScaleResult, cfg: &ScaleCfg, engine: ScaleEngine) {
             rss_mb(),
             point.stats.offered,
             point.stats.completed,
+            windows.windows,
+            windows.barrier_stall_pct,
+            windows.peak_max_mean,
+            windows.mean_gini,
         ),
     );
 }

@@ -18,7 +18,7 @@ use syrup_core::{AppId, CompileOptions, Hook, HookMeta, PolicySource, Syrupd};
 use syrup_net::socket::{Delivery, ReuseportGroup};
 use syrup_net::{flow, AppHeader, Frame, Nic, QueueKind};
 use syrup_policies::RoundRobinPolicy;
-use syrup_sim::{ShardedQueue, SimRng, Time};
+use syrup_sim::{ShardQueueStats, ShardedQueue, SimRng, Time};
 use syrup_trace::Stage;
 
 /// The UDP port the quickstart application owns.
@@ -48,6 +48,12 @@ pub struct Quickstart {
     pub nic: Nic<usize>,
     /// The reuseport group (FIFO by default, PIFO in the ranked variant).
     pub group: ReuseportGroup<usize>,
+    /// Per-wheel accounting from the ingress [`ShardedQueue`] (one entry
+    /// per shard): pushes, pops, cascades, and the clamp/drift figures
+    /// attributed to the shard that owned each key. `syrupctl metrics
+    /// --shards N` renders this breakdown; the shared registry stays
+    /// shard-count invariant.
+    pub shard_stats: Vec<ShardQueueStats>,
 }
 
 /// Runs the scenario with [`DEFAULT_REQUESTS`] requests.
@@ -312,6 +318,7 @@ pub fn run_driven(
 
     let records = tracer.peek();
     let timelines = syrup_trace::reconstruct(&records);
+    let shard_stats = ingress.per_shard_stats();
     Quickstart {
         syrupd,
         app,
@@ -320,6 +327,7 @@ pub fn run_driven(
         timelines,
         nic,
         group,
+        shard_stats,
     }
 }
 
@@ -558,6 +566,13 @@ mod tests {
             assert_eq!(snap.counter("sim/wheel_pushes"), DEFAULT_REQUESTS as u64);
             assert_eq!(snap.counter("sim/wheel_clamped"), 0);
             assert_eq!(snap.gauge("sim/wheel_drift_ns"), 0);
+            // The per-shard breakdown reconciles with the registry totals
+            // without ever entering it (which would break the invariance
+            // just asserted).
+            assert_eq!(q.shard_stats.len(), shards);
+            let pushes: u64 = q.shard_stats.iter().map(|s| s.pushes).sum();
+            assert_eq!(pushes, DEFAULT_REQUESTS as u64);
+            assert!(q.shard_stats.iter().all(|s| s.clamped == 0 && s.len == 0));
         }
     }
 

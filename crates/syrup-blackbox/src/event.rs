@@ -106,6 +106,10 @@ pub enum EventKind {
     Starvation,
     /// A manual trigger was fired (`syrupctl blackbox trigger`).
     Trigger,
+    /// A syrup-scope anomaly detector flagged a series. `id` = series
+    /// index (per-detector registration order), `aux` = |z-score| × 100,
+    /// `w0` = observed value, `w1` = baseline (rounded series median).
+    Anomaly,
 }
 
 impl EventKind {
@@ -123,6 +127,7 @@ impl EventKind {
             EventKind::SloBurn => "slo-burn",
             EventKind::Starvation => "starvation",
             EventKind::Trigger => "trigger",
+            EventKind::Anomaly => "anomaly",
         }
     }
 
@@ -139,6 +144,7 @@ impl EventKind {
             EventKind::SloBurn => 9,
             EventKind::Starvation => 10,
             EventKind::Trigger => 11,
+            EventKind::Anomaly => 12,
         }
     }
 
@@ -155,6 +161,7 @@ impl EventKind {
             9 => EventKind::SloBurn,
             10 => EventKind::Starvation,
             11 => EventKind::Trigger,
+            12 => EventKind::Anomaly,
             _ => return None,
         })
     }

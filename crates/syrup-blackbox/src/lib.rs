@@ -27,9 +27,10 @@
 //!   a single `Option` branch (≤5ns, benched in
 //!   `bench/benches/blackbox.rs`).
 //! * The trigger engine — an armed [`TriggerCause`] (SLO burn, VM trap,
-//!   starvation, or a manual `syrupctl blackbox trigger`) freezes the
-//!   rings *after* recording the triggering event, preserving the
-//!   pre-trigger window for [`Postmortem::capture`].
+//!   starvation, a syrup-scope time-series anomaly, or a manual
+//!   `syrupctl blackbox trigger`) freezes the rings *after* recording
+//!   the triggering event, preserving the pre-trigger window for
+//!   [`Postmortem::capture`] — the postmortem contains its own cause.
 //! * [`Postmortem`] — the frozen per-layer event dump plus trigger info,
 //!   serialized with a stable JSON schema; `syrupctl blackbox` wraps it
 //!   with a telemetry snapshot delta, overlapping trace timelines, and a

@@ -21,6 +21,8 @@ pub enum TriggerCause {
     Starvation,
     /// `syrupctl blackbox trigger` (or [`Recorder::trigger_manual`]).
     Manual,
+    /// A syrup-scope anomaly detector flagged a series.
+    Anomaly,
 }
 
 impl TriggerCause {
@@ -31,6 +33,7 @@ impl TriggerCause {
             TriggerCause::VmTrap => "vm-trap",
             TriggerCause::Starvation => "starvation",
             TriggerCause::Manual => "manual",
+            TriggerCause::Anomaly => "anomaly",
         }
     }
 
@@ -40,6 +43,7 @@ impl TriggerCause {
             TriggerCause::VmTrap => 1,
             TriggerCause::Starvation => 2,
             TriggerCause::Manual => 3,
+            TriggerCause::Anomaly => 4,
         }
     }
 }
@@ -75,7 +79,7 @@ struct Inner {
     /// the pre-trigger window.
     frozen: AtomicBool,
     /// Per-cause arming, [`TriggerCause::index`]-addressed.
-    armed: [AtomicBool; 4],
+    armed: [AtomicBool; 5],
     trigger: Mutex<Option<TriggerInfo>>,
 }
 
@@ -408,6 +412,51 @@ impl Recorder {
         );
     }
 
+    /// Records a time-series anomaly flagged by a syrup-scope detector
+    /// and fires the [`TriggerCause::Anomaly`] trigger if armed.
+    /// `series` is the detector's series index, `z_centi` the |z-score|
+    /// scaled by 100, `value`/`baseline` the observed value and the
+    /// series median it deviated from. Also advances the recorder clock.
+    #[inline]
+    pub fn anomaly(
+        &self,
+        now_ns: u64,
+        series: u16,
+        z_centi: u32,
+        value: u64,
+        baseline: u64,
+        detail: &str,
+    ) {
+        let Some(inner) = &self.inner else { return };
+        Self::anomaly_slow(inner, now_ns, series, z_centi, value, baseline, detail);
+    }
+
+    #[cold]
+    fn anomaly_slow(
+        inner: &Inner,
+        now_ns: u64,
+        series: u16,
+        z_centi: u32,
+        value: u64,
+        baseline: u64,
+        detail: &str,
+    ) {
+        inner.now.store(now_ns, Relaxed);
+        record(
+            inner,
+            Layer::Slo,
+            Event {
+                at_ns: now_ns,
+                kind: EventKind::Anomaly,
+                id: series,
+                aux: z_centi,
+                w0: value,
+                w1: baseline,
+            },
+        );
+        maybe_trigger(inner, TriggerCause::Anomaly, now_ns, detail);
+    }
+
     /// Fires the manual trigger (`syrupctl blackbox trigger`), recording
     /// a [`EventKind::Trigger`] event first.
     pub fn trigger_manual(&self, detail: &str) {
@@ -565,6 +614,32 @@ mod tests {
         rec.trigger_manual("first");
         rec.slo_burn(9, 0, 1, 0, "second");
         assert_eq!(rec.trigger().unwrap().cause, TriggerCause::Manual);
+    }
+
+    #[test]
+    fn anomaly_freezes_with_its_own_cause() {
+        let rec = Recorder::new();
+        rec.anomaly(15, 2, 830, 950, 120, "shard3/events z=8.3");
+        assert!(rec.frozen());
+        let trig = rec.trigger().expect("trigger fired");
+        assert_eq!(trig.cause, TriggerCause::Anomaly);
+        assert_eq!(trig.cause.as_str(), "anomaly");
+        assert_eq!(trig.at_ns, 15);
+        // The postmortem contains its own cause: the anomaly event is
+        // the last thing in the SLO ring.
+        let events = rec.events(Layer::Slo);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, EventKind::Anomaly);
+        assert_eq!(events[0].id, 2);
+        assert_eq!(events[0].aux, 830);
+        assert_eq!(events[0].w0, 950);
+        assert_eq!(events[0].w1, 120);
+        // Disarmed anomaly cause records but does not freeze.
+        let quiet = Recorder::new();
+        quiet.arm(TriggerCause::Anomaly, false);
+        quiet.anomaly(1, 0, 400, 10, 1, "x");
+        assert!(!quiet.frozen());
+        assert_eq!(quiet.events(Layer::Slo).len(), 1);
     }
 
     #[test]

@@ -35,8 +35,8 @@ mod profiler;
 mod slo;
 
 pub use pressure::{
-    LatencySummary, PressureReport, QueuePressure, RankBandPressure, StarvationEvent,
+    gini, LatencySummary, PressureReport, QueuePressure, RankBandPressure, StarvationEvent,
     ThreadPressure,
 };
 pub use profiler::{HelperCost, Hotspot, ProfileReport, Profiler, ProgCycles, ThreadState, VmSpan};
-pub use slo::{BurnEvent, SloMonitor, SloRule, SloStatus};
+pub use slo::{AnomalyNote, BurnEvent, SloMonitor, SloRule, SloStatus};

@@ -233,7 +233,10 @@ impl Serialize for PressureReport {
 }
 
 /// Gini coefficient of a non-negative series; 0 for empty/all-zero.
-pub(crate) fn gini(xs: &[f64]) -> f64 {
+/// 0 = perfectly even, →1 = concentrated on one element. Used for queue
+/// imbalance here and for cross-shard event-count imbalance by
+/// `syrup-scope` (O(n²) pairwise — fine at queue/shard counts).
+pub fn gini(xs: &[f64]) -> f64 {
     let n = xs.len();
     if n == 0 {
         return 0.0;

@@ -114,12 +114,41 @@ impl Serialize for SloStatus {
     }
 }
 
+/// A time-series anomaly noted to the monitor by a syrup-scope
+/// detector: the SLO view of "this series broke from its baseline".
+/// Primitive fields only — the monitor stays decoupled from the
+/// detector's internals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnomalyNote {
+    /// The offending series name.
+    pub series: String,
+    /// Observation time (virtual ns).
+    pub at_ns: u64,
+    /// The observed value.
+    pub value: f64,
+    /// Robust z-score of the observation.
+    pub z: f64,
+}
+
+impl Serialize for AnomalyNote {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("AnomalyNote", 4)?;
+        s.serialize_field("series", &self.series)?;
+        s.serialize_field("at_ns", &self.at_ns)?;
+        s.serialize_field("value", &self.value)?;
+        s.serialize_field("z", &self.z)?;
+        s.end()
+    }
+}
+
 /// Tracks a set of [`SloRule`]s against successive registry snapshots.
 #[derive(Debug, Default)]
 pub struct SloMonitor {
     rules: Vec<RuleState>,
+    anomalies: Vec<AnomalyNote>,
     burns_total: CounterHandle,
     rules_burning: GaugeHandle,
+    anomalies_total: CounterHandle,
     recorder: Recorder,
 }
 
@@ -145,11 +174,13 @@ impl SloMonitor {
     }
 
     /// Exports burn accounting into `registry`: `slo/burns_total`
-    /// (burn events emitted) and `slo/rules_burning` (rules currently
-    /// over threshold).
+    /// (burn events emitted), `slo/rules_burning` (rules currently over
+    /// threshold), and `slo/anomalies_total` (time-series anomalies
+    /// noted by syrup-scope detectors).
     pub fn attach_telemetry(&mut self, registry: &Registry) {
         self.burns_total = registry.counter("slo/burns_total");
         self.rules_burning = registry.gauge("slo/rules_burning");
+        self.anomalies_total = registry.counter("slo/anomalies_total");
     }
 
     /// Streams burn events into the flight recorder (rule index =
@@ -207,6 +238,25 @@ impl SloMonitor {
         self.rules_burning
             .set(self.rules.iter().filter(|rs| rs.consecutive > 0).count() as i64);
         burns
+    }
+
+    /// Records a time-series anomaly flagged by a syrup-scope detector,
+    /// so SLO health and anomaly health read from one place (the
+    /// continuous-signal feed ROADMAP's policy-rollback item triggers
+    /// on). Bumps `slo/anomalies_total` when telemetry is attached.
+    pub fn note_anomaly(&mut self, at_ns: u64, series: &str, value: f64, z: f64) {
+        self.anomalies_total.inc();
+        self.anomalies.push(AnomalyNote {
+            series: series.to_string(),
+            at_ns,
+            value,
+            z,
+        });
+    }
+
+    /// Anomalies noted so far, in arrival order.
+    pub fn anomalies(&self) -> &[AnomalyNote] {
+        &self.anomalies
     }
 
     /// Each rule's standing after the most recent observation.
@@ -330,6 +380,21 @@ mod tests {
         assert_eq!(e.w1, 100);
         // An armed recorder freezes on the burn.
         assert!(rec.frozen());
+    }
+
+    #[test]
+    fn anomaly_notes_accumulate_and_count() {
+        let registry = Registry::new();
+        let mut mon = SloMonitor::new();
+        mon.attach_telemetry(&registry);
+        mon.note_anomaly(5_000, "shard1/events", 9_000.0, 8.2);
+        mon.note_anomaly(6_000, "imbalance/gini", 0.9, 6.5);
+        assert_eq!(mon.anomalies().len(), 2);
+        assert_eq!(mon.anomalies()[0].series, "shard1/events");
+        assert_eq!(mon.anomalies()[1].at_ns, 6_000);
+        assert_eq!(registry.snapshot().counter("slo/anomalies_total"), 2);
+        let json = serde::json::to_string(&mon.anomalies().to_vec()).unwrap();
+        assert!(json.contains("\"series\":\"shard1/events\""), "{json}");
     }
 
     #[test]

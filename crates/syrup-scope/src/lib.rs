@@ -1,0 +1,48 @@
+//! Continuous time-series observability for the Syrup stack.
+//!
+//! The other observability pillars are point-in-time: `syrup-telemetry`
+//! snapshots, `syrup-trace` per-request timelines, `syrup-profile`
+//! per-run reports, `syrup-blackbox` postmortem windows. This crate is
+//! the *continuous* pillar — where wall-clock and events go **over
+//! time** — the sensing substrate that hot policy swap / SLO-burn
+//! rollback and oversubscription arbitration (ROADMAP open items) will
+//! trigger and arbitrate on:
+//!
+//! * [`Scope`] — fixed-capacity ring time-series store, one bounded
+//!   ring of `(at_ns, value)` points per named series with exact
+//!   eviction accounting; clone = shared handle, and a disabled scope
+//!   makes every record site a single `Option` branch (≤5ns contract,
+//!   gated by `bench --bench scope`).
+//! * [`Sampler`] — periodically captures telemetry-registry deltas
+//!   ([`syrup_telemetry::Snapshot::delta`]) at a configurable cadence:
+//!   counter increments, gauge levels, and histogram count increments
+//!   become points, per shard (`shard<k>/…` prefixes) and globally.
+//! * [`ingest_windows`] — turns `run_windows` per-window samples
+//!   ([`syrup_sim::WindowSample`]) into per-shard series (events,
+//!   barrier-wait ns, mailbox traffic, occupancy) plus cross-shard
+//!   imbalance series (max/mean ratio and Gini, via
+//!   [`syrup_profile::gini`]) and the [`WindowsSummary`] aggregates
+//!   `bench --bin scale` records.
+//! * [`AnomalyEngine`] — robust per-series detectors (EWMA baseline +
+//!   MAD z-score) emitting structured [`AnomalyEvent`]s, wired into the
+//!   blackbox trigger engine (anomaly → frozen postmortem containing
+//!   its own cause) and into `SloMonitor::note_anomaly`.
+//! * [`openmetrics`] — OpenMetrics/Prometheus text exposition of a
+//!   telemetry snapshot with a stable schema (`syrupctl metrics
+//!   --openmetrics`), plus the [`check_exposition`] line-format checker
+//!   CI parses it with.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod anomaly;
+mod ingest;
+mod openmetrics;
+mod sampler;
+mod store;
+
+pub use anomaly::{AnomalyCfg, AnomalyEngine, AnomalyEvent, SeriesDetector};
+pub use ingest::{ingest_windows, WindowsSummary};
+pub use openmetrics::{check_exposition, openmetrics, sanitize};
+pub use sampler::{Sampler, DEFAULT_SAMPLE_EVERY_NS};
+pub use store::{Point, Scope, SeriesHandle, SeriesSnapshot, DEFAULT_SERIES_CAPACITY};

@@ -31,7 +31,7 @@ pub mod workload;
 pub use queue::{EventQueue, HeapQueue, SimQueue};
 pub use rng::SimRng;
 pub use scale::{ScaleCfg, ScaleEngine, ScaleResult};
-pub use shard::ShardedQueue;
+pub use shard::{ShardQueueStats, ShardedQueue, WindowSample};
 pub use stats::{LatencyRecorder, LatencySummary, RunStats};
 pub use time::{Duration, Time};
 pub use wheel::{PastPush, TimerWheel};

@@ -77,6 +77,11 @@ pub struct ScaleCfg {
     /// Sample every Nth event dispatch for wall-latency percentiles
     /// (0 = off).
     pub sample_every: u64,
+    /// Record per-window [`crate::shard::WindowSample`]s into
+    /// [`ScaleResult::per_shard_windows`] (barrier-wait, mailbox
+    /// traffic, occupancy) — the syrup-scope feed. Off by default;
+    /// simulation results are identical either way.
+    pub record_windows: bool,
 }
 
 impl ScaleCfg {
@@ -97,6 +102,7 @@ impl ScaleCfg {
             net_delay: Duration::from_micros(25),
             window: Duration::from_micros(20),
             sample_every: 64,
+            record_windows: false,
         }
     }
 
@@ -140,6 +146,10 @@ pub struct ScaleResult {
     pub wall: std::time::Duration,
     /// Sorted sampled wall costs of single event dispatches, ns.
     pub dispatch_ns: Vec<u64>,
+    /// Per-shard per-window accounts (one entry per shard, each empty
+    /// unless [`ScaleCfg::record_windows`]); windows are lock-step, so
+    /// index `k` of every shard describes the same window.
+    pub per_shard_windows: Vec<Vec<crate::shard::WindowSample>>,
 }
 
 impl ScaleResult {
@@ -477,6 +487,7 @@ pub fn run(cfg: &ScaleCfg, engine: ScaleEngine) -> ScaleResult {
     let wcfg = WindowCfg {
         window: cfg.window,
         sample_every: cfg.sample_every,
+        record_windows: cfg.record_windows,
     };
     let started = std::time::Instant::now();
     let runs: Vec<ShardRun<ScaleShard>> = match engine {
@@ -492,6 +503,7 @@ pub fn run(cfg: &ScaleCfg, engine: ScaleEngine) -> ScaleResult {
     let mut hist = syrup_telemetry::HistogramSnapshot::empty();
     let mut completed = 0u64;
     let mut dispatch_ns: Vec<u64> = Vec::new();
+    let mut per_shard_windows = Vec::with_capacity(runs.len());
     for run in &runs {
         offered += run.world.offered;
         completed += run.world.rec.len() as u64;
@@ -500,6 +512,7 @@ pub fn run(cfg: &ScaleCfg, engine: ScaleEngine) -> ScaleResult {
         samples.extend_from_slice(run.world.rec.summary().samples());
         hist.merge(run.world.rec.histogram());
         dispatch_ns.extend_from_slice(&run.dispatch_ns);
+        per_shard_windows.push(run.windows.clone());
     }
     dispatch_ns.sort_unstable();
     let stats = RunStats {
@@ -516,6 +529,7 @@ pub fn run(cfg: &ScaleCfg, engine: ScaleEngine) -> ScaleResult {
         per_shard_events,
         wall,
         dispatch_ns,
+        per_shard_windows,
     }
 }
 
@@ -564,6 +578,42 @@ mod tests {
                 sharded.stats.latency.samples()
             );
         }
+    }
+
+    #[test]
+    fn window_recording_does_not_perturb_results() {
+        let plain = run(&small(500, 2, 11), ScaleEngine::Wheel);
+        let mut cfg = small(500, 2, 11);
+        cfg.record_windows = true;
+        let observed = run(&cfg, ScaleEngine::Wheel);
+        assert_eq!(plain.fingerprint(), observed.fingerprint());
+        assert_eq!(plain.events, observed.events);
+        assert!(plain.per_shard_windows.iter().all(Vec::is_empty));
+        assert_eq!(observed.per_shard_windows.len(), 2);
+        for (shard, windows) in observed.per_shard_windows.iter().enumerate() {
+            assert!(!windows.is_empty(), "shard {shard} recorded no windows");
+        }
+        // Window event counts reconcile with the per-shard totals.
+        for (shard, windows) in observed.per_shard_windows.iter().enumerate() {
+            let sum: u64 = windows.iter().map(|w| w.events).sum();
+            assert_eq!(sum, observed.per_shard_events[shard]);
+        }
+        // Closed-loop flows talk across shards: mailbox traffic exists
+        // and balances.
+        let sent: u64 = observed
+            .per_shard_windows
+            .iter()
+            .flatten()
+            .map(|w| w.mailbox_out)
+            .sum();
+        let recv: u64 = observed
+            .per_shard_windows
+            .iter()
+            .flatten()
+            .map(|w| w.mailbox_in)
+            .sum();
+        assert_eq!(sent, recv);
+        assert!(sent > 0);
     }
 
     #[test]

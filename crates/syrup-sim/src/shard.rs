@@ -53,6 +53,11 @@ pub struct ShardedQueue<E> {
     clamped: u64,
     drift_total_ns: u64,
     drift_max_ns: u64,
+    /// Facade clamp accounting attributed to the shard the late push
+    /// routed to: `(clamped, drift_total_ns, drift_max_ns)` per shard.
+    /// The wheels' own clocks lag the facade clock, so only the facade
+    /// sees these — surfaced by [`ShardedQueue::per_shard_stats`].
+    per_shard_clamp: Vec<(u64, u64, u64)>,
     tel_clamped: CounterHandle,
     tel_drift: GaugeHandle,
 }
@@ -68,6 +73,7 @@ impl<E> ShardedQueue<E> {
             clamped: 0,
             drift_total_ns: 0,
             drift_max_ns: 0,
+            per_shard_clamp: vec![(0, 0, 0); n],
             tel_clamped: CounterHandle::disabled(),
             tel_drift: GaugeHandle::disabled(),
         }
@@ -92,11 +98,16 @@ impl<E> ShardedQueue<E> {
     /// clock — not the (lagging) per-shard clocks — is what `at` is
     /// measured against.
     pub fn push_keyed(&mut self, at: Time, key: u64, event: E) {
+        let shard = self.route(key);
         let at = if at < self.now {
             let drift = self.now.as_nanos() - at.as_nanos();
             self.clamped += 1;
             self.drift_total_ns = self.drift_total_ns.saturating_add(drift);
             self.drift_max_ns = self.drift_max_ns.max(drift);
+            let per = &mut self.per_shard_clamp[shard];
+            per.0 += 1;
+            per.1 = per.1.saturating_add(drift);
+            per.2 = per.2.max(drift);
             self.tel_clamped.inc();
             self.tel_drift.add(drift as i64);
             self.now
@@ -105,7 +116,6 @@ impl<E> ShardedQueue<E> {
         };
         let seq = self.next_seq;
         self.next_seq += 1;
-        let shard = self.route(key);
         self.shards[shard].push(at, (seq, event));
     }
 
@@ -176,6 +186,60 @@ impl<E> ShardedQueue<E> {
         self.tel_clamped.add(self.clamped);
         self.tel_drift.add(self.drift_total_ns as i64);
     }
+
+    /// Per-shard wheel statistics plus the facade's clamp attribution —
+    /// what the shared registry deliberately does *not* break out (its
+    /// `{prefix}/wheel_*` family aggregates all shards so telemetry is
+    /// shard-count-invariant). `syrupctl metrics --shards N` renders
+    /// this breakdown, one row per shard.
+    pub fn per_shard_stats(&self) -> Vec<ShardQueueStats> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, wheel)| {
+                let w = wheel.stats();
+                let (clamped, drift_total_ns, drift_max_ns) = self.per_shard_clamp[i];
+                ShardQueueStats {
+                    shard: i,
+                    len: wheel.len(),
+                    pushes: w.pushes,
+                    pops: w.pops,
+                    cascaded: w.cascaded,
+                    overflowed: w.overflowed,
+                    clamped,
+                    drift_total_ns,
+                    drift_max_ns,
+                }
+            })
+            .collect()
+    }
+}
+
+/// One shard's view of a [`ShardedQueue`]: the underlying wheel's
+/// counters plus the facade clamp accounting attributed to this shard.
+/// Clamp/drift figures come from the facade (measured against the
+/// *global* clock), not the wheel — the per-shard wheel clocks lag and
+/// never see the drift.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardQueueStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Events currently pending on this shard.
+    pub len: usize,
+    /// Events accepted by this shard's wheel.
+    pub pushes: u64,
+    /// Events handed out of this shard's wheel.
+    pub pops: u64,
+    /// Entries moved during this shard's cascades.
+    pub cascaded: u64,
+    /// Pushes that landed in this shard's overflow heap.
+    pub overflowed: u64,
+    /// Facade past-pushes that routed to this shard and were clamped.
+    pub clamped: u64,
+    /// Total backwards drift absorbed for this shard, nanoseconds.
+    pub drift_total_ns: u64,
+    /// Largest single backwards drift absorbed for this shard.
+    pub drift_max_ns: u64,
 }
 
 /// A cross-shard message produced during a window, delivered (sorted)
@@ -288,6 +352,39 @@ pub struct WindowCfg {
     /// Sample the wall-clock cost of every Nth pop+handle into
     /// [`ShardRun::dispatch_ns`] (0 disables sampling).
     pub sample_every: u64,
+    /// Record one [`WindowSample`] per simulated window into
+    /// [`ShardRun::windows`]: events, barrier-wait wall time, mailbox
+    /// traffic, occupancy. Off by default — the samples cost two
+    /// `Instant` reads per barrier per window, and the fig7/table2
+    /// artifact runs must stay byte-identical with observability off.
+    pub record_windows: bool,
+}
+
+/// One shard's account of one simulated window, recorded by
+/// [`run_windows`] when [`WindowCfg::record_windows`] is set. This is
+/// the raw feed for `syrup-scope`'s per-shard series (barrier-stall %,
+/// mailbox pressure, imbalance): windows are lock-step across shards, so
+/// sample `k` of every shard describes the *same* window and cross-shard
+/// skew can be computed index-by-index.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowSample {
+    /// Window start, virtual nanoseconds (same across shards).
+    pub window_start_ns: u64,
+    /// Events this shard dispatched inside the window.
+    pub events: u64,
+    /// Wall-clock nanoseconds this shard spent blocked on the two
+    /// inter-window barriers (0 for single-shard runs).
+    pub barrier_wait_ns: u64,
+    /// Total wall-clock nanoseconds the window took on this shard,
+    /// compute and exchange included.
+    pub wall_ns: u64,
+    /// Cross-shard messages this shard deposited at the boundary.
+    pub mailbox_out: u64,
+    /// Cross-shard messages this shard received at the boundary.
+    pub mailbox_in: u64,
+    /// Events still pending on this shard's queue at the end of the
+    /// compute phase.
+    pub occupancy: u64,
 }
 
 /// What [`run_windows`] returns for each shard.
@@ -299,6 +396,8 @@ pub struct ShardRun<W> {
     pub events: u64,
     /// Sampled per-event dispatch wall latencies, in nanoseconds.
     pub dispatch_ns: Vec<u64>,
+    /// Per-window accounts (empty unless [`WindowCfg::record_windows`]).
+    pub windows: Vec<WindowSample>,
 }
 
 /// Drives `worlds` (one per shard) to completion over queues of type
@@ -409,6 +508,7 @@ where
 
     let mut events = 0u64;
     let mut dispatch_ns = Vec::new();
+    let mut windows: Vec<WindowSample> = Vec::new();
     let mut window_start_ns = 0u64;
     let mut parity = 0usize;
     // Countdown instead of `events % sample_every` — the division is
@@ -423,6 +523,11 @@ where
 
     loop {
         let window_end = Time::from_nanos(window_start_ns.saturating_add(window_ns));
+        // Window accounting is opt-in and kept entirely off the
+        // per-event path: two Instant reads per window plus one per
+        // barrier, nothing inside the compute loop.
+        let win_started = cfg.record_windows.then(std::time::Instant::now);
+        let events_before = events;
 
         // Compute phase: drain local events strictly inside the window.
         loop {
@@ -460,6 +565,17 @@ where
                 // Single shard: any `send` was rerouted into the queue,
                 // so `out` stays empty and the run ends with the queue.
                 debug_assert!(out.is_empty());
+                if let Some(started) = win_started {
+                    windows.push(WindowSample {
+                        window_start_ns,
+                        events: events - events_before,
+                        barrier_wait_ns: 0,
+                        wall_ns: started.elapsed().as_nanos() as u64,
+                        mailbox_out: 0,
+                        mailbox_in: 0,
+                        occupancy: q.len() as u64,
+                    });
+                }
                 if q.is_empty() {
                     break;
                 }
@@ -467,6 +583,7 @@ where
                 window_start_ns = next - (next % window_ns);
             }
             Some(shared) => {
+                let mailbox_out = out.len() as u64;
                 // Deposit phase: hand outgoing messages to the mailboxes.
                 if !out.is_empty() {
                     for msg in out.drain(..) {
@@ -477,7 +594,10 @@ where
                             .push(msg);
                     }
                 }
+                let barrier_started = win_started.map(|_| std::time::Instant::now());
                 shared.barrier.wait();
+                let mut barrier_wait_ns =
+                    barrier_started.map_or(0, |s| s.elapsed().as_nanos() as u64);
 
                 // Exchange phase: take this shard's column, sort by the
                 // deterministic key, and enqueue. Reset the *next*
@@ -490,6 +610,7 @@ where
                     inbox.append(&mut shared.mailboxes[slot].lock().expect("mailbox lock"));
                 }
                 inbox.sort_by_key(|m| (m.at, m.order));
+                let mailbox_in = inbox.len() as u64;
                 for msg in inbox {
                     debug_assert!(
                         msg.at >= window_end,
@@ -497,11 +618,26 @@ where
                     );
                     q.push(msg.at, msg.ev);
                 }
-                shared.pending[parity].fetch_add(q.len() as u64, AtomicOrdering::Relaxed);
+                let occupancy = q.len() as u64;
+                shared.pending[parity].fetch_add(occupancy, AtomicOrdering::Relaxed);
                 if let Some(t) = q.peek_time() {
                     shared.min_next[parity].fetch_min(t.as_nanos(), AtomicOrdering::Relaxed);
                 }
+                let barrier_started = win_started.map(|_| std::time::Instant::now());
                 shared.barrier.wait();
+                barrier_wait_ns += barrier_started.map_or(0, |s| s.elapsed().as_nanos() as u64);
+
+                if let Some(started) = win_started {
+                    windows.push(WindowSample {
+                        window_start_ns,
+                        events: events - events_before,
+                        barrier_wait_ns,
+                        wall_ns: started.elapsed().as_nanos() as u64,
+                        mailbox_out,
+                        mailbox_in,
+                        occupancy,
+                    });
+                }
 
                 let total = shared.pending[parity].load(AtomicOrdering::Relaxed);
                 if total == 0 {
@@ -523,6 +659,7 @@ where
         world,
         events,
         dispatch_ns,
+        windows,
     }
 }
 
@@ -586,6 +723,116 @@ mod tests {
         assert_eq!(q.pop().unwrap().0, Time::from_micros(10));
     }
 
+    #[test]
+    fn per_shard_stats_attribute_clamps_to_the_routed_shard() {
+        let mut q = ShardedQueue::new(4);
+        for key in 0..32u64 {
+            q.push_keyed(Time::from_micros(10), key, key);
+        }
+        q.pop();
+        q.push_keyed(Time::from_micros(4), 7, 999); // late, routes by key 7
+        let stats = q.per_shard_stats();
+        assert_eq!(stats.len(), 4);
+        // Global invariants: per-shard figures sum to the facade/wheel
+        // totals, and exactly one shard owns the clamp with its drift.
+        let (g_clamped, g_total, g_max) = q.clamp_stats();
+        assert_eq!(stats.iter().map(|s| s.clamped).sum::<u64>(), g_clamped);
+        assert_eq!(stats.iter().map(|s| s.drift_total_ns).sum::<u64>(), g_total);
+        assert_eq!(stats.iter().map(|s| s.drift_max_ns).max().unwrap(), g_max);
+        assert_eq!(stats.iter().map(|s| s.pushes).sum::<u64>(), 33);
+        assert_eq!(stats.iter().map(|s| s.pops).sum::<u64>(), 1);
+        assert_eq!(stats.iter().map(|s| s.len).sum::<usize>(), q.len());
+        let clamping: Vec<_> = stats.iter().filter(|s| s.clamped > 0).collect();
+        assert_eq!(clamping.len(), 1);
+        assert_eq!(clamping[0].drift_total_ns, 6_000);
+        assert_eq!(clamping[0].drift_max_ns, 6_000);
+    }
+
+    #[test]
+    fn windowed_engine_records_per_window_samples() {
+        let latency = Duration::from_micros(25);
+        let cfg = WindowCfg {
+            window: Duration::from_micros(20),
+            sample_every: 0,
+            record_windows: true,
+        };
+        for shards in [1usize, 2] {
+            let worlds: Vec<_> = (0..shards)
+                .map(|shard| PingWorld {
+                    shard,
+                    hops: 40,
+                    latency,
+                    log: Vec::new(),
+                })
+                .collect();
+            let runs = run_windows::<crate::EventQueue<u64>, _>(worlds, cfg);
+            for run in &runs {
+                assert!(!run.windows.is_empty(), "shards={shards}");
+                // Per-window event counts reconcile with the shard total.
+                let window_events: u64 = run.windows.iter().map(|w| w.events).sum();
+                assert_eq!(window_events, run.events, "shards={shards}");
+                // Window starts are strictly increasing and aligned.
+                for pair in run.windows.windows(2) {
+                    assert!(pair[0].window_start_ns < pair[1].window_start_ns);
+                }
+                for w in &run.windows {
+                    assert_eq!(w.window_start_ns % 20_000, 0);
+                }
+            }
+            if shards == 1 {
+                let r = &runs[0];
+                assert!(r.windows.iter().all(|w| w.barrier_wait_ns == 0));
+                assert!(r.windows.iter().all(|w| w.mailbox_in == 0));
+            } else {
+                // The ping-pong crosses shards every hop: mailbox traffic
+                // must balance globally, and hops sent = hops received.
+                let sent: u64 = runs
+                    .iter()
+                    .flat_map(|r| &r.windows)
+                    .map(|w| w.mailbox_out)
+                    .sum();
+                let recv: u64 = runs
+                    .iter()
+                    .flat_map(|r| &r.windows)
+                    .map(|w| w.mailbox_in)
+                    .sum();
+                assert_eq!(sent, recv);
+                assert_eq!(sent, 40);
+                // Windows are lock-step: both shards saw the same count
+                // and the same start times.
+                assert_eq!(runs[0].windows.len(), runs[1].windows.len());
+                for (a, b) in runs[0].windows.iter().zip(&runs[1].windows) {
+                    assert_eq!(a.window_start_ns, b.window_start_ns);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn record_windows_off_keeps_runs_sample_free() {
+        let cfg = WindowCfg {
+            window: Duration::from_micros(20),
+            sample_every: 0,
+            record_windows: false,
+        };
+        let worlds = vec![
+            PingWorld {
+                shard: 0,
+                hops: 10,
+                latency: Duration::from_micros(25),
+                log: Vec::new(),
+            },
+            PingWorld {
+                shard: 1,
+                hops: 10,
+                latency: Duration::from_micros(25),
+                log: Vec::new(),
+            },
+        ];
+        let runs = run_windows::<crate::EventQueue<u64>, _>(worlds, cfg);
+        assert!(runs.iter().all(|r| r.windows.is_empty()));
+    }
+
     /// A ping-pong world: each shard bounces a counter to the next shard
     /// with a fixed latency, recording `(time, value)` on receipt.
     struct PingWorld {
@@ -619,6 +866,7 @@ mod tests {
         let cfg = WindowCfg {
             window: Duration::from_micros(20),
             sample_every: 0,
+            record_windows: false,
         };
         for shards in [1usize, 2, 4] {
             let worlds: Vec<_> = (0..shards)
@@ -646,6 +894,7 @@ mod tests {
         let cfg = WindowCfg {
             window: Duration::from_micros(20),
             sample_every: 0,
+            record_windows: false,
         };
         let mk = |shard| PingWorld {
             shard,

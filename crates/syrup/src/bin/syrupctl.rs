@@ -35,10 +35,21 @@
 //!   counters, and per-rank-band depths.
 //! * `map dump [--json]` — every pinned map with its definition.
 //! * `map get <path> <key>` — one value from a pinned map.
-//! * `metrics [--json] [--shards N]` — the full telemetry snapshot
-//!   (counters, gauges, histogram percentiles); `--shards N` replays the
-//!   warm-up through N timer wheels so the `sim/wheel_*` rows (pushes,
-//!   cascades, clamp count, drift gauge) reflect a sharded schedule.
+//! * `metrics [--json|--openmetrics] [--shards N]` — the full telemetry
+//!   snapshot (counters, gauges, histogram percentiles); `--openmetrics`
+//!   emits the OpenMetrics text exposition instead (stable schema, ends
+//!   in `# EOF`); `--shards N` replays the warm-up through N timer
+//!   wheels so the `sim/wheel_*` rows (pushes, cascades, clamp count,
+//!   drift gauge) reflect a sharded schedule *and* appends a per-shard
+//!   breakdown (pushes, pops, cascades, clamps, per-shard drift) that
+//!   the shared registry deliberately never splits out.
+//! * `top [--flows N] [--shards N] [--frames N] [--seed N] [--json]` —
+//!   a `top`-style dashboard over a sharded scale run with per-window
+//!   recording on: per-frame, per-shard throughput, barrier-stall %,
+//!   and occupancy, plus cross-shard imbalance, live anomaly events
+//!   (EWMA+MAD detectors over per-shard throughput), and the ranked
+//!   quickstart's rank-band queue pressure. `--json` emits one JSON
+//!   object per frame, then a summary object.
 //! * `trace record [--requests N] [--sample N] [--export PATH]` — trace
 //!   the scenario, print a summary, optionally write Chrome-trace/Perfetto
 //!   JSON (load it at <https://ui.perfetto.dev>).
@@ -109,6 +120,7 @@ fn main() -> ExitCode {
             _ => usage(),
         },
         Some("metrics") => cmd_metrics(&args[1..]),
+        Some("top") => cmd_top(&args[1..]),
         Some("trace") => match args.get(1).map(String::as_str) {
             Some("record") => cmd_trace_record(&args[2..]),
             Some("report") => cmd_trace_report(&args[2..]),
@@ -156,7 +168,8 @@ fn usage() -> ExitCode {
          \x20 queue list [--json] [--ranked]\n\
          \x20 map dump [--json]\n\
          \x20 map get PATH KEY\n\
-         \x20 metrics [--json] [--shards N]\n\
+         \x20 metrics [--json|--openmetrics] [--shards N]\n\
+         \x20 top [--flows N] [--shards N] [--frames N] [--seed N] [--json]\n\
          \x20 trace record [--scenario quickstart] [--requests N] [--sample N] [--export PATH]\n\
          \x20 trace report [--requests N] [--json]\n\
          \x20 trace export PATH\n\
@@ -664,10 +677,313 @@ fn cmd_map_get(args: &[String]) -> ExitCode {
 fn cmd_metrics(args: &[String]) -> ExitCode {
     let q = warm_quickstart(args);
     let snapshot = q.syrupd.telemetry_snapshot();
+    if has_flag(args, "--openmetrics") {
+        print!("{}", syrup::scope::openmetrics(&snapshot));
+        return ExitCode::SUCCESS;
+    }
+    // The per-shard breakdown only exists when the operator asked for a
+    // sharded replay: the registry itself stays shard-count invariant, so
+    // the split lives in the side-channel `shard_stats`, not in new rows.
+    let sharded = flag_value(args, "--shards").is_some();
     if has_flag(args, "--json") {
-        println!("{}", snapshot.to_json());
+        if sharded {
+            let mut out = format!("{{\"snapshot\":{},\"shards\":[", snapshot.to_json());
+            for (i, s) in q.shard_stats.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"shard\":{},\"len\":{},\"pushes\":{},\"pops\":{},\
+                     \"cascaded\":{},\"overflowed\":{},\"clamped\":{},\
+                     \"wheel_drift_ns\":{},\"drift_max_ns\":{}}}",
+                    s.shard,
+                    s.len,
+                    s.pushes,
+                    s.pops,
+                    s.cascaded,
+                    s.overflowed,
+                    s.clamped,
+                    s.drift_total_ns,
+                    s.drift_max_ns
+                ));
+            }
+            out.push_str("]}");
+            println!("{out}");
+        } else {
+            println!("{}", snapshot.to_json());
+        }
     } else {
         print!("{}", snapshot.render_table());
+        if sharded {
+            println!(
+                "\n{:<6} {:>5} {:>8} {:>8} {:>9} {:>10} {:>8} {:>15} {:>13}",
+                "shard",
+                "len",
+                "pushes",
+                "pops",
+                "cascaded",
+                "overflowed",
+                "clamped",
+                "wheel_drift_ns",
+                "drift_max_ns"
+            );
+            for s in &q.shard_stats {
+                println!(
+                    "{:<6} {:>5} {:>8} {:>8} {:>9} {:>10} {:>8} {:>15} {:>13}",
+                    s.shard,
+                    s.len,
+                    s.pushes,
+                    s.pops,
+                    s.cascaded,
+                    s.overflowed,
+                    s.clamped,
+                    s.drift_total_ns,
+                    s.drift_max_ns
+                );
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// A `top`-style dashboard over a sharded scale run: per-frame, per-shard
+/// throughput, barrier-stall share, and occupancy, with cross-shard
+/// imbalance, anomaly events from EWMA+MAD detectors over per-shard
+/// throughput, and the ranked quickstart's rank-band queue pressure.
+///
+/// The run records per-window samples ([`syrup::sim::WindowSample`]),
+/// feeds them through [`syrup::scope::ingest_windows`] into a
+/// [`syrup::scope::Scope`], and groups the lock-step windows into
+/// `--frames` frames. `--json` prints one object per frame and then one
+/// summary object, so scripts can stream frames line by line.
+fn cmd_top(args: &[String]) -> ExitCode {
+    use syrup::scope::{ingest_windows, AnomalyCfg, AnomalyEngine, Scope};
+    use syrup::sim::{scale, ScaleCfg, ScaleEngine};
+
+    let parse = |flag: &str, default: usize| -> Result<usize, String> {
+        match flag_value(args, flag) {
+            Some(v) => v
+                .parse::<usize>()
+                .map_err(|_| format!("{flag} `{v}` is not a number")),
+            None => Ok(default),
+        }
+    };
+    let (flows, shards, frames, seed) = match (
+        parse("--flows", 4_000),
+        parse("--shards", 2),
+        parse("--frames", 8),
+        parse("--seed", 7),
+    ) {
+        (Ok(f), Ok(s), Ok(fr), Ok(se)) if s > 0 && fr > 0 => (f, s, fr, se),
+        (Ok(_), Ok(s), Ok(fr), Ok(_)) if s == 0 || fr == 0 => {
+            eprintln!("--shards and --frames must be positive");
+            return ExitCode::FAILURE;
+        }
+        (f, s, fr, se) => {
+            for e in [f.err(), s.err(), fr.err(), se.err()].into_iter().flatten() {
+                eprintln!("{e}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    let json = has_flag(args, "--json");
+
+    let mut cfg = ScaleCfg::new(flows as u64, shards, seed as u64);
+    cfg.record_windows = true;
+    let result = scale::run(&cfg, ScaleEngine::Wheel);
+    let scope = Scope::new();
+    let summary = ingest_windows(&scope, &result.per_shard_windows);
+
+    // Anomaly detectors over per-shard throughput, fed in lock-step
+    // order so the baselines see time the way a live monitor would.
+    // Single windows hold a handful of events each, so adjacent windows
+    // are summed into coarser buckets first — the detectors should flag
+    // sustained throughput excursions, not per-window burstiness.
+    let mut engine = AnomalyEngine::new(AnomalyCfg::default());
+    let mut anomalies = Vec::new();
+    let nwindows = summary.windows as usize;
+    let bucket = (nwindows / 256).max(1);
+    for lo in (0..nwindows).step_by(bucket) {
+        for (k, windows) in result.per_shard_windows.iter().enumerate() {
+            let chunk = &windows[lo.min(windows.len())..(lo + bucket).min(windows.len())];
+            let Some(first) = chunk.first() else { continue };
+            let events: u64 = chunk.iter().map(|w| w.events).sum();
+            if let Some(ev) = engine.observe(
+                &format!("shard{k}/events"),
+                first.window_start_ns,
+                events as f64,
+            ) {
+                anomalies.push(ev);
+            }
+        }
+    }
+
+    // Rank-band queue pressure comes from the ranked quickstart — the
+    // scale world has no ranked queues, so the dashboard borrows the
+    // PIFO sockets' per-band occupancy for its pressure panel.
+    let band_profiler = Profiler::new();
+    let _ = quickstart::run_scenario(
+        &Tracer::disabled(),
+        &band_profiler,
+        quickstart::DEFAULT_REQUESTS,
+        true,
+    );
+    let bands = band_profiler.pressure().rank_bands;
+
+    if !json {
+        println!(
+            "syrup top — {} flows over {} shards ({} engine): {} windows in {} frames, {} events",
+            flows,
+            shards,
+            ScaleEngine::Wheel.name(),
+            nwindows,
+            frames,
+            summary.events
+        );
+    }
+    let per_frame = nwindows.div_ceil(frames).max(1);
+    let mut frame_no = 0u64;
+    for lo in (0..nwindows).step_by(per_frame) {
+        let hi = (lo + per_frame).min(nwindows);
+        frame_no += 1;
+        let span = |w: &[syrup::sim::WindowSample]| -> (u64, u64, u64, u64, u64) {
+            // (events, barrier, wall, mailbox_out, last occupancy)
+            let s = &w[lo.min(w.len())..hi.min(w.len())];
+            (
+                s.iter().map(|w| w.events).sum(),
+                s.iter().map(|w| w.barrier_wait_ns).sum(),
+                s.iter().map(|w| w.wall_ns).sum(),
+                s.iter().map(|w| w.mailbox_out).sum(),
+                s.last().map_or(0, |w| w.occupancy),
+            )
+        };
+        let start_ns = result.per_shard_windows[0]
+            .get(lo)
+            .map_or(0, |w| w.window_start_ns);
+        let end_ns = result.per_shard_windows[0]
+            .get(hi - 1)
+            .map_or(start_ns, |w| w.window_start_ns);
+        let shard_rows: Vec<(usize, u64, u64, u64, u64, u64)> = result
+            .per_shard_windows
+            .iter()
+            .enumerate()
+            .map(|(k, w)| {
+                let (ev, barrier, wall, mbox, occ) = span(w);
+                (k, ev, barrier, wall, mbox, occ)
+            })
+            .collect();
+        let frame_events: u64 = shard_rows.iter().map(|r| r.1).sum();
+        let mean = frame_events as f64 / shards as f64;
+        let imbalance = if mean > 0.0 {
+            shard_rows.iter().map(|r| r.1).max().unwrap_or(0) as f64 / mean
+        } else {
+            0.0
+        };
+        let frame_anoms: Vec<_> = anomalies
+            .iter()
+            .filter(|a| a.at_ns >= start_ns && a.at_ns <= end_ns)
+            .collect();
+        if json {
+            let mut out = format!(
+                "{{\"frame\":{frame_no},\"start_ns\":{start_ns},\"end_ns\":{end_ns},\
+                 \"events\":{frame_events},\"imbalance_max_mean\":{imbalance:.4},\"shards\":["
+            );
+            for (i, (k, ev, barrier, wall, mbox, occ)) in shard_rows.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let stall = if *wall > 0 {
+                    *barrier as f64 / *wall as f64 * 100.0
+                } else {
+                    0.0
+                };
+                out.push_str(&format!(
+                    "{{\"shard\":{k},\"events\":{ev},\"barrier_wait_ns\":{barrier},\
+                     \"stall_pct\":{stall:.2},\"mailbox_out\":{mbox},\"occupancy\":{occ}}}"
+                ));
+            }
+            out.push_str("],\"anomalies\":[");
+            for (i, a) in frame_anoms.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                match serde::json::to_string(*a) {
+                    Ok(s) => out.push_str(&s),
+                    Err(_) => out.push_str("null"),
+                }
+            }
+            out.push_str("]}");
+            println!("{out}");
+        } else {
+            println!(
+                "\nframe {frame_no}  [{start_ns} .. {end_ns}] ns  events {frame_events}  \
+                 imbalance {imbalance:.2}  anomalies {}",
+                frame_anoms.len()
+            );
+            println!(
+                "  {:<6} {:>9} {:>15} {:>7} {:>12} {:>10}",
+                "shard", "events", "barrier_wait_ns", "stall%", "mailbox_out", "occupancy"
+            );
+            for (k, ev, barrier, wall, mbox, occ) in &shard_rows {
+                let stall = if *wall > 0 {
+                    *barrier as f64 / *wall as f64 * 100.0
+                } else {
+                    0.0
+                };
+                println!(
+                    "  {:<6} {:>9} {:>15} {:>7.2} {:>12} {:>10}",
+                    k, ev, barrier, stall, mbox, occ
+                );
+            }
+            for a in &frame_anoms {
+                println!(
+                    "  ! anomaly {}: value {:.0} vs median {:.0} (z {:.1})",
+                    a.series, a.value, a.median, a.z
+                );
+            }
+        }
+    }
+    if json {
+        let mut out = format!(
+            "{{\"summary\":{{\"flows\":{flows},\"shards\":{shards},\"windows\":{nwindows},\
+             \"events\":{},\"completed\":{},\"barrier_stall_pct\":{:.4},\
+             \"peak_max_mean\":{:.4},\"mean_gini\":{:.6},\"anomalies\":{},\"rank_bands\":[",
+            summary.events,
+            result.stats.completed,
+            summary.barrier_stall_pct,
+            summary.peak_max_mean,
+            summary.mean_gini,
+            anomalies.len()
+        );
+        for (i, b) in bands.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            match serde::json::to_string(b) {
+                Ok(s) => out.push_str(&s),
+                Err(_) => out.push_str("null"),
+            }
+        }
+        out.push_str("]}}");
+        println!("{out}");
+    } else {
+        println!(
+            "\noverall: {} completed, barrier stall {:.2}%, peak imbalance {:.2}, \
+             mean gini {:.4}, {} anomalies",
+            result.stats.completed,
+            summary.barrier_stall_pct,
+            summary.peak_max_mean,
+            summary.mean_gini,
+            anomalies.len()
+        );
+        for b in &bands {
+            let means: Vec<String> = b.mean_depths.iter().map(|d| format!("{d:.2}")).collect();
+            println!(
+                "rank-band pressure ({}, ranked quickstart): [{}]",
+                b.component,
+                means.join(", ")
+            );
+        }
     }
     ExitCode::SUCCESS
 }
@@ -1419,7 +1735,7 @@ fn cmd_blackbox_validate(args: &[String]) -> ExitCode {
         let cause = t.get("cause").and_then(|v| v.as_str());
         if !matches!(
             cause,
-            Some("slo-burn" | "vm-trap" | "starvation" | "manual")
+            Some("slo-burn" | "vm-trap" | "starvation" | "manual" | "anomaly")
         ) {
             eprintln!("{path}: unknown trigger cause {cause:?}");
             return ExitCode::FAILURE;

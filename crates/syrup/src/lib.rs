@@ -27,6 +27,9 @@
 //!   SLO burn monitoring.
 //! * [`blackbox`] — the always-on flight recorder: bounded per-layer
 //!   event rings, trigger engine, and postmortem bundles.
+//! * [`scope`] — continuous time-series observability: ring series
+//!   store, periodic registry-delta sampling, per-shard barrier/stall
+//!   attribution, robust anomaly detection, OpenMetrics exposition.
 //!
 //! # Quickstart
 //!
@@ -85,6 +88,10 @@ pub use syrup_profile as profile;
 /// Rank-based programmable queues: PIFO, Eiffel bucket queues, and the
 /// executor queue discipline (re-export of `syrup-sched`).
 pub use syrup_sched as sched;
+/// Continuous time-series observability: ring series store, registry-
+/// delta sampler, anomaly detection, OpenMetrics exposition (re-export
+/// of `syrup-scope`).
+pub use syrup_scope as scope;
 /// The discrete-event engine (re-export of `syrup-sim`).
 pub use syrup_sim as sim;
 /// The storage backend (re-export of `syrup-storage`, paper §6.1).

@@ -329,6 +329,87 @@ fn metrics_json_is_a_snapshot_object() {
 }
 
 #[test]
+fn metrics_openmetrics_exposition_passes_the_checker() {
+    let text = stdout_of(&["metrics", "--openmetrics"]);
+    assert!(text.ends_with("# EOF\n"), "missing EOF terminator");
+    let samples = syrup::scope::check_exposition(&text).expect("exposition parses");
+    assert!(samples > 10, "only {samples} samples");
+    assert!(text.contains("# TYPE syrup_app1_xdp_drv_invocations counter"));
+    assert!(text.contains("syrup_app1_xdp_drv_invocations_total 64"));
+}
+
+#[test]
+fn metrics_shards_adds_a_per_shard_breakdown() {
+    // Without the flag the JSON schema is the bare snapshot (scripts
+    // depend on it); with it, snapshot + per-shard wheel stats.
+    let v = json_of(&["metrics", "--shards", "4", "--json"]);
+    let snap = v.get("snapshot").expect("snapshot key");
+    let pushes = snap
+        .get("counters")
+        .and_then(|c| c.get("sim/wheel_pushes"))
+        .and_then(|n| n.as_u64())
+        .expect("wheel pushes counter");
+    let shards = v.get("shards").and_then(|s| s.as_array()).expect("shards");
+    assert_eq!(shards.len(), 4);
+    let split: u64 = shards
+        .iter()
+        .map(|s| s.get("pushes").and_then(|n| n.as_u64()).unwrap())
+        .sum();
+    assert_eq!(
+        split, pushes,
+        "per-shard pushes reconcile with the registry"
+    );
+    for s in shards {
+        for key in [
+            "shard",
+            "len",
+            "pops",
+            "cascaded",
+            "clamped",
+            "wheel_drift_ns",
+        ] {
+            assert!(s.get(key).is_some(), "missing {key}: {s:?}");
+        }
+    }
+    // The table form appends the breakdown under the snapshot.
+    let table = stdout_of(&["metrics", "--shards", "4"]);
+    assert!(table.contains("wheel_drift_ns"), "{table}");
+}
+
+#[test]
+fn top_json_streams_frames_then_a_summary() {
+    let out = stdout_of(&[
+        "top", "--flows", "400", "--shards", "2", "--frames", "3", "--json",
+    ]);
+    let lines: Vec<serde::json::Value> = out
+        .lines()
+        .map(|l| serde::json::from_str(l).expect("each line is one JSON object"))
+        .collect();
+    let frames: Vec<_> = lines.iter().filter(|l| l.get("frame").is_some()).collect();
+    let summaries: Vec<_> = lines
+        .iter()
+        .filter(|l| l.get("summary").is_some())
+        .collect();
+    assert!(!frames.is_empty() && frames.len() <= 3, "{}", frames.len());
+    assert_eq!(summaries.len(), 1);
+    for f in &frames {
+        let shards = f.get("shards").and_then(|s| s.as_array()).expect("shards");
+        assert_eq!(shards.len(), 2);
+        for s in shards {
+            for key in ["events", "barrier_wait_ns", "stall_pct", "occupancy"] {
+                assert!(s.get(key).is_some(), "missing {key}: {s:?}");
+            }
+        }
+    }
+    let summary = summaries[0].get("summary").unwrap();
+    assert!(summary
+        .get("events")
+        .and_then(|n| n.as_u64())
+        .is_some_and(|n| n > 0));
+    assert!(summary.get("rank_bands").is_some());
+}
+
+#[test]
 fn trace_record_export_validate_round_trip() {
     let export = tmp_path("trace.json");
     let summary = stdout_of(&[
